@@ -1,0 +1,81 @@
+// Convergence study (paper section 5: "Three calls of the layout tool were
+// needed before parasitic convergence").
+//
+// Traces the per-iteration parasitic capacitances of the sizing <-> layout
+// loop for cases 3 and 4, sweeps the convergence tolerance, and benchmarks
+// the whole flow (paper: < 2 minutes per case on their machine).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::core;
+
+void printConvergence() {
+  const tech::Technology t = tech::Technology::generic060();
+  const sizing::OtaSpecs specs;
+
+  std::printf("\n=== Parasitic convergence of the sizing <-> layout loop ===\n");
+  for (SizingCase c : {SizingCase::kCase3, SizingCase::kCase4}) {
+    FlowOptions opt;
+    opt.sizingCase = c;
+    SynthesisFlow flow(t, opt);
+    const FlowResult r = flow.run(specs);
+    std::printf("\n%s: %d layout calls, converged=%s\n", sizingCaseName(c),
+                r.layoutCalls, r.parasiticConverged ? "yes" : "no");
+    std::printf("%6s %12s %12s %12s %12s %12s\n", "call", "C(x1) fF", "C(out) fF",
+                "C(tail) fF", "Itail uA", "Wpair um");
+    for (const FlowIteration& it : r.iterations) {
+      std::printf("%6d %12.2f %12.2f %12.2f %12.1f %12.1f\n", it.layoutCall,
+                  it.capX1 * 1e15, it.capOut * 1e15, it.capTail * 1e15,
+                  it.tailCurrent * 1e6, it.pairWidth * 1e6);
+    }
+  }
+
+  std::printf("\ntolerance sweep (case 4):\n%10s %14s %12s\n", "tol", "layout calls",
+              "GBW meas MHz");
+  for (double tol : {0.10, 0.05, 0.02, 0.01, 0.005}) {
+    FlowOptions opt;
+    opt.sizingCase = SizingCase::kCase4;
+    opt.convergenceTol = tol;
+    SynthesisFlow flow(t, opt);
+    const FlowResult r = flow.run(specs);
+    std::printf("%10.3f %14d %12.2f\n", tol, r.layoutCalls, r.measured.gbwHz / 1e6);
+  }
+}
+
+void BM_FullFlowCase4(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  FlowOptions opt;
+  opt.sizingCase = SizingCase::kCase4;
+  SynthesisFlow flow(t, opt);
+  for (auto _ : state) {
+    const FlowResult r = flow.run(sizing::OtaSpecs{});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullFlowCase4)->Unit(benchmark::kMillisecond);
+
+void BM_SizingPassOnly(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  const auto model = device::MosModel::create("ekv");
+  sizing::OtaSizer sizer(t, *model);
+  for (auto _ : state) {
+    const auto r = sizer.size(sizing::OtaSpecs{}, sizing::SizingPolicy::case2());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SizingPassOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printConvergence();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

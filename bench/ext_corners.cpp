@@ -1,0 +1,81 @@
+// Extension benchmark: process-corner robustness with and without the
+// transistor-level bias generator, plus the Monte-Carlo mismatch spread --
+// the "statistical analysis to check the reliability of the synthesized
+// circuit" angle of the paper's verification interface (section 4).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "sizing/montecarlo.hpp"
+#include "sizing/ota_sizer.hpp"
+
+namespace {
+
+using namespace lo;
+
+void printCorners() {
+  const tech::Technology t = tech::Technology::generic060();
+  core::FlowOptions opt;
+  core::SynthesisFlow flow(t, opt);
+  const core::FlowResult r = flow.run(sizing::OtaSpecs{});
+  const auto bias = sizing::designOtaBias(t, flow.model(), r.extractedDesign);
+
+  std::printf("\n=== Corner analysis of the case-4 OTA ===\n");
+  std::printf("%-4s | %28s | %28s\n", "", "fixed ideal biases", "bias generator");
+  std::printf("%-4s | %8s %9s %8s | %8s %9s %8s\n", "cnr", "gain dB", "GBW MHz",
+              "PM deg", "gain dB", "GBW MHz", "PM deg");
+  for (tech::ProcessCorner c :
+       {tech::ProcessCorner::kTypical, tech::ProcessCorner::kSlow,
+        tech::ProcessCorner::kFast, tech::ProcessCorner::kSlowNFastP,
+        tech::ProcessCorner::kFastNSlowP}) {
+    const tech::Technology corner = t.atCorner(c);
+    sizing::OtaVerifier verifier(corner, flow.model());
+    const auto fixed = verifier.verify(r.extractedDesign, &r.layout.parasitics);
+    const auto gen = sizing::measureAmplifier(
+        corner, flow.model(),
+        [&](circuit::Circuit& ck) {
+          circuit::instantiateOtaWithBias(ck, r.extractedDesign, bias);
+        },
+        r.extractedDesign.inputCm, r.extractedDesign.vdd, &r.layout.parasitics);
+    std::printf("%-4s | %8.1f %9.1f %8.1f | %8.1f %9.1f %8.1f\n", tech::cornerName(c),
+                fixed.dcGainDb, fixed.gbwHz / 1e6, fixed.phaseMarginDeg, gen.dcGainDb,
+                gen.gbwHz / 1e6, gen.phaseMarginDeg);
+  }
+  std::printf("(cross corners sf/fs collapse with fixed ideal biases and are\n"
+              " rescued by the tracking generator)\n");
+
+  sizing::MonteCarloOptions mc;
+  mc.samples = 60;
+  const auto stats =
+      sizing::runMonteCarlo(t, flow.model(), r.extractedDesign, &r.layout.parasitics, mc);
+  std::printf("\nMonte Carlo (%d samples, Avt=%.0f mV*um): offset %.2f +/- %.2f mV, "
+              "gain %.1f +/- %.2f dB, %d failures\n",
+              stats.samples, mc.avt * 1e9, stats.offsetMeanMv, stats.offsetSigmaMv,
+              stats.gainMeanDb, stats.gainSigmaDb, stats.failures);
+}
+
+void BM_MonteCarloSample(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  core::FlowOptions opt;
+  core::SynthesisFlow flow(t, opt);
+  const core::FlowResult r = flow.run(sizing::OtaSpecs{});
+  sizing::MonteCarloOptions mc;
+  mc.samples = 1;
+  for (auto _ : state) {
+    mc.seed++;
+    const auto stats = sizing::runMonteCarlo(t, flow.model(), r.extractedDesign,
+                                             &r.layout.parasitics, mc);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_MonteCarloSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printCorners();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension benchmark: the two-stage Miller OTA through the same
+// layout-oriented flow -- the paper's section-4 claim that the tool's
+// hierarchy "simplifies the addition of new topologies", measured.
+//
+// Prints the four-case comparison for the second topology and benchmarks
+// its flow; writes two_stage_ota.svg.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/two_stage_flow.hpp"
+#include "layout/writers.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::core;
+
+void printTwoStage() {
+  const tech::Technology t = tech::Technology::generic060();
+  sizing::OtaSpecs specs;
+  specs.gbw = 30e6;
+
+  std::printf("\n=== Extension: two-stage Miller OTA through the same flow ===\n");
+  std::printf("specs: GBW %.0f MHz, PM %.0f deg, CL %.0f pF\n\n", specs.gbw / 1e6,
+              specs.phaseMarginDeg, specs.cload * 1e12);
+  std::printf("%-8s %10s %12s %12s %10s %10s %8s\n", "case", "calls", "GBW syn",
+              "GBW meas", "PM meas", "power mW", "gain dB");
+
+  TwoStageFlowResult last;
+  for (SizingCase c : {SizingCase::kCase1, SizingCase::kCase2, SizingCase::kCase4}) {
+    TwoStageFlowOptions opt;
+    opt.sizingCase = c;
+    const TwoStageFlowResult r = runTwoStageFlow(t, opt, specs);
+    std::printf("%-8s %10d %9.2f MHz %9.2f MHz %10.1f %10.2f %8.1f\n", sizingCaseName(c),
+                r.layoutCalls, r.predicted.gbwHz / 1e6, r.measured.gbwHz / 1e6,
+                r.measured.phaseMarginDeg, r.measured.powerMw, r.measured.dcGainDb);
+    if (c == SizingCase::kCase4) last = r;
+  }
+
+  std::printf("\ncase-4 layout: %.1f x %.1f um, CC drawn %.3f pF (target %.3f), "
+              "RZ drawn %.0f ohm (target %.0f)\n",
+              last.layout.width / 1e3, last.layout.height / 1e3,
+              last.layout.ccInfo.drawnFarads * 1e12, last.sizing.design.cc * 1e12,
+              last.layout.rzInfo.drawnOhms, last.sizing.design.rz);
+  std::printf("pair matching: centroid offsets %.2f / %.2f, imbalance %d / %d\n",
+              last.layout.pairPlan.metrics[0].centroidOffset,
+              last.layout.pairPlan.metrics[1].centroidOffset,
+              last.layout.pairPlan.metrics[0].orientationImbalance,
+              last.layout.pairPlan.metrics[1].orientationImbalance);
+  layout::writeFile("two_stage_ota.svg", layout::toSvg(last.layout.cell.shapes));
+  std::printf("wrote two_stage_ota.svg\n");
+}
+
+void BM_TwoStageFlowCase4(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  TwoStageFlowOptions opt;
+  sizing::OtaSpecs specs;
+  specs.gbw = 30e6;
+  for (auto _ : state) {
+    const TwoStageFlowResult r = runTwoStageFlow(t, opt, specs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TwoStageFlowCase4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTwoStage();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces paper Fig. 2: the capacitance reduction factor F versus the
+// number of folds Nf for the three diffusion configurations
+//   (a) even Nf, terminal on internal strips only,
+//   (b) even Nf, terminal on external strips,
+//   (c) odd Nf.
+// Also reports the exact drawn junction figures behind the factor and
+// benchmarks the fold-planning machinery.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "device/folding.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace lo;
+
+void printFigure2() {
+  std::printf("\n=== Fig. 2: capacitance reduction factor F(Nf) ===\n");
+  std::printf("%4s  %12s  %12s  %12s\n", "Nf", "(a) internal", "(b) external",
+              "(c) odd");
+  for (int nf = 1; nf <= 20; ++nf) {
+    std::printf("%4d", nf);
+    if (nf > 1 && nf % 2 == 0) {
+      std::printf("  %12.4f  %12.4f  %12s",
+                  device::capReductionFactor(nf, device::DiffusionPosition::kInternal),
+                  device::capReductionFactor(nf, device::DiffusionPosition::kExternal), "-");
+    } else {
+      std::printf("  %12s  %12s  %12.4f", "-", "-",
+                  device::capReductionFactor(nf, device::DiffusionPosition::kExternal));
+    }
+    std::printf("\n");
+  }
+
+  // Exact drawn junction capacitance for a 60 um device, showing that the
+  // drawn geometry tracks the abstract factor.
+  const tech::Technology t = tech::Technology::generic060();
+  std::printf("\nDrawn drain junction of a 60 um NMOS (cj=%.2f fF/um^2):\n",
+              t.nmos.cj * 1e3);
+  std::printf("%4s  %10s  %10s  %8s\n", "Nf", "AD [um^2]", "PD [um]", "style");
+  for (int nf : {1, 2, 4, 6, 8, 12}) {
+    device::MosGeometry geo;
+    geo.l = 1e-6;
+    const device::FoldPlan plan =
+        device::planFoldsExact(t.rules, 60e-6, nf, device::FoldStyle::kDrainInternal);
+    device::applyDiffusionGeometry(t.rules, plan, geo);
+    std::printf("%4d  %10.2f  %10.2f  %8s\n", nf, geo.ad * 1e12, geo.pd * 1e6,
+                plan.drainInternal ? "internal" : "ends");
+  }
+}
+
+void BM_PlanFolds(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  for (auto _ : state) {
+    const device::FoldPlan plan = device::planFolds(
+        t.rules, 60e-6, 10e-6, device::FoldStyle::kDrainInternal);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanFolds);
+
+void BM_DiffusionGeometry(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  const device::FoldPlan plan = device::planFoldsExact(
+      t.rules, 60e-6, static_cast<int>(state.range(0)), device::FoldStyle::kDrainInternal);
+  device::MosGeometry geo;
+  geo.l = 1e-6;
+  for (auto _ : state) {
+    device::applyDiffusionGeometry(t.rules, plan, geo);
+    benchmark::DoNotOptimize(geo);
+  }
+}
+BENCHMARK(BM_DiffusionGeometry)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

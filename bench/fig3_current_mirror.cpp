@@ -1,0 +1,130 @@
+// Reproduces paper Fig. 3: a three-output current mirror with width ratios
+// M1:M2:M3 = 1:3:6, generated as one matched stack with
+//   * symmetric placement (every device centred on the stack mid-point),
+//   * balanced current directions (Malavasi-Pandini style orientation),
+//   * dummies at the row ends,
+//   * electromigration-sized wires and contact counts for the high current
+//     densities the paper assumes.
+// Writes fig3_current_mirror.svg / .cif next to the binary.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "layout/drc.hpp"
+#include "layout/router.hpp"
+#include "layout/stack.hpp"
+#include "layout/writers.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::layout;
+
+StackSpec mirrorSpec() {
+  StackSpec s;
+  s.name = "fig3_mirror";
+  s.type = tech::MosType::kNmos;
+  s.unitWidth = 5e-6;
+  s.drawnL = 1.2e-6;
+  s.sourceNet = "gnd";
+  s.dummyGateNet = "gnd";
+  // High current densities, as in the paper's example.
+  s.devices = {{"M1", 2, "d1", "gate", 0.5e-3},
+               {"M2", 6, "d2", "gate", 1.5e-3},
+               {"M3", 12, "d3", "gate", 3.0e-3}};
+  s.emitWellAndSelect = true;
+  return s;
+}
+
+void printFigure3() {
+  const tech::Technology t = tech::Technology::generic060();
+  const StackSpec spec = mirrorSpec();
+  StackInfo info;
+  Cell cell = generateStack(t, spec, &info);
+
+  std::printf("\n=== Fig. 3: current mirror M1:M2:M3 = 1:3:6 ===\n");
+  std::printf("finger sequence (arrows = current direction):\n  ");
+  for (std::size_t i = 0; i < info.plan.fingers.size(); ++i) {
+    const StackFinger& f = info.plan.fingers[i];
+    if (f.device < 0) {
+      std::printf("[dum] ");
+    } else {
+      std::printf("[%s%s] ", spec.devices[f.device].name.c_str(),
+                  f.currentLeftToRight ? ">" : "<");
+    }
+  }
+  std::printf("\n\nper-device matching metrics:\n");
+  std::printf("%4s %8s %18s %22s %14s\n", "dev", "fingers", "centroid offset",
+              "orientation imbalance", "drain strips");
+  for (std::size_t d = 0; d < spec.devices.size(); ++d) {
+    const StackDeviceMetrics& m = info.plan.metrics[d];
+    std::printf("%4s %8d %15.2f px %22d %8d int/%d ext\n",
+                spec.devices[d].name.c_str(), m.fingers, m.centroidOffset,
+                m.orientationImbalance, m.internalDrainStrips, m.externalDrainStrips);
+  }
+
+  std::printf("\nreliability sizing (EM limit %.1f mA/um metal1):\n",
+              t.layer(tech::Layer::kMetal1).emMaxAmpPerM / 1e3 * 1e-3 * 1e6);
+  std::printf("%4s %12s %14s %16s\n", "dev", "current", "wire width", "contacts req'd");
+  for (const StackDevice& dev : spec.devices) {
+    std::printf("%4s %9.2f mA %11lld nm %16d\n", dev.name.c_str(), dev.current * 1e3,
+                static_cast<long long>(
+                    t.wireWidthForCurrent(tech::Layer::kMetal1, dev.current)),
+                t.contactsForCurrent(dev.current));
+  }
+  std::printf("contacts per strip drawn: %d\n", info.contactsPerStrip);
+
+  // Route the drain trunks with EM widths in the channels above and below
+  // the stack, and add them to the artwork.
+  const geom::Rect box = cell.bbox();
+  const std::vector<Channel> channels = {
+      {box.y0 - 30000, box.y0 - t.rules.metal1Spacing},
+      {box.y1 + t.rules.metal1Spacing, box.y1 + 30000}};
+  const RoutingResult routing = routeCell(
+      t, cell,
+      {{"d1", 0.5e-3}, {"d2", 1.5e-3}, {"d3", 3.0e-3}, {"gnd", 5.0e-3}, {"gate", 0.0}},
+      channels, true);
+  for (const RoutedNet& rn : routing.nets) {
+    std::printf("routed %-5s trunk %5lld nm wide, %6.1f um long, %5.2f fF\n",
+                rn.net.c_str(), static_cast<long long>(rn.trunkWidth),
+                rn.trunkLength * 1e6, rn.capToGround * 1e15);
+  }
+  cell.shapes.merge(routing.wires, geom::Orient::kR0, 0, 0);
+
+  const auto violations = runDrc(t, cell.shapes);
+  std::printf("DRC: %zu violations\n", violations.size());
+
+  writeFile("fig3_current_mirror.svg", toSvg(cell.shapes));
+  writeFile("fig3_current_mirror.cif", toCif(cell.shapes, "FIG3MIRROR"));
+  std::printf("wrote fig3_current_mirror.svg / .cif (%lld x %lld um)\n",
+              cell.bbox().width() / 1000, cell.bbox().height() / 1000);
+}
+
+void BM_GenerateMirrorStack(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  const StackSpec spec = mirrorSpec();
+  for (auto _ : state) {
+    StackInfo info;
+    const Cell cell = generateStack(t, spec, &info);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_GenerateMirrorStack);
+
+void BM_PlanStackOnly(benchmark::State& state) {
+  const StackSpec spec = mirrorSpec();
+  for (auto _ : state) {
+    const StackPlan plan = planStack(spec);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanStackOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+* extracted folded-cascode OTA (case4)
+MP5 tail vp1 vdd vdd pmos W=471.6u L=2u NF=12 AD=424.44p AS=455.88p PD=21.6u PS=101.8u M=1
+MP1 x1 inp tail tail pmos W=253.2u L=1u NF=12 AD=227.88p AS=246.87p PD=21.6u PS=23.4u M=1
+MP2 x2 inn tail tail pmos W=253.2u L=1u NF=12 AD=227.88p AS=246.87p PD=21.6u PS=23.4u M=1
+MN5 x1 vbn 0 0 nmos W=76.5u L=1.5u NF=10 AD=68.85p AS=82.62p PD=18u PS=21.6u M=1
+MN6 x2 vbn 0 0 nmos W=76.5u L=1.5u NF=10 AD=68.85p AS=82.62p PD=18u PS=21.6u M=1
+MN1C y1 vc1 x1 0 nmos W=33.4u L=800n NF=4 AD=30.06p AS=36.74p PD=7.2u PS=25.5u M=1
+MN2C out vc1 x2 0 nmos W=33.4u L=800n NF=4 AD=30.06p AS=36.74p PD=7.2u PS=25.5u M=1
+MP3 z1 y1 vdd vdd pmos W=105u L=1.5u NF=4 AD=94.5p AS=115.5p PD=7.2u PS=61.3u M=1
+MP4 z2 y1 vdd vdd pmos W=105u L=1.5u NF=4 AD=94.5p AS=115.5p PD=7.2u PS=61.3u M=1
+MP3C y1 vc3 z1 vdd pmos W=73.8u L=800n NF=2 AD=66.42p AS=95.94p PD=3.6u PS=79u M=1
+MP4C out vc3 z2 vdd pmos W=73.8u L=800n NF=2 AD=66.42p AS=95.94p PD=3.6u PS=79u M=1
+CL out 0 3p
+CPAR_out out 0 73.1532f
+CCPL_out_tail out tail 1.53638f
+CCPL_out_x2 out x2 3.63985f
+CCPL_out_y1 out y1 6.69402f
+CCPL_out_z1 out z1 1.04164f
+CCPL_out_z2 out z2 8.96364e-16
+CPAR_tail tail 0 363.026f
+CCPL_tail_x1 tail x1 1.30369f
+CCPL_tail_x2 tail x2 4.13873f
+CCPL_tail_z1 tail z1 4.97636e-16
+CCPL_tail_z2 tail z2 4.97636e-16
+CPAR_vc1 vc1 0 18.2148f
+CPAR_vc3 vc3 0 17.8756f
+CCPL_vc3_y1 vc3 y1 4.32727f
+CPAR_x1 x1 0 78.5166f
+CCPL_x1_x2 x1 x2 14.9313f
+CCPL_x1_y1 x1 y1 1.91648f
+CPAR_x2 x2 0 83.3363f
+CCPL_x2_y1 x2 y1 6.63532f
+CCPL_x2_z1 x2 z1 3.58062e-16
+CCPL_x2_z2 x2 z2 5.7375e-17
+CPAR_y1 y1 0 54.1603f
+CCPL_y1_z1 y1 z1 1.45273e-16
+CPAR_z1 z1 0 23.0168f
+CPAR_z2 z2 0 22.8638f
+VDD vdd 0 DC 3.3
+VP1 vp1 0 DC 2.19972
+VBN vbn 0 DC 1.06968
+VC1 vc1 0 DC 1.51759
+VC3 vc3 0 DC 1.67226
+.end

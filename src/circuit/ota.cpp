@@ -1,0 +1,123 @@
+#include "circuit/ota.hpp"
+
+namespace lo::circuit {
+
+device::MosGeometry& FoldedCascodeOtaDesign::geometry(OtaGroup g) {
+  switch (g) {
+    case OtaGroup::kInputPair: return inputPair;
+    case OtaGroup::kTail: return tail;
+    case OtaGroup::kSink: return sink;
+    case OtaGroup::kNCascode: return nCascode;
+    case OtaGroup::kPSource: return pSource;
+    case OtaGroup::kPCascode: return pCascode;
+  }
+  return inputPair;
+}
+
+const device::MosGeometry& FoldedCascodeOtaDesign::geometry(OtaGroup g) const {
+  return const_cast<FoldedCascodeOtaDesign*>(this)->geometry(g);
+}
+
+double otaGroupCurrent(const FoldedCascodeOtaDesign& d, OtaGroup g) {
+  switch (g) {
+    case OtaGroup::kInputPair: return d.tailCurrent / 2.0;
+    case OtaGroup::kTail: return d.tailCurrent;
+    case OtaGroup::kSink: return d.sinkCurrent();
+    case OtaGroup::kNCascode:
+    case OtaGroup::kPSource:
+    case OtaGroup::kPCascode: return d.cascodeCurrent;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Shared body: the 11 core transistors, the supply source and the load.
+/// Bias nodes are created but left undriven for the caller to bias.
+OtaNodes instantiateCore(Circuit& c, const FoldedCascodeOtaDesign& d,
+                         const std::string& prefix, NodeId& vp1, NodeId& vbn,
+                         NodeId& vc1, NodeId& vc3) {
+  auto n = [&](const std::string& base) { return c.node(base + prefix); };
+  OtaNodes nodes;
+  nodes.vdd = n("vdd");
+  nodes.inp = n("inp");
+  nodes.inn = n("inn");
+  nodes.out = n("out");
+  nodes.tail = n("tail");
+  nodes.x1 = n("x1");
+  nodes.x2 = n("x2");
+  nodes.y1 = n("y1");
+  vp1 = n("vp1");
+  vbn = n("vbn");
+  vc1 = n("vc1");
+  vc3 = n("vc3");
+  const NodeId gnd = kGround;
+
+  using tech::MosType;
+  // Tail current source.
+  c.addMos("MP5" + prefix, nodes.tail, vp1, nodes.vdd, nodes.vdd, MosType::kPmos, d.tail);
+  // Input pair; bulks tied to the tail node (dedicated floating N-well).
+  c.addMos("MP1" + prefix, nodes.x1, nodes.inp, nodes.tail, nodes.tail, MosType::kPmos,
+           d.inputPair);
+  c.addMos("MP2" + prefix, nodes.x2, nodes.inn, nodes.tail, nodes.tail, MosType::kPmos,
+           d.inputPair);
+  // Folding-node current sinks.
+  c.addMos("MN5" + prefix, nodes.x1, vbn, gnd, gnd, MosType::kNmos, d.sink);
+  c.addMos("MN6" + prefix, nodes.x2, vbn, gnd, gnd, MosType::kNmos, d.sink);
+  // NMOS cascodes up to the mirror node / output.
+  c.addMos("MN1C" + prefix, nodes.y1, vc1, nodes.x1, gnd, MosType::kNmos, d.nCascode);
+  c.addMos("MN2C" + prefix, nodes.out, vc1, nodes.x2, gnd, MosType::kNmos, d.nCascode);
+  // Cascoded PMOS mirror load: MP3/MP4 gates driven by the mirror node y1.
+  const NodeId z1 = n("z1"), z2 = n("z2");
+  c.addMos("MP3" + prefix, z1, nodes.y1, nodes.vdd, nodes.vdd, MosType::kPmos, d.pSource);
+  c.addMos("MP4" + prefix, z2, nodes.y1, nodes.vdd, nodes.vdd, MosType::kPmos, d.pSource);
+  c.addMos("MP3C" + prefix, nodes.y1, vc3, z1, nodes.vdd, MosType::kPmos, d.pCascode);
+  c.addMos("MP4C" + prefix, nodes.out, vc3, z2, nodes.vdd, MosType::kPmos, d.pCascode);
+
+  // Supply source and load capacitance.
+  c.addVSource("VDD" + prefix, nodes.vdd, gnd, Waveform::makeDc(d.vdd));
+  c.addCapacitor("CL" + prefix, nodes.out, gnd, d.cload);
+  return nodes;
+}
+
+}  // namespace
+
+OtaNodes instantiateOta(Circuit& c, const FoldedCascodeOtaDesign& d,
+                        const std::string& prefix) {
+  NodeId vp1, vbn, vc1, vc3;
+  const OtaNodes nodes = instantiateCore(c, d, prefix, vp1, vbn, vc1, vc3);
+  c.addVSource("VP1" + prefix, vp1, kGround, Waveform::makeDc(d.vp1));
+  c.addVSource("VBN" + prefix, vbn, kGround, Waveform::makeDc(d.vbn));
+  c.addVSource("VC1" + prefix, vc1, kGround, Waveform::makeDc(d.vc1));
+  c.addVSource("VC3" + prefix, vc3, kGround, Waveform::makeDc(d.vc3));
+  return nodes;
+}
+
+OtaNodes instantiateOtaWithBias(Circuit& c, const FoldedCascodeOtaDesign& d,
+                                const OtaBiasDesign& bias, const std::string& prefix) {
+  NodeId vp1, vbn, vc1, vc3;
+  const OtaNodes nodes = instantiateCore(c, d, prefix, vp1, vbn, vc1, vc3);
+  const NodeId gnd = kGround;
+  using tech::MosType;
+  const double ib = bias.biasCurrent;
+
+  // vbn: reference current into an NMOS diode; the sinks mirror it.
+  c.addISource("IREF" + prefix, nodes.vdd, vbn, Waveform::makeDc(ib));
+  c.addMos("MNB1" + prefix, vbn, vbn, gnd, gnd, MosType::kNmos, bias.nDiode);
+
+  // vp1: mirrored leg pulls the reference through a PMOS diode.
+  c.addMos("MNB2" + prefix, vp1, vbn, gnd, gnd, MosType::kNmos, bias.nDiode);
+  c.addMos("MPB1" + prefix, vp1, vp1, nodes.vdd, nodes.vdd, MosType::kPmos, bias.pDiode);
+
+  // vc1: PMOS mirror leg feeds a large-VGS NMOS diode.
+  c.addMos("MPB4" + prefix, vc1, vp1, nodes.vdd, nodes.vdd, MosType::kPmos, bias.pDiode);
+  c.addMos("MNB3" + prefix, vc1, vc1, gnd, gnd, MosType::kNmos, bias.nCascDiode);
+
+  // vc3: NMOS mirror leg pulls the reference through a large-VGS PMOS diode.
+  c.addMos("MPB2" + prefix, vc3, vc3, nodes.vdd, nodes.vdd, MosType::kPmos,
+           bias.pCascDiode);
+  c.addMos("MNB5" + prefix, vc3, vbn, gnd, gnd, MosType::kNmos, bias.nDiode);
+  return nodes;
+}
+
+}  // namespace lo::circuit

@@ -1,0 +1,73 @@
+#include "circuit/two_stage.hpp"
+
+namespace lo::circuit {
+
+device::MosGeometry& TwoStageOtaDesign::geometry(TwoStageGroup g) {
+  switch (g) {
+    case TwoStageGroup::kInputPair: return inputPair;
+    case TwoStageGroup::kMirror: return mirror;
+    case TwoStageGroup::kTail: return tail;
+    case TwoStageGroup::kDriver: return driver;
+    case TwoStageGroup::kSink2: return sink2;
+  }
+  return inputPair;
+}
+
+const device::MosGeometry& TwoStageOtaDesign::geometry(TwoStageGroup g) const {
+  return const_cast<TwoStageOtaDesign*>(this)->geometry(g);
+}
+
+double twoStageGroupCurrent(const TwoStageOtaDesign& d, TwoStageGroup g) {
+  switch (g) {
+    case TwoStageGroup::kInputPair:
+    case TwoStageGroup::kMirror: return d.tailCurrent / 2.0;
+    case TwoStageGroup::kTail: return d.tailCurrent;
+    case TwoStageGroup::kDriver:
+    case TwoStageGroup::kSink2: return d.stage2Current;
+  }
+  return 0.0;
+}
+
+TwoStageNodes instantiateTwoStage(Circuit& c, const TwoStageOtaDesign& d,
+                                  const std::string& prefix) {
+  auto n = [&](const std::string& base) { return c.node(base + prefix); };
+  TwoStageNodes nodes;
+  nodes.vdd = n("vdd");
+  nodes.inp = n("inp");
+  nodes.inn = n("inn");
+  nodes.out = n("out");
+  nodes.tail = n("tail");
+  nodes.o1 = n("o1");
+  nodes.d1 = n("d1");
+  const NodeId vbn = n("vbn");
+  const NodeId rzm = n("rzm");
+  const NodeId gnd = kGround;
+
+  using tech::MosType;
+  // First stage: NMOS pair into a PMOS mirror; o1 is the high-impedance
+  // output on the MN2/MP4 side, d1 the diode side.  The non-inverting input
+  // (inp) drives MN2 so that two inversions later the output follows it.
+  c.addMos("MN1" + prefix, nodes.d1, nodes.inn, nodes.tail, gnd, MosType::kNmos,
+           d.inputPair);
+  c.addMos("MN2" + prefix, nodes.o1, nodes.inp, nodes.tail, gnd, MosType::kNmos,
+           d.inputPair);
+  c.addMos("MP3" + prefix, nodes.d1, nodes.d1, nodes.vdd, nodes.vdd, MosType::kPmos,
+           d.mirror);
+  c.addMos("MP4" + prefix, nodes.o1, nodes.d1, nodes.vdd, nodes.vdd, MosType::kPmos,
+           d.mirror);
+  c.addMos("MN5" + prefix, nodes.tail, vbn, gnd, gnd, MosType::kNmos, d.tail);
+
+  // Second stage with Miller compensation (nulling resistor in series).
+  c.addMos("MP6" + prefix, nodes.out, nodes.o1, nodes.vdd, nodes.vdd, MosType::kPmos,
+           d.driver);
+  c.addMos("MN7" + prefix, nodes.out, vbn, gnd, gnd, MosType::kNmos, d.sink2);
+  c.addResistor("RZ" + prefix, nodes.o1, rzm, d.rz);
+  c.addCapacitor("CC" + prefix, rzm, nodes.out, d.cc);
+
+  c.addVSource("VDD" + prefix, nodes.vdd, gnd, Waveform::makeDc(d.vdd));
+  c.addVSource("VBN" + prefix, vbn, gnd, Waveform::makeDc(d.vbn));
+  c.addCapacitor("CL" + prefix, nodes.out, gnd, d.cload);
+  return nodes;
+}
+
+}  // namespace lo::circuit

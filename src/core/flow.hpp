@@ -1,0 +1,94 @@
+// The layout-oriented synthesis flow (paper Fig. 1b) -- the paper's central
+// contribution.
+//
+// Couples the sizing tool and the layout generator: after each sizing pass
+// the layout tool runs in parasitic calculation mode and feeds back the fold
+// plans, exact junction geometry, routing/coupling capacitance and well
+// sizes; sizing then compensates by resizing.  The loop repeats "till the
+// calculated parasitics remain unchanged", after which the layout tool runs
+// once in generation mode, the netlist is extracted, and the result is
+// verified by simulation.
+//
+// The four SizingCase values correspond to Table 1's columns: what the
+// *sizing* run is told about the layout varies, while extraction and the
+// verification simulation always see the full physical picture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/ota_layout.hpp"
+#include "sizing/ota_sizer.hpp"
+#include "sizing/verify.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::core {
+
+enum class SizingCase {
+  kCase1,  ///< No layout capacitance during sizing (neither diffusion nor routing).
+  kCase2,  ///< Diffusion caps with pessimistic single-fold geometry, no routing.
+  kCase3,  ///< Exact diffusion from layout feedback, no routing capacitance.
+  kCase4,  ///< All layout parasitics fed back (the proposed methodology).
+};
+
+[[nodiscard]] constexpr const char* sizingCaseName(SizingCase c) {
+  switch (c) {
+    case SizingCase::kCase1: return "case1";
+    case SizingCase::kCase2: return "case2";
+    case SizingCase::kCase3: return "case3";
+    case SizingCase::kCase4: return "case4";
+  }
+  return "?";
+}
+
+struct FlowOptions {
+  SizingCase sizingCase = SizingCase::kCase4;
+  std::string modelName = "ekv";
+  /// Draw and verify the transistor-level bias generator instead of ideal
+  /// bias voltage sources (corner-robust; costs four reference legs).
+  bool includeBiasGenerator = false;
+  layout::OtaLayoutOptions layoutOptions;
+  int maxLayoutCalls = 8;
+  /// Relative change of the critical-net capacitances below which the
+  /// parasitics count as "unchanged".
+  double convergenceTol = 0.02;
+  sizing::VerifyOptions verifyOptions;
+};
+
+/// One sizing <-> layout iteration, for the convergence study.
+struct FlowIteration {
+  int layoutCall = 0;
+  double capX1 = 0.0;    ///< Parasitic cap on the folding node [F].
+  double capOut = 0.0;   ///< Parasitic cap on the output net [F].
+  double capTail = 0.0;  ///< Tail net (includes the floating well) [F].
+  double tailCurrent = 0.0;
+  double pairWidth = 0.0;
+};
+
+struct FlowResult {
+  sizing::SizingResult sizing;          ///< Final sizing pass.
+  circuit::OtaBiasDesign bias;          ///< Valid when includeBiasGenerator.
+  layout::OtaLayoutResult layout;       ///< Generation-mode layout.
+  circuit::FoldedCascodeOtaDesign extractedDesign;  ///< Fold-quantised geometry.
+  sizing::OtaPerformance predicted;     ///< Synthesised values (Table 1 plain).
+  sizing::OtaPerformance measured;      ///< Extracted-netlist simulation (brackets).
+  std::vector<FlowIteration> iterations;
+  int layoutCalls = 0;                  ///< Parasitic-mode calls before convergence.
+  bool parasiticConverged = false;
+};
+
+class SynthesisFlow {
+ public:
+  SynthesisFlow(const tech::Technology& t, FlowOptions options);
+
+  [[nodiscard]] FlowResult run(const sizing::OtaSpecs& specs) const;
+
+  [[nodiscard]] const device::MosModel& model() const { return *model_; }
+
+ private:
+  const tech::Technology& tech_;
+  FlowOptions options_;
+  std::unique_ptr<device::MosModel> model_;
+};
+
+}  // namespace lo::core

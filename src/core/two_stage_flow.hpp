@@ -1,0 +1,36 @@
+// Layout-oriented synthesis flow for the two-stage Miller OTA: the same
+// sizing <-> layout-parasitic loop as the folded cascode, driving the
+// two-stage design plan and layout program.  Demonstrates the paper's claim
+// that new topologies slot into the methodology unchanged.
+#pragma once
+
+#include "core/flow.hpp"
+#include "layout/two_stage_layout.hpp"
+#include "sizing/two_stage.hpp"
+
+namespace lo::core {
+
+struct TwoStageFlowOptions {
+  SizingCase sizingCase = SizingCase::kCase4;
+  std::string modelName = "ekv";
+  layout::TwoStageLayoutOptions layoutOptions;
+  int maxLayoutCalls = 8;
+  double convergenceTol = 0.02;
+  sizing::VerifyOptions verifyOptions;
+};
+
+struct TwoStageFlowResult {
+  sizing::TwoStageSizingResult sizing;
+  layout::TwoStageLayoutResult layout;
+  circuit::TwoStageOtaDesign extractedDesign;
+  sizing::OtaPerformance predicted;
+  sizing::OtaPerformance measured;
+  int layoutCalls = 0;
+  bool parasiticConverged = false;
+};
+
+[[nodiscard]] TwoStageFlowResult runTwoStageFlow(const tech::Technology& t,
+                                                 const TwoStageFlowOptions& options,
+                                                 const sizing::OtaSpecs& specs);
+
+}  // namespace lo::core

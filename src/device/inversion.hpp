@@ -1,0 +1,41 @@
+// Model-inversion helpers used by the knowledge-based sizing procedures.
+//
+// COMDIAC fixes each transistor's operating point (effective gate drive and
+// drain current) and derives geometry from it (paper, section 4).  These
+// routines invert the device model for the quantities the design plans need:
+// channel width for a target current, gate bias for a target current, and
+// the gate drive that realises a target gm.
+#pragma once
+
+#include "device/mos_model.hpp"
+
+namespace lo::device {
+
+/// Width [m] such that the device carries |id| = `targetId` at the given
+/// bias.  Exploits the strict W-proportionality of both models (one scaling
+/// step, then a verification refinement).  `geo` supplies L and the junction
+/// geometry template; its W is used as the starting point.
+[[nodiscard]] double widthForCurrent(const MosModel& model, const tech::MosModelCard& card,
+                                     MosGeometry geo, double targetId, double vgs,
+                                     double vds, double vbs, double tempK = 300.15);
+
+/// Polarity-normalised gate-source voltage at which the device carries
+/// |id| = `targetId`.  Bisection over [0, vmax]; throws std::runtime_error
+/// if the target is unreachable at vmax.
+[[nodiscard]] double vgsForCurrent(const MosModel& model, const tech::MosModelCard& card,
+                                   const MosGeometry& geo, double targetId, double vds,
+                                   double vbs, double vmax, double tempK = 300.15);
+
+/// Width [m] such that the device achieves transconductance `targetGm` while
+/// carrying |id| = `targetId` in saturation: solves simultaneously for the
+/// (W, VGS) pair by iterating vgsForCurrent and gm evaluation.
+struct GmSizing {
+  double w = 0.0;     ///< Required width [m].
+  double vgs = 0.0;   ///< Normalised gate-source bias [V].
+  double gm = 0.0;    ///< Achieved transconductance [S].
+};
+[[nodiscard]] GmSizing sizeForGm(const MosModel& model, const tech::MosModelCard& card,
+                                 MosGeometry geo, double targetGm, double targetId,
+                                 double vds, double vbs, double tempK = 300.15);
+
+}  // namespace lo::device

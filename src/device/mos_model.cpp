@@ -1,0 +1,247 @@
+#include "device/mos_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tech/units.hpp"
+
+namespace lo::device {
+
+namespace {
+
+/// Softplus with scale `a`: smooth max(x, 0) that tends to x for x >> a.
+double softplus(double x, double a) {
+  const double r = x / a;
+  if (r > 40.0) return x;
+  if (r < -40.0) return 0.0;
+  return a * std::log1p(std::exp(r));
+}
+
+/// Junction capacitance with reverse bias `vr` (>= 0 reverse); clamps the
+/// forward-bias singularity at half the built-in potential.
+double junctionCap(double c0, double vr, double pb, double m) {
+  const double x = std::max(1.0 - (-vr) / pb, 0.5);  // vr < 0 means forward bias.
+  return c0 / std::pow(x, m);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Base class: symmetry handling, derivatives, capacitances, noise.
+// ---------------------------------------------------------------------------
+
+double MosModel::currentNormalized(const tech::MosModelCard& card, const MosGeometry& geo,
+                                   double vgs, double vds, double vbs, double tempK) const {
+  if (vds >= 0.0) return forwardCurrent(card, geo, vgs, vds, vbs, tempK);
+  // Source/drain symmetry: with vds < 0 the drain acts as the source.
+  return -forwardCurrent(card, geo, vgs - vds, -vds, vbs - vds, tempK);
+}
+
+double MosModel::drainCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
+                              double vgs, double vds, double vbs, double tempK) const {
+  const double p = card.polarity();
+  return p * currentNormalized(card, geo, p * vgs, p * vds, p * vbs, tempK);
+}
+
+MosOpPoint MosModel::evaluate(const tech::MosModelCard& card, const MosGeometry& geo,
+                              double vgs, double vds, double vbs, double tempK) const {
+  const double p = card.polarity();
+  const double nvgs = p * vgs, nvds = p * vds, nvbs = p * vbs;
+
+  MosOpPoint op;
+  op.vgs = vgs;
+  op.vds = vds;
+  op.vbs = vbs;
+
+  const double idN = currentNormalized(card, geo, nvgs, nvds, nvbs, tempK);
+  op.id = p * idN;
+
+  // Conductances by central differences on the normalised current; the
+  // magnitudes are polarity independent.
+  const double h = 1e-6;
+  auto cur = [&](double g, double d, double b) {
+    return currentNormalized(card, geo, g, d, b, tempK);
+  };
+  op.gm = (cur(nvgs + h, nvds, nvbs) - cur(nvgs - h, nvds, nvbs)) / (2 * h);
+  op.gds = (cur(nvgs, nvds + h, nvbs) - cur(nvgs, nvds - h, nvbs)) / (2 * h);
+  op.gmb = (cur(nvgs, nvds, nvbs + h) - cur(nvgs, nvds, nvbs - h)) / (2 * h);
+  // Numerical noise floor: clamp tiny negatives from differencing.
+  op.gm = std::max(op.gm, 0.0);
+  op.gds = std::max(op.gds, 1e-15);
+  op.gmb = std::max(op.gmb, 0.0);
+
+  const double vthN = threshold(card, std::min(nvbs, card.phi - 0.05));
+  op.vth = p * vthN;
+  op.veff = nvgs - vthN;
+  op.vdsat = saturationVoltage(card, nvgs, nvbs, tempK);
+
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  if (op.veff < -3.0 * vt) {
+    op.region = MosRegion::kCutoff;
+  } else if (op.veff < 3.0 * vt) {
+    op.region = MosRegion::kWeak;
+  } else if (nvds < op.vdsat) {
+    op.region = MosRegion::kTriode;
+  } else {
+    op.region = MosRegion::kSaturation;
+  }
+
+  // --- Meyer gate capacitances + overlaps. ---
+  const double leff = card.leff(geo.l);
+  const double coxTotal = card.cox() * geo.w * leff;
+  const double ovlS = card.cgso * geo.w;
+  const double ovlD = card.cgdo * geo.w;
+  const double ovlB = card.cgbo * geo.l;
+  switch (op.region) {
+    case MosRegion::kCutoff:
+    case MosRegion::kWeak:
+      op.cgs = ovlS;
+      op.cgd = ovlD;
+      op.cgb = coxTotal + ovlB;
+      break;
+    case MosRegion::kTriode:
+      op.cgs = 0.5 * coxTotal + ovlS;
+      op.cgd = 0.5 * coxTotal + ovlD;
+      op.cgb = ovlB;
+      break;
+    case MosRegion::kSaturation:
+      op.cgs = (2.0 / 3.0) * coxTotal + ovlS;
+      op.cgd = ovlD;
+      op.cgb = ovlB;
+      break;
+  }
+
+  // --- Junction capacitances (reverse bias increases with drain voltage). ---
+  const double vrSb = -nvbs;            // reverse bias source-bulk
+  const double vrDb = -(nvbs - nvds);   // reverse bias drain-bulk
+  op.csb = junctionCap(card.cj * geo.as, vrSb, card.pb, card.mj) +
+           junctionCap(card.cjsw * geo.ps, vrSb, card.pb, card.mjsw);
+  op.cdb = junctionCap(card.cj * geo.ad, vrDb, card.pb, card.mj) +
+           junctionCap(card.cjsw * geo.pd, vrDb, card.pb, card.mjsw);
+
+  // --- Noise. ---
+  // Thermal: 4kT*(2/3)*gm in saturation, 4kT*gds-like channel conductance in
+  // triode; take the larger so the expression covers both regions.
+  const double kT4 = 4.0 * kBoltzmann * tempK;
+  op.thermalNoisePsd = kT4 * std::max((2.0 / 3.0) * op.gm, op.gds * (op.region == MosRegion::kTriode ? 1.0 : 0.0));
+  // Flicker: SPICE convention KF * |ID|^AF / (Cox * Leff^2) / f.
+  const double absId = std::abs(op.id);
+  op.flickerCoeff = card.kf * std::pow(std::max(absId, 1e-15), card.af) /
+                    (card.cox() * leff * leff);
+  return op;
+}
+
+std::unique_ptr<MosModel> MosModel::create(std::string_view name) {
+  if (name == "level1") return std::make_unique<Level1Model>();
+  if (name == "ekv") return std::make_unique<EkvModel>();
+  throw std::invalid_argument("unknown MOS model: " + std::string(name));
+}
+
+// ---------------------------------------------------------------------------
+// Level 1.
+// ---------------------------------------------------------------------------
+
+double Level1Model::threshold(const tech::MosModelCard& card, double vbs) const {
+  const double phiEff = std::max(card.phi - vbs, 0.05);
+  return card.vto + card.gamma * (std::sqrt(phiEff) - std::sqrt(card.phi));
+}
+
+double Level1Model::saturationVoltage(const tech::MosModelCard& card, double vgs,
+                                      double vbs, double tempK) const {
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  const double veff = vgs - threshold(card, vbs);
+  return softplus(veff, card.slopeFactor * vt);
+}
+
+double Level1Model::forwardCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
+                                   double vgs, double vds, double vbs,
+                                   double tempK) const {
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  const double nvt = card.slopeFactor * vt;
+  const double phiEff = std::max(card.phi - vbs, 0.05);
+  const double vth = card.vtoAt(tempK) +
+                     card.gamma * (std::sqrt(phiEff) - std::sqrt(card.phi));
+  const double veff = vgs - vth;
+  // Smooth gate drive: equals veff in strong inversion, exponential below
+  // threshold, keeping Newton iterations well conditioned near cutoff.
+  const double q = softplus(veff, nvt);
+  const double leff = card.leff(geo.l);
+  const double beta = card.kpAt(tempK) / (1.0 + card.theta * q) * geo.w / leff;
+  // Smooth triode-to-saturation transition through an effective vds that
+  // saturates at q (k = 6 keeps the error near the knee around 1%).
+  const double ratio = vds / std::max(q, 1e-9);
+  const double vdse = vds / std::pow(1.0 + std::pow(ratio, 6.0), 1.0 / 6.0);
+  const double va = card.earlyPerMeter * leff;
+  return beta * (q - 0.5 * vdse) * vdse * (1.0 + vds / va);
+}
+
+// ---------------------------------------------------------------------------
+// EKV.
+// ---------------------------------------------------------------------------
+
+double EkvModel::pinchOff(const tech::MosModelCard& card, double vg) {
+  const double sqrtPhi = std::sqrt(card.phi);
+  const double vgp = vg - card.vto + card.phi + card.gamma * sqrtPhi;
+  if (vgp <= 0.0) return -card.phi;
+  const double half = card.gamma / 2.0;
+  return vgp - card.phi - card.gamma * (std::sqrt(vgp + half * half) - half);
+}
+
+double EkvModel::slopeFactorAt(const tech::MosModelCard& card, double vp) {
+  return 1.0 + card.gamma / (2.0 * std::sqrt(std::max(card.phi + vp, 0.1)));
+}
+
+double EkvModel::threshold(const tech::MosModelCard& card, double vbs) const {
+  const double phiEff = std::max(card.phi - vbs, 0.05);
+  return card.vto + card.gamma * (std::sqrt(phiEff) - std::sqrt(card.phi));
+}
+
+namespace {
+/// EKV interpolation function F(v) = ln^2(1 + exp(v / 2)).
+double ekvF(double v) {
+  const double l = softplus(v / 2.0, 1.0);
+  return l * l;
+}
+}  // namespace
+
+double EkvModel::saturationVoltage(const tech::MosModelCard& card, double vgs,
+                                   double vbs, double tempK) const {
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  const double vg = vgs - vbs;
+  const double vs = -vbs;
+  const double vp = pinchOff(card, vg);
+  const double iff = ekvF((vp - vs) / vt);
+  return vt * (2.0 * std::sqrt(iff) + 4.0);
+}
+
+double EkvModel::forwardCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
+                                double vgs, double vds, double vbs,
+                                double tempK) const {
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  // Bulk-referenced node voltages; the pinch-off uses the temperature-
+  // shifted threshold.
+  const double vg = vgs - vbs + (card.vto - card.vtoAt(tempK));
+  const double vs = -vbs;
+  const double vd = vds - vbs;
+
+  const double vp = pinchOff(card, vg);
+  const double n = slopeFactorAt(card, vp);
+  const double leff = card.leff(geo.l);
+  const double drive = std::max(vp - vs, 0.0);
+  const double beta = card.kpAt(tempK) / (1.0 + card.theta * drive) * geo.w / leff;
+  const double ispec = 2.0 * n * beta * vt * vt;
+
+  const double iff = ekvF((vp - vs) / vt);
+  const double irr = ekvF((vp - vd) / vt);
+  double id = ispec * (iff - irr);
+
+  // Channel-length modulation on the saturated excess drain voltage.
+  const double vdsat = vt * (2.0 * std::sqrt(iff) + 4.0);
+  const double va = card.earlyPerMeter * leff;
+  id *= 1.0 + softplus(vds - vdsat, 2.0 * vt) / va;
+  return id;
+}
+
+}  // namespace lo::device

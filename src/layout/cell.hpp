@@ -1,0 +1,52 @@
+// Layout cells: a bag of shapes plus named ports.
+//
+// A Cell is the unit the procedural generators produce and the slicing-tree
+// placer composes.  Ports associate a net name with a landing rectangle on a
+// routing layer; the router connects ports of the same net.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace lo::layout {
+
+struct Port {
+  std::string net;                         ///< Net this port belongs to.
+  tech::Layer layer = tech::Layer::kMetal1;
+  geom::Rect rect;                         ///< Landing area in cell coordinates.
+};
+
+class Cell {
+ public:
+  std::string name;
+  geom::ShapeList shapes;
+  std::vector<Port> ports;
+
+  [[nodiscard]] geom::Rect bbox() const { return shapes.bbox(); }
+
+  void addPort(std::string net, tech::Layer layer, const geom::Rect& rect) {
+    ports.push_back({std::move(net), layer, rect});
+  }
+
+  /// Merge `child` into this cell, transformed then translated; ports are
+  /// carried along through the same transform.
+  void place(const Cell& child, geom::Orient orient, geom::Coord dx, geom::Coord dy) {
+    shapes.merge(child.shapes, orient, dx, dy);
+    for (const Port& p : child.ports) {
+      ports.push_back({p.net, p.layer, geom::apply(orient, p.rect).translated(dx, dy)});
+    }
+  }
+
+  /// All ports on a given net.
+  [[nodiscard]] std::vector<Port> portsOn(const std::string& net) const {
+    std::vector<Port> out;
+    for (const Port& p : ports) {
+      if (p.net == net) out.push_back(p);
+    }
+    return out;
+  }
+};
+
+}  // namespace lo::layout

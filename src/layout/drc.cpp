@@ -1,0 +1,182 @@
+#include "layout/drc.hpp"
+
+#include <sstream>
+
+namespace lo::layout {
+
+namespace {
+
+using geom::Rect;
+using geom::Shape;
+using tech::Layer;
+
+void checkWidths(const std::vector<Shape>& shapes, Layer layer,
+                 tech::Nm minWidth, const char* ruleName,
+                 std::vector<DrcViolation>& out) {
+  for (const Shape& s : shapes) {
+    if (s.layer != layer) continue;
+    if (std::min(s.rect.width(), s.rect.height()) < minWidth) {
+      out.push_back({ruleName, "shape narrower than minimum width", s.rect});
+    }
+  }
+}
+
+void checkSpacing(const std::vector<Shape>& shapes, Layer layer, tech::Nm minSpacing,
+                  const char* ruleName, std::vector<DrcViolation>& out) {
+  std::vector<const Shape*> onLayer;
+  for (const Shape& s : shapes) {
+    if (s.layer == layer) onLayer.push_back(&s);
+  }
+  for (std::size_t i = 0; i < onLayer.size(); ++i) {
+    for (std::size_t j = i + 1; j < onLayer.size(); ++j) {
+      const Shape& a = *onLayer[i];
+      const Shape& b = *onLayer[j];
+      const bool sameNet = !a.net.empty() && a.net == b.net;
+      if (a.rect.overlaps(b.rect)) {
+        if (!a.net.empty() && !b.net.empty() && a.net != b.net) {
+          out.push_back({ruleName, "short between nets " + a.net + " and " + b.net,
+                         a.rect.intersected(b.rect)});
+        }
+        continue;  // Same-net overlap is a connection.
+      }
+      const geom::Coord d = a.rect.distanceTo(b.rect);
+      if (d == 0) continue;  // Touching: connected (same net) or legal abutment.
+      if (d < minSpacing && !sameNet) {
+        out.push_back({ruleName, "spacing " + std::to_string(d) + " < minimum",
+                       a.rect.merged(b.rect)});
+      }
+    }
+  }
+}
+
+void checkCutEnclosure(const std::vector<Shape>& shapes, Layer cutLayer, tech::Nm cutSize,
+                       const std::vector<std::pair<Layer, tech::Nm>>& anyOf,
+                       const std::vector<std::pair<Layer, tech::Nm>>& allOf,
+                       const char* ruleName, std::vector<DrcViolation>& out) {
+  auto enclosedBy = [&](const Rect& cut, Layer layer, tech::Nm margin) {
+    const Rect need = cut.inflated(margin);
+    for (const Shape& s : shapes) {
+      if (s.layer == layer && s.rect.containsRect(need)) return true;
+    }
+    return false;
+  };
+  for (const Shape& s : shapes) {
+    if (s.layer != cutLayer) continue;
+    if (s.rect.width() != cutSize || s.rect.height() != cutSize) {
+      out.push_back({ruleName, "cut is not the fixed cut size", s.rect});
+      continue;
+    }
+    bool any = anyOf.empty();
+    for (const auto& [layer, margin] : anyOf) {
+      if (enclosedBy(s.rect, layer, margin)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) out.push_back({ruleName, "cut lacks bottom-layer enclosure", s.rect});
+    for (const auto& [layer, margin] : allOf) {
+      if (!enclosedBy(s.rect, layer, margin)) {
+        out.push_back({ruleName, "cut lacks required enclosure", s.rect});
+      }
+    }
+  }
+}
+
+void checkActiveEnclosures(const tech::Technology& t, const std::vector<Shape>& shapes,
+                           std::vector<DrcViolation>& out) {
+  auto enclosed = [&](const Rect& rect, Layer layer, tech::Nm margin) {
+    const Rect need = rect.inflated(margin);
+    for (const Shape& s : shapes) {
+      if (s.layer == layer && s.rect.containsRect(need)) return true;
+    }
+    return false;
+  };
+  for (const Shape& s : shapes) {
+    if (s.layer != Layer::kActive) continue;
+    const bool inPplus = enclosed(s.rect, Layer::kPPlus, t.rules.selectOverActive);
+    const bool inNplus = enclosed(s.rect, Layer::kNPlus, t.rules.selectOverActive);
+    if (!inPplus && !inNplus) {
+      out.push_back({"select.enclosure", "active without select implant", s.rect});
+    }
+    if (inPplus && !enclosed(s.rect, Layer::kNWell, t.rules.nwellOverActive)) {
+      out.push_back({"nwell.enclosure", "P-active outside N-well", s.rect});
+    }
+  }
+}
+
+void checkGates(const tech::Technology& t, const std::vector<Shape>& shapes,
+                std::vector<DrcViolation>& out) {
+  // Gather gate regions (poly over active) and check the end-cap rule.
+  std::vector<Rect> gates;
+  for (const Shape& p : shapes) {
+    if (p.layer != Layer::kPoly) continue;
+    for (const Shape& a : shapes) {
+      if (a.layer != Layer::kActive || !p.rect.overlaps(a.rect)) continue;
+      const Rect gate = p.rect.intersected(a.rect);
+      gates.push_back(gate);
+      const tech::Nm endcap = t.rules.polyEndcap;
+      // The poly must fully cross the active in one direction and stick out
+      // by the end cap on both of those sides.
+      const bool crossesVertically = p.rect.y0 <= a.rect.y0 - endcap &&
+                                     p.rect.y1 >= a.rect.y1 + endcap;
+      const bool crossesHorizontally = p.rect.x0 <= a.rect.x0 - endcap &&
+                                       p.rect.x1 >= a.rect.x1 + endcap;
+      if (!crossesVertically && !crossesHorizontally) {
+        out.push_back({"gate.endcap", "gate poly lacks the end-cap extension", gate});
+      }
+    }
+  }
+  // No contact cut may land on a gate.
+  for (const Shape& s : shapes) {
+    if (s.layer != Layer::kContact) continue;
+    for (const Rect& gate : gates) {
+      if (s.rect.overlaps(gate)) {
+        out.push_back({"contact.over_gate", "contact cut over a gate region",
+                       s.rect.intersected(gate)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DrcViolation> runDrc(const tech::Technology& t, const geom::ShapeList& shapes) {
+  const tech::DesignRules& r = t.rules;
+  const std::vector<Shape>& all = shapes.shapes();
+  std::vector<DrcViolation> out;
+
+  checkWidths(all, Layer::kPoly, r.polyMinWidth, "poly.width", out);
+  checkWidths(all, Layer::kActive, r.activeMinWidth, "active.width", out);
+  checkWidths(all, Layer::kMetal1, r.metal1MinWidth, "metal1.width", out);
+  checkWidths(all, Layer::kMetal2, r.metal2MinWidth, "metal2.width", out);
+
+  checkSpacing(all, Layer::kPoly, r.polySpacing, "poly.spacing", out);
+  checkSpacing(all, Layer::kActive, r.activeSpacing, "active.spacing", out);
+  checkSpacing(all, Layer::kMetal1, r.metal1Spacing, "metal1.spacing", out);
+  checkSpacing(all, Layer::kMetal2, r.metal2Spacing, "metal2.spacing", out);
+  checkSpacing(all, Layer::kNWell, r.nwellSpacing, "nwell.spacing", out);
+
+  checkCutEnclosure(all, Layer::kContact, r.contactSize,
+                    {{Layer::kActive, r.activeOverContact},
+                     {Layer::kPoly, r.polyOverContact}},
+                    {{Layer::kMetal1, r.metal1OverContact}}, "contact.enclosure", out);
+  checkCutEnclosure(all, Layer::kVia1, r.via1Size, {},
+                    {{Layer::kMetal1, r.metal1OverVia1},
+                     {Layer::kMetal2, r.metal2OverVia1}},
+                    "via1.enclosure", out);
+
+  checkActiveEnclosures(t, all, out);
+  checkGates(t, all, out);
+  return out;
+}
+
+std::string formatViolations(const std::vector<DrcViolation>& violations) {
+  std::ostringstream os;
+  for (const DrcViolation& v : violations) {
+    os << v.rule << ": " << v.detail << " @ (" << v.where.x0 << "," << v.where.y0 << ")-("
+       << v.where.x1 << "," << v.where.y1 << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace lo::layout

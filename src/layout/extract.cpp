@@ -1,0 +1,63 @@
+#include "layout/extract.hpp"
+
+#include <algorithm>
+
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+double wellCapOf(const tech::Technology& t, const geom::Rect& well) {
+  return well.areaM2() * t.nwellCapAreaPerM2 + well.perimeterM() * t.nwellCapPerimPerM;
+}
+
+ParasiticReport buildReport(const tech::Technology& t, const RoutingResult& routing,
+                            const geom::ShapeList& shapes,
+                            const std::vector<std::string>& acGroundNets) {
+  ParasiticReport report;
+  auto isAcGround = [&](const std::string& net) {
+    return net.empty() || net == "gnd" || net == "0" ||
+           std::find(acGroundNets.begin(), acGroundNets.end(), net) != acGroundNets.end();
+  };
+
+  for (const RoutedNet& rn : routing.nets) {
+    if (isAcGround(rn.net)) continue;
+    report.nets[rn.net].routingCap += rn.capToGround;
+    report.nets[rn.net].routingRes += rn.resistanceOhm;
+  }
+  for (const auto& [pair, cap] : routing.coupling) {
+    const bool aGnd = isAcGround(pair.first), bGnd = isAcGround(pair.second);
+    if (aGnd && bGnd) continue;
+    if (aGnd) {
+      report.nets[pair.second].routingCap += cap;  // Coupling to AC ground.
+    } else if (bGnd) {
+      report.nets[pair.first].routingCap += cap;
+    } else {
+      report.nets[pair.first].coupling[pair.second] += cap;
+      report.nets[pair.second].coupling[pair.first] += cap;
+    }
+  }
+  for (const geom::Shape& s : shapes.shapes()) {
+    if (s.layer != tech::Layer::kNWell || isAcGround(s.net)) continue;
+    report.nets[s.net].wellCap += wellCapOf(t, s.rect);
+  }
+  return report;
+}
+
+void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report) {
+  for (const auto& [net, par] : report.nets) {
+    const auto node = c.findNode(net);
+    if (!node) continue;
+    const double ground = par.routingCap + par.wellCap;
+    if (ground > 0.0) {
+      c.addCapacitor("CPAR_" + net, *node, circuit::kGround, ground);
+    }
+    for (const auto& [other, cap] : par.coupling) {
+      if (net >= other) continue;  // Emit each pair once.
+      const auto otherNode = c.findNode(other);
+      if (!otherNode || cap <= 0.0) continue;
+      c.addCapacitor("CCPL_" + net + "_" + other, *node, *otherNode, cap);
+    }
+  }
+}
+
+}  // namespace lo::layout

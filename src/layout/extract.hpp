@@ -1,0 +1,59 @@
+// Parasitic extraction.
+//
+// Aggregates everything the sizing tool needs to compensate for the layout
+// (paper, section 2): per-net routing capacitance (area + fringe), coupling
+// capacitance between wires, exact floating-well capacitance from the drawn
+// N-well shapes, and per-device junction geometry.  The same report is
+// produced in parasitic-calculation mode (no geometry) and after generation
+// (from the drawn shapes), and can be folded back into a circuit netlist as
+// lumped capacitors plus annotated device geometries.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "layout/router.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+struct NetParasitics {
+  double routingCap = 0.0;   ///< Wire area + fringe capacitance to ground [F].
+  double wellCap = 0.0;      ///< Floating N-well junction capacitance [F].
+  double routingRes = 0.0;   ///< Series wiring resistance estimate [ohm].
+  std::map<std::string, double> coupling;  ///< To other nets [F].
+
+  [[nodiscard]] double totalCap() const {
+    double total = routingCap + wellCap;
+    for (const auto& [net, cap] : coupling) total += cap;
+    return total;
+  }
+};
+
+struct ParasiticReport {
+  std::map<std::string, NetParasitics> nets;
+
+  [[nodiscard]] double capOn(const std::string& net) const {
+    auto it = nets.find(net);
+    return it == nets.end() ? 0.0 : it->second.totalCap();
+  }
+};
+
+/// Capacitance of one N-well rectangle tied to a (non-ground) net [F].
+[[nodiscard]] double wellCapOf(const tech::Technology& t, const geom::Rect& well);
+
+/// Build a report from routing results and the drawn well shapes.
+/// Wells tagged with an empty net, "gnd" or a supply net in `acGroundNets`
+/// do not contribute (their cap lands between AC-ground nodes).
+[[nodiscard]] ParasiticReport buildReport(const tech::Technology& t,
+                                          const RoutingResult& routing,
+                                          const geom::ShapeList& shapes,
+                                          const std::vector<std::string>& acGroundNets);
+
+/// Fold a report into a circuit: adds a grounded capacitor per net and a
+/// coupling capacitor per net pair (names prefixed "CPAR_"/"CCPL_").
+/// Nets missing from the circuit are ignored.
+void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report);
+
+}  // namespace lo::layout

@@ -1,0 +1,153 @@
+#include "layout/mos_motif.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using tech::Layer;
+
+struct MotifDims {
+  Coord eExt, eInt, l, wf, endcap, strapGap, strapW, padW;
+  int nf = 1;
+  [[nodiscard]] Coord activeWidth() const {
+    return 2 * eExt + (nf - 1) * eInt + nf * l;
+  }
+  [[nodiscard]] Coord gateX(int i) const { return eExt + i * (l + eInt); }
+  /// Left edge of diffusion strip s (s = 0..nf).
+  [[nodiscard]] Coord stripX(int s) const {
+    return s == 0 ? 0 : gateX(s - 1) + l;
+  }
+  [[nodiscard]] Coord stripWidth(int s) const {
+    return (s == 0 || s == nf) ? eExt : eInt;
+  }
+  [[nodiscard]] Coord strapY() const { return wf + endcap + strapGap; }
+  [[nodiscard]] Coord totalHeight() const { return 2 * endcap + wf + strapGap + padW; }
+};
+
+MotifDims dimsFor(const tech::Technology& t, const device::FoldPlan& plan, double drawnL) {
+  const tech::DesignRules& r = t.rules;
+  MotifDims d;
+  d.nf = plan.nf;
+  d.eExt = r.contactedDiffusionExtent();
+  d.eInt = r.sharedContactedDiffusionExtent();
+  d.l = r.snapUp(std::max<Coord>(metersToNm(drawnL), r.polyMinWidth));
+  d.wf = r.snapUp(std::max<Coord>(metersToNm(plan.foldWidth), r.activeMinWidth));
+  d.endcap = r.polyEndcap;
+  d.strapGap = r.polySpacing;
+  d.strapW = r.polyMinWidth;
+  d.padW = r.contactSize + 2 * r.polyOverContact;
+  return d;
+}
+
+int contactsFitting(const tech::DesignRules& r, Coord wf) {
+  const Coord usable = wf - 2 * r.activeOverContact;
+  if (usable < r.contactSize) return 1;  // Tolerate a tight fit.
+  return static_cast<int>((usable + r.contactSpacing) / (r.contactSize + r.contactSpacing));
+}
+
+}  // namespace
+
+MosMotifInfo motifShape(const tech::Technology& t, const device::FoldPlan& plan,
+                        double drawnL, double terminalCurrent) {
+  const MotifDims d = dimsFor(t, plan, drawnL);
+  MosMotifInfo info;
+  info.nf = plan.nf;
+  if (plan.nf == 1) {
+    info.drainStrips = 1;
+    info.sourceStrips = 1;
+  } else if (plan.nf % 2 == 0) {
+    info.drainStrips = plan.drainInternal ? plan.nf / 2 : plan.nf / 2 + 1;
+    info.sourceStrips = plan.nf + 1 - info.drainStrips;
+  } else {
+    info.drainStrips = (plan.nf + 1) / 2;
+    info.sourceStrips = (plan.nf + 1) / 2;
+  }
+  info.contactsPerStrip = contactsFitting(t.rules, d.wf);
+  const double stripCurrent =
+      terminalCurrent / std::max(1, std::min(info.drainStrips, info.sourceStrips));
+  info.contactsRequired = t.contactsForCurrent(stripCurrent);
+  info.width = d.activeWidth();
+  info.height = d.totalHeight();
+  return info;
+}
+
+Cell generateMosMotif(const tech::Technology& t, const MosMotifSpec& spec,
+                      MosMotifInfo* infoOut) {
+  const tech::DesignRules& r = t.rules;
+  const MotifDims d = dimsFor(t, spec.plan, spec.drawnL);
+  MosMotifInfo info = motifShape(t, spec.plan, spec.drawnL, spec.terminalCurrent);
+
+  Cell cell;
+  cell.name = spec.name;
+
+  // Active area.
+  cell.shapes.add(Layer::kActive, Rect(0, 0, d.activeWidth(), d.wf));
+
+  // Poly gate fingers + strap.
+  const Coord strapY = d.strapY();
+  for (int i = 0; i < d.nf; ++i) {
+    cell.shapes.add(Layer::kPoly, Rect(d.gateX(i), -d.endcap, d.gateX(i) + d.l,
+                                       strapY + d.strapW), spec.gateNet);
+  }
+  cell.shapes.add(Layer::kPoly,
+                  Rect(d.gateX(0), strapY, d.gateX(d.nf - 1) + d.l, strapY + d.strapW),
+                  spec.gateNet);
+  // Gate contact pad at the left end of the strap.
+  const Rect pad(d.gateX(0), strapY, d.gateX(0) + d.padW, strapY + d.padW);
+  cell.shapes.add(Layer::kPoly, pad, spec.gateNet);
+  const Coord cutOff = (d.padW - r.contactSize) / 2;
+  cell.shapes.add(Layer::kContact, Rect(pad.x0 + cutOff, pad.y0 + cutOff,
+                                        pad.x0 + cutOff + r.contactSize,
+                                        pad.y0 + cutOff + r.contactSize));
+  const Rect gateMetal = pad.inflated(r.metal1OverContact - r.polyOverContact);
+  cell.shapes.add(Layer::kMetal1, gateMetal, spec.gateNet);
+  cell.addPort(spec.gateNet, Layer::kMetal1, gateMetal);
+
+  // Diffusion strips: contacts + metal1 landing, alternating nets.  Strip 0
+  // is a source strip when the drain is internal, a drain strip otherwise.
+  const bool firstIsSource = spec.plan.nf == 1 ? true : spec.plan.drainInternal;
+  for (int s = 0; s <= d.nf; ++s) {
+    const bool isSource = ((s % 2 == 0) == firstIsSource);
+    const std::string& net = isSource ? spec.sourceNet : spec.drainNet;
+    const Coord x0 = d.stripX(s);
+    const Coord sw = d.stripWidth(s);
+    const Coord cx = x0 + (sw - r.contactSize) / 2;
+
+    const int nCuts = info.contactsPerStrip;
+    const Coord pitch = r.contactSize + r.contactSpacing;
+    const Coord colHeight = nCuts * r.contactSize + (nCuts - 1) * r.contactSpacing;
+    const Coord cy0 = (d.wf - colHeight) / 2;
+    for (int k = 0; k < nCuts; ++k) {
+      cell.shapes.add(Layer::kContact,
+                      Rect(cx, cy0 + k * pitch, cx + r.contactSize,
+                           cy0 + k * pitch + r.contactSize));
+    }
+    const Rect metal(cx - r.metal1OverContact, cy0 - r.metal1OverContact,
+                     cx + r.contactSize + r.metal1OverContact,
+                     cy0 + colHeight + r.metal1OverContact);
+    cell.shapes.add(Layer::kMetal1, metal, net);
+    cell.addPort(net, Layer::kMetal1, metal);
+  }
+
+  // Select implant and (for PMOS) the N-well.
+  if (spec.emitWellAndSelect) {
+    const Rect active(0, 0, d.activeWidth(), d.wf);
+    const Layer select = spec.type == tech::MosType::kNmos ? Layer::kNPlus : Layer::kPPlus;
+    cell.shapes.add(select, active.inflated(r.selectOverActive));
+    if (spec.type == tech::MosType::kPmos) {
+      cell.shapes.add(Layer::kNWell, active.inflated(r.nwellOverActive), spec.bulkNet);
+    }
+  }
+
+  if (infoOut) *infoOut = info;
+  return cell;
+}
+
+}  // namespace lo::layout

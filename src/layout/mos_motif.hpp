@@ -1,0 +1,55 @@
+// Folded MOS transistor motif generator.
+//
+// "All transistors are built using a single motif generator which allows
+// total control over terminals and wires" (paper, section 3).  The motif is
+// a horizontal finger stack: alternating source/drain diffusion strips and
+// poly gates, with contact columns and metal1 landing strips on every
+// diffusion strip and a poly strap joining the gate fingers.
+//
+// Strip extents follow the same design-rule arithmetic the device library
+// uses for junction capacitance (device/folding.cpp), so the parasitics the
+// sizing tool is told about are exactly the parasitics the drawn layout has.
+#pragma once
+
+#include "device/folding.hpp"
+#include "layout/cell.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+struct MosMotifSpec {
+  std::string name = "M";
+  tech::MosType type = tech::MosType::kNmos;
+  device::FoldPlan plan;           ///< Fold count / finger width decision.
+  double drawnL = 1e-6;            ///< Drawn channel length [m].
+  double terminalCurrent = 0.0;    ///< |ID| [A], drives contact counts.
+  std::string drainNet = "d";
+  std::string gateNet = "g";
+  std::string sourceNet = "s";
+  std::string bulkNet = "";        ///< Net the well ties to (well cap extraction).
+  bool emitWellAndSelect = true;   ///< Row generators draw a merged well instead.
+};
+
+/// Facts about the generated (or hypothetical) motif.
+struct MosMotifInfo {
+  int nf = 1;
+  int contactsPerStrip = 1;       ///< Cuts in each diffusion contact column.
+  int contactsRequired = 1;       ///< Cuts the EM rule asks for per strip.
+  int drainStrips = 0;
+  int sourceStrips = 0;
+  geom::Coord width = 0;          ///< Bounding box [nm].
+  geom::Coord height = 0;
+};
+
+/// Bounding box of the motif for a fold plan without generating geometry
+/// (used by the shape-function area optimiser and the parasitic mode).
+[[nodiscard]] MosMotifInfo motifShape(const tech::Technology& t, const device::FoldPlan& plan,
+                                      double drawnL, double terminalCurrent = 0.0);
+
+/// Generate the full motif geometry.  Ports: one metal1 port per diffusion
+/// strip (tagged with the drain/source net) and one metal1 port on the gate
+/// strap pad.
+[[nodiscard]] Cell generateMosMotif(const tech::Technology& t, const MosMotifSpec& spec,
+                                    MosMotifInfo* infoOut = nullptr);
+
+}  // namespace lo::layout

@@ -1,0 +1,451 @@
+#include "layout/ota_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "layout/mos_motif.hpp"
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using circuit::FoldedCascodeOtaDesign;
+using circuit::OtaGroup;
+using device::FoldPlan;
+using device::FoldStyle;
+using geom::Coord;
+using geom::Rect;
+
+/// Nets of one motif device instance in the OTA.
+struct MotifNets {
+  std::string drain, gate, source, bulk;
+};
+
+struct MotifLeaf {
+  std::string name;
+  OtaGroup group;
+  tech::MosType type;
+  MotifNets nets;
+};
+
+/// Fig. 5 floorplan: the motif leaves in row order.
+const MotifLeaf kTopRow[] = {
+    {"MP3C", OtaGroup::kPCascode, tech::MosType::kPmos, {"y1", "vc3", "z1", "vdd"}},
+    {"MP3", OtaGroup::kPSource, tech::MosType::kPmos, {"z1", "y1", "vdd", "vdd"}},
+    {"MP5", OtaGroup::kTail, tech::MosType::kPmos, {"tail", "vp1", "vdd", "vdd"}},
+    {"MP4", OtaGroup::kPSource, tech::MosType::kPmos, {"z2", "y1", "vdd", "vdd"}},
+    {"MP4C", OtaGroup::kPCascode, tech::MosType::kPmos, {"out", "vc3", "z2", "vdd"}},
+};
+const MotifLeaf kBottomRow[] = {
+    {"MN1C", OtaGroup::kNCascode, tech::MosType::kNmos, {"y1", "vc1", "x1", "gnd"}},
+    // (the sink stack MN5/MN6 sits between these two)
+    {"MN2C", OtaGroup::kNCascode, tech::MosType::kNmos, {"out", "vc1", "x2", "gnd"}},
+};
+
+/// Bias-generator legs (drawn only when options.biasGenerator is set).
+struct BiasLeaf {
+  const char* name;
+  tech::MosType type;
+  MotifNets nets;
+  const device::MosGeometry circuit::OtaBiasDesign::* geo;
+};
+const BiasLeaf kBiasNmos[] = {
+    {"MNB1", tech::MosType::kNmos, {"vbn", "vbn", "gnd", "gnd"},
+     &circuit::OtaBiasDesign::nDiode},
+    {"MNB2", tech::MosType::kNmos, {"vp1", "vbn", "gnd", "gnd"},
+     &circuit::OtaBiasDesign::nDiode},
+    {"MNB3", tech::MosType::kNmos, {"vc1", "vc1", "gnd", "gnd"},
+     &circuit::OtaBiasDesign::nCascDiode},
+    {"MNB5", tech::MosType::kNmos, {"vc3", "vbn", "gnd", "gnd"},
+     &circuit::OtaBiasDesign::nDiode},
+};
+const BiasLeaf kBiasPmos[] = {
+    {"MPB1", tech::MosType::kPmos, {"vp1", "vp1", "vdd", "vdd"},
+     &circuit::OtaBiasDesign::pDiode},
+    {"MPB4", tech::MosType::kPmos, {"vc1", "vp1", "vdd", "vdd"},
+     &circuit::OtaBiasDesign::pDiode},
+    {"MPB2", tech::MosType::kPmos, {"vc3", "vc3", "vdd", "vdd"},
+     &circuit::OtaBiasDesign::pCascDiode},
+};
+
+/// Even fold candidates whose fingers stay above the minimum active width.
+std::vector<int> foldCandidates(const tech::Technology& t, double w, FoldStyle style,
+                                int maxCandidates) {
+  const double minW = nmToMeters(t.rules.activeMinWidth);
+  std::vector<int> out;
+  const int step = style == FoldStyle::kDrainInternal ? 2 : 1;
+  const int start = style == FoldStyle::kDrainInternal ? 2 : 1;
+  for (int nf = start; static_cast<int>(out.size()) < maxCandidates; nf += step) {
+    if (w / nf < minW) break;
+    out.push_back(nf);
+  }
+  if (out.empty()) out.push_back(start);
+  return out;
+}
+
+std::vector<ShapeOption> motifOptions(const tech::Technology& t, double w, double l,
+                                      FoldStyle style, double current, int maxCandidates) {
+  std::vector<ShapeOption> opts;
+  for (int nf : foldCandidates(t, w, style, maxCandidates)) {
+    const FoldPlan plan = device::planFoldsExact(t.rules, w, nf, style);
+    const MosMotifInfo info = motifShape(t, plan, l, current);
+    opts.push_back({info.width, info.height, nf});
+  }
+  return opts;
+}
+
+StackSpec pairStackSpec(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
+                        const OtaLayoutOptions& opt, int fingersPerDevice) {
+  StackSpec s;
+  s.name = "PAIR";
+  s.type = tech::MosType::kPmos;
+  s.unitWidth = d.inputPair.w / fingersPerDevice;
+  s.drawnL = d.inputPair.l;
+  s.sourceNet = "tail";
+  s.dummyGateNet = "vdd";  // PMOS dummies held off at VDD.
+  s.bulkNet = "tail";      // Floating well rides the tail node.
+  s.devices = {{"MP1", fingersPerDevice, "x1", "inp", d.tailCurrent / 2},
+               {"MP2", fingersPerDevice, "x2", "inn", d.tailCurrent / 2}};
+  s.pattern = opt.commonCentroidPair ? StackPattern::kCommonCentroid
+                                     : StackPattern::kInterdigitated;
+  s.dummiesPerSide = opt.dummiesPerSide;
+  s.emitWellAndSelect = false;
+  (void)t;
+  return s;
+}
+
+StackSpec sinkStackSpec(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
+                        const OtaLayoutOptions& opt, int fingersPerDevice) {
+  StackSpec s;
+  s.name = "SINK";
+  s.type = tech::MosType::kNmos;
+  s.unitWidth = d.sink.w / fingersPerDevice;
+  s.drawnL = d.sink.l;
+  s.sourceNet = "gnd";
+  s.dummyGateNet = "gnd";
+  s.devices = {{"MN5", fingersPerDevice, "x1", "vbn", d.sinkCurrent()},
+               {"MN6", fingersPerDevice, "x2", "vbn", d.sinkCurrent()}};
+  s.pattern = StackPattern::kInterdigitated;
+  s.dummiesPerSide = opt.dummiesPerSide;
+  s.emitWellAndSelect = false;
+  (void)t;
+  return s;
+}
+
+std::vector<ShapeOption> stackOptions(const tech::Technology& t,
+                                      const FoldedCascodeOtaDesign& d,
+                                      const OtaLayoutOptions& opt, bool isPair,
+                                      int maxCandidates) {
+  const double w = isPair ? d.inputPair.w : d.sink.w;
+  std::vector<ShapeOption> opts;
+  for (int nf : foldCandidates(t, w, FoldStyle::kDrainInternal, maxCandidates)) {
+    const StackSpec spec = isPair ? pairStackSpec(t, d, opt, nf) : sinkStackSpec(t, d, opt, nf);
+    const StackExtents e = stackExtents(t, spec);
+    opts.push_back({e.width, e.height, nf});
+  }
+  return opts;
+}
+
+/// Build the slicing tree; `fixedTags` (when non-null) restricts every leaf
+/// to its already-chosen alternative (symmetry-enforcement second pass).
+SlicingTree buildTree(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
+                      const OtaLayoutOptions& opt,
+                      const std::map<std::string, int>* fixedTags) {
+  const Coord rowGap = t.rules.activeSpacing;
+  auto restrict = [&](const std::string& name, std::vector<ShapeOption> opts) {
+    if (fixedTags) {
+      const int tag = fixedTags->at(name);
+      opts.erase(std::remove_if(opts.begin(), opts.end(),
+                                [&](const ShapeOption& o) { return o.tag != tag; }),
+                 opts.end());
+    }
+    return SlicingNode::leaf(name, std::move(opts));
+  };
+
+  auto groupGeom = [&](OtaGroup g) -> const device::MosGeometry& { return d.geometry(g); };
+  auto motifLeaf = [&](const MotifLeaf& m) {
+    const device::MosGeometry& geo = groupGeom(m.group);
+    return restrict(m.name, motifOptions(t, geo.w, geo.l, opt.foldStyle,
+                                         otaGroupCurrent(d, m.group), opt.maxFoldCandidates));
+  };
+
+  auto biasLeaf = [&](const BiasLeaf& b) {
+    const device::MosGeometry& geo = opt.biasGenerator->*(b.geo);
+    // Bias devices are small: a single fold is enough.
+    const device::FoldPlan plan =
+        device::planFoldsExact(t.rules, geo.w, 1, device::FoldStyle::kAlternating);
+    const MosMotifInfo info = motifShape(t, plan, geo.l, opt.biasGenerator->biasCurrent);
+    return restrict(b.name, {{info.width, info.height, 1}});
+  };
+
+  std::vector<std::unique_ptr<SlicingNode>> top;
+  for (const MotifLeaf& m : kTopRow) top.push_back(motifLeaf(m));
+  if (opt.biasGenerator) {
+    for (const BiasLeaf& b : kBiasPmos) top.push_back(biasLeaf(b));
+  }
+
+  std::vector<std::unique_ptr<SlicingNode>> bottom;
+  bottom.push_back(motifLeaf(kBottomRow[0]));
+  bottom.push_back(restrict("SINK", stackOptions(t, d, opt, false, opt.maxFoldCandidates)));
+  bottom.push_back(motifLeaf(kBottomRow[1]));
+  if (opt.biasGenerator) {
+    for (const BiasLeaf& b : kBiasNmos) bottom.push_back(biasLeaf(b));
+  }
+
+  auto pairLeaf = restrict("PAIR", stackOptions(t, d, opt, true, opt.maxFoldCandidates));
+
+  // Vertical gaps: generous spacing where N-wells of different nets meet,
+  // plus room for the routing channels' trunk tracks.
+  const Coord routingAllowance = 16000;
+  const Coord wellGap =
+      t.rules.nwellSpacing + 2 * t.rules.nwellOverActive + routingAllowance;
+  const Coord mixGap =
+      t.rules.activeToWell + t.rules.nwellOverActive + rowGap + routingAllowance;
+
+  std::vector<std::unique_ptr<SlicingNode>> pmosRows;
+  pmosRows.push_back(std::move(pairLeaf));
+  pmosRows.push_back(SlicingNode::row(std::move(top), rowGap));
+  auto pmosColumn = SlicingNode::column(std::move(pmosRows), wellGap);
+
+  std::vector<std::unique_ptr<SlicingNode>> rows;
+  rows.push_back(SlicingNode::row(std::move(bottom), rowGap));
+  rows.push_back(std::move(pmosColumn));
+  return SlicingTree(SlicingNode::column(std::move(rows), mixGap));
+}
+
+/// Symmetric-device equalisation: matched devices must get the same fold.
+std::map<std::string, int> symmetrize(const FloorplanResult& fp) {
+  std::map<std::string, int> tags;
+  for (const auto& [name, leaf] : fp.leaves) tags[name] = leaf.tag;
+  tags["MP4C"] = tags["MP3C"];
+  tags["MP4"] = tags["MP3"];
+  tags["MN2C"] = tags["MN1C"];
+  return tags;
+}
+
+}  // namespace
+
+OtaLayoutResult generateOtaLayout(const tech::Technology& t,
+                                  const FoldedCascodeOtaDesign& design,
+                                  const OtaLayoutOptions& options, bool generateGeometry) {
+  // --- Pass 1: free area optimisation; pass 2: symmetry-locked. ---
+  const FloorplanResult fp1 = buildTree(t, design, options, nullptr).optimize(options.shape);
+  const std::map<std::string, int> tags = symmetrize(fp1);
+  const FloorplanResult fp = buildTree(t, design, options, &tags).optimize(options.shape);
+
+  OtaLayoutResult result;
+  result.floorplan = fp;
+  result.width = fp.width;
+  result.height = fp.height;
+
+  // --- Fold plans and junction geometry per matched group. ---
+  auto motifPlan = [&](OtaGroup g, const std::string& leafName) {
+    const device::MosGeometry& geo = design.geometry(g);
+    const FoldPlan plan =
+        device::planFoldsExact(t.rules, geo.w, tags.at(leafName), options.foldStyle);
+    result.foldPlans[g] = plan;
+    device::MosGeometry j = geo;
+    device::applyDiffusionGeometry(t.rules, plan, j);
+    result.junctions[g] = j;
+  };
+  motifPlan(OtaGroup::kTail, "MP5");
+  motifPlan(OtaGroup::kPSource, "MP3");
+  motifPlan(OtaGroup::kPCascode, "MP3C");
+  motifPlan(OtaGroup::kNCascode, "MN1C");
+
+  const StackSpec pairSpec = pairStackSpec(t, design, options, tags.at("PAIR"));
+  const StackSpec sinkSpec = sinkStackSpec(t, design, options, tags.at("SINK"));
+  result.pairPlan = planStack(pairSpec);
+  result.sinkPlan = planStack(sinkSpec);
+  fillStackJunctions(t.rules, pairSpec, result.pairPlan);
+  fillStackJunctions(t.rules, sinkSpec, result.sinkPlan);
+  result.junctions[OtaGroup::kInputPair] = result.pairPlan.metrics[0].junctions;
+  result.junctions[OtaGroup::kSink] = result.sinkPlan.metrics[0].junctions;
+  {
+    FoldPlan pp;
+    pp.nf = tags.at("PAIR");
+    pp.foldWidth = pairSpec.unitWidth;
+    pp.totalWidth = pp.foldWidth * pp.nf;
+    pp.drainInternal = true;
+    result.foldPlans[OtaGroup::kInputPair] = pp;
+    FoldPlan sp = pp;
+    sp.nf = tags.at("SINK");
+    sp.foldWidth = sinkSpec.unitWidth;
+    sp.totalWidth = sp.foldWidth * sp.nf;
+    result.foldPlans[OtaGroup::kSink] = sp;
+  }
+
+  // --- Assemble the cell (ports are needed even in parasitic mode). ---
+  Cell assembly;
+  assembly.name = "OTA";
+  auto placeChild = [&](const Cell& child, const Rect& where) {
+    const Rect box = child.bbox();
+    assembly.place(child, geom::Orient::kR0, where.x0 - box.x0, where.y0 - box.y0);
+  };
+
+  std::vector<Rect> pmosActives, nmosActives;
+  auto trackActive = [&](const Cell& child, const Rect& where, tech::MosType type) {
+    const Rect box = child.bbox();
+    const Rect act = child.shapes.bbox(tech::Layer::kActive)
+                         .translated(where.x0 - box.x0, where.y0 - box.y0);
+    (type == tech::MosType::kPmos ? pmosActives : nmosActives).push_back(act);
+  };
+
+  for (const MotifLeaf& m : kTopRow) {
+    MosMotifSpec spec;
+    spec.name = m.name;
+    spec.type = m.type;
+    spec.plan = result.foldPlans[m.group];
+    spec.drawnL = design.geometry(m.group).l;
+    spec.terminalCurrent = otaGroupCurrent(design, m.group);
+    spec.drainNet = m.nets.drain;
+    spec.gateNet = m.nets.gate;
+    spec.sourceNet = m.nets.source;
+    spec.bulkNet = m.nets.bulk;
+    spec.emitWellAndSelect = false;
+    const Cell cell = generateMosMotif(t, spec);
+    placeChild(cell, fp.leaves.at(m.name).rect);
+    trackActive(cell, fp.leaves.at(m.name).rect, m.type);
+  }
+  for (const MotifLeaf& m : kBottomRow) {
+    MosMotifSpec spec;
+    spec.name = m.name;
+    spec.type = m.type;
+    spec.plan = result.foldPlans[OtaGroup::kNCascode];
+    spec.drawnL = design.nCascode.l;
+    spec.terminalCurrent = otaGroupCurrent(design, OtaGroup::kNCascode);
+    spec.drainNet = m.nets.drain;
+    spec.gateNet = m.nets.gate;
+    spec.sourceNet = m.nets.source;
+    spec.bulkNet = m.nets.bulk;
+    spec.emitWellAndSelect = false;
+    const Cell cell = generateMosMotif(t, spec);
+    placeChild(cell, fp.leaves.at(m.name).rect);
+    trackActive(cell, fp.leaves.at(m.name).rect, m.type);
+  }
+  {
+    const Cell pairCell = generateStack(t, pairSpec);
+    placeChild(pairCell, fp.leaves.at("PAIR").rect);
+    trackActive(pairCell, fp.leaves.at("PAIR").rect, tech::MosType::kPmos);
+    const Cell sinkCell = generateStack(t, sinkSpec);
+    placeChild(sinkCell, fp.leaves.at("SINK").rect);
+    trackActive(sinkCell, fp.leaves.at("SINK").rect, tech::MosType::kNmos);
+  }
+  if (options.biasGenerator) {
+    auto placeBias = [&](const BiasLeaf& b) {
+      const device::MosGeometry& geo = options.biasGenerator->*(b.geo);
+      MosMotifSpec spec;
+      spec.name = b.name;
+      spec.type = b.type;
+      spec.plan = device::planFoldsExact(t.rules, geo.w, 1, device::FoldStyle::kAlternating);
+      spec.drawnL = geo.l;
+      spec.terminalCurrent = options.biasGenerator->biasCurrent;
+      spec.drainNet = b.nets.drain;
+      spec.gateNet = b.nets.gate;
+      spec.sourceNet = b.nets.source;
+      spec.bulkNet = b.nets.bulk;
+      spec.emitWellAndSelect = false;
+      const Cell cell = generateMosMotif(t, spec);
+      placeChild(cell, fp.leaves.at(b.name).rect);
+      trackActive(cell, fp.leaves.at(b.name).rect, b.type);
+    };
+    for (const BiasLeaf& b : kBiasNmos) placeBias(b);
+    for (const BiasLeaf& b : kBiasPmos) placeBias(b);
+  }
+
+  // --- Merged wells and selects per row ("exact well sizes"). ---
+  geom::ShapeList wellShapes;
+  {
+    // Top PMOS row shares one VDD well; the pair has its own floating well.
+    Rect topWell, pairWell;
+    bool haveTop = false, havePair = false;
+    const Coord pairTopY = fp.leaves.at("PAIR").rect.y1;
+    for (const Rect& act : pmosActives) {
+      // The pair row sits below the top row in the floorplan.
+      if (act.y0 >= pairTopY) {
+        topWell = haveTop ? topWell.merged(act) : act;
+        haveTop = true;
+      } else {
+        pairWell = havePair ? pairWell.merged(act) : act;
+        havePair = true;
+      }
+    }
+    if (haveTop) {
+      wellShapes.add(tech::Layer::kNWell, topWell.inflated(t.rules.nwellOverActive), "vdd");
+      wellShapes.add(tech::Layer::kPPlus, topWell.inflated(t.rules.selectOverActive));
+    }
+    if (havePair) {
+      wellShapes.add(tech::Layer::kNWell, pairWell.inflated(t.rules.nwellOverActive), "tail");
+      wellShapes.add(tech::Layer::kPPlus, pairWell.inflated(t.rules.selectOverActive));
+    }
+    Rect nmosAll;
+    bool haveN = false;
+    for (const Rect& act : nmosActives) {
+      nmosAll = haveN ? nmosAll.merged(act) : act;
+      haveN = true;
+    }
+    if (haveN) {
+      wellShapes.add(tech::Layer::kNPlus, nmosAll.inflated(t.rules.selectOverActive));
+    }
+  }
+
+  // --- Routing channels: the bands between rows, plus above and below. ---
+  std::vector<Channel> channels;
+  {
+    // Row y-intervals from the placed leaves.
+    auto rowBand = [&](std::initializer_list<const char*> names) {
+      Coord lo = std::numeric_limits<Coord>::max(), hi = std::numeric_limits<Coord>::min();
+      for (const char* n : names) {
+        const Rect& rect = fp.leaves.at(n).rect;
+        lo = std::min(lo, rect.y0);
+        hi = std::max(hi, rect.y1);
+      }
+      return std::make_pair(lo, hi);
+    };
+    const auto bot = rowBand({"MN1C", "SINK", "MN2C"});
+    const auto mid = rowBand({"PAIR"});
+    const auto top = rowBand({"MP3C", "MP3", "MP5", "MP4", "MP4C"});
+    // Outer channels host every trunk that cannot sit between rows; with
+    // the bias generator present up to ~10 tracks stack up there.
+    const Coord margin = 26000;
+    // Inset every channel so trunks keep the metal1 spacing rule from the
+    // cell rows bounding them.
+    const Coord inset = t.rules.metal1Spacing;
+    channels.push_back({bot.first - margin, bot.first - inset});
+    channels.push_back({bot.second + inset, mid.first - inset});
+    channels.push_back({mid.second + inset, top.first - inset});
+    channels.push_back({top.second + inset, top.second + margin});
+  }
+
+  // --- Routing. ---
+  const double iTail = design.tailCurrent;
+  const double iCasc = design.cascodeCurrent;
+  const double iSink = design.sinkCurrent();
+  const double iBias =
+      options.biasGenerator ? options.biasGenerator->biasCurrent : 0.0;
+  const std::vector<NetRequest> nets = {
+      {"tail", iTail}, {"x1", iSink},  {"x2", iSink},  {"y1", iCasc},
+      {"z1", iCasc},   {"z2", iCasc},  {"out", iCasc},
+      {"vdd", design.supplyCurrent() + 4.0 * iBias},
+      {"gnd", design.supplyCurrent() + 4.0 * iBias}, {"inp", 0.0},   {"inn", 0.0},
+      {"vp1", iBias},  {"vbn", iBias}, {"vc1", iBias}, {"vc3", iBias},
+  };
+  result.routing = routeCell(t, assembly, nets, channels, generateGeometry);
+
+  // --- Parasitic report (wells always included). ---
+  result.parasitics = buildReport(t, result.routing, wellShapes, {"vdd"});
+
+  if (generateGeometry) {
+    assembly.shapes.merge(wellShapes, geom::Orient::kR0, 0, 0);
+    assembly.shapes.merge(result.routing.wires, geom::Orient::kR0, 0, 0);
+    result.cell = std::move(assembly);
+    const Rect box = result.cell.bbox();
+    result.width = box.width();
+    result.height = box.height();
+  }
+  return result;
+}
+
+}  // namespace lo::layout

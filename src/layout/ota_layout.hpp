@@ -1,0 +1,73 @@
+// Procedural layout program for the folded-cascode OTA (paper Figs. 4/5).
+//
+// Floorplan (matching Fig. 5):
+//   top row    : MP3C | MP3 | MP5 | MP4 | MP4C      (PMOS, shared VDD well)
+//   middle row : MP1/MP2 common-centroid stack with end dummies
+//                (own floating well tied to the tail node)
+//   bottom row : MN1C | MN5-MN6 interdigitated stack | MN2C
+//
+// Runs in two modes:
+//   * parasitic calculation mode -- area optimisation picks every fold
+//     count under the shape constraint, wire positions/widths are fully
+//     determined and all capacitances are reported, but no geometry is kept;
+//   * generation mode -- additionally emits the full mask geometry.
+#pragma once
+
+#include <map>
+
+#include "circuit/ota.hpp"
+#include "device/folding.hpp"
+#include "layout/cell.hpp"
+#include "layout/extract.hpp"
+#include "layout/router.hpp"
+#include "layout/slicing.hpp"
+#include "layout/stack.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+struct OtaLayoutOptions {
+  /// Fold-parity policy: kDrainInternal realises the paper's capacitance
+  /// trick ("all transistor folds are chosen such that drains are internal
+  /// diffusions"); kAlternating is the ablation baseline.
+  device::FoldStyle foldStyle = device::FoldStyle::kDrainInternal;
+  /// When set, the bias-generator devices are drawn too: the NMOS legs join
+  /// the bottom row, the PMOS legs the top row, and the bias nets are
+  /// routed (their parasitics then appear in the report).
+  const circuit::OtaBiasDesign* biasGenerator = nullptr;
+  bool commonCentroidPair = true;   ///< false: interdigitated input pair.
+  int dummiesPerSide = 1;
+  ShapeConstraint shape = defaultShape();
+  int maxFoldCandidates = 6;        ///< Fold alternatives offered per device.
+
+  [[nodiscard]] static ShapeConstraint defaultShape() {
+    ShapeConstraint c;
+    c.aspectRatio = 1.0;
+    return c;
+  }
+};
+
+/// Everything the sizing tool is told after a layout call (paper section 2:
+/// transistor layout style, routing and coupling parasitics, well sizes).
+struct OtaLayoutResult {
+  std::map<circuit::OtaGroup, device::FoldPlan> foldPlans;
+  /// Exact per-device junction geometry (AD/AS/PD/PS) as drawn; for stacked
+  /// groups this includes diffusion sharing between neighbours.
+  std::map<circuit::OtaGroup, device::MosGeometry> junctions;
+  ParasiticReport parasitics;
+  StackPlan pairPlan;               ///< Matching metrics of the input pair.
+  StackPlan sinkPlan;               ///< Matching metrics of MN5/MN6.
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  FloorplanResult floorplan;
+  RoutingResult routing;
+  Cell cell;                        ///< Geometry; empty in parasitic mode.
+};
+
+/// Run the OTA layout program.  `generateGeometry` selects the mode.
+[[nodiscard]] OtaLayoutResult generateOtaLayout(const tech::Technology& t,
+                                                const circuit::FoldedCascodeOtaDesign& design,
+                                                const OtaLayoutOptions& options,
+                                                bool generateGeometry);
+
+}  // namespace lo::layout

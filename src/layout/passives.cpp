@@ -1,0 +1,130 @@
+#include "layout/passives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using tech::Layer;
+
+/// Poly contact pad with a cut and a metal1 landing; returns the metal rect.
+Rect emitPolyPad(const tech::Technology& t, Cell& cell, Coord x0, Coord y0,
+                 const std::string& net) {
+  const tech::DesignRules& r = t.rules;
+  const Coord padW = r.contactSize + 2 * r.polyOverContact;
+  const Rect pad(x0, y0, x0 + padW, y0 + padW);
+  cell.shapes.add(Layer::kPoly, pad, net);
+  const Coord off = (padW - r.contactSize) / 2;
+  cell.shapes.add(Layer::kContact, Rect(pad.x0 + off, pad.y0 + off,
+                                        pad.x0 + off + r.contactSize,
+                                        pad.y0 + off + r.contactSize));
+  const Rect metal = pad.inflated(r.metal1OverContact - r.polyOverContact);
+  cell.shapes.add(Layer::kMetal1, metal, net);
+  cell.addPort(net, Layer::kMetal1, metal);
+  return metal;
+}
+
+}  // namespace
+
+Cell generateCapacitor(const tech::Technology& t, const CapacitorSpec& spec,
+                       CapacitorInfo* infoOut) {
+  const tech::DesignRules& r = t.rules;
+  if (spec.farads <= 0) throw std::invalid_argument("capacitor must be positive");
+
+  const double areaM2 = spec.farads / t.plateCapPerM2;
+  const double wM = std::sqrt(areaM2 * spec.aspect);
+  const Coord plateW = r.snapUp(std::max<Coord>(metersToNm(wM), r.polyMinWidth));
+  const Coord plateH =
+      r.snapUp(std::max<Coord>(metersToNm(areaM2 / nmToMeters(plateW)), r.polyMinWidth));
+
+  Cell cell;
+  cell.name = spec.name;
+
+  // Bottom poly plate, extended to the left so its contact pad clears the
+  // top plate by the metal1 spacing rule.
+  const Coord padW = r.contactSize + 2 * r.polyOverContact;
+  const Coord padGap = r.metal1Spacing + padW;
+  const Rect bottom(-padGap, 0, plateW, plateH);
+  cell.shapes.add(Layer::kPoly, bottom, spec.bottomNet);
+  emitPolyPad(t, cell, -padGap, (plateH - padW) / 2, spec.bottomNet);
+
+  // Top metal1 plate, inset so the bottom pad's metal keeps its spacing.
+  const Rect top(0, 0, plateW, plateH);
+  cell.shapes.add(Layer::kMetal1, top, spec.topNet);
+  cell.addPort(spec.topNet, Layer::kMetal1, top);
+
+  if (infoOut) {
+    infoOut->drawnFarads = top.areaM2() * t.plateCapPerM2;
+    const tech::LayerElectrical& poly = t.layer(Layer::kPoly);
+    infoOut->bottomParasitic =
+        bottom.areaM2() * poly.capAreaPerM2 + bottom.perimeterM() * poly.capFringePerM;
+    const Rect box = cell.bbox();
+    infoOut->width = box.width();
+    infoOut->height = box.height();
+  }
+  return cell;
+}
+
+Cell generateResistor(const tech::Technology& t, const ResistorSpec& spec,
+                      ResistorInfo* infoOut) {
+  const tech::DesignRules& r = t.rules;
+  if (spec.ohms <= 0) throw std::invalid_argument("resistor must be positive");
+  const double sheet = t.layer(Layer::kPoly).sheetResOhmSq;
+  if (sheet <= 0) throw std::invalid_argument("poly sheet resistance not set");
+
+  const Coord w = spec.stripWidth > 0 ? r.snapUp(spec.stripWidth)
+                                      : r.snapUp(r.polyMinWidth);
+  const double squares = spec.ohms / sheet;
+  const Coord totalLen = r.snapUp(static_cast<Coord>(squares * w));
+  // Row pitch must clear both the poly spacing rule and the terminal pads
+  // (which stack vertically on the same side when the strip count is even).
+  const Coord padW0 = r.contactSize + 2 * r.polyOverContact;
+  const Coord pitch = std::max(w + r.polySpacing, padW0 + r.polySpacing);
+  const int k = std::max(1, static_cast<int>(
+                                std::ceil(static_cast<double>(totalLen) / spec.maxSegment)));
+  // Straight length per segment so that straights + connectors reach the
+  // target centre-line length.
+  const Coord ls = r.snapUp(std::max<Coord>(
+      (totalLen - static_cast<Coord>(k - 1) * pitch) / k, 2 * w));
+
+  Cell cell;
+  cell.name = spec.name;
+  // Horizontal strips joined by vertical connectors at alternating ends.
+  // The resistive body is left net-untagged: it deliberately connects two
+  // different nets, which a net-aware DRC would otherwise flag as a short.
+  for (int i = 0; i < k; ++i) {
+    const Coord y0 = i * pitch;
+    cell.shapes.add(Layer::kPoly, Rect(0, y0, ls, y0 + w));
+    if (i + 1 < k) {
+      const Coord cx = (i % 2 == 0) ? ls - w : 0;
+      cell.shapes.add(Layer::kPoly, Rect(cx, y0, cx + w, y0 + pitch + w));
+    }
+  }
+  // Terminal pads: start of strip 0 (left) and free end of the last strip.
+  const Coord padW = r.contactSize + 2 * r.polyOverContact;
+  emitPolyPad(t, cell, -padW, -(padW - w) / 2, spec.netA);
+  const Coord lastY = (k - 1) * pitch;
+  const bool lastEndsRight = (k % 2 == 1);
+  const Coord padX = lastEndsRight ? ls : -padW;
+  emitPolyPad(t, cell, padX, lastY - (padW - w) / 2, spec.netB);
+
+  if (infoOut) {
+    infoOut->segments = k;
+    infoOut->drawnOhms =
+        (static_cast<double>(k) * ls + static_cast<double>(k - 1) * pitch) / w * sheet;
+    const tech::LayerElectrical& poly = t.layer(Layer::kPoly);
+    infoOut->parasiticCap = cell.shapes.drawnAreaM2(Layer::kPoly) * poly.capAreaPerM2;
+    const Rect box = cell.bbox();
+    infoOut->width = box.width();
+    infoOut->height = box.height();
+  }
+  return cell;
+}
+
+}  // namespace lo::layout

@@ -1,0 +1,53 @@
+// Passive component generators: plate capacitors and poly resistors.
+//
+// Needed by topologies with on-chip compensation (the two-stage Miller OTA):
+// the capacitor is a poly bottom plate under a metal1 top plate, the
+// resistor a poly serpentine.  Both report the parasitics the sizing tool
+// must know about (bottom-plate capacitance to substrate; the resistor's
+// distributed capacitance).
+#pragma once
+
+#include "layout/cell.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+struct CapacitorSpec {
+  std::string name = "C";
+  double farads = 1e-12;
+  std::string bottomNet = "a";  ///< Poly plate (carries the substrate parasitic).
+  std::string topNet = "b";     ///< Metal1 plate.
+  double aspect = 1.0;          ///< Plate width / height.
+};
+
+struct CapacitorInfo {
+  double drawnFarads = 0.0;       ///< Capacitance of the drawn (snapped) plates.
+  double bottomParasitic = 0.0;   ///< Bottom plate to substrate [F].
+  geom::Coord width = 0, height = 0;
+};
+
+/// Generate the plate capacitor; ports on both plates.
+[[nodiscard]] Cell generateCapacitor(const tech::Technology& t, const CapacitorSpec& spec,
+                                     CapacitorInfo* infoOut = nullptr);
+
+struct ResistorSpec {
+  std::string name = "R";
+  double ohms = 1e3;
+  std::string netA = "a";
+  std::string netB = "b";
+  tech::Nm stripWidth = 0;      ///< 0 = minimum poly width.
+  geom::Coord maxSegment = 20000;  ///< Serpentine segment length cap [nm].
+};
+
+struct ResistorInfo {
+  double drawnOhms = 0.0;      ///< Resistance of the drawn serpentine.
+  double parasiticCap = 0.0;   ///< Poly-over-field capacitance [F].
+  int segments = 0;
+  geom::Coord width = 0, height = 0;
+};
+
+/// Generate the poly serpentine; metal1 ports at both ends.
+[[nodiscard]] Cell generateResistor(const tech::Technology& t, const ResistorSpec& spec,
+                                    ResistorInfo* infoOut = nullptr);
+
+}  // namespace lo::layout

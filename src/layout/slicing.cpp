@@ -1,0 +1,223 @@
+#include "layout/slicing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lo::layout {
+
+std::unique_ptr<SlicingNode> SlicingNode::leaf(std::string name,
+                                               std::vector<ShapeOption> options) {
+  if (options.empty()) throw std::invalid_argument("slicing leaf needs at least one option");
+  auto n = std::make_unique<SlicingNode>();
+  n->kind_ = Kind::kLeaf;
+  n->name_ = std::move(name);
+  n->options_ = std::move(options);
+  return n;
+}
+
+std::unique_ptr<SlicingNode> SlicingNode::row(
+    std::vector<std::unique_ptr<SlicingNode>> children, geom::Coord spacing) {
+  if (children.empty()) throw std::invalid_argument("slicing row needs children");
+  auto n = std::make_unique<SlicingNode>();
+  n->kind_ = Kind::kRow;
+  n->children_ = std::move(children);
+  n->spacing_ = spacing;
+  return n;
+}
+
+std::unique_ptr<SlicingNode> SlicingNode::column(
+    std::vector<std::unique_ptr<SlicingNode>> children, geom::Coord spacing) {
+  if (children.empty()) throw std::invalid_argument("slicing column needs children");
+  auto n = std::make_unique<SlicingNode>();
+  n->kind_ = Kind::kColumn;
+  n->children_ = std::move(children);
+  n->spacing_ = spacing;
+  return n;
+}
+
+namespace {
+
+using geom::Coord;
+
+/// One Pareto point of a (partial) shape function with back pointers.
+struct SfEntry {
+  Coord w = 0, h = 0;
+  int a = -1;  ///< Leaf: option index.  Composite: entry in previous partial.
+  int b = -1;  ///< Composite: entry in the k-th child's function.
+};
+
+struct Sf {
+  std::vector<SfEntry> entries;
+};
+
+constexpr std::size_t kMaxEntries = 96;
+
+/// Keep only Pareto-optimal entries, sorted by width; thin if oversized.
+Sf prune(Sf sf) {
+  std::sort(sf.entries.begin(), sf.entries.end(), [](const SfEntry& x, const SfEntry& y) {
+    return x.w != y.w ? x.w < y.w : x.h < y.h;
+  });
+  Sf out;
+  for (const SfEntry& e : sf.entries) {
+    if (out.entries.empty() || e.h < out.entries.back().h) out.entries.push_back(e);
+  }
+  if (out.entries.size() > kMaxEntries) {
+    Sf thin;
+    const double step = static_cast<double>(out.entries.size() - 1) / (kMaxEntries - 1);
+    for (std::size_t i = 0; i < kMaxEntries; ++i) {
+      thin.entries.push_back(out.entries[static_cast<std::size_t>(i * step + 0.5)]);
+    }
+    out = std::move(thin);
+  }
+  return out;
+}
+
+Sf combine(const Sf& lhs, const Sf& rhs, bool isRow, Coord spacing) {
+  Sf out;
+  out.entries.reserve(lhs.entries.size() * rhs.entries.size());
+  for (std::size_t i = 0; i < lhs.entries.size(); ++i) {
+    for (std::size_t j = 0; j < rhs.entries.size(); ++j) {
+      SfEntry e;
+      if (isRow) {
+        e.w = lhs.entries[i].w + rhs.entries[j].w + spacing;
+        e.h = std::max(lhs.entries[i].h, rhs.entries[j].h);
+      } else {
+        e.w = std::max(lhs.entries[i].w, rhs.entries[j].w);
+        e.h = lhs.entries[i].h + rhs.entries[j].h + spacing;
+      }
+      e.a = static_cast<int>(i);
+      e.b = static_cast<int>(j);
+      out.entries.push_back(e);
+    }
+  }
+  return prune(std::move(out));
+}
+
+/// Shape functions of a node: `final` plus the left-fold intermediates that
+/// make the chosen entry traceable back to each child.
+struct NodeSf {
+  Sf final;
+  std::vector<Sf> partials;
+  std::vector<NodeSf> children;
+};
+
+NodeSf computeSf(const SlicingNode& node) {
+  NodeSf out;
+  if (node.kind() == SlicingNode::Kind::kLeaf) {
+    Sf sf;
+    for (std::size_t i = 0; i < node.options().size(); ++i) {
+      const ShapeOption& o = node.options()[i];
+      sf.entries.push_back({o.w, o.h, static_cast<int>(i), -1});
+    }
+    out.final = prune(std::move(sf));
+    return out;
+  }
+  const bool isRow = node.kind() == SlicingNode::Kind::kRow;
+  for (const auto& c : node.children()) out.children.push_back(computeSf(*c));
+  out.partials.push_back(out.children[0].final);
+  for (std::size_t k = 1; k < out.children.size(); ++k) {
+    out.partials.push_back(
+        combine(out.partials.back(), out.children[k].final, isRow, node.spacing()));
+  }
+  out.final = out.partials.back();
+  return out;
+}
+
+void realize(const SlicingNode& node, const NodeSf& sf, int entryIdx, Coord x0, Coord y0,
+             std::map<std::string, PlacedLeaf>& leaves) {
+  if (node.kind() == SlicingNode::Kind::kLeaf) {
+    const SfEntry& e = sf.final.entries[entryIdx];
+    const ShapeOption& opt = node.options()[e.a];
+    leaves[node.name()] = {opt.tag, geom::Rect(x0, y0, x0 + opt.w, y0 + opt.h)};
+    return;
+  }
+  const bool isRow = node.kind() == SlicingNode::Kind::kRow;
+  const std::size_t n = sf.children.size();
+
+  // Unwind the left fold to recover each child's chosen entry.
+  std::vector<int> choice(n, 0);
+  int idx = entryIdx;
+  for (std::size_t k = n; k-- > 1;) {
+    const SfEntry& e = sf.partials[k].entries[idx];
+    choice[k] = e.b;
+    idx = e.a;
+  }
+  choice[0] = idx;
+
+  const SfEntry& total = sf.partials[n - 1].entries[entryIdx];
+  Coord cursor = isRow ? x0 : y0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const SfEntry& ce = sf.children[k].final.entries[choice[k]];
+    // Centre in the cross direction; advance in the slicing direction.
+    const Coord cx = isRow ? cursor : x0 + (total.w - ce.w) / 2;
+    const Coord cy = isRow ? y0 + (total.h - ce.h) / 2 : cursor;
+    realize(*node.children()[k], sf.children[k], choice[k], cx, cy, leaves);
+    cursor += (isRow ? ce.w : ce.h) + node.spacing();
+  }
+}
+
+}  // namespace
+
+FloorplanResult SlicingTree::optimize(const ShapeConstraint& constraint) const {
+  if (!root_) throw std::invalid_argument("SlicingTree: empty tree");
+  const NodeSf sf = computeSf(*root_);
+  const std::vector<SfEntry>& entries = sf.final.entries;
+  if (entries.empty()) throw std::invalid_argument("SlicingTree: no feasible shape");
+
+  auto fits = [&](const SfEntry& e) {
+    if (constraint.maxWidth && e.w > *constraint.maxWidth) return false;
+    if (constraint.maxHeight && e.h > *constraint.maxHeight) return false;
+    if (constraint.aspectRatio) {
+      const double ratio = static_cast<double>(e.w) / static_cast<double>(e.h);
+      if (std::abs(std::log(ratio / *constraint.aspectRatio)) > std::log(1.3)) return false;
+    }
+    return true;
+  };
+  auto area = [](const SfEntry& e) {
+    return static_cast<double>(e.w) * static_cast<double>(e.h);
+  };
+  /// Distance from feasibility, used only when nothing fits.
+  auto violation = [&](const SfEntry& e) {
+    double v = 0.0;
+    if (constraint.maxWidth && e.w > *constraint.maxWidth) {
+      v += static_cast<double>(e.w - *constraint.maxWidth);
+    }
+    if (constraint.maxHeight && e.h > *constraint.maxHeight) {
+      v += static_cast<double>(e.h - *constraint.maxHeight);
+    }
+    if (constraint.aspectRatio) {
+      const double ratio = static_cast<double>(e.w) / static_cast<double>(e.h);
+      v += 1e6 * std::abs(std::log(ratio / *constraint.aspectRatio));
+    }
+    return v;
+  };
+
+  int best = -1;
+  bool bestFits = false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool f = fits(entries[i]);
+    if (best < 0) {
+      best = static_cast<int>(i);
+      bestFits = f;
+      continue;
+    }
+    if (f && !bestFits) {
+      best = static_cast<int>(i);
+      bestFits = true;
+    } else if (f == bestFits) {
+      const bool better = f ? area(entries[i]) < area(entries[best])
+                            : violation(entries[i]) < violation(entries[best]);
+      if (better) best = static_cast<int>(i);
+    }
+  }
+
+  FloorplanResult result;
+  result.width = entries[best].w;
+  result.height = entries[best].h;
+  realize(*root_, sf, best, 0, 0, result.leaves);
+  return result;
+}
+
+}  // namespace lo::layout

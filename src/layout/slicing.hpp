@@ -1,0 +1,96 @@
+// Slicing-tree floorplanning with shape functions.
+//
+// "Area optimization is done using a simple and fast algorithm based on
+// shape functions and slicing structures" (paper, section 3, citing Conway &
+// Schrooten).  Every leaf module offers a list of (width, height)
+// alternatives (e.g. one per legal fold count); rows and columns combine
+// children's shape functions; the optimiser picks the Pareto point that best
+// satisfies the shape constraint and back-propagates the choice to every
+// leaf.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace lo::layout {
+
+/// One (w, h) alternative of a leaf; `tag` is caller-defined (fold count).
+struct ShapeOption {
+  geom::Coord w = 0;
+  geom::Coord h = 0;
+  int tag = 0;
+};
+
+/// What the caller wants the overall outline to look like.
+struct ShapeConstraint {
+  std::optional<double> aspectRatio;        ///< Target width / height.
+  std::optional<geom::Coord> maxWidth;      ///< Hard width cap [nm].
+  std::optional<geom::Coord> maxHeight;     ///< Hard height cap [nm].
+};
+
+class SlicingNode {
+ public:
+  enum class Kind { kLeaf, kRow, kColumn };
+
+  /// Leaf with shape alternatives.
+  [[nodiscard]] static std::unique_ptr<SlicingNode> leaf(std::string name,
+                                                         std::vector<ShapeOption> options);
+  /// Children side by side (widths add, height = max).
+  [[nodiscard]] static std::unique_ptr<SlicingNode> row(
+      std::vector<std::unique_ptr<SlicingNode>> children, geom::Coord spacing);
+  /// Children stacked (heights add, width = max).
+  [[nodiscard]] static std::unique_ptr<SlicingNode> column(
+      std::vector<std::unique_ptr<SlicingNode>> children, geom::Coord spacing);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ShapeOption>& options() const { return options_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<SlicingNode>>& children() const {
+    return children_;
+  }
+  [[nodiscard]] geom::Coord spacing() const { return spacing_; }
+
+ private:
+  Kind kind_ = Kind::kLeaf;
+  std::string name_;
+  std::vector<ShapeOption> options_;
+  std::vector<std::unique_ptr<SlicingNode>> children_;
+  geom::Coord spacing_ = 0;
+};
+
+/// Chosen alternative and position of one leaf.
+struct PlacedLeaf {
+  int tag = 0;
+  geom::Rect rect;  ///< Outline in tree coordinates (origin bottom-left).
+};
+
+struct FloorplanResult {
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  std::map<std::string, PlacedLeaf> leaves;  ///< Keyed by leaf name.
+
+  [[nodiscard]] double areaNm2() const {
+    return static_cast<double>(width) * static_cast<double>(height);
+  }
+};
+
+class SlicingTree {
+ public:
+  explicit SlicingTree(std::unique_ptr<SlicingNode> root) : root_(std::move(root)) {}
+
+  /// Optimise under the constraint.  Among options satisfying the caps /
+  /// within 30% of the aspect target, minimum area wins; if nothing
+  /// qualifies, the closest option is chosen.  Throws std::invalid_argument
+  /// on an empty tree or a leaf with no options.
+  [[nodiscard]] FloorplanResult optimize(const ShapeConstraint& constraint) const;
+
+ private:
+  std::unique_ptr<SlicingNode> root_;
+};
+
+}  // namespace lo::layout

@@ -1,0 +1,398 @@
+#include "layout/stack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using tech::Layer;
+
+struct Unit {
+  int device = -1;
+  bool isPair = true;  ///< Pair = two fingers around a shared internal drain.
+};
+
+std::vector<Unit> buildUnitsInterdigitated(const StackSpec& spec) {
+  // Device order: most fingers first, so big devices claim the outermost
+  // symmetric slots and everything stays centred.
+  std::vector<int> order(spec.devices.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return spec.devices[a].fingers > spec.devices[b].fingers;
+  });
+
+  std::vector<Unit> left, center, right;
+  for (int d : order) {
+    int pairs = spec.devices[d].fingers / 2;
+    while (pairs >= 2) {
+      left.push_back({d, true});
+      right.push_back({d, true});
+      pairs -= 2;
+    }
+    if (pairs == 1) center.push_back({d, true});
+    if (spec.devices[d].fingers % 2 == 1) center.push_back({d, false});
+  }
+  std::vector<Unit> seq = left;
+  seq.insert(seq.end(), center.begin(), center.end());
+  seq.insert(seq.end(), right.rbegin(), right.rend());
+  return seq;
+}
+
+std::vector<Unit> buildUnitsCommonCentroid(const StackSpec& spec) {
+  if (spec.devices.size() != 2 || spec.devices[0].fingers != spec.devices[1].fingers ||
+      spec.devices[0].fingers % 2 != 0) {
+    throw std::invalid_argument(
+        "common-centroid stacks need exactly 2 devices with equal even finger counts");
+  }
+  const int pairsEach = spec.devices[0].fingers / 2;
+  std::vector<Unit> left, right;
+  for (int i = 0; i < pairsEach; ++i) {
+    left.push_back({i % 2 == 0 ? 0 : 1, true});
+    right.push_back({i % 2 == 0 ? 1 : 0, true});
+  }
+  std::vector<Unit> seq = left;
+  seq.insert(seq.end(), right.rbegin(), right.rend());  // ABBA for one pair each.
+  return seq;
+}
+
+}  // namespace
+
+StackPlan planStack(const StackSpec& spec) {
+  if (spec.devices.empty()) throw std::invalid_argument("planStack: no devices");
+  for (const StackDevice& d : spec.devices) {
+    if (d.fingers < 1) throw std::invalid_argument("planStack: device with no fingers");
+  }
+  std::set<std::string> gateNets;
+  for (const StackDevice& d : spec.devices) gateNets.insert(d.gateNet);
+  if (gateNets.size() > 2) {
+    throw std::invalid_argument("planStack: at most two distinct gate nets supported");
+  }
+
+  const std::vector<Unit> units = spec.pattern == StackPattern::kCommonCentroid
+                                      ? buildUnitsCommonCentroid(spec)
+                                      : buildUnitsInterdigitated(spec);
+
+  StackPlan plan;
+  auto pushDummy = [&](const std::string& rightStripNet) {
+    plan.fingers.push_back({-1, true});
+    plan.stripNets.push_back(rightStripNet);
+    ++plan.dummyCount;
+  };
+
+  plan.stripNets.push_back(spec.sourceNet);
+  for (int i = 0; i < spec.dummiesPerSide; ++i) pushDummy(spec.sourceNet);
+  for (const Unit& u : units) {
+    const StackDevice& dev = spec.devices[u.device];
+    if (u.isPair) {
+      plan.fingers.push_back({u.device, true});   // Drain to the right.
+      plan.stripNets.push_back(dev.drainNet);
+      plan.fingers.push_back({u.device, false});  // Drain to the left.
+      plan.stripNets.push_back(spec.sourceNet);
+    } else {
+      plan.fingers.push_back({u.device, true});
+      plan.stripNets.push_back(dev.drainNet);
+      // Bridge dummy brings the row back onto the source net.
+      pushDummy(spec.sourceNet);
+    }
+  }
+  for (int i = 0; i < spec.dummiesPerSide; ++i) pushDummy(spec.sourceNet);
+
+  // --- Metrics. ---
+  plan.metrics.assign(spec.devices.size(), {});
+  const double centre = (static_cast<double>(plan.fingers.size()) - 1.0) / 2.0;
+  for (std::size_t d = 0; d < spec.devices.size(); ++d) {
+    StackDeviceMetrics& m = plan.metrics[d];
+    double posSum = 0.0;
+    int l2r = 0, r2l = 0;
+    for (std::size_t i = 0; i < plan.fingers.size(); ++i) {
+      if (plan.fingers[i].device != static_cast<int>(d)) continue;
+      ++m.fingers;
+      posSum += static_cast<double>(i);
+      (plan.fingers[i].currentLeftToRight ? l2r : r2l)++;
+    }
+    m.centroidOffset = m.fingers ? std::abs(posSum / m.fingers - centre) : 0.0;
+    m.orientationImbalance = std::abs(l2r - r2l);
+    // Drain strips: internal unless at the physical row ends.
+    for (std::size_t s = 0; s < plan.stripNets.size(); ++s) {
+      if (plan.stripNets[s] != spec.devices[d].drainNet) continue;
+      if (s == 0 || s + 1 == plan.stripNets.size()) {
+        ++m.externalDrainStrips;
+      } else {
+        ++m.internalDrainStrips;
+      }
+    }
+  }
+  return plan;
+}
+
+/// Attribute source-strip junction area/perimeter to adjacent devices.
+void fillStackJunctions(const tech::DesignRules& r, const StackSpec& spec,
+                        StackPlan& plan) {
+  const double eExt = nmToMeters(r.contactedDiffusionExtent());
+  const double eInt = nmToMeters(r.sharedContactedDiffusionExtent());
+  // Use the grid-snapped finger width the generator will draw, so the
+  // reported junctions (and widths) match the physical layout exactly.
+  const double wf = nmToMeters(r.snapUp(
+      std::max<tech::Nm>(metersToNm(spec.unitWidth), r.activeMinWidth)));
+
+  for (std::size_t d = 0; d < spec.devices.size(); ++d) {
+    StackDeviceMetrics& m = plan.metrics[d];
+    m.junctions.w = spec.devices[d].fingers * wf;
+    m.junctions.l = spec.drawnL;
+    m.junctions.nf = spec.devices[d].fingers;
+    m.junctions.ad = m.junctions.as = 0.0;
+    m.junctions.pd = m.junctions.ps = 0.0;
+  }
+
+  const std::size_t nStrips = plan.stripNets.size();
+  for (std::size_t s = 0; s < nStrips; ++s) {
+    const bool external = (s == 0 || s + 1 == nStrips);
+    const double area = (external ? eExt : eInt) * wf;
+    const double perim = external ? 2.0 * eExt + wf : 2.0 * eInt;
+    const std::string& net = plan.stripNets[s];
+
+    // Adjacent non-dummy fingers.
+    std::vector<int> owners;
+    if (s > 0 && plan.fingers[s - 1].device >= 0) owners.push_back(plan.fingers[s - 1].device);
+    if (s < plan.fingers.size() && plan.fingers[s].device >= 0) {
+      owners.push_back(plan.fingers[s].device);
+    }
+    if (owners.empty()) continue;
+
+    for (int d : owners) {
+      const double share = 1.0 / owners.size();
+      StackDeviceMetrics& m = plan.metrics[d];
+      if (net == spec.devices[d].drainNet) {
+        m.junctions.ad += share * area;
+        m.junctions.pd += share * perim;
+      } else if (net == spec.sourceNet) {
+        m.junctions.as += share * area;
+        m.junctions.ps += share * perim;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Where a gate net's strap sits.
+enum class StrapLevel { kTop, kBottom, kDummy };
+
+/// All vertical/horizontal dimension decisions shared by generateStack and
+/// stackExtents.
+struct StackDims {
+  Coord eExt, eInt, l, wf, endcap, strapW, padW, gap;
+  std::vector<std::string> gateNetOrder;  ///< [0] -> top, [1] -> bottom.
+  bool hasBottomNet = false;
+  StrapLevel dummyLevel = StrapLevel::kDummy;
+  Coord topStrapY = 0, bottomStrapY = 0, dummyStrapY = 0;
+
+  [[nodiscard]] Coord widthFor(std::size_t nFingers) const {
+    return 2 * eExt + static_cast<Coord>(nFingers - 1) * eInt +
+           static_cast<Coord>(nFingers) * l;
+  }
+  [[nodiscard]] Coord topExtent() const { return topStrapY + padW; }
+  [[nodiscard]] Coord bottomExtent(bool hasDummies) const {
+    Coord bottom = -endcap;
+    if (hasBottomNet) bottom = std::min(bottom, bottomStrapY + strapW - padW);
+    if (hasDummies && dummyLevel == StrapLevel::kDummy) {
+      bottom = std::min(bottom, dummyStrapY + strapW - padW);
+    }
+    return bottom;
+  }
+};
+
+StackDims computeDims(const tech::Technology& t, const StackSpec& spec) {
+  const tech::DesignRules& r = t.rules;
+  StackDims d;
+  d.eExt = r.contactedDiffusionExtent();
+  d.eInt = r.sharedContactedDiffusionExtent();
+  d.l = r.snapUp(std::max<Coord>(metersToNm(spec.drawnL), r.polyMinWidth));
+  d.wf = r.snapUp(std::max<Coord>(metersToNm(spec.unitWidth), r.activeMinWidth));
+  d.endcap = r.polyEndcap;
+  d.strapW = r.polyMinWidth;
+  d.padW = r.contactSize + 2 * r.polyOverContact;
+  d.gap = r.polySpacing;
+  for (const StackDevice& dev : spec.devices) {
+    if (std::find(d.gateNetOrder.begin(), d.gateNetOrder.end(), dev.gateNet) ==
+        d.gateNetOrder.end()) {
+      d.gateNetOrder.push_back(dev.gateNet);
+    }
+  }
+  d.hasBottomNet = d.gateNetOrder.size() > 1;
+  if (spec.dummyGateNet == d.gateNetOrder[0]) {
+    d.dummyLevel = StrapLevel::kTop;
+  } else if (d.hasBottomNet && spec.dummyGateNet == d.gateNetOrder[1]) {
+    d.dummyLevel = StrapLevel::kBottom;
+  } else {
+    d.dummyLevel = StrapLevel::kDummy;
+  }
+  d.topStrapY = d.wf + d.endcap + d.gap;
+  d.bottomStrapY = -d.endcap - d.gap - d.strapW;
+  // The dummy strap must clear the bottom strap's contact pad, which hangs
+  // padW below the bottom strap's top edge.
+  d.dummyStrapY = d.hasBottomNet ? d.bottomStrapY - d.gap - d.padW : d.bottomStrapY;
+  return d;
+}
+
+}  // namespace
+
+StackExtents stackExtents(const tech::Technology& t, const StackSpec& spec) {
+  const StackPlan plan = planStack(spec);
+  const StackDims d = computeDims(t, spec);
+  StackExtents e;
+  e.width = d.widthFor(plan.fingers.size());
+  e.height = d.topExtent() - d.bottomExtent(plan.dummyCount > 0);
+  return e;
+}
+
+Cell generateStack(const tech::Technology& t, const StackSpec& spec, StackInfo* infoOut) {
+  const tech::DesignRules& r = t.rules;
+  StackPlan plan = planStack(spec);
+  fillStackJunctions(r, spec, plan);
+
+  const StackDims dims = computeDims(t, spec);
+  const Coord eExt = dims.eExt;
+  const Coord eInt = dims.eInt;
+  const Coord l = dims.l;
+  const Coord wf = dims.wf;
+  const Coord strapW = dims.strapW;
+  const Coord padW = dims.padW;
+
+  const std::vector<std::string>& gateNetOrder = dims.gateNetOrder;
+  const bool hasBottomNet = dims.hasBottomNet;
+  const Coord topStrapY = dims.topStrapY;
+  const Coord bottomStrapY1 = dims.bottomStrapY;
+  const Coord dummyStrapY = dims.dummyStrapY;
+
+  Cell cell;
+  cell.name = spec.name;
+
+  // Walk strips and gates left to right.
+  const std::size_t nFingers = plan.fingers.size();
+  std::vector<Coord> gateX(nFingers);
+  Coord x = 0;
+  const int nCuts = [&] {
+    const Coord usable = wf - 2 * r.activeOverContact;
+    if (usable < r.contactSize) return 1;
+    return static_cast<int>((usable + r.contactSpacing) /
+                            (r.contactSize + r.contactSpacing));
+  }();
+
+  auto emitStrip = [&](Coord x0, Coord width, const std::string& net) {
+    const Coord cx = x0 + (width - r.contactSize) / 2;
+    const Coord pitch = r.contactSize + r.contactSpacing;
+    const Coord colHeight = nCuts * r.contactSize + (nCuts - 1) * r.contactSpacing;
+    const Coord cy0 = (wf - colHeight) / 2;
+    for (int k = 0; k < nCuts; ++k) {
+      cell.shapes.add(Layer::kContact, Rect(cx, cy0 + k * pitch, cx + r.contactSize,
+                                            cy0 + k * pitch + r.contactSize));
+    }
+    const Rect metal(cx - r.metal1OverContact, cy0 - r.metal1OverContact,
+                     cx + r.contactSize + r.metal1OverContact,
+                     cy0 + colHeight + r.metal1OverContact);
+    cell.shapes.add(Layer::kMetal1, metal, net);
+    cell.addPort(net, Layer::kMetal1, metal);
+  };
+
+  for (std::size_t i = 0; i < nFingers; ++i) {
+    const Coord stripW = (i == 0) ? eExt : eInt;
+    emitStrip(x, stripW, plan.stripNets[i]);
+    x += stripW;
+    gateX[i] = x;
+    x += l;
+  }
+  emitStrip(x, eExt, plan.stripNets[nFingers]);
+  const Coord activeW = x + eExt;
+  cell.shapes.add(Layer::kActive, Rect(0, 0, activeW, wf));
+
+  // Gate fingers.
+  std::map<std::string, std::pair<Coord, Coord>> strapSpan;  // net -> x range.
+  for (std::size_t i = 0; i < nFingers; ++i) {
+    const StackFinger& f = plan.fingers[i];
+    std::string net;
+    StrapLevel level;
+    if (f.device < 0) {
+      net = spec.dummyGateNet;
+      level = dims.dummyLevel;
+    } else {
+      net = spec.devices[f.device].gateNet;
+      level = net == gateNetOrder[0] ? StrapLevel::kTop : StrapLevel::kBottom;
+    }
+    Coord yLo = 0, yHi = 0;
+    switch (level) {
+      case StrapLevel::kTop:
+        yLo = -dims.endcap;
+        yHi = topStrapY + strapW;
+        break;
+      case StrapLevel::kBottom:
+        yLo = bottomStrapY1;
+        yHi = wf + dims.endcap;
+        break;
+      case StrapLevel::kDummy:
+        yLo = dummyStrapY;
+        yHi = wf + dims.endcap;
+        break;
+    }
+    cell.shapes.add(Layer::kPoly, Rect(gateX[i], yLo, gateX[i] + l, yHi), net);
+    auto [it, inserted] = strapSpan.try_emplace(net, std::make_pair(gateX[i], gateX[i] + l));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, gateX[i]);
+      it->second.second = std::max(it->second.second, gateX[i] + l);
+    }
+  }
+
+  // Straps with contact pads.
+  auto emitStrap = [&](const std::string& net, Coord y0, bool padAbove) {
+    const auto it = strapSpan.find(net);
+    if (it == strapSpan.end()) return;
+    cell.shapes.add(Layer::kPoly, Rect(it->second.first, y0, it->second.second, y0 + strapW),
+                    net);
+    const Coord px = it->second.first;
+    const Rect pad = padAbove ? Rect(px, y0, px + padW, y0 + padW)
+                              : Rect(px, y0 + strapW - padW, px + padW, y0 + strapW);
+    cell.shapes.add(Layer::kPoly, pad, net);
+    const Coord off = (padW - r.contactSize) / 2;
+    cell.shapes.add(Layer::kContact, Rect(pad.x0 + off, pad.y0 + off,
+                                          pad.x0 + off + r.contactSize,
+                                          pad.y0 + off + r.contactSize));
+    const Rect metal = pad.inflated(r.metal1OverContact - r.polyOverContact);
+    cell.shapes.add(Layer::kMetal1, metal, net);
+    cell.addPort(net, Layer::kMetal1, metal);
+  };
+  emitStrap(gateNetOrder[0], topStrapY, true);
+  if (hasBottomNet) emitStrap(gateNetOrder[1], bottomStrapY1, false);
+  if (plan.dummyCount > 0 && dims.dummyLevel == StrapLevel::kDummy) {
+    emitStrap(spec.dummyGateNet, dummyStrapY, false);
+  }
+
+  // Select implant and well.
+  if (spec.emitWellAndSelect) {
+    const Rect active(0, 0, activeW, wf);
+    const Layer select = spec.type == tech::MosType::kNmos ? Layer::kNPlus : Layer::kPPlus;
+    cell.shapes.add(select, active.inflated(r.selectOverActive));
+    if (spec.type == tech::MosType::kPmos) {
+      cell.shapes.add(Layer::kNWell, active.inflated(r.nwellOverActive), spec.bulkNet);
+    }
+  }
+
+  if (infoOut) {
+    infoOut->plan = plan;
+    infoOut->contactsPerStrip = nCuts;
+    const Rect box = cell.bbox();
+    infoOut->width = box.width();
+    infoOut->height = box.height();
+  }
+  return cell;
+}
+
+}  // namespace lo::layout

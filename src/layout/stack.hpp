@@ -1,0 +1,113 @@
+// Matched transistor stacks.
+//
+// Several transistors sharing a source net are drawn as one diffusion row of
+// unit fingers ("stack").  The planner implements the paper's matching
+// machinery (section 3, "Matching constraints"):
+//   * symmetric placement so every device is centred around the stack
+//     mid-point,
+//   * pairing of fingers around shared internal drains (which also realises
+//     the even-fold / internal-drain capacitance trick of Fig. 2),
+//   * current-direction bookkeeping: paired fingers conduct in opposite
+//     directions so each device's orientation imbalance is minimised
+//     (Malavasi-Pandini style stack generation),
+//   * dummy fingers at the row ends and as bridges wherever adjacent strips
+//     carry different nets.
+//
+// Supported gate-net configurations: all devices on one gate net (current
+// mirror) or two gate nets (differential pair, common-centroid pattern).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/mos_op.hpp"
+#include "layout/cell.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+enum class StackPattern {
+  kInterdigitated,   ///< Symmetric interdigitation (mirrors, any device count).
+  kCommonCentroid,   ///< ABBA pairing; requires exactly 2 devices with equal
+                     ///< even finger counts.
+};
+
+struct StackDevice {
+  std::string name = "M";
+  int fingers = 2;          ///< Unit fingers of this device.
+  std::string drainNet = "d";
+  std::string gateNet = "g";
+  double current = 0.0;     ///< |ID| [A] for electromigration bookkeeping.
+};
+
+struct StackSpec {
+  std::string name = "stack";
+  tech::MosType type = tech::MosType::kNmos;
+  double unitWidth = 5e-6;    ///< Finger width [m].
+  double drawnL = 1e-6;       ///< Channel length [m].
+  std::string sourceNet = "s";  ///< Net shared by every device's source.
+  std::string dummyGateNet = "s";  ///< Rail that keeps dummies off.
+  std::string bulkNet = "";     ///< Net the well ties to (well cap extraction).
+  std::vector<StackDevice> devices;
+  StackPattern pattern = StackPattern::kInterdigitated;
+  int dummiesPerSide = 1;
+  bool emitWellAndSelect = true;
+};
+
+/// One gate position in the planned row. device < 0 marks a dummy finger.
+struct StackFinger {
+  int device = -1;
+  bool currentLeftToRight = true;  ///< Source on the left side.
+};
+
+/// Per-device matching metrics of a plan.
+struct StackDeviceMetrics {
+  int fingers = 0;
+  int internalDrainStrips = 0;
+  int externalDrainStrips = 0;
+  double centroidOffset = 0.0;     ///< |device centroid - stack centre|, in
+                                   ///< gate pitches.
+  int orientationImbalance = 0;    ///< |#left-to-right - #right-to-left|.
+  device::MosGeometry junctions;   ///< Exact AD/AS/PD/PS for this device as
+                                   ///< drawn in the stack.
+};
+
+struct StackPlan {
+  std::vector<StackFinger> fingers;      ///< Gates, left to right.
+  std::vector<std::string> stripNets;    ///< Diffusion strips (fingers.size()+1).
+  std::vector<StackDeviceMetrics> metrics;  ///< Indexed like spec.devices.
+  int dummyCount = 0;
+};
+
+/// Plan the finger sequence, diffusion sharing, orientations and metrics.
+/// Throws std::invalid_argument for unsupported configurations (more than
+/// two distinct gate nets; common-centroid constraints violated).
+[[nodiscard]] StackPlan planStack(const StackSpec& spec);
+
+/// Fill plan.metrics[*].junctions with the exact AD/AS/PD/PS each device
+/// sees in the stack (shared strips are split between their neighbours).
+void fillStackJunctions(const tech::DesignRules& rules, const StackSpec& spec,
+                        StackPlan& plan);
+
+struct StackInfo {
+  StackPlan plan;
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  int contactsPerStrip = 0;
+};
+
+/// Generate the stack geometry for a plan.  Ports: one metal1 port per
+/// diffusion strip (net-tagged) and one per gate strap / dummy tie.
+[[nodiscard]] Cell generateStack(const tech::Technology& t, const StackSpec& spec,
+                                 StackInfo* infoOut = nullptr);
+
+/// Bounding-box dimensions of the stack a spec would generate, computed
+/// without emitting geometry (used by the area optimiser and the paper's
+/// parasitic calculation mode).  Must agree with generateStack's bbox.
+struct StackExtents {
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+};
+[[nodiscard]] StackExtents stackExtents(const tech::Technology& t, const StackSpec& spec);
+
+}  // namespace lo::layout

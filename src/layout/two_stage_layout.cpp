@@ -1,0 +1,325 @@
+#include "layout/two_stage_layout.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "layout/mos_motif.hpp"
+#include "tech/units.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using circuit::TwoStageGroup;
+using circuit::TwoStageOtaDesign;
+using device::FoldPlan;
+using device::FoldStyle;
+using geom::Coord;
+using geom::Rect;
+
+std::vector<int> foldCandidates(const tech::Technology& t, double w, FoldStyle style,
+                                int maxCandidates) {
+  const double minW = nmToMeters(t.rules.activeMinWidth);
+  std::vector<int> out;
+  const int step = style == FoldStyle::kDrainInternal ? 2 : 1;
+  for (int nf = step; static_cast<int>(out.size()) < maxCandidates; nf += step) {
+    if (w / nf < minW) break;
+    out.push_back(nf);
+  }
+  if (out.empty()) out.push_back(step);
+  return out;
+}
+
+std::vector<ShapeOption> motifOptions(const tech::Technology& t, double w, double l,
+                                      FoldStyle style, double current, int maxCandidates) {
+  std::vector<ShapeOption> opts;
+  for (int nf : foldCandidates(t, w, style, maxCandidates)) {
+    const FoldPlan plan = device::planFoldsExact(t.rules, w, nf, style);
+    const MosMotifInfo info = motifShape(t, plan, l, current);
+    opts.push_back({info.width, info.height, nf});
+  }
+  return opts;
+}
+
+StackSpec pairSpec(const TwoStageOtaDesign& d, const TwoStageLayoutOptions& opt,
+                   int fingers) {
+  StackSpec s;
+  s.name = "PAIR";
+  s.type = tech::MosType::kNmos;
+  s.unitWidth = d.inputPair.w / fingers;
+  s.drawnL = d.inputPair.l;
+  s.sourceNet = "tail";
+  s.dummyGateNet = "gnd";
+  s.devices = {{"MN1", fingers, "d1", "inn", d.tailCurrent / 2},
+               {"MN2", fingers, "o1", "inp", d.tailCurrent / 2}};
+  s.pattern = StackPattern::kCommonCentroid;
+  s.dummiesPerSide = opt.dummiesPerSide;
+  s.emitWellAndSelect = false;
+  return s;
+}
+
+StackSpec mirrorSpec(const TwoStageOtaDesign& d, const TwoStageLayoutOptions& opt,
+                     int fingers) {
+  StackSpec s;
+  s.name = "MIRROR";
+  s.type = tech::MosType::kPmos;
+  s.unitWidth = d.mirror.w / fingers;
+  s.drawnL = d.mirror.l;
+  s.sourceNet = "vdd";
+  s.dummyGateNet = "vdd";
+  s.bulkNet = "vdd";
+  s.devices = {{"MP3", fingers, "d1", "d1", d.tailCurrent / 2},
+               {"MP4", fingers, "o1", "d1", d.tailCurrent / 2}};
+  s.pattern = StackPattern::kCommonCentroid;
+  s.dummiesPerSide = opt.dummiesPerSide;
+  s.emitWellAndSelect = false;
+  return s;
+}
+
+struct MotifLeaf {
+  const char* name;
+  TwoStageGroup group;
+  tech::MosType type;
+  const char *drain, *gate, *source, *bulk;
+};
+
+const MotifLeaf kTail{"MN5", TwoStageGroup::kTail, tech::MosType::kNmos,
+                      "tail", "vbn", "gnd", "gnd"};
+const MotifLeaf kSink2{"MN7", TwoStageGroup::kSink2, tech::MosType::kNmos,
+                       "out", "vbn", "gnd", "gnd"};
+const MotifLeaf kDriver{"MP6", TwoStageGroup::kDriver, tech::MosType::kPmos,
+                        "out", "o1", "vdd", "vdd"};
+
+}  // namespace
+
+TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
+                                            const TwoStageOtaDesign& design,
+                                            const TwoStageLayoutOptions& options,
+                                            bool generateGeometry) {
+  TwoStageLayoutResult result;
+  const Coord rowGap = t.rules.activeSpacing;
+
+  // --- Pre-build the passives (single shape each). ---
+  CapacitorSpec ccSpec;
+  ccSpec.name = "CC";
+  ccSpec.farads = design.cc;
+  ccSpec.bottomNet = "rzm";  // Bottom plate on the Rz side: its substrate
+  ccSpec.topNet = "out";     // parasitic loads the midpoint, not the output.
+  ccSpec.aspect = 2.0;
+  const Cell ccCell = generateCapacitor(t, ccSpec, &result.ccInfo);
+
+  ResistorSpec rzSpec;
+  rzSpec.name = "RZ";
+  rzSpec.ohms = design.rz;
+  rzSpec.netA = "o1";
+  rzSpec.netB = "rzm";
+  const Cell rzCell = generateResistor(t, rzSpec, &result.rzInfo);
+
+  // --- Slicing tree with symmetric second pass. ---
+  auto buildTree = [&](const std::map<std::string, int>* fixed) {
+    auto restrict = [&](const std::string& name, std::vector<ShapeOption> opts) {
+      if (fixed) {
+        const int tag = fixed->at(name);
+        opts.erase(std::remove_if(opts.begin(), opts.end(),
+                                  [&](const ShapeOption& o) { return o.tag != tag; }),
+                   opts.end());
+      }
+      return SlicingNode::leaf(name, std::move(opts));
+    };
+    auto motifLeaf = [&](const MotifLeaf& m) {
+      const device::MosGeometry& geo = design.geometry(m.group);
+      return restrict(m.name,
+                      motifOptions(t, geo.w, geo.l, options.foldStyle,
+                                   twoStageGroupCurrent(design, m.group),
+                                   options.maxFoldCandidates));
+    };
+    auto stackLeaf = [&](const char* name, bool isPair) {
+      const double w = isPair ? design.inputPair.w : design.mirror.w;
+      std::vector<ShapeOption> opts;
+      for (int nf : foldCandidates(t, w, FoldStyle::kDrainInternal,
+                                   options.maxFoldCandidates)) {
+        const StackSpec s = isPair ? pairSpec(design, options, nf)
+                                   : mirrorSpec(design, options, nf);
+        const StackExtents e = stackExtents(t, s);
+        opts.push_back({e.width, e.height, nf});
+      }
+      return restrict(name, std::move(opts));
+    };
+
+    std::vector<std::unique_ptr<SlicingNode>> bottom;
+    bottom.push_back(motifLeaf(kTail));
+    bottom.push_back(stackLeaf("PAIR", true));
+    bottom.push_back(motifLeaf(kSink2));
+
+    std::vector<std::unique_ptr<SlicingNode>> mid;
+    const Rect ccBox = ccCell.bbox();
+    const Rect rzBox = rzCell.bbox();
+    mid.push_back(restrict("CC", {{ccBox.width(), ccBox.height(), 0}}));
+    mid.push_back(restrict("RZ", {{rzBox.width(), rzBox.height(), 0}}));
+
+    std::vector<std::unique_ptr<SlicingNode>> top;
+    top.push_back(stackLeaf("MIRROR", false));
+    top.push_back(motifLeaf(kDriver));
+
+    const Coord routingAllowance = 16000;
+    const Coord mixGap =
+        t.rules.activeToWell + t.rules.nwellOverActive + rowGap + routingAllowance;
+    std::vector<std::unique_ptr<SlicingNode>> rows;
+    rows.push_back(SlicingNode::row(std::move(bottom), rowGap));
+    rows.push_back(SlicingNode::row(std::move(mid), rowGap * 2));
+    rows.push_back(SlicingNode::row(std::move(top), rowGap));
+    return SlicingTree(SlicingNode::column(std::move(rows), mixGap));
+  };
+
+  const FloorplanResult fp1 = buildTree(nullptr).optimize(options.shape);
+  std::map<std::string, int> tags;
+  for (const auto& [name, leaf] : fp1.leaves) tags[name] = leaf.tag;
+  const FloorplanResult fp = buildTree(&tags).optimize(options.shape);
+  result.floorplan = fp;
+  result.width = fp.width;
+  result.height = fp.height;
+
+  // --- Fold plans and junctions. ---
+  auto motifPlan = [&](const MotifLeaf& m) {
+    const device::MosGeometry& geo = design.geometry(m.group);
+    const FoldPlan plan =
+        device::planFoldsExact(t.rules, geo.w, tags.at(m.name), options.foldStyle);
+    result.foldPlans[m.group] = plan;
+    device::MosGeometry j = geo;
+    device::applyDiffusionGeometry(t.rules, plan, j);
+    result.junctions[m.group] = j;
+  };
+  motifPlan(kTail);
+  motifPlan(kSink2);
+  motifPlan(kDriver);
+
+  const StackSpec pair = pairSpec(design, options, tags.at("PAIR"));
+  const StackSpec mirror = mirrorSpec(design, options, tags.at("MIRROR"));
+  result.pairPlan = planStack(pair);
+  StackPlan mirrorPlan = planStack(mirror);
+  fillStackJunctions(t.rules, pair, result.pairPlan);
+  fillStackJunctions(t.rules, mirror, mirrorPlan);
+  result.junctions[TwoStageGroup::kInputPair] = result.pairPlan.metrics[0].junctions;
+  result.junctions[TwoStageGroup::kMirror] = mirrorPlan.metrics[0].junctions;
+  {
+    FoldPlan pp;
+    pp.nf = tags.at("PAIR");
+    pp.foldWidth = pair.unitWidth;
+    pp.totalWidth = pp.foldWidth * pp.nf;
+    pp.drainInternal = true;
+    result.foldPlans[TwoStageGroup::kInputPair] = pp;
+    FoldPlan mp = pp;
+    mp.nf = tags.at("MIRROR");
+    mp.foldWidth = mirror.unitWidth;
+    mp.totalWidth = mp.foldWidth * mp.nf;
+    result.foldPlans[TwoStageGroup::kMirror] = mp;
+  }
+
+  // --- Assemble. ---
+  Cell assembly;
+  assembly.name = "TWO_STAGE";
+  std::vector<Rect> pmosActives, nmosActives;
+  auto placeChild = [&](const Cell& child, const Rect& where,
+                        std::vector<Rect>* actives) {
+    const Rect box = child.bbox();
+    const Coord dx = where.x0 - box.x0, dy = where.y0 - box.y0;
+    assembly.place(child, geom::Orient::kR0, dx, dy);
+    if (actives) {
+      const Rect act = child.shapes.bbox(tech::Layer::kActive).translated(dx, dy);
+      if (!act.empty()) actives->push_back(act);
+    }
+  };
+  auto placeMotif = [&](const MotifLeaf& m) {
+    MosMotifSpec spec;
+    spec.name = m.name;
+    spec.type = m.type;
+    spec.plan = result.foldPlans[m.group];
+    spec.drawnL = design.geometry(m.group).l;
+    spec.terminalCurrent = twoStageGroupCurrent(design, m.group);
+    spec.drainNet = m.drain;
+    spec.gateNet = m.gate;
+    spec.sourceNet = m.source;
+    spec.bulkNet = m.bulk;
+    spec.emitWellAndSelect = false;
+    const Cell cell = generateMosMotif(t, spec);
+    placeChild(cell, fp.leaves.at(m.name).rect,
+               m.type == tech::MosType::kPmos ? &pmosActives : &nmosActives);
+  };
+  placeMotif(kTail);
+  placeMotif(kSink2);
+  placeMotif(kDriver);
+  placeChild(generateStack(t, pair), fp.leaves.at("PAIR").rect, &nmosActives);
+  placeChild(generateStack(t, mirror), fp.leaves.at("MIRROR").rect, &pmosActives);
+  placeChild(ccCell, fp.leaves.at("CC").rect, nullptr);
+  placeChild(rzCell, fp.leaves.at("RZ").rect, nullptr);
+
+  // Wells / selects per row (all PMOS here sit in a VDD well).
+  geom::ShapeList wellShapes;
+  {
+    Rect pAll, nAll;
+    bool haveP = false, haveN = false;
+    for (const Rect& r : pmosActives) {
+      pAll = haveP ? pAll.merged(r) : r;
+      haveP = true;
+    }
+    for (const Rect& r : nmosActives) {
+      nAll = haveN ? nAll.merged(r) : r;
+      haveN = true;
+    }
+    if (haveP) {
+      wellShapes.add(tech::Layer::kNWell, pAll.inflated(t.rules.nwellOverActive), "vdd");
+      wellShapes.add(tech::Layer::kPPlus, pAll.inflated(t.rules.selectOverActive));
+    }
+    if (haveN) {
+      wellShapes.add(tech::Layer::kNPlus, nAll.inflated(t.rules.selectOverActive));
+    }
+  }
+
+  // Routing channels around the three rows.
+  std::vector<Channel> channels;
+  {
+    auto band = [&](std::initializer_list<const char*> names) {
+      Coord lo = std::numeric_limits<Coord>::max(), hi = std::numeric_limits<Coord>::min();
+      for (const char* n : names) {
+        const Rect& r = fp.leaves.at(n).rect;
+        lo = std::min(lo, r.y0);
+        hi = std::max(hi, r.y1);
+      }
+      return std::make_pair(lo, hi);
+    };
+    const auto bot = band({"MN5", "PAIR", "MN7"});
+    const auto mid = band({"CC", "RZ"});
+    const auto top = band({"MIRROR", "MP6"});
+    const Coord inset = t.rules.metal1Spacing;
+    const Coord margin = 16000;
+    channels.push_back({bot.first - margin, bot.first - inset});
+    channels.push_back({bot.second + inset, mid.first - inset});
+    channels.push_back({mid.second + inset, top.first - inset});
+    channels.push_back({top.second + inset, top.second + margin});
+  }
+
+  const std::vector<NetRequest> nets = {
+      {"tail", design.tailCurrent}, {"d1", design.tailCurrent / 2},
+      {"o1", design.tailCurrent / 2}, {"out", design.stage2Current},
+      {"rzm", 0.0}, {"inp", 0.0}, {"inn", 0.0}, {"vbn", 0.0},
+      {"vdd", design.supplyCurrent()}, {"gnd", design.supplyCurrent()},
+  };
+  result.routing = routeCell(t, assembly, nets, channels, generateGeometry);
+  result.parasitics = buildReport(t, result.routing, wellShapes, {"vdd"});
+  // The passives' substrate parasitics join the report.
+  result.parasitics.nets["rzm"].routingCap += result.ccInfo.bottomParasitic;
+  result.parasitics.nets["o1"].routingCap += result.rzInfo.parasiticCap / 2.0;
+  result.parasitics.nets["rzm"].routingCap += result.rzInfo.parasiticCap / 2.0;
+
+  if (generateGeometry) {
+    assembly.shapes.merge(wellShapes, geom::Orient::kR0, 0, 0);
+    assembly.shapes.merge(result.routing.wires, geom::Orient::kR0, 0, 0);
+    result.cell = std::move(assembly);
+    const Rect box = result.cell.bbox();
+    result.width = box.width();
+    result.height = box.height();
+  }
+  return result;
+}
+
+}  // namespace lo::layout

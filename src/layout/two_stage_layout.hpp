@@ -1,0 +1,56 @@
+// Procedural layout program for the two-stage Miller OTA -- the second
+// "CAIRO program" in the library, demonstrating that new topologies plug
+// into the same parasitic-calculation / generation machinery.
+//
+// Floorplan:
+//   top row    : MP3-MP4 mirror stack (PMOS, shared VDD well) | MP6 motif
+//   middle row : CC plate capacitor | RZ poly serpentine
+//   bottom row : MN5 (tail) | MN1/MN2 common-centroid stack | MN7
+#pragma once
+
+#include <map>
+
+#include "circuit/two_stage.hpp"
+#include "device/folding.hpp"
+#include "layout/cell.hpp"
+#include "layout/extract.hpp"
+#include "layout/passives.hpp"
+#include "layout/router.hpp"
+#include "layout/slicing.hpp"
+#include "layout/stack.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::layout {
+
+struct TwoStageLayoutOptions {
+  device::FoldStyle foldStyle = device::FoldStyle::kDrainInternal;
+  int dummiesPerSide = 1;
+  ShapeConstraint shape = defaultShape();
+  int maxFoldCandidates = 6;
+
+  [[nodiscard]] static ShapeConstraint defaultShape() {
+    ShapeConstraint c;
+    c.aspectRatio = 1.0;
+    return c;
+  }
+};
+
+struct TwoStageLayoutResult {
+  std::map<circuit::TwoStageGroup, device::FoldPlan> foldPlans;
+  std::map<circuit::TwoStageGroup, device::MosGeometry> junctions;
+  ParasiticReport parasitics;
+  StackPlan pairPlan;
+  CapacitorInfo ccInfo;
+  ResistorInfo rzInfo;
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  FloorplanResult floorplan;
+  RoutingResult routing;
+  Cell cell;  ///< Geometry; empty in parasitic mode.
+};
+
+[[nodiscard]] TwoStageLayoutResult generateTwoStageLayout(
+    const tech::Technology& t, const circuit::TwoStageOtaDesign& design,
+    const TwoStageLayoutOptions& options, bool generateGeometry);
+
+}  // namespace lo::layout

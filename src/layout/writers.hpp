@@ -1,0 +1,36 @@
+// Layout output writers: SVG (for human inspection of Figs. 3 and 5) and
+// CIF (Caltech Intermediate Form, the classic machine-readable mask format).
+#pragma once
+
+#include <string>
+
+#include "geom/geometry.hpp"
+
+namespace lo::layout {
+
+/// Render shapes to an SVG document (y axis flipped so the layout reads
+/// bottom-up as drawn).  Layers get fixed colours and opacity; net-tagged
+/// shapes carry a <title> tooltip with the net name.
+[[nodiscard]] std::string toSvg(const geom::ShapeList& shapes, double scale = 0.02);
+
+/// Emit CIF: one layer command per used layer, boxes in centimicrons.
+[[nodiscard]] std::string toCif(const geom::ShapeList& shapes,
+                                const std::string& cellName = "TOP");
+
+/// Emit binary GDSII: one structure containing a BOUNDARY per rectangle,
+/// database unit 1 nm, user unit 1 um.  Layer numbers follow gdsLayerNumber().
+[[nodiscard]] std::string toGds(const geom::ShapeList& shapes,
+                                const std::string& cellName = "TOP");
+
+/// GDS layer number assigned to a symbolic layer.
+[[nodiscard]] int gdsLayerNumber(tech::Layer layer);
+
+/// Parse a GDSII stream produced by toGds() (rectangular BOUNDARY elements
+/// only); throws std::runtime_error on malformed input or non-rectangular
+/// boundaries.  Net tags are not stored in GDS and come back empty.
+[[nodiscard]] geom::ShapeList fromGds(const std::string& stream);
+
+/// Write a string to a file; throws std::runtime_error on failure.
+void writeFile(const std::string& path, const std::string& content);
+
+}  // namespace lo::layout

@@ -1,0 +1,92 @@
+// Dense linear algebra for the MNA engine.
+//
+// Circuit matrices here are tens of unknowns, so dense LU with partial
+// pivoting is both simpler and faster than a sparse package.  The template
+// is instantiated with double (DC, transient) and std::complex<double> (AC,
+// noise).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+namespace lo::sim {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, T{}) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) { return data_[r * n_ + c]; }
+  [[nodiscard]] const T& at(std::size_t r, std::size_t c) const { return data_[r * n_ + c]; }
+
+  void clear() { std::fill(data_.begin(), data_.end(), T{}); }
+
+  /// Additive stamp helper (ignores out-of-range index -1 used for ground).
+  void stamp(std::ptrdiff_t r, std::ptrdiff_t c, T value) {
+    if (r < 0 || c < 0) return;
+    data_[static_cast<std::size_t>(r) * n_ + static_cast<std::size_t>(c)] += value;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+[[nodiscard]] double magnitudeOf(const T& v) {
+  if constexpr (std::is_same_v<T, std::complex<double>>) {
+    return std::abs(v);
+  } else {
+    return std::abs(static_cast<double>(v));
+  }
+}
+
+/// Solve A x = b in place by LU with partial pivoting; returns false when
+/// the matrix is numerically singular.  A is destroyed; b becomes x.
+template <typename T>
+[[nodiscard]] bool luSolve(DenseMatrix<T>& a, std::vector<T>& b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("luSolve: dimension mismatch");
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = magnitudeOf(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = magnitudeOf(a.at(r, col));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const T diag = a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T factor = a.at(r, col) / diag;
+      if (factor == T{}) continue;
+      a.at(r, col) = T{};
+      for (std::size_t c = col + 1; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    T sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a.at(i, c) * b[c];
+    b[i] = sum / a.at(i, i);
+  }
+  return true;
+}
+
+}  // namespace lo::sim

@@ -1,0 +1,136 @@
+#include "sim/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lo::sim {
+
+AcCurve curveAt(const std::vector<AcPoint>& ac, circuit::NodeId node) {
+  AcCurve c;
+  c.freq.reserve(ac.size());
+  c.h.reserve(ac.size());
+  for (const AcPoint& p : ac) {
+    c.freq.push_back(p.freq);
+    c.h.push_back(p.at(node));
+  }
+  return c;
+}
+
+AcCurve curveDiff(const std::vector<AcPoint>& ac, circuit::NodeId p, circuit::NodeId n) {
+  AcCurve c;
+  c.freq.reserve(ac.size());
+  c.h.reserve(ac.size());
+  for (const AcPoint& pt : ac) {
+    c.freq.push_back(pt.freq);
+    c.h.push_back(pt.at(p) - pt.at(n));
+  }
+  return c;
+}
+
+double toDb(double magnitude) { return 20.0 * std::log10(std::max(magnitude, 1e-30)); }
+
+double dcGain(const AcCurve& curve) {
+  return curve.h.empty() ? 0.0 : std::abs(curve.h.front());
+}
+
+std::vector<double> unwrappedPhaseDeg(const AcCurve& curve) {
+  std::vector<double> out;
+  out.reserve(curve.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    double ph = std::arg(curve.h[i]) * 180.0 / M_PI;
+    if (i > 0) {
+      while (ph - prev > 180.0) ph -= 360.0;
+      while (ph - prev < -180.0) ph += 360.0;
+    }
+    out.push_back(ph);
+    prev = ph;
+  }
+  return out;
+}
+
+double unityGainFrequency(const AcCurve& curve) {
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    const double m0 = std::abs(curve.h[i]);
+    const double m1 = std::abs(curve.h[i + 1]);
+    if (m0 >= 1.0 && m1 < 1.0) {
+      // Log-log interpolation between the bracketing points.
+      const double l0 = std::log10(m0), l1 = std::log10(m1);
+      const double t = l0 / (l0 - l1);
+      return curve.freq[i] * std::pow(curve.freq[i + 1] / curve.freq[i], t);
+    }
+  }
+  return 0.0;
+}
+
+double phaseMarginDeg(const AcCurve& curve) {
+  const double fu = unityGainFrequency(curve);
+  if (fu <= 0.0) return 180.0;
+  const std::vector<double> phase = unwrappedPhaseDeg(curve);
+  // Normalise so that the low-frequency phase is 0 (inverting gains report
+  // margins relative to their own DC phase).
+  const double ref = phase.front();
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    if (curve.freq[i] <= fu && fu <= curve.freq[i + 1]) {
+      const double t = std::log(fu / curve.freq[i]) /
+                       std::log(curve.freq[i + 1] / curve.freq[i]);
+      const double ph = phase[i] + t * (phase[i + 1] - phase[i]) - ref;
+      return 180.0 + ph;
+    }
+  }
+  return 180.0;
+}
+
+double gainAt(const AcCurve& curve, double freq) {
+  if (curve.size() == 0) return 0.0;
+  if (freq <= curve.freq.front()) return std::abs(curve.h.front());
+  if (freq >= curve.freq.back()) return std::abs(curve.h.back());
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    if (curve.freq[i] <= freq && freq <= curve.freq[i + 1]) {
+      const double t = std::log(freq / curve.freq[i]) /
+                       std::log(curve.freq[i + 1] / curve.freq[i]);
+      const double m0 = std::abs(curve.h[i]), m1 = std::abs(curve.h[i + 1]);
+      return m0 * std::pow(m1 / std::max(m0, 1e-30), t);
+    }
+  }
+  return std::abs(curve.h.back());
+}
+
+std::string acToCsv(const std::vector<AcPoint>& ac, circuit::NodeId node) {
+  std::string out = "freq,mag,mag_db,phase_deg\n";
+  char line[128];
+  for (const AcPoint& p : ac) {
+    const std::complex<double> h = p.at(node);
+    std::snprintf(line, sizeof line, "%.6e,%.6e,%.3f,%.3f\n", p.freq, std::abs(h),
+                  toDb(std::abs(h)), std::arg(h) * 180.0 / M_PI);
+    out += line;
+  }
+  return out;
+}
+
+std::string tranToCsv(const std::vector<TranPoint>& tran, circuit::NodeId node) {
+  std::string out = "time,v\n";
+  char line[64];
+  for (const TranPoint& p : tran) {
+    std::snprintf(line, sizeof line, "%.6e,%.6e\n", p.time, p.nodeV[node]);
+    out += line;
+  }
+  return out;
+}
+
+SlewRates slewRates(const std::vector<TranPoint>& tran, circuit::NodeId node,
+                    double tStart, double tStop) {
+  SlewRates out;
+  for (std::size_t i = 0; i + 1 < tran.size(); ++i) {
+    const double t0 = tran[i].time, t1 = tran[i + 1].time;
+    if (t0 < tStart || t1 > tStop || t1 <= t0) continue;
+    const double dv = tran[i + 1].nodeV[node] - tran[i].nodeV[node];
+    const double slope = dv / (t1 - t0);
+    out.rising = std::max(out.rising, slope);
+    out.falling = std::max(out.falling, -slope);
+  }
+  return out;
+}
+
+}  // namespace lo::sim

@@ -1,0 +1,44 @@
+#include "sim/op_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lo::sim {
+
+std::string opReport(const circuit::Circuit& c, const DcSolution& sol) {
+  std::ostringstream os;
+  char line[256];
+
+  os << "--- node voltages ---\n";
+  for (int n = 1; n < c.nodeCount(); ++n) {
+    std::snprintf(line, sizeof line, "  %-10s %10.4f V\n", c.nodeName(n).c_str(),
+                  sol.voltage(n));
+    os << line;
+  }
+
+  os << "--- sources ---\n";
+  for (std::size_t i = 0; i < c.vsources.size(); ++i) {
+    std::snprintf(line, sizeof line, "  %-10s %10.4f V  %12.4f uA\n",
+                  c.vsources[i].name.c_str(), c.vsources[i].wave.dcValue(),
+                  sol.vsourceCurrents[i] * 1e6);
+    os << line;
+  }
+
+  os << "--- devices ---\n";
+  std::snprintf(line, sizeof line, "  %-8s %10s %10s %10s %10s %10s %6s %12s\n", "name",
+                "id [uA]", "vgs [V]", "vds [V]", "gm [uS]", "gds [uS]", "gm/id",
+                "region");
+  os << line;
+  for (std::size_t i = 0; i < c.mosfets.size(); ++i) {
+    const auto& m = c.mosfets[i];
+    const auto& op = sol.mosOps[i];
+    std::snprintf(line, sizeof line,
+                  "  %-8s %10.2f %10.3f %10.3f %10.2f %10.3f %6.1f %12s\n",
+                  m.name.c_str(), op.id * 1e6, op.vgs, op.vds, op.gm * 1e6, op.gds * 1e6,
+                  op.gmOverId(), device::regionName(op.region));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace lo::sim

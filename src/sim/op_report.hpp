@@ -1,0 +1,17 @@
+// Human-readable operating-point report, in the spirit of SPICE's .op
+// printout: per-device bias, region, small-signal parameters, plus node
+// voltages and source currents.  COMDIAC-style interactive exploration
+// (paper section 4) leans on exactly this view of a design.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace lo::sim {
+
+/// Format the DC solution of `circuit` as a fixed-width text table.
+[[nodiscard]] std::string opReport(const circuit::Circuit& circuit,
+                                   const DcSolution& solution);
+
+}  // namespace lo::sim

@@ -1,0 +1,604 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "sim/linear.hpp"
+#include "tech/units.hpp"
+
+namespace lo::sim {
+
+namespace {
+
+using circuit::NodeId;
+using Cplx = std::complex<double>;
+
+/// Scale an op point so it describes `mult` identical devices in parallel.
+device::MosOpPoint scaleByMult(device::MosOpPoint op, double mult) {
+  op.id *= mult;
+  op.gm *= mult;
+  op.gds *= mult;
+  op.gmb *= mult;
+  op.cgs *= mult;
+  op.cgd *= mult;
+  op.cgb *= mult;
+  op.cdb *= mult;
+  op.csb *= mult;
+  op.thermalNoisePsd *= mult;
+  op.flickerCoeff *= mult;
+  return op;
+}
+
+/// Log-spaced frequency grid, inclusive of both endpoints.
+std::vector<double> logGrid(double fStart, double fStop, int pointsPerDecade) {
+  if (fStart <= 0 || fStop <= fStart || pointsPerDecade < 1) {
+    throw std::invalid_argument("bad frequency grid");
+  }
+  std::vector<double> freqs;
+  const double decades = std::log10(fStop / fStart);
+  const int n = std::max(2, static_cast<int>(std::ceil(decades * pointsPerDecade)) + 1);
+  for (int i = 0; i < n; ++i) {
+    freqs.push_back(fStart * std::pow(10.0, decades * i / (n - 1)));
+  }
+  return freqs;
+}
+
+}  // namespace
+
+Simulator::Simulator(const circuit::Circuit& circuit, const tech::Technology& technology,
+                     const device::MosModel& model, SimOptions options)
+    : circuit_(circuit), tech_(technology), model_(model), options_(options) {}
+
+std::size_t Simulator::unknownCount() const {
+  return static_cast<std::size_t>(circuit_.nodeCount() - 1) + circuit_.vsources.size() +
+         circuit_.vcvs.size();
+}
+
+device::MosOpPoint Simulator::evalMos(const circuit::Mos& mos,
+                                      const std::vector<double>& x) const {
+  auto v = [&](NodeId n) { return n == circuit::kGround ? 0.0 : x[n - 1]; };
+  const double vd = v(mos.drain), vg = v(mos.gate), vs = v(mos.source), vb = v(mos.bulk);
+  if (mos.vtoDelta != 0.0 || mos.kpScale != 1.0) {
+    // Per-device mismatch knobs (Monte Carlo statistical verification).
+    tech::MosModelCard card = tech_.card(mos.type);
+    card.vto += mos.vtoDelta;
+    card.kp *= mos.kpScale;
+    const device::MosOpPoint op =
+        model_.evaluate(card, mos.geo, vg - vs, vd - vs, vb - vs, options_.tempK);
+    return scaleByMult(op, mos.mult);
+  }
+  const device::MosOpPoint op = model_.evaluate(tech_.card(mos.type), mos.geo, vg - vs,
+                                                vd - vs, vb - vs, options_.tempK);
+  return scaleByMult(op, mos.mult);
+}
+
+// ---------------------------------------------------------------------------
+// DC: Newton iteration with companion-model stamping.
+// ---------------------------------------------------------------------------
+
+bool Simulator::newtonSolve(std::vector<double>& x, double gmin, double srcScale,
+                            int maxIters, int* itersOut) const {
+  const std::size_t nUnknowns = unknownCount();
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  DenseMatrix<double> a(nUnknowns);
+  std::vector<double> rhs(nUnknowns);
+
+  auto idx = [](NodeId n) -> std::ptrdiff_t { return n - 1; };  // Ground maps to -1.
+  auto v = [&](NodeId n) { return n == circuit::kGround ? 0.0 : x[n - 1]; };
+
+  for (int iter = 0; iter < maxIters; ++iter) {
+    a.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    for (std::size_t i = 0; i < nNodes; ++i) a.stamp(i, i, gmin);
+
+    for (const circuit::Resistor& r : circuit_.resistors) {
+      const double g = 1.0 / r.ohms;
+      a.stamp(idx(r.a), idx(r.a), g);
+      a.stamp(idx(r.b), idx(r.b), g);
+      a.stamp(idx(r.a), idx(r.b), -g);
+      a.stamp(idx(r.b), idx(r.a), -g);
+    }
+
+    for (const circuit::ISource& s : circuit_.isources) {
+      const double i0 = srcScale * s.wave.dcValue();
+      if (idx(s.pos) >= 0) rhs[idx(s.pos)] -= i0;
+      if (idx(s.neg) >= 0) rhs[idx(s.neg)] += i0;
+    }
+
+    std::size_t branch = nNodes;
+    for (const circuit::VSource& s : circuit_.vsources) {
+      a.stamp(idx(s.pos), branch, 1.0);
+      a.stamp(idx(s.neg), branch, -1.0);
+      a.stamp(branch, idx(s.pos), 1.0);
+      a.stamp(branch, idx(s.neg), -1.0);
+      rhs[branch] = srcScale * s.wave.dcValue();
+      ++branch;
+    }
+    for (const circuit::Vcvs& e : circuit_.vcvs) {
+      a.stamp(idx(e.pos), branch, 1.0);
+      a.stamp(idx(e.neg), branch, -1.0);
+      a.stamp(branch, idx(e.pos), 1.0);
+      a.stamp(branch, idx(e.neg), -1.0);
+      a.stamp(branch, idx(e.cp), -e.gain);
+      a.stamp(branch, idx(e.cn), e.gain);
+      ++branch;
+    }
+
+    for (const circuit::Mos& m : circuit_.mosfets) {
+      const device::MosOpPoint op = evalMos(m, x);
+      const double vgs = v(m.gate) - v(m.source);
+      const double vds = v(m.drain) - v(m.source);
+      const double vbs = v(m.bulk) - v(m.source);
+      // Linearised drain current i_d = Ieq + gm vgs + gds vds + gmb vbs.
+      const double ieq = op.id - op.gm * vgs - op.gds * vds - op.gmb * vbs;
+      const auto d = idx(m.drain), g = idx(m.gate), s = idx(m.source), b = idx(m.bulk);
+      a.stamp(d, g, op.gm);
+      a.stamp(d, d, op.gds);
+      a.stamp(d, b, op.gmb);
+      a.stamp(d, s, -(op.gm + op.gds + op.gmb));
+      a.stamp(s, g, -op.gm);
+      a.stamp(s, d, -op.gds);
+      a.stamp(s, b, -op.gmb);
+      a.stamp(s, s, op.gm + op.gds + op.gmb);
+      if (d >= 0) rhs[d] -= ieq;
+      if (s >= 0) rhs[s] += ieq;
+    }
+
+    std::vector<double> xNew = rhs;
+    if (!luSolve(a, xNew)) return false;
+
+    double maxDelta = 0.0;
+    for (std::size_t i = 0; i < nUnknowns; ++i) {
+      double delta = xNew[i] - x[i];
+      const double limit = i < nNodes ? options_.maxStepV : 1e9;  // Damp voltages only.
+      delta = std::clamp(delta, -limit, limit);
+      x[i] += delta;
+      maxDelta = std::max(maxDelta, std::abs(delta) /
+                                        (options_.absTolV + options_.relTol * std::abs(x[i])));
+    }
+    if (itersOut) ++*itersOut;
+    if (maxDelta < 1.0 && iter > 0) return true;
+  }
+  return false;
+}
+
+DcSolution Simulator::finalizeSolution(const std::vector<double>& x, int iters) const {
+  DcSolution sol;
+  sol.converged = true;
+  sol.iterations = iters;
+  sol.nodeVoltages.assign(circuit_.nodeCount(), 0.0);
+  for (int n = 1; n < circuit_.nodeCount(); ++n) sol.nodeVoltages[n] = x[n - 1];
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  sol.vsourceCurrents.resize(circuit_.vsources.size());
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    sol.vsourceCurrents[i] = x[nNodes + i];
+  }
+  sol.mosOps.reserve(circuit_.mosfets.size());
+  for (const circuit::Mos& m : circuit_.mosfets) sol.mosOps.push_back(evalMos(m, x));
+  return sol;
+}
+
+DcSolution Simulator::dcOperatingPoint() const {
+  std::vector<double> x(unknownCount(), 0.0);
+  int iters = 0;
+
+  // Gmin stepping.
+  bool ok = true;
+  for (double gmin = 1e-2; gmin >= options_.gminFloor * 0.99; gmin /= 10.0) {
+    ok = newtonSolve(x, gmin, 1.0, options_.maxNewtonIters, &iters);
+    if (!ok) break;
+  }
+  if (!ok) {
+    // Source stepping fallback.
+    std::fill(x.begin(), x.end(), 0.0);
+    ok = true;
+    for (int step = 1; step <= 20 && ok; ++step) {
+      ok = newtonSolve(x, options_.gminFloor, step / 20.0, options_.maxNewtonIters, &iters);
+    }
+  }
+  if (!ok) throw SimulationError("DC operating point did not converge");
+  return finalizeSolution(x, iters);
+}
+
+std::vector<Simulator::SweepPoint> Simulator::dcSweep(const std::string& vsrcName,
+                                                      double start, double stop,
+                                                      int points) const {
+  if (points < 2) throw std::invalid_argument("dcSweep needs at least 2 points");
+  circuit::Circuit copy = circuit_;
+  circuit::VSource* src = copy.findVSource(vsrcName);
+  if (!src) throw SimulationError("dcSweep: no V source named " + vsrcName);
+
+  Simulator sub(copy, tech_, model_, options_);
+  std::vector<SweepPoint> out;
+  std::vector<double> x(sub.unknownCount(), 0.0);
+  bool seeded = false;
+  for (int i = 0; i < points; ++i) {
+    const double value = start + (stop - start) * i / (points - 1);
+    src->wave = circuit::Waveform::makeDc(value);
+    int iters = 0;
+    bool ok = false;
+    if (seeded) {
+      // Continuation from the previous sweep point.
+      ok = sub.newtonSolve(x, options_.gminFloor, 1.0, options_.maxNewtonIters, &iters);
+    }
+    if (!ok) {
+      DcSolution sol = sub.dcOperatingPoint();
+      out.push_back({value, std::move(sol)});
+      // Rebuild the raw unknown vector for continuation.
+      for (int n = 1; n < copy.nodeCount(); ++n) x[n - 1] = out.back().solution.nodeVoltages[n];
+      const std::size_t nNodes = static_cast<std::size_t>(copy.nodeCount() - 1);
+      for (std::size_t k = 0; k < copy.vsources.size(); ++k) {
+        x[nNodes + k] = out.back().solution.vsourceCurrents[k];
+      }
+      seeded = true;
+      continue;
+    }
+    out.push_back({value, sub.finalizeSolution(x, iters)});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AC.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Assemble the complex MNA matrix at angular frequency w about `op`.
+/// When `excite` is false all independent sources are zeroed (noise use).
+void assembleAc(const circuit::Circuit& ckt, const std::vector<device::MosOpPoint>& ops,
+                double w, double gmin, bool excite, DenseMatrix<Cplx>& a,
+                std::vector<Cplx>& rhs) {
+  const std::size_t nNodes = static_cast<std::size_t>(ckt.nodeCount() - 1);
+  a.clear();
+  std::fill(rhs.begin(), rhs.end(), Cplx{});
+  auto idx = [](NodeId n) -> std::ptrdiff_t { return n - 1; };
+
+  for (std::size_t i = 0; i < nNodes; ++i) a.stamp(i, i, Cplx{gmin, 0});
+
+  auto stampAdmittance = [&](NodeId p, NodeId q, Cplx y) {
+    a.stamp(idx(p), idx(p), y);
+    a.stamp(idx(q), idx(q), y);
+    a.stamp(idx(p), idx(q), -y);
+    a.stamp(idx(q), idx(p), -y);
+  };
+
+  for (const circuit::Resistor& r : ckt.resistors) {
+    stampAdmittance(r.a, r.b, Cplx{1.0 / r.ohms, 0});
+  }
+  for (const circuit::Capacitor& c : ckt.capacitors) {
+    stampAdmittance(c.a, c.b, Cplx{0, w * c.farads});
+  }
+
+  for (std::size_t i = 0; i < ckt.mosfets.size(); ++i) {
+    const circuit::Mos& m = ckt.mosfets[i];
+    const device::MosOpPoint& op = ops[i];
+    const auto d = idx(m.drain), g = idx(m.gate), s = idx(m.source), b = idx(m.bulk);
+    // Transconductances: current into drain controlled by vgs / vbs.
+    a.stamp(d, g, Cplx{op.gm, 0});
+    a.stamp(d, s, Cplx{-op.gm, 0});
+    a.stamp(s, g, Cplx{-op.gm, 0});
+    a.stamp(s, s, Cplx{op.gm, 0});
+    a.stamp(d, b, Cplx{op.gmb, 0});
+    a.stamp(d, s, Cplx{-op.gmb, 0});
+    a.stamp(s, b, Cplx{-op.gmb, 0});
+    a.stamp(s, s, Cplx{op.gmb, 0});
+    stampAdmittance(m.drain, m.source, Cplx{op.gds, 0});
+    // Capacitances.
+    stampAdmittance(m.gate, m.source, Cplx{0, w * op.cgs});
+    stampAdmittance(m.gate, m.drain, Cplx{0, w * op.cgd});
+    stampAdmittance(m.gate, m.bulk, Cplx{0, w * op.cgb});
+    stampAdmittance(m.drain, m.bulk, Cplx{0, w * op.cdb});
+    stampAdmittance(m.source, m.bulk, Cplx{0, w * op.csb});
+  }
+
+  std::size_t branch = nNodes;
+  for (const circuit::VSource& s : ckt.vsources) {
+    a.stamp(idx(s.pos), branch, Cplx{1, 0});
+    a.stamp(idx(s.neg), branch, Cplx{-1, 0});
+    a.stamp(branch, idx(s.pos), Cplx{1, 0});
+    a.stamp(branch, idx(s.neg), Cplx{-1, 0});
+    if (excite && s.acMag != 0.0) {
+      rhs[branch] = std::polar(s.acMag, s.acPhase * M_PI / 180.0);
+    }
+    ++branch;
+  }
+  for (const circuit::Vcvs& e : ckt.vcvs) {
+    a.stamp(idx(e.pos), branch, Cplx{1, 0});
+    a.stamp(idx(e.neg), branch, Cplx{-1, 0});
+    a.stamp(branch, idx(e.pos), Cplx{1, 0});
+    a.stamp(branch, idx(e.neg), Cplx{-1, 0});
+    a.stamp(branch, idx(e.cp), Cplx{-e.gain, 0});
+    a.stamp(branch, idx(e.cn), Cplx{e.gain, 0});
+    ++branch;
+  }
+  if (excite) {
+    for (const circuit::ISource& s : ckt.isources) {
+      if (s.acMag == 0.0) continue;
+      if (idx(s.pos) >= 0) rhs[idx(s.pos)] -= Cplx{s.acMag, 0};
+      if (idx(s.neg) >= 0) rhs[idx(s.neg)] += Cplx{s.acMag, 0};
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AcPoint> Simulator::ac(const DcSolution& op, double fStart, double fStop,
+                                   int pointsPerDecade) const {
+  const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  const std::size_t nUnknowns = unknownCount();
+  std::vector<AcPoint> out;
+  out.reserve(freqs.size());
+  DenseMatrix<Cplx> a(nUnknowns);
+  std::vector<Cplx> rhs(nUnknowns);
+  for (double f : freqs) {
+    assembleAc(circuit_, op.mosOps, 2.0 * M_PI * f, options_.gminFloor, true, a, rhs);
+    if (!luSolve(a, rhs)) throw SimulationError("AC solve failed at f=" + std::to_string(f));
+    AcPoint p;
+    p.freq = f;
+    p.nodeV.assign(circuit_.nodeCount(), Cplx{});
+    for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = rhs[n - 1];
+    const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+    p.vsourceI.resize(circuit_.vsources.size());
+    for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+      p.vsourceI[i] = rhs[nNodes + i];
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Noise (adjoint method).
+// ---------------------------------------------------------------------------
+
+std::vector<NoisePoint> Simulator::noise(const DcSolution& op, circuit::NodeId out,
+                                         const std::string& inputVsrc, double fStart,
+                                         double fStop, int pointsPerDecade) const {
+  std::size_t inputIndex = circuit_.vsources.size();
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    if (circuit_.vsources[i].name == inputVsrc) {
+      inputIndex = i;
+      break;
+    }
+  }
+  if (inputIndex == circuit_.vsources.size()) {
+    throw SimulationError("noise: no V source named " + inputVsrc);
+  }
+
+  const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  const std::size_t nUnknowns = unknownCount();
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  const double kT4 = 4.0 * kBoltzmann * options_.tempK;
+
+  std::vector<NoisePoint> result;
+  result.reserve(freqs.size());
+  DenseMatrix<Cplx> a(nUnknowns);
+  std::vector<Cplx> work(nUnknowns);
+
+  for (double f : freqs) {
+    const double w = 2.0 * M_PI * f;
+
+    // Forward gain: unit excitation on the designated input source only.
+    assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
+    work[nNodes + inputIndex] = Cplx{1.0, 0.0};
+    if (!luSolve(a, work)) throw SimulationError("noise: forward solve failed");
+    const Cplx gain = out == circuit::kGround ? Cplx{} : work[out - 1];
+
+    // Adjoint: solve Y^T z = e_out; |z_p - z_q|^2 is the squared transfer
+    // from a unit current injected between (p, q) to the output voltage.
+    assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
+    // Transpose in place.
+    for (std::size_t r = 0; r < nUnknowns; ++r) {
+      for (std::size_t c = r + 1; c < nUnknowns; ++c) std::swap(a.at(r, c), a.at(c, r));
+    }
+    std::fill(work.begin(), work.end(), Cplx{});
+    if (out != circuit::kGround) work[out - 1] = Cplx{1.0, 0.0};
+    if (!luSolve(a, work)) throw SimulationError("noise: adjoint solve failed");
+
+    auto z = [&](NodeId n) { return n == circuit::kGround ? Cplx{} : work[n - 1]; };
+    double psd = 0.0;
+    for (std::size_t i = 0; i < circuit_.mosfets.size(); ++i) {
+      const circuit::Mos& m = circuit_.mosfets[i];
+      const device::MosOpPoint& mos = op.mosOps[i];
+      const double s = mos.thermalNoisePsd + mos.flickerCoeff / f;
+      psd += s * std::norm(z(m.drain) - z(m.source));
+    }
+    for (const circuit::Resistor& r : circuit_.resistors) {
+      psd += kT4 / r.ohms * std::norm(z(r.a) - z(r.b));
+    }
+
+    NoisePoint p;
+    p.freq = f;
+    p.outputPsd = psd;
+    p.gainMag = std::abs(gain);
+    p.inputRefPsd = p.gainMag > 1e-30 ? psd / (p.gainMag * p.gainMag) : 0.0;
+    result.push_back(p);
+  }
+  return result;
+}
+
+double integratePsd(const std::vector<NoisePoint>& points, double f0, double f1,
+                    bool inputReferred) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const double fa = points[i].freq, fb = points[i + 1].freq;
+    if (fb <= f0 || fa >= f1) continue;
+    const double a = inputReferred ? points[i].inputRefPsd : points[i].outputPsd;
+    const double b = inputReferred ? points[i + 1].inputRefPsd : points[i + 1].outputPsd;
+    const double lo = std::max(fa, f0), hi = std::min(fb, f1);
+    total += 0.5 * (a + b) * (hi - lo);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Transient (fixed-step trapezoidal).
+// ---------------------------------------------------------------------------
+
+std::vector<TranPoint> Simulator::transient(double tStop, double dt) const {
+  if (tStop <= 0 || dt <= 0) throw std::invalid_argument("transient: bad time arguments");
+
+  // Capacitor branch bookkeeping: explicit caps first, then 5 per MOS.
+  struct CapBranch {
+    NodeId a = circuit::kGround, b = circuit::kGround;
+    double c = 0.0;
+    double iPrev = 0.0;
+  };
+  std::vector<CapBranch> caps;
+  for (const circuit::Capacitor& c : circuit_.capacitors) caps.push_back({c.a, c.b, c.farads, 0});
+  const std::size_t mosCapBase = caps.size();
+  for (const circuit::Mos& m : circuit_.mosfets) {
+    caps.push_back({m.gate, m.source, 0, 0});
+    caps.push_back({m.gate, m.drain, 0, 0});
+    caps.push_back({m.gate, m.bulk, 0, 0});
+    caps.push_back({m.drain, m.bulk, 0, 0});
+    caps.push_back({m.source, m.bulk, 0, 0});
+  }
+
+  const std::size_t nUnknowns = unknownCount();
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  auto idx = [](NodeId n) -> std::ptrdiff_t { return n - 1; };
+
+  // Start from the DC operating point (sources at their t=0 values; the
+  // Waveform DC value is the t=0 value for all supported kinds).
+  DcSolution op0 = dcOperatingPoint();
+  std::vector<double> x(nUnknowns, 0.0);
+  for (int n = 1; n < circuit_.nodeCount(); ++n) x[n - 1] = op0.nodeVoltages[n];
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    x[nNodes + i] = op0.vsourceCurrents[i];
+  }
+
+  std::vector<TranPoint> out;
+  auto record = [&](double t) {
+    TranPoint p;
+    p.time = t;
+    p.nodeV.assign(circuit_.nodeCount(), 0.0);
+    for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = x[n - 1];
+    out.push_back(std::move(p));
+  };
+  record(0.0);
+
+  DenseMatrix<double> a(nUnknowns);
+  std::vector<double> rhs(nUnknowns);
+  auto vOf = [&](const std::vector<double>& vec, NodeId n) {
+    return n == circuit::kGround ? 0.0 : vec[n - 1];
+  };
+
+  const int steps = static_cast<int>(std::ceil(tStop / dt));
+  for (int step = 1; step <= steps; ++step) {
+    const double t = std::min(step * dt, tStop);
+    // Update MOS capacitance values at the start-of-step bias.
+    for (std::size_t i = 0; i < circuit_.mosfets.size(); ++i) {
+      const device::MosOpPoint op = evalMos(circuit_.mosfets[i], x);
+      caps[mosCapBase + 5 * i + 0].c = op.cgs;
+      caps[mosCapBase + 5 * i + 1].c = op.cgd;
+      caps[mosCapBase + 5 * i + 2].c = op.cgb;
+      caps[mosCapBase + 5 * i + 3].c = op.cdb;
+      caps[mosCapBase + 5 * i + 4].c = op.csb;
+    }
+    const std::vector<double> xPrev = x;
+
+    bool converged = false;
+    for (int iter = 0; iter < options_.maxNewtonIters; ++iter) {
+      a.clear();
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      for (std::size_t i = 0; i < nNodes; ++i) a.stamp(i, i, options_.gminFloor);
+
+      for (const circuit::Resistor& r : circuit_.resistors) {
+        const double g = 1.0 / r.ohms;
+        a.stamp(idx(r.a), idx(r.a), g);
+        a.stamp(idx(r.b), idx(r.b), g);
+        a.stamp(idx(r.a), idx(r.b), -g);
+        a.stamp(idx(r.b), idx(r.a), -g);
+      }
+      for (const circuit::ISource& s : circuit_.isources) {
+        const double i0 = s.wave.at(t);
+        if (idx(s.pos) >= 0) rhs[idx(s.pos)] -= i0;
+        if (idx(s.neg) >= 0) rhs[idx(s.neg)] += i0;
+      }
+      std::size_t branch = nNodes;
+      for (const circuit::VSource& s : circuit_.vsources) {
+        a.stamp(idx(s.pos), branch, 1.0);
+        a.stamp(idx(s.neg), branch, -1.0);
+        a.stamp(branch, idx(s.pos), 1.0);
+        a.stamp(branch, idx(s.neg), -1.0);
+        rhs[branch] = s.wave.at(t);
+        ++branch;
+      }
+      for (const circuit::Vcvs& e : circuit_.vcvs) {
+        a.stamp(idx(e.pos), branch, 1.0);
+        a.stamp(idx(e.neg), branch, -1.0);
+        a.stamp(branch, idx(e.pos), 1.0);
+        a.stamp(branch, idx(e.neg), -1.0);
+        a.stamp(branch, idx(e.cp), -e.gain);
+        a.stamp(branch, idx(e.cn), e.gain);
+        ++branch;
+      }
+      for (const circuit::Mos& m : circuit_.mosfets) {
+        const device::MosOpPoint op = evalMos(m, x);
+        const double vgs = vOf(x, m.gate) - vOf(x, m.source);
+        const double vds = vOf(x, m.drain) - vOf(x, m.source);
+        const double vbs = vOf(x, m.bulk) - vOf(x, m.source);
+        const double ieq = op.id - op.gm * vgs - op.gds * vds - op.gmb * vbs;
+        const auto d = idx(m.drain), g = idx(m.gate), s = idx(m.source), b = idx(m.bulk);
+        a.stamp(d, g, op.gm);
+        a.stamp(d, d, op.gds);
+        a.stamp(d, b, op.gmb);
+        a.stamp(d, s, -(op.gm + op.gds + op.gmb));
+        a.stamp(s, g, -op.gm);
+        a.stamp(s, d, -op.gds);
+        a.stamp(s, b, -op.gmb);
+        a.stamp(s, s, op.gm + op.gds + op.gmb);
+        if (d >= 0) rhs[d] -= ieq;
+        if (s >= 0) rhs[s] += ieq;
+      }
+      // Trapezoidal capacitor companions.
+      for (const CapBranch& cb : caps) {
+        if (cb.c <= 0) continue;
+        const double geq = 2.0 * cb.c / dt;
+        const double vPrev = vOf(xPrev, cb.a) - vOf(xPrev, cb.b);
+        const double ieq = geq * vPrev + cb.iPrev;
+        a.stamp(idx(cb.a), idx(cb.a), geq);
+        a.stamp(idx(cb.b), idx(cb.b), geq);
+        a.stamp(idx(cb.a), idx(cb.b), -geq);
+        a.stamp(idx(cb.b), idx(cb.a), -geq);
+        if (idx(cb.a) >= 0) rhs[idx(cb.a)] += ieq;
+        if (idx(cb.b) >= 0) rhs[idx(cb.b)] -= ieq;
+      }
+
+      std::vector<double> xNew = rhs;
+      if (!luSolve(a, xNew)) throw SimulationError("transient: singular matrix");
+      double maxDelta = 0.0;
+      for (std::size_t i = 0; i < nUnknowns; ++i) {
+        double delta = xNew[i] - x[i];
+        const double limit = i < nNodes ? options_.maxStepV : 1e9;
+        delta = std::clamp(delta, -limit, limit);
+        x[i] += delta;
+        maxDelta = std::max(maxDelta, std::abs(delta) / (options_.absTolV +
+                                                         options_.relTol * std::abs(x[i])));
+      }
+      if (maxDelta < 1.0 && iter > 0) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw SimulationError("transient: Newton failed at t=" + std::to_string(t));
+    }
+    // Commit capacitor branch currents for the next step.
+    for (CapBranch& cb : caps) {
+      if (cb.c <= 0) continue;
+      const double geq = 2.0 * cb.c / dt;
+      const double vPrev = vOf(xPrev, cb.a) - vOf(xPrev, cb.b);
+      const double vNow = vOf(x, cb.a) - vOf(x, cb.b);
+      cb.iPrev = geq * (vNow - vPrev) - cb.iPrev;
+    }
+    record(t);
+  }
+  return out;
+}
+
+}  // namespace lo::sim

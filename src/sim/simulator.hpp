@@ -1,0 +1,121 @@
+// lospice: the MNA circuit simulator.
+//
+// Stands in for the commercial simulator the paper verifies with.  Supports
+// DC operating point (Newton with gmin and source stepping), DC sweeps, AC
+// small-signal analysis, small-signal noise analysis (adjoint method) and
+// transient analysis (trapezoidal).  MOS devices are evaluated through the
+// exact same device::MosModel code the sizing tool uses.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "device/mos_model.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::sim {
+
+struct SimOptions {
+  double gminFloor = 1e-12;   ///< Final gmin left on every node [S].
+  double absTolV = 1e-9;      ///< Newton voltage-update tolerance [V].
+  double relTol = 1e-6;
+  int maxNewtonIters = 150;
+  double maxStepV = 0.3;      ///< Per-iteration voltage damping limit [V].
+  double tempK = 300.15;
+};
+
+/// DC operating point: node voltages, source branch currents, and the full
+/// per-device small-signal picture.  Mos op entries are scaled by the device
+/// multiplier (they describe the whole parallel combination).
+struct DcSolution {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> nodeVoltages;              ///< Indexed by NodeId.
+  std::vector<double> vsourceCurrents;           ///< Per circuit.vsources entry.
+  std::vector<device::MosOpPoint> mosOps;        ///< Per circuit.mosfets entry.
+
+  [[nodiscard]] double voltage(circuit::NodeId n) const { return nodeVoltages.at(n); }
+};
+
+struct AcPoint {
+  double freq = 0.0;
+  std::vector<std::complex<double>> nodeV;   ///< Indexed by NodeId; [0] is 0.
+  std::vector<std::complex<double>> vsourceI;  ///< Branch current per V source.
+
+  [[nodiscard]] std::complex<double> at(circuit::NodeId n) const { return nodeV.at(n); }
+};
+
+struct NoisePoint {
+  double freq = 0.0;
+  double outputPsd = 0.0;    ///< Output noise voltage PSD [V^2/Hz].
+  double inputRefPsd = 0.0;  ///< Input-referred PSD [V^2/Hz].
+  double gainMag = 0.0;      ///< |vout / vin| used for input referral.
+};
+
+struct TranPoint {
+  double time = 0.0;
+  std::vector<double> nodeV;  ///< Indexed by NodeId.
+};
+
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Simulator {
+ public:
+  /// The circuit, technology and model must outlive the simulator.
+  Simulator(const circuit::Circuit& circuit, const tech::Technology& technology,
+            const device::MosModel& model, SimOptions options = {});
+
+  /// DC operating point with gmin stepping and, on failure, source stepping.
+  /// Throws SimulationError when no continuation converges.
+  [[nodiscard]] DcSolution dcOperatingPoint() const;
+
+  /// Sweep the DC value of V source `vsrcName` and solve at each point
+  /// (continuation from the previous point).
+  struct SweepPoint {
+    double value = 0.0;
+    DcSolution solution;
+  };
+  [[nodiscard]] std::vector<SweepPoint> dcSweep(const std::string& vsrcName, double start,
+                                                double stop, int points) const;
+
+  /// AC analysis about `op` over a log frequency grid.
+  [[nodiscard]] std::vector<AcPoint> ac(const DcSolution& op, double fStart, double fStop,
+                                        int pointsPerDecade) const;
+
+  /// Small-signal noise at node `out`, input-referred to V source
+  /// `inputVsrc` (adjoint network method: one extra solve per frequency).
+  [[nodiscard]] std::vector<NoisePoint> noise(const DcSolution& op, circuit::NodeId out,
+                                              const std::string& inputVsrc, double fStart,
+                                              double fStop, int pointsPerDecade) const;
+
+  /// Fixed-step trapezoidal transient from the DC operating point.
+  [[nodiscard]] std::vector<TranPoint> transient(double tStop, double dt) const;
+
+  [[nodiscard]] const SimOptions& options() const { return options_; }
+
+ private:
+  struct Workspace;
+  [[nodiscard]] bool newtonSolve(std::vector<double>& x, double gmin, double srcScale,
+                                 int maxIters, int* itersOut) const;
+  [[nodiscard]] DcSolution finalizeSolution(const std::vector<double>& x, int iters) const;
+  [[nodiscard]] device::MosOpPoint evalMos(const circuit::Mos& mos,
+                                           const std::vector<double>& x) const;
+  [[nodiscard]] std::size_t unknownCount() const;
+
+  const circuit::Circuit& circuit_;
+  const tech::Technology& tech_;
+  const device::MosModel& model_;
+  SimOptions options_;
+};
+
+/// Trapezoidal integration of a tabulated PSD over [f0, f1] on the log grid
+/// the analysis produced; returns total mean-square value [V^2].
+[[nodiscard]] double integratePsd(const std::vector<NoisePoint>& points, double f0,
+                                  double f1, bool inputReferred);
+
+}  // namespace lo::sim

@@ -1,0 +1,60 @@
+// COMDIAC-style knowledge-based sizing of the folded-cascode OTA.
+//
+// Follows the paper's design plan (section 4): the operating point (gate
+// drive and length) of every matched group is fixed up front; currents are
+// estimated from the GBW target; widths follow by model inversion; the plan
+// then iterates until the phase margin is met (raising the folded-branch
+// current, then the gate drives) and re-estimates currents until the GBW
+// capacitance budget converges.  The parasitics included in the budget are
+// dictated by the SizingPolicy (Table 1 cases 1-4).
+#pragma once
+
+#include "circuit/ota.hpp"
+#include "device/mos_model.hpp"
+#include "sizing/ota_evaluator.hpp"
+#include "sizing/ota_spec.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::sizing {
+
+struct SizingResult {
+  circuit::FoldedCascodeOtaDesign design;
+  OtaPerformance predicted;
+  OperatingChoices finalChoices;  ///< Gate drives after the PM adjustments.
+  int gbwIterations = 0;
+  int pmIterations = 0;
+  bool converged = false;
+};
+
+/// Size the transistor-level bias generator for a finished OTA design: the
+/// vbn/vp1 diodes are the sink/tail devices scaled to the reference current
+/// (exact mirror tracking), and the cascode-bias diodes are sized so their
+/// VGS reproduces the designed vc1 / (vdd - vc3) levels.
+[[nodiscard]] circuit::OtaBiasDesign designOtaBias(
+    const tech::Technology& t, const device::MosModel& model,
+    const circuit::FoldedCascodeOtaDesign& design);
+
+class OtaSizer {
+ public:
+  OtaSizer(const tech::Technology& t, const device::MosModel& model)
+      : tech_(t), model_(model), evaluator_(t, model) {}
+
+  [[nodiscard]] SizingResult size(const OtaSpecs& specs, const SizingPolicy& policy,
+                                  OperatingChoices choices = {}) const;
+
+ private:
+  /// Rebuild the whole design for the current choices / currents.
+  void buildDesign(const OtaSpecs& specs, const SizingPolicy& policy,
+                   const OperatingChoices& choices, double gm1, double cascodeRatio,
+                   circuit::FoldedCascodeOtaDesign& d) const;
+
+  /// Apply the policy's junction-geometry knowledge to one device.
+  void applyJunctionPolicy(const SizingPolicy& policy, circuit::OtaGroup group,
+                           device::MosGeometry& geo) const;
+
+  const tech::Technology& tech_;
+  const device::MosModel& model_;
+  OtaEvaluator evaluator_;
+};
+
+}  // namespace lo::sizing

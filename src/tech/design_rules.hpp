@@ -1,0 +1,79 @@
+// Geometric design rules for the symbolic layout generators.
+//
+// All distances are drawn nanometres.  The rule set is deliberately flat (a
+// plain struct) rather than a generic rule deck: the procedural generators
+// reference rules by name, which keeps them readable and fast, and a new
+// technology only has to fill in this struct (paper, section 3,
+// "Technology independence").
+#pragma once
+
+#include <cstdint>
+
+namespace lo::tech {
+
+using Nm = std::int64_t;  ///< Drawn distance in nanometres.
+
+struct DesignRules {
+  Nm grid = 50;  ///< Layout grid; all shape edges snap to multiples of this.
+
+  // --- Transistor core rules. ---
+  Nm polyMinWidth = 600;        ///< Minimum drawn gate length.
+  Nm polySpacing = 800;         ///< Poly-to-poly spacing (gate pitch driver).
+  Nm polyEndcap = 600;          ///< Gate poly extension beyond active.
+  Nm activeMinWidth = 800;      ///< Minimum drawn transistor width.
+  Nm activeSpacing = 1200;      ///< Active-to-active spacing.
+  Nm activeToWell = 1200;       ///< P-active to N-well edge (outside well).
+
+  // --- Contacts and vias. ---
+  Nm contactSize = 600;         ///< Square contact cut edge.
+  Nm contactSpacing = 600;      ///< Cut-to-cut spacing.
+  Nm contactToGate = 600;       ///< Contact cut to gate poly spacing.
+  Nm activeOverContact = 100;   ///< Active enclosure of contact cut (kept tight
+                                ///< so a minimum-width finger can be contacted).
+  Nm polyOverContact = 300;     ///< Poly enclosure of contact cut.
+  Nm metal1OverContact = 200;   ///< Metal1 enclosure of contact cut.
+  Nm via1Size = 600;
+  Nm via1Spacing = 600;
+  Nm metal1OverVia1 = 200;
+  Nm metal2OverVia1 = 300;
+
+  // --- Routing layers. ---
+  Nm metal1MinWidth = 800;
+  Nm metal1Spacing = 800;
+  Nm metal2MinWidth = 900;
+  Nm metal2Spacing = 900;
+
+  // --- Wells and selects. ---
+  Nm nwellOverActive = 1200;    ///< N-well enclosure of P-active.
+  Nm nwellSpacing = 2400;
+  Nm selectOverActive = 400;    ///< N+/P+ implant enclosure of active.
+
+  /// Snap a distance up to the next grid multiple.
+  [[nodiscard]] Nm snapUp(Nm value) const {
+    const Nm rem = value % grid;
+    return rem == 0 ? value : value + (grid - rem);
+  }
+
+  /// Snap a distance down to the previous grid multiple.
+  [[nodiscard]] Nm snapDown(Nm value) const { return value - value % grid; }
+
+  /// Snap to the nearest grid multiple (ties round up).
+  [[nodiscard]] Nm snapNearest(Nm value) const {
+    const Nm down = snapDown(value);
+    return (value - down) * 2 >= grid ? down + grid : down;
+  }
+
+  /// Width of a source/drain diffusion strip that carries a contact row:
+  /// gate spacing + cut + enclosure on the outer edge.
+  [[nodiscard]] Nm contactedDiffusionExtent() const {
+    return contactToGate + contactSize + activeOverContact;
+  }
+
+  /// Width of a diffusion strip shared between two gates with a contact row
+  /// in the middle (internal diffusion of a folded transistor).
+  [[nodiscard]] Nm sharedContactedDiffusionExtent() const {
+    return 2 * contactToGate + contactSize;
+  }
+};
+
+}  // namespace lo::tech

@@ -1,0 +1,75 @@
+// MOS transistor model cards.
+//
+// A single card parameterises both supported device models (Level 1 and the
+// EKV-style all-region model in src/device).  The sizing tool and the
+// simulator consume the same card through the same model code, which is the
+// accuracy argument of the paper (section 4: "Accuracy with respect to
+// simulation is greatly improved by using the same transistor models").
+#pragma once
+
+#include <string>
+
+namespace lo::tech {
+
+enum class MosType { kNmos, kPmos };
+
+struct MosModelCard {
+  std::string name = "nmos";
+  MosType type = MosType::kNmos;
+
+  // --- Threshold and transconductance. ---
+  double vto = 0.75;        ///< Zero-bias threshold voltage [V] (magnitude).
+  double kp = 110e-6;       ///< Transconductance parameter u0*Cox [A/V^2].
+  double gamma = 0.55;      ///< Body-effect coefficient [sqrt(V)].
+  double phi = 0.7;         ///< Surface potential [V].
+  double earlyPerMeter = 8e6;  ///< Early voltage per channel length [V/m];
+                               ///< VA = earlyPerMeter * Leff.
+  double tox = 14e-9;       ///< Gate oxide thickness [m].
+  double ld = 50e-9;        ///< Lateral diffusion [m]; Leff = L - 2*ld.
+  double theta = 0.15;      ///< Mobility degradation with gate drive [1/V].
+
+  // --- Junction (diffusion) capacitances. ---
+  double cj = 0.44e-3;      ///< Zero-bias area junction cap [F/m^2].
+  double cjsw = 0.25e-9;    ///< Zero-bias sidewall junction cap [F/m].
+  double mj = 0.5;          ///< Area grading coefficient.
+  double mjsw = 0.33;       ///< Sidewall grading coefficient.
+  double pb = 0.9;          ///< Junction built-in potential [V].
+
+  // --- Overlap capacitances. ---
+  double cgso = 0.12e-9;    ///< Gate-source overlap cap per width [F/m].
+  double cgdo = 0.12e-9;    ///< Gate-drain overlap cap per width [F/m].
+  double cgbo = 0.10e-9;    ///< Gate-bulk overlap cap per length [F/m].
+
+  // --- Noise. ---
+  double kf = 2.0e-27;      ///< Flicker noise coefficient (SPICE KF).
+  double af = 1.0;          ///< Flicker noise exponent (SPICE AF).
+
+  // --- EKV extras. ---
+  double slopeFactor = 1.3;  ///< Subthreshold slope factor n.
+
+  // --- Temperature behaviour (applied about tempRef). ---
+  double tempRef = 300.15;          ///< Reference temperature [K].
+  double vtoTempCoeff = -1.5e-3;    ///< d|VTO|/dT [V/K] (magnitude shrinks).
+  double mobilityExponent = -1.5;   ///< kp(T) = kp (T/tempRef)^exponent.
+
+  /// Threshold magnitude at temperature T [V].
+  [[nodiscard]] double vtoAt(double tempK) const {
+    return vto + vtoTempCoeff * (tempK - tempRef);
+  }
+  /// Transconductance parameter at temperature T [A/V^2].
+  [[nodiscard]] double kpAt(double tempK) const;
+
+  /// Gate oxide capacitance per area [F/m^2].
+  [[nodiscard]] double cox() const;
+
+  /// Effective channel length for a drawn length [m].
+  [[nodiscard]] double leff(double drawnL) const {
+    const double l = drawnL - 2.0 * ld;
+    return l > 1e-9 ? l : 1e-9;
+  }
+
+  /// Sign of the drain current flow: +1 for NMOS, -1 for PMOS.
+  [[nodiscard]] double polarity() const { return type == MosType::kNmos ? 1.0 : -1.0; }
+};
+
+}  // namespace lo::tech

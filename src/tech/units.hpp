@@ -1,0 +1,51 @@
+// Physical constants and unit helpers shared by every library in the project.
+//
+// Conventions:
+//   * Electrical quantities are SI (volts, amps, farads, ohms, hertz, meters).
+//   * Layout geometry is integer nanometres (see geom::Coord); the helpers
+//     here convert between drawn nanometres and SI metres.
+#pragma once
+
+#include <cstdint>
+
+namespace lo {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElectronCharge = 1.602176634e-19;
+/// Permittivity of free space [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsrSiO2 = 3.9;
+/// Default analysis temperature [K] (27 C, SPICE default).
+inline constexpr double kRoomTemperature = 300.15;
+
+/// Thermal voltage kT/q at temperature `tempK` [V].
+[[nodiscard]] constexpr double thermalVoltage(double tempK = kRoomTemperature) {
+  return kBoltzmann * tempK / kElectronCharge;
+}
+
+// --- Unit multipliers (value * kMicro reads as "value in micro-units"). ---
+inline constexpr double kTera = 1e12;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kAtto = 1e-18;
+
+/// Convert drawn nanometres (layout grid units) to metres.
+[[nodiscard]] constexpr double nmToMeters(std::int64_t nm) {
+  return static_cast<double>(nm) * 1e-9;
+}
+
+/// Convert metres to drawn nanometres, truncating toward zero.
+[[nodiscard]] constexpr std::int64_t metersToNm(double m) {
+  return static_cast<std::int64_t>(m * 1e9);
+}
+
+}  // namespace lo

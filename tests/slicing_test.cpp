@@ -1,0 +1,137 @@
+#include "layout/slicing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lo::layout {
+namespace {
+
+using geom::Coord;
+
+/// Five alternatives trading width for height at constant area `side^2`.
+std::vector<ShapeOption> squareish(Coord side) {
+  std::vector<ShapeOption> opts;
+  int tag = 0;
+  for (Coord w : {side / 4, side / 2, side, side * 2, side * 4}) {
+    opts.push_back({w, (side * side) / w, tag++});
+  }
+  return opts;
+}
+
+TEST(Slicing, LeafPicksOptionClosestToAspect) {
+  SlicingTree tree(SlicingNode::leaf("a", squareish(1000)));
+  ShapeConstraint c;
+  c.aspectRatio = 1.0;
+  const FloorplanResult r = tree.optimize(c);
+  EXPECT_EQ(r.leaves.at("a").tag, 2);  // The square option.
+  EXPECT_EQ(r.width, 1000);
+  EXPECT_EQ(r.height, 1000);
+}
+
+TEST(Slicing, WideConstraintPicksWideOption) {
+  SlicingTree tree(SlicingNode::leaf("a", squareish(1000)));
+  ShapeConstraint c;
+  c.aspectRatio = 4.0;
+  const FloorplanResult r = tree.optimize(c);
+  EXPECT_GT(r.width, r.height);
+}
+
+TEST(Slicing, RowAddsWidthsTakesMaxHeight) {
+  std::vector<std::unique_ptr<SlicingNode>> kids;
+  kids.push_back(SlicingNode::leaf("a", {{100, 200, 0}}));
+  kids.push_back(SlicingNode::leaf("b", {{300, 150, 0}}));
+  SlicingTree tree(SlicingNode::row(std::move(kids), 50));
+  const FloorplanResult r = tree.optimize({});
+  EXPECT_EQ(r.width, 100 + 300 + 50);
+  EXPECT_EQ(r.height, 200);
+  // b is centred vertically: (200-150)/2 = 25.
+  EXPECT_EQ(r.leaves.at("b").rect.y0, 25);
+  EXPECT_EQ(r.leaves.at("a").rect.x0, 0);
+  EXPECT_EQ(r.leaves.at("b").rect.x0, 150);
+}
+
+TEST(Slicing, ColumnAddsHeightsTakesMaxWidth) {
+  std::vector<std::unique_ptr<SlicingNode>> kids;
+  kids.push_back(SlicingNode::leaf("a", {{100, 200, 0}}));
+  kids.push_back(SlicingNode::leaf("b", {{300, 150, 0}}));
+  SlicingTree tree(SlicingNode::column(std::move(kids), 40));
+  const FloorplanResult r = tree.optimize({});
+  EXPECT_EQ(r.width, 300);
+  EXPECT_EQ(r.height, 390);
+  EXPECT_EQ(r.leaves.at("a").rect.y0, 0);
+  EXPECT_EQ(r.leaves.at("b").rect.y0, 240);
+  EXPECT_EQ(r.leaves.at("a").rect.x0, 100);  // Centred in 300.
+}
+
+TEST(Slicing, ChoosesFoldCombinationMeetingAspect) {
+  // Two leaves with flexible shapes; a square constraint forces mixed picks.
+  std::vector<std::unique_ptr<SlicingNode>> kids;
+  kids.push_back(SlicingNode::leaf("a", squareish(2000)));
+  kids.push_back(SlicingNode::leaf("b", squareish(2000)));
+  SlicingTree tree(SlicingNode::row(std::move(kids), 0));
+  ShapeConstraint c;
+  c.aspectRatio = 1.0;
+  const FloorplanResult r = tree.optimize(c);
+  // Pareto pruning keeps only area-optimal points; the closest achievable
+  // aspect with these leaves is 2:1 (or 1:2).
+  const double ratio = static_cast<double>(r.width) / r.height;
+  EXPECT_LT(std::abs(std::log(ratio)), std::log(2.05));
+}
+
+TEST(Slicing, MaxWidthCapRespectedWhenFeasible) {
+  SlicingTree tree(SlicingNode::leaf("a", squareish(1000)));
+  ShapeConstraint c;
+  c.maxWidth = 600;
+  const FloorplanResult r = tree.optimize(c);
+  EXPECT_LE(r.width, 600);
+}
+
+TEST(Slicing, InfeasibleCapPicksClosest) {
+  SlicingTree tree(SlicingNode::leaf("a", {{1000, 1000, 0}, {2000, 500, 1}}));
+  ShapeConstraint c;
+  c.maxWidth = 100;  // Nothing fits.
+  const FloorplanResult r = tree.optimize(c);
+  EXPECT_EQ(r.leaves.at("a").tag, 0);  // Least violation.
+}
+
+TEST(Slicing, MinAreaWinsAmongFeasible) {
+  SlicingTree tree(
+      SlicingNode::leaf("a", {{1000, 1000, 0}, {900, 1050, 1}, {1000, 1200, 2}}));
+  const FloorplanResult r = tree.optimize({});
+  EXPECT_EQ(r.leaves.at("a").tag, 1);  // 945k < 1M < 1.2M.
+}
+
+TEST(Slicing, DeepTreePlacesEveryLeafDisjointly) {
+  std::vector<std::unique_ptr<SlicingNode>> row1, row2, cols;
+  for (int i = 0; i < 4; ++i) {
+    row1.push_back(SlicingNode::leaf("r1_" + std::to_string(i), squareish(500 + 100 * i)));
+    row2.push_back(SlicingNode::leaf("r2_" + std::to_string(i), squareish(800 - 100 * i)));
+  }
+  cols.push_back(SlicingNode::row(std::move(row1), 20));
+  cols.push_back(SlicingNode::row(std::move(row2), 20));
+  SlicingTree tree(SlicingNode::column(std::move(cols), 30));
+  ShapeConstraint c;
+  c.aspectRatio = 1.0;
+  const FloorplanResult r = tree.optimize(c);
+  ASSERT_EQ(r.leaves.size(), 8u);
+  // No two leaf rects overlap.
+  std::vector<geom::Rect> rects;
+  for (const auto& [name, leaf] : r.leaves) rects.push_back(leaf.rect);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_FALSE(rects[i].overlaps(rects[j])) << i << " vs " << j;
+    }
+  }
+  // All inside the reported outline.
+  const geom::Rect outline(0, 0, r.width, r.height);
+  for (const geom::Rect& rect : rects) EXPECT_TRUE(outline.containsRect(rect));
+}
+
+TEST(Slicing, EmptyLeafThrows) {
+  EXPECT_THROW((void)SlicingNode::leaf("x", {}), std::invalid_argument);
+  EXPECT_THROW((void)SlicingNode::row({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lo::layout

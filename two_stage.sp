@@ -1,0 +1,31 @@
+* extracted two-stage Miller OTA
+MN1 d1 inn tail 0 nmos W=12.2u L=1u NF=2 AD=10.98p AS=16.47p PD=3.6u PS=5.4u M=1
+MN2 o1 inp tail 0 nmos W=12.2u L=1u NF=2 AD=10.98p AS=16.47p PD=3.6u PS=5.4u M=1
+MP3 d1 d1 vdd vdd pmos W=16.5u L=1.5u NF=2 AD=14.85p AS=22.275p PD=3.6u PS=5.4u M=1
+MP4 o1 d1 vdd vdd pmos W=16.5u L=1.5u NF=2 AD=14.85p AS=22.275p PD=3.6u PS=5.4u M=1
+MN5 tail vbn 0 0 nmos W=83.8u L=2u NF=4 AD=75.42p AS=92.18p PD=7.2u PS=50.7u M=1
+MP6 out o1 vdd vdd pmos W=176.4u L=800n NF=12 AD=158.76p AS=170.52p PD=21.6u PS=52.6u M=1
+MN7 out vbn 0 0 nmos W=468.6u L=1u NF=12 AD=421.74p AS=452.98p PD=21.6u PS=101.3u M=1
+RZ o1 rzm 489.583
+CC rzm out 900f
+CL out 0 3p
+CPAR_d1 d1 0 34.9703f
+CCPL_d1_o1 d1 o1 9.04137f
+CCPL_d1_out d1 out 1.57392f
+CCPL_d1_tail d1 tail 1.77882f
+CCPL_d1_vbn d1 vbn 1.31673f
+CPAR_o1 o1 0 52.6961f
+CCPL_o1_out o1 out 7.61364f
+CCPL_o1_rzm o1 rzm 1.3685f
+CCPL_o1_vbn o1 vbn 2.22545f
+CPAR_out out 0 111.406f
+CCPL_out_rzm out rzm 1.94109f
+CCPL_out_tail out tail 1.07409f
+CCPL_out_vbn out vbn 5.53031e-16
+CPAR_rzm rzm 0 198.5f
+CPAR_tail tail 0 45.6551f
+CCPL_tail_vbn tail vbn 6.85313e-16
+CPAR_vbn vbn 0 10.09f
+VDD vdd 0 DC 3.3
+VBN vbn 0 DC 870.581m
+.end

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shape_constraint.dir/ablation_shape_constraint.cpp.o"
+  "CMakeFiles/ablation_shape_constraint.dir/ablation_shape_constraint.cpp.o.d"
+  "ablation_shape_constraint"
+  "ablation_shape_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shape_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_corners.dir/ext_corners.cpp.o"
+  "CMakeFiles/ext_corners.dir/ext_corners.cpp.o.d"
+  "ext_corners"
+  "ext_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

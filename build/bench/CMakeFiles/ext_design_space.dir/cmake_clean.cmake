@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_design_space.dir/ext_design_space.cpp.o"
+  "CMakeFiles/ext_design_space.dir/ext_design_space.cpp.o.d"
+  "ext_design_space"
+  "ext_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_two_stage.dir/ext_two_stage.cpp.o"
+  "CMakeFiles/ext_two_stage.dir/ext_two_stage.cpp.o.d"
+  "ext_two_stage"
+  "ext_two_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_two_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fold_factor.dir/fig2_fold_factor.cpp.o"
+  "CMakeFiles/fig2_fold_factor.dir/fig2_fold_factor.cpp.o.d"
+  "fig2_fold_factor"
+  "fig2_fold_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fold_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

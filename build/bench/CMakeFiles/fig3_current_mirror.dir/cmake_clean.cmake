@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_current_mirror.dir/fig3_current_mirror.cpp.o"
+  "CMakeFiles/fig3_current_mirror.dir/fig3_current_mirror.cpp.o.d"
+  "fig3_current_mirror"
+  "fig3_current_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_current_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

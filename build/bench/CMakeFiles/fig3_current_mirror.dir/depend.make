@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_current_mirror.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sizing_cases.dir/table1_sizing_cases.cpp.o"
+  "CMakeFiles/table1_sizing_cases.dir/table1_sizing_cases.cpp.o.d"
+  "table1_sizing_cases"
+  "table1_sizing_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sizing_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

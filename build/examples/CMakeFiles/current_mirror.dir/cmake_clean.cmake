@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/current_mirror.dir/current_mirror.cpp.o"
+  "CMakeFiles/current_mirror.dir/current_mirror.cpp.o.d"
+  "current_mirror"
+  "current_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/current_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

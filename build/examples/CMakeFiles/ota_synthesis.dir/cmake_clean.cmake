@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_synthesis.dir/ota_synthesis.cpp.o"
+  "CMakeFiles/ota_synthesis.dir/ota_synthesis.cpp.o.d"
+  "ota_synthesis"
+  "ota_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_filter.dir/sc_filter.cpp.o"
+  "CMakeFiles/sc_filter.dir/sc_filter.cpp.o.d"
+  "sc_filter"
+  "sc_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

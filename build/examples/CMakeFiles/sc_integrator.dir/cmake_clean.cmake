@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_integrator.dir/sc_integrator.cpp.o"
+  "CMakeFiles/sc_integrator.dir/sc_integrator.cpp.o.d"
+  "sc_integrator"
+  "sc_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_eval.dir/tech_eval.cpp.o"
+  "CMakeFiles/tech_eval.dir/tech_eval.cpp.o.d"
+  "tech_eval"
+  "tech_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

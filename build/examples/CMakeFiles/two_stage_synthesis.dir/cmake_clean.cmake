@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stage_synthesis.dir/two_stage_synthesis.cpp.o"
+  "CMakeFiles/two_stage_synthesis.dir/two_stage_synthesis.cpp.o.d"
+  "two_stage_synthesis"
+  "two_stage_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stage_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/lo_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/lo_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/ota.cpp" "src/circuit/CMakeFiles/lo_circuit.dir/ota.cpp.o" "gcc" "src/circuit/CMakeFiles/lo_circuit.dir/ota.cpp.o.d"
+  "/root/repo/src/circuit/spice_io.cpp" "src/circuit/CMakeFiles/lo_circuit.dir/spice_io.cpp.o" "gcc" "src/circuit/CMakeFiles/lo_circuit.dir/spice_io.cpp.o.d"
+  "/root/repo/src/circuit/two_stage.cpp" "src/circuit/CMakeFiles/lo_circuit.dir/two_stage.cpp.o" "gcc" "src/circuit/CMakeFiles/lo_circuit.dir/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/lo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lo_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

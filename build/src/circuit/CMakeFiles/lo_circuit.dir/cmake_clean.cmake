@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/lo_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/lo_circuit.dir/ota.cpp.o"
+  "CMakeFiles/lo_circuit.dir/ota.cpp.o.d"
+  "CMakeFiles/lo_circuit.dir/spice_io.cpp.o"
+  "CMakeFiles/lo_circuit.dir/spice_io.cpp.o.d"
+  "CMakeFiles/lo_circuit.dir/two_stage.cpp.o"
+  "CMakeFiles/lo_circuit.dir/two_stage.cpp.o.d"
+  "liblo_circuit.a"
+  "liblo_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

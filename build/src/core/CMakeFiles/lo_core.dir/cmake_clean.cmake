@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_core.dir/flow.cpp.o"
+  "CMakeFiles/lo_core.dir/flow.cpp.o.d"
+  "CMakeFiles/lo_core.dir/two_stage_flow.cpp.o"
+  "CMakeFiles/lo_core.dir/two_stage_flow.cpp.o.d"
+  "liblo_core.a"
+  "liblo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

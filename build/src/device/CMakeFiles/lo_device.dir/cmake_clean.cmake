@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_device.dir/folding.cpp.o"
+  "CMakeFiles/lo_device.dir/folding.cpp.o.d"
+  "CMakeFiles/lo_device.dir/inversion.cpp.o"
+  "CMakeFiles/lo_device.dir/inversion.cpp.o.d"
+  "CMakeFiles/lo_device.dir/mos_model.cpp.o"
+  "CMakeFiles/lo_device.dir/mos_model.cpp.o.d"
+  "liblo_device.a"
+  "liblo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

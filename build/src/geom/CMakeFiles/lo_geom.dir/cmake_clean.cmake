@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_geom.dir/geometry.cpp.o"
+  "CMakeFiles/lo_geom.dir/geometry.cpp.o.d"
+  "liblo_geom.a"
+  "liblo_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/lo_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/extract.cpp" "src/layout/CMakeFiles/lo_layout.dir/extract.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/extract.cpp.o.d"
+  "/root/repo/src/layout/mos_motif.cpp" "src/layout/CMakeFiles/lo_layout.dir/mos_motif.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/mos_motif.cpp.o.d"
+  "/root/repo/src/layout/ota_layout.cpp" "src/layout/CMakeFiles/lo_layout.dir/ota_layout.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/ota_layout.cpp.o.d"
+  "/root/repo/src/layout/passives.cpp" "src/layout/CMakeFiles/lo_layout.dir/passives.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/passives.cpp.o.d"
+  "/root/repo/src/layout/router.cpp" "src/layout/CMakeFiles/lo_layout.dir/router.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/router.cpp.o.d"
+  "/root/repo/src/layout/slicing.cpp" "src/layout/CMakeFiles/lo_layout.dir/slicing.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/slicing.cpp.o.d"
+  "/root/repo/src/layout/stack.cpp" "src/layout/CMakeFiles/lo_layout.dir/stack.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/stack.cpp.o.d"
+  "/root/repo/src/layout/two_stage_layout.cpp" "src/layout/CMakeFiles/lo_layout.dir/two_stage_layout.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/two_stage_layout.cpp.o.d"
+  "/root/repo/src/layout/writers.cpp" "src/layout/CMakeFiles/lo_layout.dir/writers.cpp.o" "gcc" "src/layout/CMakeFiles/lo_layout.dir/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/lo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/lo_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

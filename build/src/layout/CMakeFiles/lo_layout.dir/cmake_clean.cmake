@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_layout.dir/drc.cpp.o"
+  "CMakeFiles/lo_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/extract.cpp.o"
+  "CMakeFiles/lo_layout.dir/extract.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/mos_motif.cpp.o"
+  "CMakeFiles/lo_layout.dir/mos_motif.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/ota_layout.cpp.o"
+  "CMakeFiles/lo_layout.dir/ota_layout.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/passives.cpp.o"
+  "CMakeFiles/lo_layout.dir/passives.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/router.cpp.o"
+  "CMakeFiles/lo_layout.dir/router.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/slicing.cpp.o"
+  "CMakeFiles/lo_layout.dir/slicing.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/stack.cpp.o"
+  "CMakeFiles/lo_layout.dir/stack.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/two_stage_layout.cpp.o"
+  "CMakeFiles/lo_layout.dir/two_stage_layout.cpp.o.d"
+  "CMakeFiles/lo_layout.dir/writers.cpp.o"
+  "CMakeFiles/lo_layout.dir/writers.cpp.o.d"
+  "liblo_layout.a"
+  "liblo_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

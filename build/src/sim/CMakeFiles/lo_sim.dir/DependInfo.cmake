@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/measure.cpp" "src/sim/CMakeFiles/lo_sim.dir/measure.cpp.o" "gcc" "src/sim/CMakeFiles/lo_sim.dir/measure.cpp.o.d"
+  "/root/repo/src/sim/op_report.cpp" "src/sim/CMakeFiles/lo_sim.dir/op_report.cpp.o" "gcc" "src/sim/CMakeFiles/lo_sim.dir/op_report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/lo_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/lo_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/lo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/lo_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_sim.dir/measure.cpp.o"
+  "CMakeFiles/lo_sim.dir/measure.cpp.o.d"
+  "CMakeFiles/lo_sim.dir/op_report.cpp.o"
+  "CMakeFiles/lo_sim.dir/op_report.cpp.o.d"
+  "CMakeFiles/lo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lo_sim.dir/simulator.cpp.o.d"
+  "liblo_sim.a"
+  "liblo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

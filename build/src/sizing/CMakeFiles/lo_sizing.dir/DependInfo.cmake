@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sizing/montecarlo.cpp" "src/sizing/CMakeFiles/lo_sizing.dir/montecarlo.cpp.o" "gcc" "src/sizing/CMakeFiles/lo_sizing.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/sizing/ota_evaluator.cpp" "src/sizing/CMakeFiles/lo_sizing.dir/ota_evaluator.cpp.o" "gcc" "src/sizing/CMakeFiles/lo_sizing.dir/ota_evaluator.cpp.o.d"
+  "/root/repo/src/sizing/ota_sizer.cpp" "src/sizing/CMakeFiles/lo_sizing.dir/ota_sizer.cpp.o" "gcc" "src/sizing/CMakeFiles/lo_sizing.dir/ota_sizer.cpp.o.d"
+  "/root/repo/src/sizing/two_stage.cpp" "src/sizing/CMakeFiles/lo_sizing.dir/two_stage.cpp.o" "gcc" "src/sizing/CMakeFiles/lo_sizing.dir/two_stage.cpp.o.d"
+  "/root/repo/src/sizing/verify.cpp" "src/sizing/CMakeFiles/lo_sizing.dir/verify.cpp.o" "gcc" "src/sizing/CMakeFiles/lo_sizing.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/lo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/lo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/lo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lo_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

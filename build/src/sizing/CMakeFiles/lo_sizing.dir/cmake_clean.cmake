@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_sizing.dir/montecarlo.cpp.o"
+  "CMakeFiles/lo_sizing.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/lo_sizing.dir/ota_evaluator.cpp.o"
+  "CMakeFiles/lo_sizing.dir/ota_evaluator.cpp.o.d"
+  "CMakeFiles/lo_sizing.dir/ota_sizer.cpp.o"
+  "CMakeFiles/lo_sizing.dir/ota_sizer.cpp.o.d"
+  "CMakeFiles/lo_sizing.dir/two_stage.cpp.o"
+  "CMakeFiles/lo_sizing.dir/two_stage.cpp.o.d"
+  "CMakeFiles/lo_sizing.dir/verify.cpp.o"
+  "CMakeFiles/lo_sizing.dir/verify.cpp.o.d"
+  "liblo_sizing.a"
+  "liblo_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_tech.dir/technology.cpp.o"
+  "CMakeFiles/lo_tech.dir/technology.cpp.o.d"
+  "liblo_tech.a"
+  "liblo_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drc_writers.dir/drc_writers_test.cpp.o"
+  "CMakeFiles/test_drc_writers.dir/drc_writers_test.cpp.o.d"
+  "test_drc_writers"
+  "test_drc_writers.pdb"
+  "test_drc_writers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drc_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_drc_writers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motif.dir/motif_test.cpp.o"
+  "CMakeFiles/test_motif.dir/motif_test.cpp.o.d"
+  "test_motif"
+  "test_motif.pdb"
+  "test_motif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

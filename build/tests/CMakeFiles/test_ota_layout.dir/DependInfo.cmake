@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ota_layout_test.cpp" "tests/CMakeFiles/test_ota_layout.dir/ota_layout_test.cpp.o" "gcc" "tests/CMakeFiles/test_ota_layout.dir/ota_layout_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/lo_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/lo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/lo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/lo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/lo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/lo_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

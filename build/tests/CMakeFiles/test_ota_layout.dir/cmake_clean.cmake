@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ota_layout.dir/ota_layout_test.cpp.o"
+  "CMakeFiles/test_ota_layout.dir/ota_layout_test.cpp.o.d"
+  "test_ota_layout"
+  "test_ota_layout.pdb"
+  "test_ota_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ota_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_extract.dir/router_extract_test.cpp.o"
+  "CMakeFiles/test_router_extract.dir/router_extract_test.cpp.o.d"
+  "test_router_extract"
+  "test_router_extract.pdb"
+  "test_router_extract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

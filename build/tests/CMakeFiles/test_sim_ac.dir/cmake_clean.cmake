@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_ac.dir/sim_ac_test.cpp.o"
+  "CMakeFiles/test_sim_ac.dir/sim_ac_test.cpp.o.d"
+  "test_sim_ac"
+  "test_sim_ac.pdb"
+  "test_sim_ac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dc.dir/sim_dc_test.cpp.o"
+  "CMakeFiles/test_sim_dc.dir/sim_dc_test.cpp.o.d"
+  "test_sim_dc"
+  "test_sim_dc.pdb"
+  "test_sim_dc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

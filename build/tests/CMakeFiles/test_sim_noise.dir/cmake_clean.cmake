@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_noise.dir/sim_noise_test.cpp.o"
+  "CMakeFiles/test_sim_noise.dir/sim_noise_test.cpp.o.d"
+  "test_sim_noise"
+  "test_sim_noise.pdb"
+  "test_sim_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tran.dir/sim_tran_test.cpp.o"
+  "CMakeFiles/test_sim_tran.dir/sim_tran_test.cpp.o.d"
+  "test_sim_tran"
+  "test_sim_tran.pdb"
+  "test_sim_tran[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

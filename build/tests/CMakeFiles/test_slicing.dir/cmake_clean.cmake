@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slicing.dir/slicing_test.cpp.o"
+  "CMakeFiles/test_slicing.dir/slicing_test.cpp.o.d"
+  "test_slicing"
+  "test_slicing.pdb"
+  "test_slicing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_io.dir/spice_io_test.cpp.o"
+  "CMakeFiles/test_spice_io.dir/spice_io_test.cpp.o.d"
+  "test_spice_io"
+  "test_spice_io.pdb"
+  "test_spice_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_folding[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_ac[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_tran[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
+include("/root/repo/build/tests/test_motif[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_slicing[1]_include.cmake")
+include("/root/repo/build/tests/test_router_extract[1]_include.cmake")
+include("/root/repo/build/tests/test_drc_writers[1]_include.cmake")
+include("/root/repo/build/tests/test_ota_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_sizing[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_two_stage[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")

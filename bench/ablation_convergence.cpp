@@ -3,12 +3,13 @@
 //
 // Traces the per-iteration parasitic capacitances of the sizing <-> layout
 // loop for cases 3 and 4, sweeps the convergence tolerance, and benchmarks
-// the whole flow (paper: < 2 minutes per case on their machine).
+// the whole engine (paper: < 2 minutes per case on their machine).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "sizing/ota_sizer.hpp"
 
 namespace {
 
@@ -21,44 +22,47 @@ void printConvergence() {
 
   std::printf("\n=== Parasitic convergence of the sizing <-> layout loop ===\n");
   for (SizingCase c : {SizingCase::kCase3, SizingCase::kCase4}) {
-    FlowOptions opt;
+    EngineOptions opt;
     opt.sizingCase = c;
-    SynthesisFlow flow(t, opt);
-    const FlowResult r = flow.run(specs);
+    const SynthesisEngine engine(t, opt);
+    const EngineResult r = engine.run(specs);
     std::printf("\n%s: %d layout calls, converged=%s\n", sizingCaseName(c),
                 r.layoutCalls, r.parasiticConverged ? "yes" : "no");
-    std::printf("%6s %12s %12s %12s %12s %12s\n", "call", "C(x1) fF", "C(out) fF",
-                "C(tail) fF", "Itail uA", "Wpair um");
-    for (const FlowIteration& it : r.iterations) {
-      std::printf("%6d %12.2f %12.2f %12.2f %12.1f %12.1f\n", it.layoutCall,
-                  it.capX1 * 1e15, it.capOut * 1e15, it.capTail * 1e15,
-                  it.tailCurrent * 1e6, it.pairWidth * 1e6);
+    std::printf("%6s", "call");
+    for (const std::string& net : r.criticalNets) {
+      std::printf(" %9s fF", ("C(" + net + ")").c_str());
+    }
+    std::printf(" %12s %12s\n", "Itail uA", "Wpair um");
+    for (const EngineIteration& it : r.iterations) {
+      std::printf("%6d", it.layoutCall);
+      for (double cap : it.netCaps) std::printf(" %12.2f", cap * 1e15);
+      std::printf(" %12.1f %12.1f\n", it.primaryCurrent * 1e6, it.pairWidth * 1e6);
     }
   }
 
   std::printf("\ntolerance sweep (case 4):\n%10s %14s %12s\n", "tol", "layout calls",
               "GBW meas MHz");
   for (double tol : {0.10, 0.05, 0.02, 0.01, 0.005}) {
-    FlowOptions opt;
+    EngineOptions opt;
     opt.sizingCase = SizingCase::kCase4;
     opt.convergenceTol = tol;
-    SynthesisFlow flow(t, opt);
-    const FlowResult r = flow.run(specs);
+    const SynthesisEngine engine(t, opt);
+    const EngineResult r = engine.run(specs);
     std::printf("%10.3f %14d %12.2f\n", tol, r.layoutCalls, r.measured.gbwHz / 1e6);
   }
 }
 
-void BM_FullFlowCase4(benchmark::State& state) {
+void BM_FullEngineCase4(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
-  FlowOptions opt;
+  EngineOptions opt;
   opt.sizingCase = SizingCase::kCase4;
-  SynthesisFlow flow(t, opt);
+  const SynthesisEngine engine(t, opt);
   for (auto _ : state) {
-    const FlowResult r = flow.run(sizing::OtaSpecs{});
+    const EngineResult r = engine.run(sizing::OtaSpecs{});
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_FullFlowCase4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullEngineCase4)->Unit(benchmark::kMillisecond);
 
 void BM_SizingPassOnly(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();

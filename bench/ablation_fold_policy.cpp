@@ -10,7 +10,8 @@
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
 #include "sizing/verify.hpp"
 
 namespace {
@@ -24,10 +25,12 @@ void printAblation() {
 
   // A design sized without any layout knowledge, so neither layout style is
   // "expected" by the sizing.
-  FlowOptions base;
+  EngineOptions base;
   base.sizingCase = SizingCase::kCase1;
-  SynthesisFlow flow(t, base);
-  const FlowResult ref = flow.run(specs);
+  const SynthesisEngine refEngine(t, base);
+  FoldedCascodeOtaTopology refTopo(t, refEngine.model());
+  (void)refEngine.run(refTopo, specs);
+  const circuit::FoldedCascodeOtaDesign& refDesign = refTopo.sizingResult().design;
 
   layout::OtaLayoutOptions internal;
   layout::OtaLayoutOptions alternating;
@@ -35,8 +38,8 @@ void printAblation() {
 
   std::printf("\n=== Fold-policy ablation: internal drains vs alternating ===\n");
   std::printf("\nper-group drain junction (same sized design, both styles):\n");
-  const auto layInt = layout::generateOtaLayout(t, ref.sizing.design, internal, false);
-  const auto layAlt = layout::generateOtaLayout(t, ref.sizing.design, alternating, false);
+  const auto layInt = layout::generateOtaLayout(t, refDesign, internal, false);
+  const auto layAlt = layout::generateOtaLayout(t, refDesign, alternating, false);
   std::printf("%-12s %6s %12s %6s %12s %9s\n", "group", "nf(i)", "AD(i) um^2", "nf(a)",
               "AD(a) um^2", "AD ratio");
   for (const auto& [g, ji] : layInt.junctions) {
@@ -48,8 +51,8 @@ void printAblation() {
   // Uncompensated: verify the same electrical design against both layouts.
   const auto model = device::MosModel::create("ekv");
   sizing::OtaVerifier verifier(t, *model);
-  const auto di = sizing::applyExtractedGeometry(ref.sizing.design, layInt.junctions);
-  const auto da = sizing::applyExtractedGeometry(ref.sizing.design, layAlt.junctions);
+  const auto di = sizing::applyExtractedGeometry(refDesign, layInt.junctions);
+  const auto da = sizing::applyExtractedGeometry(refDesign, layAlt.junctions);
   const auto pi = verifier.verify(di, &layInt.parasitics);
   const auto pa = verifier.verify(da, &layAlt.parasitics);
   std::printf("\nuncompensated extracted performance (same design, two styles):\n");
@@ -64,12 +67,13 @@ void printAblation() {
               (pi.gbwHz - pa.gbwHz) / 1e6, pi.phaseMarginDeg - pa.phaseMarginDeg);
 
   // Compensated: the full methodology with either style still meets spec.
-  FlowOptions c4i;
-  c4i.sizingCase = SizingCase::kCase4;
-  FlowOptions c4a = c4i;
-  c4a.layoutOptions = alternating;
-  const FlowResult ri = SynthesisFlow(t, c4i).run(specs);
-  const FlowResult ra = SynthesisFlow(t, c4a).run(specs);
+  EngineOptions c4;
+  c4.sizingCase = SizingCase::kCase4;
+  const SynthesisEngine engine(t, c4);
+  FoldedCascodeOtaTopology ti(t, engine.model(), internal);
+  FoldedCascodeOtaTopology ta(t, engine.model(), alternating);
+  const EngineResult ri = engine.run(ti, specs);
+  const EngineResult ra = engine.run(ta, specs);
   std::printf("\ncompensated (full case-4 flow): GBW internal %.2f MHz, alternating "
               "%.2f MHz, power %.2f vs %.2f mW\n",
               ri.measured.gbwHz / 1e6, ra.measured.gbwHz / 1e6, ri.measured.powerMw,
@@ -78,14 +82,15 @@ void printAblation() {
 
 void BM_LayoutParasiticMode(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
-  FlowOptions base;
+  EngineOptions base;
   base.sizingCase = SizingCase::kCase1;
-  SynthesisFlow flow(t, base);
-  const FlowResult ref = flow.run(sizing::OtaSpecs{});
+  const SynthesisEngine engine(t, base);
+  FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
   layout::OtaLayoutOptions opt;
   if (state.range(0)) opt.foldStyle = device::FoldStyle::kAlternating;
   for (auto _ : state) {
-    const auto lay = layout::generateOtaLayout(t, ref.sizing.design, opt, false);
+    const auto lay = layout::generateOtaLayout(t, topo.sizingResult().design, opt, false);
     benchmark::DoNotOptimize(lay);
   }
 }

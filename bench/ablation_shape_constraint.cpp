@@ -11,7 +11,8 @@
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
 
 namespace {
 
@@ -20,10 +21,12 @@ using namespace lo::core;
 
 void printSweep() {
   const tech::Technology t = tech::Technology::generic060();
-  FlowOptions base;
+  EngineOptions base;
   base.sizingCase = SizingCase::kCase1;  // One fixed design for the sweep.
-  SynthesisFlow flow(t, base);
-  const FlowResult ref = flow.run(sizing::OtaSpecs{});
+  const SynthesisEngine engine(t, base);
+  FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
+  const circuit::FoldedCascodeOtaDesign& refDesign = topo.sizingResult().design;
 
   std::printf("\n=== Shape constraint sweep (fixed design) ===\n");
   std::printf("%8s %10s %10s %8s %10s %8s %8s %10s\n", "aspect", "W um", "H um",
@@ -32,7 +35,7 @@ void printSweep() {
     layout::OtaLayoutOptions opt;
     opt.shape = layout::ShapeConstraint{};
     opt.shape.aspectRatio = aspect;
-    const auto lay = layout::generateOtaLayout(t, ref.sizing.design, opt, false);
+    const auto lay = layout::generateOtaLayout(t, refDesign, opt, false);
     std::printf("%8.2f %10.1f %10.1f %8.2f %10.4f %8d %8d %10.2f\n", aspect,
                 lay.width / 1e3, lay.height / 1e3,
                 static_cast<double>(lay.width) / lay.height,
@@ -48,7 +51,7 @@ void printSweep() {
     layout::OtaLayoutOptions opt;
     opt.shape = layout::ShapeConstraint{};
     opt.shape.maxHeight = static_cast<geom::Coord>(capUm * 1000);
-    const auto lay = layout::generateOtaLayout(t, ref.sizing.design, opt, false);
+    const auto lay = layout::generateOtaLayout(t, refDesign, opt, false);
     std::printf("%10.0f %10.1f %10.1f %10.4f\n", capUm, lay.width / 1e3,
                 lay.height / 1e3, lay.width / 1e6 * (lay.height / 1e6));
   }
@@ -56,15 +59,16 @@ void printSweep() {
 
 void BM_FloorplanOnly(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
-  FlowOptions base;
-  SynthesisFlow flow(t, base);
-  const FlowResult ref = flow.run(sizing::OtaSpecs{});
+  const SynthesisEngine engine(t, EngineOptions{});
+  FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
+  const circuit::FoldedCascodeOtaDesign& refDesign = topo.sizingResult().design;
   layout::OtaLayoutOptions opt;
   opt.shape = layout::ShapeConstraint{};
   opt.shape.aspectRatio = 1.0;
   opt.maxFoldCandidates = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    const auto lay = layout::generateOtaLayout(t, ref.sizing.design, opt, false);
+    const auto lay = layout::generateOtaLayout(t, refDesign, opt, false);
     benchmark::DoNotOptimize(lay);
   }
 }

@@ -6,7 +6,8 @@
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
 #include "sizing/montecarlo.hpp"
 #include "sizing/ota_sizer.hpp"
 
@@ -16,10 +17,12 @@ using namespace lo;
 
 void printCorners() {
   const tech::Technology t = tech::Technology::generic060();
-  core::FlowOptions opt;
-  core::SynthesisFlow flow(t, opt);
-  const core::FlowResult r = flow.run(sizing::OtaSpecs{});
-  const auto bias = sizing::designOtaBias(t, flow.model(), r.extractedDesign);
+  const core::SynthesisEngine engine(t, core::EngineOptions{});
+  core::FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
+  const auto& extracted = topo.extractedDesign();
+  const auto& parasitics = topo.layout().parasitics;
+  const auto bias = sizing::designOtaBias(t, engine.model(), extracted);
 
   std::printf("\n=== Corner analysis of the case-4 OTA ===\n");
   std::printf("%-4s | %28s | %28s\n", "", "fixed ideal biases", "bias generator");
@@ -30,14 +33,14 @@ void printCorners() {
         tech::ProcessCorner::kFast, tech::ProcessCorner::kSlowNFastP,
         tech::ProcessCorner::kFastNSlowP}) {
     const tech::Technology corner = t.atCorner(c);
-    sizing::OtaVerifier verifier(corner, flow.model());
-    const auto fixed = verifier.verify(r.extractedDesign, &r.layout.parasitics);
+    sizing::OtaVerifier verifier(corner, engine.model());
+    const auto fixed = verifier.verify(extracted, &parasitics);
     const auto gen = sizing::measureAmplifier(
-        corner, flow.model(),
+        corner, engine.model(),
         [&](circuit::Circuit& ck) {
-          circuit::instantiateOtaWithBias(ck, r.extractedDesign, bias);
+          circuit::instantiateOtaWithBias(ck, extracted, bias);
         },
-        r.extractedDesign.inputCm, r.extractedDesign.vdd, &r.layout.parasitics);
+        extracted.inputCm, extracted.vdd, &parasitics);
     std::printf("%-4s | %8.1f %9.1f %8.1f | %8.1f %9.1f %8.1f\n", tech::cornerName(c),
                 fixed.dcGainDb, fixed.gbwHz / 1e6, fixed.phaseMarginDeg, gen.dcGainDb,
                 gen.gbwHz / 1e6, gen.phaseMarginDeg);
@@ -48,7 +51,7 @@ void printCorners() {
   sizing::MonteCarloOptions mc;
   mc.samples = 60;
   const auto stats =
-      sizing::runMonteCarlo(t, flow.model(), r.extractedDesign, &r.layout.parasitics, mc);
+      sizing::runMonteCarlo(t, engine.model(), extracted, &parasitics, mc);
   std::printf("\nMonte Carlo (%d samples, Avt=%.0f mV*um): offset %.2f +/- %.2f mV, "
               "gain %.1f +/- %.2f dB, %d failures\n",
               stats.samples, mc.avt * 1e9, stats.offsetMeanMv, stats.offsetSigmaMv,
@@ -57,15 +60,15 @@ void printCorners() {
 
 void BM_MonteCarloSample(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
-  core::FlowOptions opt;
-  core::SynthesisFlow flow(t, opt);
-  const core::FlowResult r = flow.run(sizing::OtaSpecs{});
+  const core::SynthesisEngine engine(t, core::EngineOptions{});
+  core::FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
   sizing::MonteCarloOptions mc;
   mc.samples = 1;
   for (auto _ : state) {
     mc.seed++;
-    const auto stats = sizing::runMonteCarlo(t, flow.model(), r.extractedDesign,
-                                             &r.layout.parasitics, mc);
+    const auto stats = sizing::runMonteCarlo(t, engine.model(), topo.extractedDesign(),
+                                             &topo.layout().parasitics, mc);
     benchmark::DoNotOptimize(stats);
   }
 }

@@ -3,14 +3,16 @@
 // "The fact that the sizing process is very fast and highly accurate allows
 // interactive exploration of wide variety of design space points" (paper,
 // section 4).  Sweeps the GBW target and the load capacitance through the
-// full case-4 flow and reports how power, current, device sizes, layout
+// full case-4 engine and reports how power, current, device sizes, layout
 // area and the extracted performance scale, plus a temperature sweep of the
 // finished design.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
+#include "sizing/verify.hpp"
 
 namespace {
 
@@ -19,21 +21,22 @@ using namespace lo::core;
 
 void printDesignSpace() {
   const tech::Technology t = tech::Technology::generic060();
+  const SynthesisEngine engine(t, EngineOptions{});
 
-  std::printf("\n=== Design-space sweep (full case-4 flow per point) ===\n");
+  std::printf("\n=== Design-space sweep (full case-4 engine per point) ===\n");
   std::printf("%8s %10s %10s %10s %12s %10s %10s\n", "GBW MHz", "Itail uA", "Wpair um",
               "power mW", "area mm^2", "GBW meas", "PM meas");
   for (double gbwMhz : {20.0, 35.0, 50.0, 65.0, 80.0, 100.0}) {
     sizing::OtaSpecs specs;
     specs.gbw = gbwMhz * 1e6;
-    FlowOptions opt;
-    SynthesisFlow flow(t, opt);
-    const FlowResult r = flow.run(specs);
+    FoldedCascodeOtaTopology topo(t, engine.model());
+    const EngineResult r = engine.run(topo, specs);
+    const auto& design = topo.sizingResult().design;
+    const auto& lay = topo.layout();
     std::printf("%8.0f %10.1f %10.1f %10.2f %12.5f %10.1f %10.1f\n", gbwMhz,
-                r.sizing.design.tailCurrent * 1e6, r.sizing.design.inputPair.w * 1e6,
-                r.measured.powerMw,
-                (r.layout.width / 1e6) * (r.layout.height / 1e6), r.measured.gbwHz / 1e6,
-                r.measured.phaseMarginDeg);
+                design.tailCurrent * 1e6, design.inputPair.w * 1e6,
+                r.measured.powerMw, (lay.width / 1e6) * (lay.height / 1e6),
+                r.measured.gbwHz / 1e6, r.measured.phaseMarginDeg);
   }
 
   std::printf("\nload sweep at 65 MHz:\n%8s %10s %10s %10s\n", "CL pF", "Itail uA",
@@ -41,24 +44,23 @@ void printDesignSpace() {
   for (double clPf : {1.0, 2.0, 3.0, 5.0, 8.0}) {
     sizing::OtaSpecs specs;
     specs.cload = clPf * 1e-12;
-    FlowOptions opt;
-    SynthesisFlow flow(t, opt);
-    const FlowResult r = flow.run(specs);
-    std::printf("%8.1f %10.1f %10.2f %10.1f\n", clPf, r.sizing.design.tailCurrent * 1e6,
-                r.measured.powerMw, r.measured.gbwHz / 1e6);
+    FoldedCascodeOtaTopology topo(t, engine.model());
+    const EngineResult r = engine.run(topo, specs);
+    std::printf("%8.1f %10.1f %10.2f %10.1f\n", clPf,
+                topo.sizingResult().design.tailCurrent * 1e6, r.measured.powerMw,
+                r.measured.gbwHz / 1e6);
   }
 
   // Temperature sweep of one finished design (verification only).
   std::printf("\ntemperature sweep of the 65 MHz design:\n%8s %10s %10s %10s\n",
               "T degC", "GBW MHz", "gain dB", "noise uV");
-  FlowOptions opt;
-  SynthesisFlow flow(t, opt);
-  const FlowResult r = flow.run(sizing::OtaSpecs{});
+  FoldedCascodeOtaTopology topo(t, engine.model());
+  (void)engine.run(topo, sizing::OtaSpecs{});
   for (double celsius : {-20.0, 27.0, 85.0, 125.0}) {
     tech::Technology warm = t;
     warm.temperature = celsius + 273.15;
-    sizing::OtaVerifier verifier(warm, flow.model());
-    const auto m = verifier.verify(r.extractedDesign, &r.layout.parasitics);
+    sizing::OtaVerifier verifier(warm, engine.model());
+    const auto m = verifier.verify(topo.extractedDesign(), &topo.layout().parasitics);
     std::printf("%8.0f %10.1f %10.1f %10.1f\n", celsius, m.gbwHz / 1e6, m.dcGainDb,
                 m.inputNoiseUv);
   }
@@ -68,10 +70,9 @@ void BM_DesignPoint(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
   sizing::OtaSpecs specs;
   specs.gbw = static_cast<double>(state.range(0)) * 1e6;
-  FlowOptions opt;
-  SynthesisFlow flow(t, opt);
+  const SynthesisEngine engine(t, EngineOptions{});
   for (auto _ : state) {
-    const FlowResult r = flow.run(specs);
+    const EngineResult r = engine.run(specs);
     benchmark::DoNotOptimize(r);
   }
 }

@@ -1,0 +1,123 @@
+// Extension benchmark: batched many-scenario synthesis with the
+// SweepDriver.
+//
+// The paper's speed claim ("sizing ... does not exceed two minutes",
+// enabling "interactive exploration of wide variety of design space
+// points") compounds once the engine is topology generic: independent
+// (topology, spec, corner) jobs fan out across cores with per-job model /
+// technology isolation.  This bench runs a mixed OTA + two-stage job grid
+// at several corners, checks that the multi-threaded run matches the
+// sequential one bit for bit, and reports the speed-up.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::core;
+
+std::vector<SweepJob> makeJobs() {
+  std::vector<SweepJob> jobs;
+  // Folded-cascode OTA across a GBW grid and the sign corners.
+  for (double gbwMhz : {40.0, 65.0, 90.0}) {
+    for (tech::ProcessCorner corner :
+         {tech::ProcessCorner::kTypical, tech::ProcessCorner::kSlow,
+          tech::ProcessCorner::kFast}) {
+      SweepJob job;
+      job.label = std::string("ota_") + std::to_string(static_cast<int>(gbwMhz)) +
+                  "MHz_" + tech::cornerName(corner);
+      job.specs.gbw = gbwMhz * 1e6;
+      job.corner = corner;
+      jobs.push_back(job);
+    }
+  }
+  // Two-stage Miller OTA at its own targets.
+  for (double gbwMhz : {20.0, 30.0}) {
+    SweepJob job;
+    job.label = std::string("two_stage_") + std::to_string(static_cast<int>(gbwMhz)) +
+                "MHz_tt";
+    job.options.topology = kTwoStageTopologyName;
+    job.specs.gbw = gbwMhz * 1e6;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+bool identical(const std::vector<SweepOutcome>& a, const std::vector<SweepOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ok != b[i].ok || a[i].label != b[i].label) return false;
+    if (std::memcmp(&a[i].result.measured, &b[i].result.measured,
+                    sizeof(sizing::OtaPerformance)) != 0) {
+      return false;
+    }
+    if (a[i].result.layoutCalls != b[i].result.layoutCalls) return false;
+  }
+  return true;
+}
+
+void printSweep() {
+  const tech::Technology t = tech::Technology::generic060();
+  const std::vector<SweepJob> jobs = makeJobs();
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("\n=== Batched synthesis sweep: %zu jobs, %u cores ===\n", jobs.size(),
+              cores);
+
+  const auto timeRun = [&](int threads, std::vector<SweepOutcome>& out) {
+    const SweepDriver driver(t, threads);
+    const auto start = std::chrono::steady_clock::now();
+    out = driver.run(jobs);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  std::vector<SweepOutcome> serial, threaded;
+  const double tSerial = timeRun(1, serial);
+  const double tThreaded = timeRun(static_cast<int>(cores), threaded);
+
+  std::printf("%-22s %8s %10s %10s %10s %8s\n", "job", "calls", "GBW MHz", "PM deg",
+              "power mW", "conv");
+  for (const SweepOutcome& o : serial) {
+    if (!o.ok) {
+      std::printf("%-22s FAILED: %s\n", o.label.c_str(), o.error.c_str());
+      continue;
+    }
+    std::printf("%-22s %8d %10.1f %10.1f %10.2f %8s\n", o.label.c_str(),
+                o.result.layoutCalls, o.result.measured.gbwHz / 1e6,
+                o.result.measured.phaseMarginDeg, o.result.measured.powerMw,
+                o.result.parasiticConverged ? "yes" : "n/a");
+  }
+
+  std::printf("\n1 thread: %.2f s, %u threads: %.2f s  (speed-up %.1fx)\n", tSerial,
+              cores, tThreaded, tSerial / tThreaded);
+  std::printf("deterministic across thread counts: %s\n",
+              identical(serial, threaded) ? "yes (bit-identical)" : "NO -- BUG");
+}
+
+void BM_SweepThreads(benchmark::State& state) {
+  const tech::Technology t = tech::Technology::generic060();
+  const std::vector<SweepJob> jobs = makeJobs();
+  const SweepDriver driver(t, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto outcomes = driver.run(jobs);
+    benchmark::DoNotOptimize(outcomes);
+  }
+}
+BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

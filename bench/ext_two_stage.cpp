@@ -1,5 +1,5 @@
 // Extension benchmark: the two-stage Miller OTA through the same
-// layout-oriented flow -- the paper's section-4 claim that the tool's
+// topology-generic engine -- the paper's section-4 claim that the tool's
 // hierarchy "simplifies the addition of new topologies", measured.
 //
 // Prints the four-case comparison for the second topology and benchmarks
@@ -8,7 +8,8 @@
 
 #include <cstdio>
 
-#include "core/two_stage_flow.hpp"
+#include "core/engine.hpp"
+#include "core/two_stage_topology.hpp"
 #include "layout/writers.hpp"
 
 namespace {
@@ -21,48 +22,53 @@ void printTwoStage() {
   sizing::OtaSpecs specs;
   specs.gbw = 30e6;
 
-  std::printf("\n=== Extension: two-stage Miller OTA through the same flow ===\n");
+  std::printf("\n=== Extension: two-stage Miller OTA through the same engine ===\n");
   std::printf("specs: GBW %.0f MHz, PM %.0f deg, CL %.0f pF\n\n", specs.gbw / 1e6,
               specs.phaseMarginDeg, specs.cload * 1e12);
   std::printf("%-8s %10s %12s %12s %10s %10s %8s\n", "case", "calls", "GBW syn",
               "GBW meas", "PM meas", "power mW", "gain dB");
 
-  TwoStageFlowResult last;
   for (SizingCase c : {SizingCase::kCase1, SizingCase::kCase2, SizingCase::kCase4}) {
-    TwoStageFlowOptions opt;
+    EngineOptions opt;
+    opt.topology = kTwoStageTopologyName;
     opt.sizingCase = c;
-    const TwoStageFlowResult r = runTwoStageFlow(t, opt, specs);
+    const SynthesisEngine engine(t, opt);
+    TwoStageTopology topo(t, engine.model());
+    const EngineResult r = engine.run(topo, specs);
     std::printf("%-8s %10d %9.2f MHz %9.2f MHz %10.1f %10.2f %8.1f\n", sizingCaseName(c),
                 r.layoutCalls, r.predicted.gbwHz / 1e6, r.measured.gbwHz / 1e6,
                 r.measured.phaseMarginDeg, r.measured.powerMw, r.measured.dcGainDb);
-    if (c == SizingCase::kCase4) last = r;
-  }
+    if (c != SizingCase::kCase4) continue;
 
-  std::printf("\ncase-4 layout: %.1f x %.1f um, CC drawn %.3f pF (target %.3f), "
-              "RZ drawn %.0f ohm (target %.0f)\n",
-              last.layout.width / 1e3, last.layout.height / 1e3,
-              last.layout.ccInfo.drawnFarads * 1e12, last.sizing.design.cc * 1e12,
-              last.layout.rzInfo.drawnOhms, last.sizing.design.rz);
-  std::printf("pair matching: centroid offsets %.2f / %.2f, imbalance %d / %d\n",
-              last.layout.pairPlan.metrics[0].centroidOffset,
-              last.layout.pairPlan.metrics[1].centroidOffset,
-              last.layout.pairPlan.metrics[0].orientationImbalance,
-              last.layout.pairPlan.metrics[1].orientationImbalance);
-  layout::writeFile("two_stage_ota.svg", layout::toSvg(last.layout.cell.shapes));
-  std::printf("wrote two_stage_ota.svg\n");
+    const auto& lay = topo.layout();
+    const auto& design = topo.sizingResult().design;
+    std::printf("\ncase-4 layout: %.1f x %.1f um, CC drawn %.3f pF (target %.3f), "
+                "RZ drawn %.0f ohm (target %.0f)\n",
+                lay.width / 1e3, lay.height / 1e3, lay.ccInfo.drawnFarads * 1e12,
+                design.cc * 1e12, lay.rzInfo.drawnOhms, design.rz);
+    std::printf("pair matching: centroid offsets %.2f / %.2f, imbalance %d / %d\n",
+                lay.pairPlan.metrics[0].centroidOffset,
+                lay.pairPlan.metrics[1].centroidOffset,
+                lay.pairPlan.metrics[0].orientationImbalance,
+                lay.pairPlan.metrics[1].orientationImbalance);
+    layout::writeFile("two_stage_ota.svg", layout::toSvg(lay.cell.shapes));
+    std::printf("wrote two_stage_ota.svg\n");
+  }
 }
 
-void BM_TwoStageFlowCase4(benchmark::State& state) {
+void BM_TwoStageEngineCase4(benchmark::State& state) {
   const tech::Technology t = tech::Technology::generic060();
-  TwoStageFlowOptions opt;
+  EngineOptions opt;
+  opt.topology = kTwoStageTopologyName;
   sizing::OtaSpecs specs;
   specs.gbw = 30e6;
+  const SynthesisEngine engine(t, opt);
   for (auto _ : state) {
-    const TwoStageFlowResult r = runTwoStageFlow(t, opt, specs);
+    const EngineResult r = engine.run(specs);
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_TwoStageFlowCase4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoStageEngineCase4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -97,7 +97,8 @@ void printFigure3() {
   writeFile("fig3_current_mirror.svg", toSvg(cell.shapes));
   writeFile("fig3_current_mirror.cif", toCif(cell.shapes, "FIG3MIRROR"));
   std::printf("wrote fig3_current_mirror.svg / .cif (%lld x %lld um)\n",
-              cell.bbox().width() / 1000, cell.bbox().height() / 1000);
+              static_cast<long long>(cell.bbox().width() / 1000),
+              static_cast<long long>(cell.bbox().height() / 1000));
 }
 
 void BM_GenerateMirrorStack(benchmark::State& state) {

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/flow.hpp"
+#include "core/engine.hpp"
 
 namespace {
 
@@ -37,7 +37,7 @@ const PaperRow kPaper[] = {
 };
 
 void printRow(const char* name, double scale, double sizing::OtaPerformance::*field,
-              const FlowResult* results) {
+              const EngineResult* results) {
   std::printf("%-22s", name);
   for (int c = 0; c < 4; ++c) {
     std::printf("  %8.2f (%8.2f)", results[c].predicted.*field * scale,
@@ -49,14 +49,14 @@ void printRow(const char* name, double scale, double sizing::OtaPerformance::*fi
 void printTable1() {
   const tech::Technology t = tech::Technology::generic060();
   const sizing::OtaSpecs specs;
-  FlowResult results[4];
+  EngineResult results[4];
   const SizingCase cases[] = {SizingCase::kCase1, SizingCase::kCase2, SizingCase::kCase3,
                               SizingCase::kCase4};
   for (int c = 0; c < 4; ++c) {
-    FlowOptions opt;
+    EngineOptions opt;
     opt.sizingCase = cases[c];
-    SynthesisFlow flow(t, opt);
-    results[c] = flow.run(specs);
+    const SynthesisEngine engine(t, opt);
+    results[c] = engine.run(specs);
   }
 
   std::printf("\n=== Table 1: sizing, layout and simulation results ===\n");
@@ -117,19 +117,19 @@ void printTable1() {
         std::abs(results[3].measured.gbwHz / results[3].predicted.gbwHz - 1.0) < 0.04);
 }
 
-void BM_SynthesisFlowCase(benchmark::State& state) {
+void BM_SynthesisEngineCase(benchmark::State& state) {
   // The paper: "The sizing time for each case including layout calls does
   // not exceed two minutes."  Ours is measured here.
   const tech::Technology t = tech::Technology::generic060();
-  FlowOptions opt;
+  EngineOptions opt;
   opt.sizingCase = static_cast<SizingCase>(state.range(0));
-  SynthesisFlow flow(t, opt);
+  const SynthesisEngine engine(t, opt);
   for (auto _ : state) {
-    const FlowResult r = flow.run(sizing::OtaSpecs{});
+    const EngineResult r = engine.run(sizing::OtaSpecs{});
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_SynthesisFlowCase)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynthesisEngineCase)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,4 +1,4 @@
-// Full OTA synthesis with options: the command-line face of the flow.
+// Full OTA synthesis with options: the command-line face of the engine.
 //
 //   $ ./ota_synthesis [--case 1..4] [--model level1|ekv] [--gbw MHz]
 //                     [--pm deg] [--cl pF] [--aspect ratio] [--mc N]
@@ -12,7 +12,8 @@
 #include <string>
 
 #include "circuit/spice_io.hpp"
-#include "core/flow.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
 #include "layout/writers.hpp"
 #include "sizing/montecarlo.hpp"
 #include "sizing/ota_sizer.hpp"
@@ -21,7 +22,8 @@ int main(int argc, char** argv) {
   using namespace lo;
   using namespace lo::core;
 
-  FlowOptions options;
+  EngineOptions options;
+  layout::OtaLayoutOptions layoutOptions;
   sizing::OtaSpecs specs;
   int mcSamples = 0;
   bool withBias = false;
@@ -48,8 +50,8 @@ int main(int argc, char** argv) {
     } else if (key == "--cl") {
       specs.cload = std::stod(val) * 1e-12;
     } else if (key == "--aspect") {
-      options.layoutOptions.shape = layout::ShapeConstraint{};
-      options.layoutOptions.shape.aspectRatio = std::stod(val);
+      layoutOptions.shape = layout::ShapeConstraint{};
+      layoutOptions.shape.aspectRatio = std::stod(val);
     } else if (key == "--mc") {
       mcSamples = std::stoi(val);
     } else {
@@ -59,8 +61,9 @@ int main(int argc, char** argv) {
   }
 
   const tech::Technology tech = tech::Technology::generic060();
-  SynthesisFlow flow(tech, options);
-  const FlowResult r = flow.run(specs);
+  const SynthesisEngine engine(tech, options);
+  FoldedCascodeOtaTopology topology(tech, engine.model(), layoutOptions);
+  const EngineResult r = engine.run(topology, specs);
   const char* caseName = sizingCaseName(options.sizingCase);
 
   std::printf("=== layout-oriented synthesis, %s, model %s ===\n", caseName,
@@ -70,11 +73,13 @@ int main(int argc, char** argv) {
 
   if (!r.iterations.empty()) {
     std::printf("\nsizing <-> layout convergence (%d calls):\n", r.layoutCalls);
-    for (const FlowIteration& it : r.iterations) {
-      std::printf("  call %d: C(x1)=%.1f fF  C(out)=%.1f fF  C(tail)=%.1f fF  "
-                  "Itail=%.0f uA\n",
-                  it.layoutCall, it.capX1 * 1e15, it.capOut * 1e15, it.capTail * 1e15,
-                  it.tailCurrent * 1e6);
+    for (const EngineIteration& it : r.iterations) {
+      std::printf("  call %d:", it.layoutCall);
+      for (std::size_t n = 0; n < r.criticalNets.size(); ++n) {
+        std::printf("  C(%s)=%.1f fF", r.criticalNets[n].c_str(),
+                    it.netCaps[n] * 1e15);
+      }
+      std::printf("  Itail=%.0f uA\n", it.primaryCurrent * 1e6);
     }
   }
 
@@ -97,11 +102,14 @@ int main(int argc, char** argv) {
   row("PSRR (dB, ext)", r.predicted.psrrDb, r.measured.psrrDb);
   row("Settling 1% (ns, ext)", r.predicted.settlingTimeNs, r.measured.settlingTimeNs);
 
+  const layout::OtaLayoutResult& lay = topology.layout();
+  const circuit::FoldedCascodeOtaDesign& extracted = topology.extractedDesign();
+
   if (mcSamples > 0) {
     sizing::MonteCarloOptions mc;
     mc.samples = mcSamples;
-    const auto stats = sizing::runMonteCarlo(tech, flow.model(), r.extractedDesign,
-                                             &r.layout.parasitics, mc);
+    const auto stats = sizing::runMonteCarlo(tech, engine.model(), extracted,
+                                             &lay.parasitics, mc);
     std::printf("\nMonte Carlo (%d samples, %d failed):\n", stats.samples,
                 stats.failures);
     std::printf("  offset: %.3f mV mean, %.3f mV sigma\n", stats.offsetMeanMv,
@@ -113,22 +121,22 @@ int main(int argc, char** argv) {
   if (withBias) {
     std::printf("\n(the simulated column above already uses the drawn bias "
                 "generator, Iref %.1f uA)\n",
-                r.bias.biasCurrent * 1e6);
+                topology.bias().biasCurrent * 1e6);
   }
 
   // Artifacts: layout views and the extracted netlist.
   const std::string base = std::string("ota_") + caseName;
-  layout::writeFile(base + ".svg", layout::toSvg(r.layout.cell.shapes));
-  layout::writeFile(base + ".cif", layout::toCif(r.layout.cell.shapes, "OTA"));
-  layout::writeFile(base + ".gds", layout::toGds(r.layout.cell.shapes, "OTA"));
+  layout::writeFile(base + ".svg", layout::toSvg(lay.cell.shapes));
+  layout::writeFile(base + ".cif", layout::toCif(lay.cell.shapes, "OTA"));
+  layout::writeFile(base + ".gds", layout::toGds(lay.cell.shapes, "OTA"));
   {
     circuit::Circuit netlist;
     netlist.title = "extracted folded-cascode OTA (" + std::string(caseName) + ")";
-    circuit::instantiateOta(netlist, r.extractedDesign);
-    layout::annotateCircuit(netlist, r.layout.parasitics);
+    circuit::instantiateOta(netlist, extracted);
+    layout::annotateCircuit(netlist, lay.parasitics);
     layout::writeFile(base + ".sp", circuit::writeNetlist(netlist));
   }
   std::printf("\nwrote %s.svg / .cif / .gds / .sp (layout %.1f x %.1f um)\n",
-              base.c_str(), r.layout.width / 1e3, r.layout.height / 1e3);
+              base.c_str(), lay.width / 1e3, lay.height / 1e3);
   return 0;
 }

@@ -1,5 +1,5 @@
 // Two-stage Miller OTA synthesis -- the library's second topology, through
-// the same layout-oriented flow (the paper's "hierarchy simplifies the
+// the same topology-generic engine (the paper's "hierarchy simplifies the
 // addition of new topologies" claim in action).
 //
 //   $ ./two_stage_synthesis [--gbw MHz] [--case 1..4]
@@ -9,7 +9,8 @@
 #include <string>
 
 #include "circuit/spice_io.hpp"
-#include "core/two_stage_flow.hpp"
+#include "core/engine.hpp"
+#include "core/two_stage_topology.hpp"
 #include "layout/writers.hpp"
 #include "sim/op_report.hpp"
 #include "sizing/verify.hpp"
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
   using namespace lo;
   using namespace lo::core;
 
-  TwoStageFlowOptions options;
+  EngineOptions options;
+  options.topology = kTwoStageTopologyName;
   sizing::OtaSpecs specs;
   specs.gbw = 30e6;
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -34,13 +36,17 @@ int main(int argc, char** argv) {
   }
 
   const tech::Technology tech = tech::Technology::generic060();
-  const TwoStageFlowResult r = runTwoStageFlow(tech, options, specs);
+  const SynthesisEngine engine(tech, options);
+  TwoStageTopology topology(tech, engine.model());
+  const EngineResult r = engine.run(topology, specs);
+  const circuit::TwoStageOtaDesign& design = topology.sizingResult().design;
+  const layout::TwoStageLayoutResult& lay = topology.layout();
 
   std::printf("=== two-stage Miller OTA, %s ===\n", sizingCaseName(options.sizingCase));
   std::printf("Itail %.0f uA, stage-2 %.0f uA, Cc %.2f pF, Rz %.0f ohm, "
               "%d layout calls\n",
-              r.sizing.design.tailCurrent * 1e6, r.sizing.design.stage2Current * 1e6,
-              r.sizing.design.cc * 1e12, r.sizing.design.rz, r.layoutCalls);
+              design.tailCurrent * 1e6, design.stage2Current * 1e6, design.cc * 1e12,
+              design.rz, r.layoutCalls);
 
   std::printf("\n%-24s %12s %12s\n", "specification", "synthesised", "simulated");
   auto row = [](const char* name, double a, double b) {
@@ -55,24 +61,25 @@ int main(int argc, char** argv) {
 
   // Operating-point report of the extracted design.
   {
-    const auto model = device::MosModel::create(options.modelName);
     const circuit::Circuit tb = sizing::buildAmpAcTestbench(
-        [&](circuit::Circuit& c) { circuit::instantiateTwoStage(c, r.extractedDesign); },
-        r.extractedDesign.inputCm, &r.layout.parasitics, 1.0, 0.0, 0.0);
-    sim::Simulator sim(tb, tech, *model);
+        [&](circuit::Circuit& c) {
+          circuit::instantiateTwoStage(c, topology.extractedDesign());
+        },
+        topology.extractedDesign().inputCm, &lay.parasitics, 1.0, 0.0, 0.0);
+    sim::Simulator sim(tb, tech, engine.model());
     std::printf("\n%s", sim::opReport(tb, sim.dcOperatingPoint()).c_str());
   }
 
-  layout::writeFile("two_stage.svg", layout::toSvg(r.layout.cell.shapes));
-  layout::writeFile("two_stage.gds", layout::toGds(r.layout.cell.shapes, "TWOSTAGE"));
+  layout::writeFile("two_stage.svg", layout::toSvg(lay.cell.shapes));
+  layout::writeFile("two_stage.gds", layout::toGds(lay.cell.shapes, "TWOSTAGE"));
   {
     circuit::Circuit netlist;
     netlist.title = "extracted two-stage Miller OTA";
-    circuit::instantiateTwoStage(netlist, r.extractedDesign);
-    layout::annotateCircuit(netlist, r.layout.parasitics);
+    circuit::instantiateTwoStage(netlist, topology.extractedDesign());
+    layout::annotateCircuit(netlist, lay.parasitics);
     layout::writeFile("two_stage.sp", circuit::writeNetlist(netlist));
   }
   std::printf("\nwrote two_stage.svg / .gds / .sp (layout %.1f x %.1f um)\n",
-              r.layout.width / 1e3, r.layout.height / 1e3);
+              lay.width / 1e3, lay.height / 1e3);
   return 0;
 }

@@ -1,0 +1,99 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lo::core {
+
+sizing::SizingPolicy SynthesisEngine::policyFor(SizingCase c) {
+  sizing::SizingPolicy p;
+  switch (c) {
+    case SizingCase::kCase1:
+      p.diffusionCaps = false;
+      break;
+    case SizingCase::kCase2:
+      p.diffusionCaps = true;
+      p.exactDiffusion = false;
+      break;
+    case SizingCase::kCase3:
+    case SizingCase::kCase4:
+      p.diffusionCaps = true;
+      p.exactDiffusion = true;
+      break;
+  }
+  return p;
+}
+
+double SynthesisEngine::relativeChange(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = std::max(std::abs(a[i]), 1e-18);
+    worst = std::max(worst, std::abs(a[i] - b[i]) / base);
+  }
+  return worst;
+}
+
+SynthesisEngine::SynthesisEngine(const tech::Technology& t, EngineOptions options)
+    : tech_(t), options_(std::move(options)),
+      model_(device::MosModel::create(options_.modelName)) {}
+
+EngineResult SynthesisEngine::run(const sizing::OtaSpecs& specs) const {
+  const auto topology =
+      TopologyRegistry::instance().create(options_.topology, tech_, *model_);
+  return run(*topology, specs);
+}
+
+EngineResult SynthesisEngine::run(Topology& topology,
+                                  const sizing::OtaSpecs& specs) const {
+  EngineResult result;
+  result.criticalNets = topology.criticalNets();
+
+  sizing::SizingPolicy policy = policyFor(options_.sizingCase);
+
+  // First sizing: "one fold per transistor, only diffusion capacitances"
+  // (cases 2-4) or no layout caps at all (case 1).
+  topology.size(specs, policy);
+
+  if (usesLayoutFeedback(options_.sizingCase)) {
+    // Sizing <-> layout loop in parasitic calculation mode, until the
+    // critical-net capacitances remain unchanged.
+    std::vector<double> prev;
+    for (int call = 1; call <= options_.maxLayoutCalls; ++call) {
+      const layout::ParasiticReport& report = topology.layoutParasitic();
+      ++result.layoutCalls;
+
+      EngineIteration it;
+      it.layoutCall = call;
+      it.netCaps.reserve(result.criticalNets.size());
+      for (const std::string& net : result.criticalNets) {
+        it.netCaps.push_back(report.capOn(net));
+      }
+      it.primaryCurrent = topology.primaryCurrent();
+      it.pairWidth = topology.pairWidth();
+      result.iterations.push_back(it);
+
+      if (call > 1 && relativeChange(prev, it.netCaps) < options_.convergenceTol) {
+        result.parasiticConverged = true;
+        break;
+      }
+      prev = it.netCaps;
+
+      // Feed the layout knowledge back into the sizing policy and resize.
+      topology.feedback(policy, options_.sizingCase == SizingCase::kCase4);
+      topology.size(specs, policy);
+    }
+  }
+
+  // Generation mode, extraction and verification-by-simulation: always with
+  // every parasitic, whatever the sizing case (Table 1's bracket column).
+  topology.prepareGeneration(options_.includeBiasGenerator);
+  topology.layoutGenerate();
+  topology.applyExtracted();
+  result.measured = topology.verify(options_.verifyOptions);
+  result.predicted = topology.predicted();
+  return result;
+}
+
+}  // namespace lo::core

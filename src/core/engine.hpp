@@ -1,0 +1,115 @@
+// The topology-generic synthesis engine (paper Fig. 1b).
+//
+// One implementation of the paper's central loop for every topology:
+//
+//   size -> layout (parasitic calculation mode) -> snapshot critical-net
+//   capacitances -> converged? -> feed layout knowledge back -> resize ->
+//   ... -> layout (generation mode) -> extract -> verify by simulation.
+//
+// What the sizing pass is told about the layout is the SizingCase (Table 1
+// columns); which nets must settle is the topology's criticalNets().  The
+// engine owns the convergence bookkeeping, the policy schedule and the
+// generation/extraction/verification tail; the Topology supplies the
+// circuit-specific design plan and layout program.
+//
+// SynthesisFlow (flow.hpp) and runTwoStageFlow (two_stage_flow.hpp) are
+// thin wrappers over this engine that preserve the original result types.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace lo::core {
+
+enum class SizingCase {
+  kCase1,  ///< No layout capacitance during sizing (neither diffusion nor routing).
+  kCase2,  ///< Diffusion caps with pessimistic single-fold geometry, no routing.
+  kCase3,  ///< Exact diffusion from layout feedback, no routing capacitance.
+  kCase4,  ///< All layout parasitics fed back (the proposed methodology).
+};
+
+[[nodiscard]] constexpr const char* sizingCaseName(SizingCase c) {
+  switch (c) {
+    case SizingCase::kCase1: return "case1";
+    case SizingCase::kCase2: return "case2";
+    case SizingCase::kCase3: return "case3";
+    case SizingCase::kCase4: return "case4";
+  }
+  return "?";
+}
+
+/// Does this case feed layout knowledge back into sizing (and hence run
+/// the parasitic-mode loop at all)?
+[[nodiscard]] constexpr bool usesLayoutFeedback(SizingCase c) {
+  return c == SizingCase::kCase3 || c == SizingCase::kCase4;
+}
+
+struct EngineOptions {
+  /// Registry key used by the registry-driven run(specs) overload.
+  std::string topology = kFoldedCascodeOtaTopologyName;
+  SizingCase sizingCase = SizingCase::kCase4;
+  std::string modelName = "ekv";
+  /// Draw and verify a transistor-level bias generator where the topology
+  /// supports one (currently the folded-cascode OTA).
+  bool includeBiasGenerator = false;
+  int maxLayoutCalls = 8;
+  /// Relative change of the critical-net capacitances below which the
+  /// parasitics count as "unchanged".
+  double convergenceTol = 0.02;
+  sizing::VerifyOptions verifyOptions;
+};
+
+/// One sizing <-> layout iteration, for the convergence study.
+struct EngineIteration {
+  int layoutCall = 0;
+  /// Capacitance on each critical net [F], aligned with
+  /// EngineResult::criticalNets.
+  std::vector<double> netCaps;
+  double primaryCurrent = 0.0;  ///< Topology's headline bias current [A].
+  double pairWidth = 0.0;       ///< Input-pair width [m].
+};
+
+struct EngineResult {
+  std::vector<std::string> criticalNets;  ///< Order of EngineIteration::netCaps.
+  std::vector<EngineIteration> iterations;
+  int layoutCalls = 0;          ///< Parasitic-mode calls before convergence.
+  bool parasiticConverged = false;
+  sizing::OtaPerformance predicted;  ///< Synthesised values (Table 1 plain).
+  sizing::OtaPerformance measured;   ///< Extracted-netlist simulation (brackets).
+};
+
+class SynthesisEngine {
+ public:
+  SynthesisEngine(const tech::Technology& t, EngineOptions options);
+
+  /// Create the topology named by options.topology through the registry
+  /// and run it.  Topology-specific outputs (layout cell, sized design,
+  /// ...) are discarded; use the two-argument overload to keep them.
+  [[nodiscard]] EngineResult run(const sizing::OtaSpecs& specs) const;
+
+  /// Run a caller-owned topology instance (custom layout options, custom
+  /// adapters).  After the call the instance holds the sizing result, the
+  /// generation-mode layout and the extracted design.
+  [[nodiscard]] EngineResult run(Topology& topology,
+                                 const sizing::OtaSpecs& specs) const;
+
+  [[nodiscard]] const device::MosModel& model() const { return *model_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// The Table 1 policy schedule shared by every topology.
+  [[nodiscard]] static sizing::SizingPolicy policyFor(SizingCase c);
+
+  /// Largest relative per-net change between two capacitance snapshots.
+  [[nodiscard]] static double relativeChange(const std::vector<double>& a,
+                                             const std::vector<double>& b);
+
+ private:
+  const tech::Technology& tech_;
+  EngineOptions options_;
+  std::unique_ptr<device::MosModel> model_;
+};
+
+}  // namespace lo::core

@@ -1,131 +1,51 @@
 #include "core/flow.hpp"
 
-#include "sizing/ota_sizer.hpp"
-
-#include <cmath>
-
 namespace lo::core {
 
 namespace {
 
-using circuit::OtaGroup;
-
-sizing::SizingPolicy policyFor(SizingCase c) {
-  sizing::SizingPolicy p;
-  switch (c) {
-    case SizingCase::kCase1:
-      p.diffusionCaps = false;
-      break;
-    case SizingCase::kCase2:
-      p.diffusionCaps = true;
-      p.exactDiffusion = false;
-      break;
-    case SizingCase::kCase3:
-    case SizingCase::kCase4:
-      p.diffusionCaps = true;
-      p.exactDiffusion = true;
-      break;
-  }
-  return p;
-}
-
-/// Relative change between two parasitic snapshots on the critical nets.
-double relativeChange(const FlowIteration& a, const FlowIteration& b) {
-  auto rel = [](double x, double y) {
-    const double base = std::max(std::abs(x), 1e-18);
-    return std::abs(x - y) / base;
-  };
-  return std::max({rel(a.capX1, b.capX1), rel(a.capOut, b.capOut),
-                   rel(a.capTail, b.capTail)});
-}
-
-FlowIteration snapshotIteration(int call, const layout::OtaLayoutResult& lay,
-                                const circuit::FoldedCascodeOtaDesign& d) {
-  FlowIteration it;
-  it.layoutCall = call;
-  it.capX1 = lay.parasitics.capOn("x1");
-  it.capOut = lay.parasitics.capOn("out");
-  it.capTail = lay.parasitics.capOn("tail");
-  it.tailCurrent = d.tailCurrent;
-  it.pairWidth = d.inputPair.w;
-  return it;
+EngineOptions toEngineOptions(const FlowOptions& o) {
+  EngineOptions e;
+  e.topology = kFoldedCascodeOtaTopologyName;
+  e.sizingCase = o.sizingCase;
+  e.modelName = o.modelName;
+  e.includeBiasGenerator = o.includeBiasGenerator;
+  e.maxLayoutCalls = o.maxLayoutCalls;
+  e.convergenceTol = o.convergenceTol;
+  e.verifyOptions = o.verifyOptions;
+  return e;
 }
 
 }  // namespace
 
 SynthesisFlow::SynthesisFlow(const tech::Technology& t, FlowOptions options)
-    : tech_(t), options_(std::move(options)),
-      model_(device::MosModel::create(options_.modelName)) {}
+    : tech_(t), options_(std::move(options)), engine_(t, toEngineOptions(options_)) {}
 
 FlowResult SynthesisFlow::run(const sizing::OtaSpecs& specs) const {
+  FoldedCascodeOtaTopology topology(tech_, engine_.model(), options_.layoutOptions);
+  const EngineResult er = engine_.run(topology, specs);
+
   FlowResult result;
-  sizing::OtaSizer sizer(tech_, *model_);
-  sizing::SizingPolicy policy = policyFor(options_.sizingCase);
-  const bool usesLayoutFeedback = options_.sizingCase == SizingCase::kCase3 ||
-                                  options_.sizingCase == SizingCase::kCase4;
-
-  // First sizing: "one fold per transistor, only diffusion capacitances"
-  // (cases 2-4) or no layout caps at all (case 1).
-  result.sizing = sizer.size(specs, policy);
-
-  layout::OtaLayoutResult parasiticRun;
-  if (usesLayoutFeedback) {
-    // Sizing <-> layout loop in parasitic calculation mode.
-    FlowIteration prev;
-    for (int call = 1; call <= options_.maxLayoutCalls; ++call) {
-      parasiticRun = layout::generateOtaLayout(tech_, result.sizing.design,
-                                               options_.layoutOptions,
-                                               /*generateGeometry=*/false);
-      ++result.layoutCalls;
-      const FlowIteration it =
-          snapshotIteration(call, parasiticRun, result.sizing.design);
-      result.iterations.push_back(it);
-
-      if (call > 1 && relativeChange(prev, it) < options_.convergenceTol) {
-        result.parasiticConverged = true;
-        break;
-      }
-      prev = it;
-
-      // Feed the layout knowledge back into the sizing policy and resize.
-      policy.junctionTemplates = parasiticRun.junctions;
-      if (options_.sizingCase == SizingCase::kCase4) {
-        policy.routingParasitics = &parasiticRun.parasitics;
-      }
-      result.sizing = sizer.size(specs, policy);
-    }
+  result.sizing = topology.sizingResult();
+  result.bias = topology.bias();
+  result.layout = topology.layout();
+  result.extractedDesign = topology.extractedDesign();
+  result.predicted = er.predicted;
+  result.measured = er.measured;
+  result.layoutCalls = er.layoutCalls;
+  result.parasiticConverged = er.parasiticConverged;
+  // criticalNets() order is {x1, out, tail}.
+  result.iterations.reserve(er.iterations.size());
+  for (const EngineIteration& it : er.iterations) {
+    FlowIteration fi;
+    fi.layoutCall = it.layoutCall;
+    fi.capX1 = it.netCaps[0];
+    fi.capOut = it.netCaps[1];
+    fi.capTail = it.netCaps[2];
+    fi.tailCurrent = it.primaryCurrent;
+    fi.pairWidth = it.pairWidth;
+    result.iterations.push_back(fi);
   }
-
-  // Generation mode: the physical layout of the final design (with the
-  // bias generator drawn into the rows when requested).
-  layout::OtaLayoutOptions genOptions = options_.layoutOptions;
-  if (options_.includeBiasGenerator) {
-    result.bias = sizing::designOtaBias(tech_, *model_, result.sizing.design);
-    genOptions.biasGenerator = &result.bias;
-  }
-  result.layout = layout::generateOtaLayout(tech_, result.sizing.design, genOptions,
-                                            /*generateGeometry=*/true);
-
-  // Extraction: fold-quantised device geometry + full parasitic report.
-  result.extractedDesign =
-      sizing::applyExtractedGeometry(result.sizing.design, result.layout.junctions);
-
-  // Verification by simulation of the extracted netlist (always with every
-  // parasitic, whatever the sizing case -- this is the "between brackets"
-  // column of Table 1).
-  if (options_.includeBiasGenerator) {
-    result.measured = sizing::measureAmplifier(
-        tech_, *model_,
-        [&](circuit::Circuit& c) {
-          circuit::instantiateOtaWithBias(c, result.extractedDesign, result.bias);
-        },
-        result.extractedDesign.inputCm, result.extractedDesign.vdd,
-        &result.layout.parasitics, options_.verifyOptions);
-  } else {
-    sizing::OtaVerifier verifier(tech_, *model_, options_.verifyOptions);
-    result.measured = verifier.verify(result.extractedDesign, &result.layout.parasitics);
-  }
-  result.predicted = result.sizing.predicted;
   return result;
 }
 

@@ -1,45 +1,19 @@
-// The layout-oriented synthesis flow (paper Fig. 1b) -- the paper's central
-// contribution.
+// Back-compat face of the folded-cascode synthesis flow (paper Fig. 1b).
 //
-// Couples the sizing tool and the layout generator: after each sizing pass
-// the layout tool runs in parasitic calculation mode and feeds back the fold
-// plans, exact junction geometry, routing/coupling capacitance and well
-// sizes; sizing then compensates by resizing.  The loop repeats "till the
-// calculated parasitics remain unchanged", after which the layout tool runs
-// once in generation mode, the netlist is extracted, and the result is
-// verified by simulation.
-//
-// The four SizingCase values correspond to Table 1's columns: what the
-// *sizing* run is told about the layout varies, while extraction and the
-// verification simulation always see the full physical picture.
+// The loop itself lives in SynthesisEngine (engine.hpp); SynthesisFlow is
+// a thin wrapper that drives the engine with a FoldedCascodeOtaTopology
+// adapter and repackages the outputs into the original FlowResult shape.
+// SizingCase and sizingCaseName are defined in engine.hpp and re-exported
+// here unchanged.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "layout/ota_layout.hpp"
-#include "sizing/ota_sizer.hpp"
-#include "sizing/verify.hpp"
-#include "tech/technology.hpp"
+#include "core/engine.hpp"
+#include "core/ota_topology.hpp"
 
 namespace lo::core {
-
-enum class SizingCase {
-  kCase1,  ///< No layout capacitance during sizing (neither diffusion nor routing).
-  kCase2,  ///< Diffusion caps with pessimistic single-fold geometry, no routing.
-  kCase3,  ///< Exact diffusion from layout feedback, no routing capacitance.
-  kCase4,  ///< All layout parasitics fed back (the proposed methodology).
-};
-
-[[nodiscard]] constexpr const char* sizingCaseName(SizingCase c) {
-  switch (c) {
-    case SizingCase::kCase1: return "case1";
-    case SizingCase::kCase2: return "case2";
-    case SizingCase::kCase3: return "case3";
-    case SizingCase::kCase4: return "case4";
-  }
-  return "?";
-}
 
 struct FlowOptions {
   SizingCase sizingCase = SizingCase::kCase4;
@@ -83,12 +57,12 @@ class SynthesisFlow {
 
   [[nodiscard]] FlowResult run(const sizing::OtaSpecs& specs) const;
 
-  [[nodiscard]] const device::MosModel& model() const { return *model_; }
+  [[nodiscard]] const device::MosModel& model() const { return engine_.model(); }
 
  private:
   const tech::Technology& tech_;
   FlowOptions options_;
-  std::unique_ptr<device::MosModel> model_;
+  SynthesisEngine engine_;
 };
 
 }  // namespace lo::core

@@ -1,0 +1,58 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace lo::core {
+
+SweepDriver::SweepDriver(tech::Technology baseTech, int threads)
+    : baseTech_(std::move(baseTech)), threads_(threads) {}
+
+int SweepDriver::workerCount(std::size_t jobCount) const {
+  int threads = threads_;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  return std::max(1, std::min<int>(threads, static_cast<int>(jobCount)));
+}
+
+std::vector<SweepOutcome> SweepDriver::run(const std::vector<SweepJob>& jobs) const {
+  std::vector<SweepOutcome> outcomes(jobs.size());
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+      const SweepJob& job = jobs[i];
+      SweepOutcome& out = outcomes[i];
+      out.index = i;
+      out.label = job.label;
+      try {
+        // Per-job isolation: a private Technology at the job's corner and,
+        // inside the engine, a private MosModel instance.
+        const tech::Technology jobTech = baseTech_.atCorner(job.corner);
+        const SynthesisEngine engine(jobTech, job.options);
+        out.result = engine.run(job.specs);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      }
+    }
+  };
+
+  const int threads = workerCount(jobs.size());
+  if (threads <= 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return outcomes;
+}
+
+}  // namespace lo::core

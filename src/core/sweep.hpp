@@ -1,0 +1,58 @@
+// Batch sweep driver: N independent synthesis jobs across a thread pool.
+//
+// The paper's speed argument ("the sizing process is very fast ... allows
+// interactive exploration of wide variety of design space points") scales
+// with cores once the engine is topology generic: every (topology, spec,
+// process-corner) job is independent, so the driver fans them out over
+// std::threads with full per-job isolation -- each job gets its own
+// Technology copy (shifted to its corner) and its own MosModel instance,
+// so no state is shared between workers.
+//
+// Results are returned in job order regardless of scheduling: a run with
+// one worker and a run with N workers produce bit-identical output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lo::core {
+
+/// One synthesis job: which topology/case (inside options), what specs,
+/// and at which process corner of the driver's base technology.
+struct SweepJob {
+  std::string label;  ///< Free-form tag echoed into the outcome.
+  EngineOptions options;
+  sizing::OtaSpecs specs;
+  tech::ProcessCorner corner = tech::ProcessCorner::kTypical;
+};
+
+struct SweepOutcome {
+  std::size_t index = 0;  ///< Position in the submitted job list.
+  std::string label;
+  bool ok = false;
+  std::string error;      ///< Exception text when !ok.
+  EngineResult result;    ///< Valid when ok.
+};
+
+class SweepDriver {
+ public:
+  /// `threads` = worker-thread cap; 0 picks hardware_concurrency().
+  explicit SweepDriver(tech::Technology baseTech, int threads = 0);
+
+  /// Run every job and return outcomes in job order.  A job that throws
+  /// reports ok=false with the exception text instead of aborting the
+  /// sweep.
+  [[nodiscard]] std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs) const;
+
+  /// Threads the driver will actually use for `jobCount` jobs.
+  [[nodiscard]] int workerCount(std::size_t jobCount) const;
+
+ private:
+  tech::Technology baseTech_;
+  int threads_ = 0;
+};
+
+}  // namespace lo::core

@@ -1,0 +1,63 @@
+#include "core/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/ota_topology.hpp"
+#include "core/two_stage_topology.hpp"
+
+namespace lo::core {
+
+TopologyRegistry::TopologyRegistry() {
+  factories_[kFoldedCascodeOtaTopologyName] =
+      [](const tech::Technology& t, const device::MosModel& m) {
+        return std::make_unique<FoldedCascodeOtaTopology>(t, m);
+      };
+  factories_[kTwoStageTopologyName] =
+      [](const tech::Technology& t, const device::MosModel& m) {
+        return std::make_unique<TwoStageTopology>(t, m);
+      };
+}
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry registry;
+  return registry;
+}
+
+void TopologyRegistry::add(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Topology> TopologyRegistry::create(
+    const std::string& name, const tech::Technology& t,
+    const device::MosModel& model) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream msg;
+      msg << "unknown topology \"" << name << "\"; registered:";
+      for (const auto& [key, unused] : factories_) msg << " " << key;
+      throw std::invalid_argument(msg.str());
+    }
+    factory = it->second;
+  }
+  return factory(t, model);
+}
+
+bool TopologyRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> TopologyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) out.push_back(key);
+  return out;
+}
+
+}  // namespace lo::core

@@ -1,0 +1,123 @@
+// Topology abstraction for the synthesis engine.
+//
+// The paper's flow (size -> parasitic-mode layout -> resize -> ... ->
+// generation-mode layout -> extract -> verify) is topology independent;
+// only the design plan, the layout program and the netlist differ between
+// circuits.  A Topology bundles exactly those pieces behind the hooks the
+// engine drives, so a new circuit plugs into the methodology by
+// implementing this interface and registering a factory -- the paper's
+// "hierarchy simplifies the addition of new topologies" claim, made into
+// an API boundary.
+//
+// A Topology instance is *stateful per run*: the engine calls the hooks in
+// a fixed order and the adapter accumulates the sizing result, the layout
+// runs and the extracted design, which callers read back through the
+// concrete adapter type (FoldedCascodeOtaTopology, TwoStageTopology).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/mos_model.hpp"
+#include "layout/extract.hpp"
+#include "sizing/ota_spec.hpp"
+#include "sizing/verify.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::core {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Nets whose parasitic capacitance must settle before the sizing <->
+  /// layout loop counts as converged (paper: "till the calculated
+  /// parasitics remain unchanged").  Fixed for the topology's lifetime.
+  [[nodiscard]] virtual const std::vector<std::string>& criticalNets() const = 0;
+
+  /// Run (or re-run) the design plan under the current policy state.
+  virtual void size(const sizing::OtaSpecs& specs,
+                    const sizing::SizingPolicy& policy) = 0;
+
+  /// Run the layout program in parasitic calculation mode on the current
+  /// design and return the resulting per-net report.  The report stays
+  /// owned by the topology and valid until the next layout call.
+  virtual const layout::ParasiticReport& layoutParasitic() = 0;
+
+  /// Feed the last parasitic-mode layout's knowledge (junction templates,
+  /// and the routing/coupling/well report when `includeRouting`) back into
+  /// `policy` for the next size() call.
+  virtual void feedback(sizing::SizingPolicy& policy, bool includeRouting) = 0;
+
+  /// Hook before the generation-mode layout; topologies that support a
+  /// drawn bias generator design it here.
+  virtual void prepareGeneration(bool /*includeBiasGenerator*/) {}
+
+  /// Run the layout program in generation mode (full mask geometry).
+  virtual void layoutGenerate() = 0;
+
+  /// Replace the design's geometry with what the layout actually drew
+  /// (fold-quantised widths, exact junctions, drawn passives).
+  virtual void applyExtracted() = 0;
+
+  /// Verify the extracted design by simulation against the generation-mode
+  /// parasitic report.
+  [[nodiscard]] virtual sizing::OtaPerformance verify(
+      const sizing::VerifyOptions& options) = 0;
+
+  /// Performance predicted by the last sizing pass.
+  [[nodiscard]] virtual sizing::OtaPerformance predicted() const = 0;
+
+  /// Last parasitic-mode report, or nullptr before the first layout call
+  /// (the engine's convergence snapshots are taken from this).
+  [[nodiscard]] virtual const layout::ParasiticReport* parasiticSnapshot() const = 0;
+
+  /// Diagnostics recorded into the per-iteration history.
+  [[nodiscard]] virtual double primaryCurrent() const = 0;
+  [[nodiscard]] virtual double pairWidth() const = 0;
+};
+
+/// String-keyed factory table for topologies.  The built-in adapters
+/// (folded_cascode_ota, two_stage) are registered on first access; new
+/// topologies register themselves at startup or from user code.
+class TopologyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Topology>(
+      const tech::Technology&, const device::MosModel&)>;
+
+  /// The process-wide registry (thread safe).
+  [[nodiscard]] static TopologyRegistry& instance();
+
+  /// Register (or replace) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  /// Instantiate a registered topology; throws std::invalid_argument
+  /// naming the unknown key and the known ones.
+  [[nodiscard]] std::unique_ptr<Topology> create(
+      const std::string& name, const tech::Technology& t,
+      const device::MosModel& model) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  TopologyRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registry keys of the built-in topologies.
+inline constexpr const char* kFoldedCascodeOtaTopologyName = "folded_cascode_ota";
+inline constexpr const char* kTwoStageTopologyName = "two_stage";
+
+}  // namespace lo::core

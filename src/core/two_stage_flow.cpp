@@ -1,74 +1,30 @@
 #include "core/two_stage_flow.hpp"
 
-#include <cmath>
-
 namespace lo::core {
-
-namespace {
-
-sizing::SizingPolicy policyFor(SizingCase c) {
-  sizing::SizingPolicy p;
-  switch (c) {
-    case SizingCase::kCase1: p.diffusionCaps = false; break;
-    case SizingCase::kCase2: break;
-    case SizingCase::kCase3:
-    case SizingCase::kCase4: p.exactDiffusion = true; break;
-  }
-  return p;
-}
-
-}  // namespace
 
 TwoStageFlowResult runTwoStageFlow(const tech::Technology& t,
                                    const TwoStageFlowOptions& options,
                                    const sizing::OtaSpecs& specs) {
+  EngineOptions engineOptions;
+  engineOptions.topology = kTwoStageTopologyName;
+  engineOptions.sizingCase = options.sizingCase;
+  engineOptions.modelName = options.modelName;
+  engineOptions.maxLayoutCalls = options.maxLayoutCalls;
+  engineOptions.convergenceTol = options.convergenceTol;
+  engineOptions.verifyOptions = options.verifyOptions;
+
+  const SynthesisEngine engine(t, engineOptions);
+  TwoStageTopology topology(t, engine.model(), options.layoutOptions);
+  const EngineResult er = engine.run(topology, specs);
+
   TwoStageFlowResult result;
-  const auto model = device::MosModel::create(options.modelName);
-  sizing::TwoStageSizer sizer(t, *model);
-  sizing::SizingPolicy policy = policyFor(options.sizingCase);
-  const bool feedback = options.sizingCase == SizingCase::kCase3 ||
-                        options.sizingCase == SizingCase::kCase4;
-
-  result.sizing = sizer.size(specs, policy);
-
-  if (feedback) {
-    double prevCapOut = -1.0;
-    layout::TwoStageLayoutResult parasiticRun;
-    for (int call = 1; call <= options.maxLayoutCalls; ++call) {
-      parasiticRun = layout::generateTwoStageLayout(t, result.sizing.design,
-                                                    options.layoutOptions, false);
-      ++result.layoutCalls;
-      const double capOut = parasiticRun.parasitics.capOn("out") +
-                            parasiticRun.parasitics.capOn("o1");
-      if (prevCapOut >= 0.0 &&
-          std::abs(capOut - prevCapOut) < options.convergenceTol * std::max(prevCapOut, 1e-18)) {
-        result.parasiticConverged = true;
-        break;
-      }
-      prevCapOut = capOut;
-      policy.twoStageTemplates = parasiticRun.junctions;
-      if (options.sizingCase == SizingCase::kCase4) {
-        policy.routingParasitics = &parasiticRun.parasitics;
-      }
-      result.sizing = sizer.size(specs, policy);
-    }
-  }
-
-  result.layout =
-      layout::generateTwoStageLayout(t, result.sizing.design, options.layoutOptions, true);
-
-  result.extractedDesign = result.sizing.design;
-  for (const auto& [group, geo] : result.layout.junctions) {
-    result.extractedDesign.geometry(group) = geo;
-  }
-  // The drawn passives replace the ideal values.
-  result.extractedDesign.cc = result.layout.ccInfo.drawnFarads;
-  result.extractedDesign.rz = result.layout.rzInfo.drawnOhms;
-
-  result.measured = sizing::verifyTwoStage(t, *model, result.extractedDesign,
-                                           &result.layout.parasitics,
-                                           options.verifyOptions);
-  result.predicted = result.sizing.predicted;
+  result.sizing = topology.sizingResult();
+  result.layout = topology.layout();
+  result.extractedDesign = topology.extractedDesign();
+  result.predicted = er.predicted;
+  result.measured = er.measured;
+  result.layoutCalls = er.layoutCalls;
+  result.parasiticConverged = er.parasiticConverged;
   return result;
 }
 

@@ -1,12 +1,10 @@
-// Layout-oriented synthesis flow for the two-stage Miller OTA: the same
-// sizing <-> layout-parasitic loop as the folded cascode, driving the
-// two-stage design plan and layout program.  Demonstrates the paper's claim
-// that new topologies slot into the methodology unchanged.
+// Back-compat face of the two-stage Miller OTA flow: a thin wrapper that
+// drives the shared SynthesisEngine (engine.hpp) with a TwoStageTopology
+// adapter and repackages the outputs into the original result shape.
 #pragma once
 
-#include "core/flow.hpp"
-#include "layout/two_stage_layout.hpp"
-#include "sizing/two_stage.hpp"
+#include "core/engine.hpp"
+#include "core/two_stage_topology.hpp"
 
 namespace lo::core {
 

@@ -40,6 +40,16 @@ FoldedCascodeOtaDesign applyExtractedGeometry(
   return design;
 }
 
+circuit::TwoStageOtaDesign applyExtractedGeometry(
+    circuit::TwoStageOtaDesign design,
+    const std::map<circuit::TwoStageGroup, device::MosGeometry>& junctions,
+    double drawnCc, double drawnRz) {
+  for (const auto& [group, geo] : junctions) design.geometry(group) = geo;
+  design.cc = drawnCc;
+  design.rz = drawnRz;
+  return design;
+}
+
 Circuit buildAmpAcTestbench(const AmpInstantiateFn& instantiate, double inputCm,
                             const layout::ParasiticReport* parasitics, double diffAcMag,
                             double cmAcMag, double routProbeAcMag) {

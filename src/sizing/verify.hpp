@@ -116,4 +116,11 @@ struct RangeMeasurement {
     circuit::FoldedCascodeOtaDesign design,
     const std::map<circuit::OtaGroup, device::MosGeometry>& junctions);
 
+/// Two-stage variant: the drawn passives (plate capacitor, poly serpentine)
+/// replace the ideal CC / RZ values alongside the junction figures.
+[[nodiscard]] circuit::TwoStageOtaDesign applyExtractedGeometry(
+    circuit::TwoStageOtaDesign design,
+    const std::map<circuit::TwoStageGroup, device::MosGeometry>& junctions,
+    double drawnCc, double drawnRz);
+
 }  // namespace lo::sizing

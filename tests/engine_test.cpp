@@ -1,0 +1,239 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/flow.hpp"
+#include "core/sweep.hpp"
+
+namespace lo::core {
+namespace {
+
+const tech::Technology kTech = tech::Technology::generic060();
+
+// --- Registry. ---
+
+TEST(TopologyRegistry, BuiltInsAreRegistered) {
+  auto& reg = TopologyRegistry::instance();
+  EXPECT_TRUE(reg.contains(kFoldedCascodeOtaTopologyName));
+  EXPECT_TRUE(reg.contains(kTwoStageTopologyName));
+  const auto names = reg.names();
+  EXPECT_GE(names.size(), 2u);
+}
+
+TEST(TopologyRegistry, CreateKnownTopology) {
+  const auto model = device::MosModel::create("ekv");
+  for (const char* name : {kFoldedCascodeOtaTopologyName, kTwoStageTopologyName}) {
+    const auto topo = TopologyRegistry::instance().create(name, kTech, *model);
+    ASSERT_NE(topo, nullptr);
+    EXPECT_EQ(topo->name(), name);
+    EXPECT_FALSE(topo->criticalNets().empty());
+    EXPECT_EQ(topo->parasiticSnapshot(), nullptr);  // No layout call yet.
+  }
+}
+
+TEST(TopologyRegistry, UnknownTopologyThrowsWithNames) {
+  const auto model = device::MosModel::create("ekv");
+  try {
+    (void)TopologyRegistry::instance().create("no_such_topology", kTech, *model);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the bad key and lists the registered ones.
+    EXPECT_NE(std::strstr(e.what(), "no_such_topology"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), kFoldedCascodeOtaTopologyName), nullptr);
+  }
+}
+
+TEST(TopologyRegistry, CustomRegistrationRoundTrips) {
+  auto& reg = TopologyRegistry::instance();
+  reg.add("custom_test_topology",
+          [](const tech::Technology& t, const device::MosModel& m) {
+            return TopologyRegistry::instance().create(kTwoStageTopologyName, t, m);
+          });
+  EXPECT_TRUE(reg.contains("custom_test_topology"));
+  const auto model = device::MosModel::create("ekv");
+  const auto topo = reg.create("custom_test_topology", kTech, *model);
+  EXPECT_EQ(topo->name(), kTwoStageTopologyName);
+}
+
+// --- Shared loop plumbing. ---
+
+TEST(Engine, PolicyForMatchesTableOneCases) {
+  const auto p1 = SynthesisEngine::policyFor(SizingCase::kCase1);
+  EXPECT_FALSE(p1.diffusionCaps);
+  const auto p2 = SynthesisEngine::policyFor(SizingCase::kCase2);
+  EXPECT_TRUE(p2.diffusionCaps);
+  EXPECT_FALSE(p2.exactDiffusion);
+  for (SizingCase c : {SizingCase::kCase3, SizingCase::kCase4}) {
+    const auto p = SynthesisEngine::policyFor(c);
+    EXPECT_TRUE(p.diffusionCaps);
+    EXPECT_TRUE(p.exactDiffusion);
+    EXPECT_EQ(p.routingParasitics, nullptr);  // Fed back later by the loop.
+  }
+}
+
+TEST(Engine, RelativeChangeIsWorstPerNetRatio) {
+  EXPECT_DOUBLE_EQ(SynthesisEngine::relativeChange({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_NEAR(SynthesisEngine::relativeChange({1.0, 2.0}, {1.1, 2.0}), 0.1, 1e-12);
+  // The largest per-net change dominates, not the average.
+  EXPECT_NEAR(SynthesisEngine::relativeChange({1.0, 1.0, 1.0}, {1.01, 1.5, 1.0}), 0.5,
+              1e-12);
+}
+
+TEST(Engine, SingleLayoutCallCannotConverge) {
+  // Convergence needs two successive snapshots; one call must report
+  // parasiticConverged == false but still finish the generation tail.
+  EngineOptions opt;
+  opt.maxLayoutCalls = 1;
+  const SynthesisEngine engine(kTech, opt);
+  const EngineResult r = engine.run(sizing::OtaSpecs{});
+  EXPECT_EQ(r.layoutCalls, 1);
+  EXPECT_FALSE(r.parasiticConverged);
+  EXPECT_EQ(r.iterations.size(), 1u);
+  EXPECT_GT(r.measured.gbwHz, 0.0);
+}
+
+TEST(Engine, ZeroToleranceNeverConverges) {
+  EngineOptions opt;
+  opt.convergenceTol = 0.0;
+  opt.maxLayoutCalls = 4;
+  const SynthesisEngine engine(kTech, opt);
+  const EngineResult r = engine.run(sizing::OtaSpecs{});
+  EXPECT_FALSE(r.parasiticConverged);
+  EXPECT_EQ(r.layoutCalls, 4);  // Runs to the cap.
+  EXPECT_EQ(r.iterations.size(), 4u);
+}
+
+TEST(Engine, IterationsCarryAllCriticalNets) {
+  const SynthesisEngine engine(kTech, EngineOptions{});
+  const EngineResult r = engine.run(sizing::OtaSpecs{});
+  ASSERT_GE(r.criticalNets.size(), 3u);
+  for (const EngineIteration& it : r.iterations) {
+    ASSERT_EQ(it.netCaps.size(), r.criticalNets.size());
+    for (double cap : it.netCaps) EXPECT_GT(cap, 0.0);
+    EXPECT_GT(it.primaryCurrent, 0.0);
+    EXPECT_GT(it.pairWidth, 0.0);
+  }
+}
+
+TEST(Engine, RegistryRunMatchesWrapperRun) {
+  // The registry-driven overload and the explicit-topology overload must
+  // produce identical numbers.
+  EngineOptions opt;
+  const SynthesisEngine engine(kTech, opt);
+  const EngineResult viaRegistry = engine.run(sizing::OtaSpecs{});
+  FlowOptions flowOpt;
+  const FlowResult viaWrapper = SynthesisFlow(kTech, flowOpt).run(sizing::OtaSpecs{});
+  EXPECT_DOUBLE_EQ(viaRegistry.measured.gbwHz, viaWrapper.measured.gbwHz);
+  EXPECT_DOUBLE_EQ(viaRegistry.predicted.dcGainDb, viaWrapper.predicted.dcGainDb);
+  EXPECT_EQ(viaRegistry.layoutCalls, viaWrapper.layoutCalls);
+}
+
+TEST(Engine, TwoStageConvergenceWatchesCompensationNets) {
+  // The multi-net criterion must include both amplifying nodes and the
+  // Rz/Cc midpoint (regression: the old two-stage flow watched only
+  // out + o1 summed into one number).
+  EngineOptions opt;
+  opt.topology = kTwoStageTopologyName;
+  const SynthesisEngine engine(kTech, opt);
+  sizing::OtaSpecs specs;
+  specs.gbw = 30e6;
+  const EngineResult r = engine.run(specs);
+  EXPECT_TRUE(r.parasiticConverged);
+  const auto& nets = r.criticalNets;
+  for (const char* net : {"out", "o1", "rzm", "tail"}) {
+    EXPECT_NE(std::find(nets.begin(), nets.end(), net), nets.end()) << net;
+  }
+  for (const EngineIteration& it : r.iterations) {
+    EXPECT_EQ(it.netCaps.size(), nets.size());
+  }
+}
+
+// --- Sweep driver. ---
+
+std::vector<SweepJob> sweepJobs() {
+  std::vector<SweepJob> jobs;
+  for (double gbwMhz : {40.0, 65.0}) {
+    for (tech::ProcessCorner corner :
+         {tech::ProcessCorner::kTypical, tech::ProcessCorner::kSlow,
+          tech::ProcessCorner::kFast}) {
+      SweepJob job;
+      job.label = "ota_" + std::to_string(static_cast<int>(gbwMhz)) + "_" +
+                  tech::cornerName(corner);
+      job.specs.gbw = gbwMhz * 1e6;
+      job.corner = corner;
+      jobs.push_back(job);
+    }
+  }
+  for (double gbwMhz : {20.0, 30.0}) {
+    SweepJob job;
+    job.label = "two_stage_" + std::to_string(static_cast<int>(gbwMhz));
+    job.options.topology = kTwoStageTopologyName;
+    job.specs.gbw = gbwMhz * 1e6;
+    jobs.push_back(job);
+  }
+  return jobs;  // 8 jobs.
+}
+
+TEST(SweepDriver, DeterministicAcrossThreadCounts) {
+  const std::vector<SweepJob> jobs = sweepJobs();
+  ASSERT_GE(jobs.size(), 8u);
+  const auto serial = SweepDriver(kTech, 1).run(jobs);
+  const auto threaded = SweepDriver(kTech, 4).run(jobs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(threaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(jobs[i].label);
+    EXPECT_EQ(serial[i].index, i);
+    EXPECT_EQ(threaded[i].index, i);
+    EXPECT_EQ(serial[i].label, jobs[i].label);
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    ASSERT_TRUE(threaded[i].ok) << threaded[i].error;
+    // Bit-for-bit: the performance records and convergence history must be
+    // byte-identical regardless of scheduling.
+    EXPECT_EQ(std::memcmp(&serial[i].result.measured, &threaded[i].result.measured,
+                          sizeof(sizing::OtaPerformance)),
+              0);
+    EXPECT_EQ(std::memcmp(&serial[i].result.predicted, &threaded[i].result.predicted,
+                          sizeof(sizing::OtaPerformance)),
+              0);
+    EXPECT_EQ(serial[i].result.layoutCalls, threaded[i].result.layoutCalls);
+    ASSERT_EQ(serial[i].result.iterations.size(), threaded[i].result.iterations.size());
+    for (std::size_t k = 0; k < serial[i].result.iterations.size(); ++k) {
+      const auto& a = serial[i].result.iterations[k];
+      const auto& b = threaded[i].result.iterations[k];
+      ASSERT_EQ(a.netCaps.size(), b.netCaps.size());
+      for (std::size_t n = 0; n < a.netCaps.size(); ++n) {
+        EXPECT_DOUBLE_EQ(a.netCaps[n], b.netCaps[n]);
+      }
+    }
+  }
+}
+
+TEST(SweepDriver, BadJobReportsErrorWithoutAbortingSweep) {
+  std::vector<SweepJob> jobs;
+  SweepJob good;
+  good.label = "good";
+  jobs.push_back(good);
+  SweepJob bad;
+  bad.label = "bad";
+  bad.options.topology = "no_such_topology";
+  jobs.push_back(bad);
+  const auto outcomes = SweepDriver(kTech, 2).run(jobs);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_NE(outcomes[1].error.find("no_such_topology"), std::string::npos);
+}
+
+TEST(SweepDriver, WorkerCountClampsToJobsAndFloorsAtOne) {
+  const SweepDriver driver(kTech, 8);
+  EXPECT_EQ(driver.workerCount(3), 3);
+  EXPECT_EQ(driver.workerCount(100), 8);
+  EXPECT_EQ(SweepDriver(kTech, -5).workerCount(0), 1);
+}
+
+}  // namespace
+}  // namespace lo::core

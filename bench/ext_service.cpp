@@ -1,0 +1,165 @@
+// Extension benchmark: the synthesis job service under duplicate-heavy
+// load (the sweep-with-overlapping-inputs pattern that motivates the
+// content-addressed cache).
+//
+// A 16-job batch with 4 distinct design points (each repeated 4x) runs
+// three ways:
+//   cold  -- empty cache; single-flight coalescing still collapses the
+//            in-flight duplicates, so each distinct point runs once;
+//   warm  -- same scheduler again; every job is a cache hit;
+//   disk  -- a fresh scheduler pointed at the cold run's on-disk store;
+//            every job is a disk hit.
+// The checks: warm throughput must be >= 10x cold, and every run must
+// return byte-identical results (FNV hash over the canonical JSON).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service/scheduler.hpp"
+#include "service/serialize.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::service;
+
+std::vector<JobRequest> makeBatch() {
+  std::vector<JobRequest> unique;
+  {
+    JobRequest job;
+    job.label = "ota_40MHz_tt";
+    job.specs.gbw = 40e6;
+    unique.push_back(job);
+  }
+  {
+    JobRequest job;
+    job.label = "ota_65MHz_tt";
+    unique.push_back(job);
+  }
+  {
+    JobRequest job;
+    job.label = "ota_65MHz_ss";
+    job.corner = tech::ProcessCorner::kSlow;
+    unique.push_back(job);
+  }
+  {
+    JobRequest job;
+    job.label = "two_stage_30MHz_tt";
+    job.options.topology = core::kTwoStageTopologyName;
+    job.specs.gbw = 30e6;
+    unique.push_back(job);
+  }
+  std::vector<JobRequest> batch;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const JobRequest& job : unique) batch.push_back(job);
+  }
+  return batch;  // 16 jobs, 4 distinct.
+}
+
+std::vector<std::uint64_t> resultHashes(const std::vector<JobStatus>& statuses) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(statuses.size());
+  for (const JobStatus& status : statuses) {
+    hashes.push_back(status.state == JobState::kDone
+                         ? ResultCache::fnv1a(toJson(status.result).dump())
+                         : 0);
+  }
+  return hashes;
+}
+
+bool runServiceStudy() {
+  const tech::Technology technology = tech::Technology::generic060();
+  const std::vector<JobRequest> batch = makeBatch();
+
+  const std::filesystem::path diskDir =
+      std::filesystem::temp_directory_path() / "lo_ext_service_cache";
+  std::filesystem::remove_all(diskDir);
+
+  SchedulerOptions options;
+  options.cache.diskDir = diskDir.string();
+
+  std::printf("\n=== Synthesis service: duplicate-heavy batch (%zu jobs, %zu distinct) ===\n",
+              batch.size(), batch.size() / 4);
+
+  const auto timeBatch = [&](JobScheduler& scheduler, std::vector<JobStatus>& out) {
+    const auto start = std::chrono::steady_clock::now();
+    out = scheduler.runBatch(batch);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  std::vector<JobStatus> cold, warm, disk;
+  double tCold = 0, tWarm = 0, tDisk = 0;
+  MetricsSnapshot coldMetrics;
+  CacheStats coldCache;
+  {
+    JobScheduler scheduler(technology, options);
+    tCold = timeBatch(scheduler, cold);
+    coldMetrics = scheduler.metrics();
+    coldCache = scheduler.cacheStats();
+    tWarm = timeBatch(scheduler, warm);
+  }
+  {
+    JobScheduler scheduler(technology, options);  // Fresh memory, same disk.
+    tDisk = timeBatch(scheduler, disk);
+  }
+
+  bool ok = true;
+  for (const auto* phase : {&cold, &warm, &disk}) {
+    for (const JobStatus& status : *phase) {
+      if (status.state != JobState::kDone) {
+        std::printf("JOB FAILED: %s: %s\n", status.label.c_str(),
+                    status.error.c_str());
+        ok = false;
+      }
+    }
+  }
+
+  const auto coldHashes = resultHashes(cold);
+  const bool warmIdentical = coldHashes == resultHashes(warm);
+  const bool diskIdentical = coldHashes == resultHashes(disk);
+  const double speedup = tWarm > 0 ? tCold / tWarm : 0;
+
+  std::printf("cold:  %.3f s  (%zu engine runs, %llu coalesced duplicates)\n",
+              tCold, cold.size() - static_cast<std::size_t>(coldMetrics.coalesced) -
+                         static_cast<std::size_t>(coldCache.hits),
+              static_cast<unsigned long long>(coldMetrics.coalesced));
+  std::printf("warm:  %.5f s  -> speed-up %.0fx (require >= 10x)\n", tWarm, speedup);
+  std::printf("disk:  %.5f s  (fresh process, on-disk store)\n", tDisk);
+  std::printf("warm results byte-identical to cold: %s\n",
+              warmIdentical ? "yes" : "NO -- BUG");
+  std::printf("disk results byte-identical to cold: %s\n",
+              diskIdentical ? "yes" : "NO -- BUG");
+
+  ok = ok && warmIdentical && diskIdentical && speedup >= 10.0;
+  std::printf("ext_service acceptance: %s\n", ok ? "PASS" : "FAIL");
+  std::filesystem::remove_all(diskDir);
+  return ok;
+}
+
+void BM_WarmBatch(benchmark::State& state) {
+  const tech::Technology technology = tech::Technology::generic060();
+  const std::vector<JobRequest> batch = makeBatch();
+  JobScheduler scheduler(technology, SchedulerOptions{});
+  (void)scheduler.runBatch(batch);  // Prime the cache once.
+  for (auto _ : state) {
+    const auto statuses = scheduler.runBatch(batch);
+    benchmark::DoNotOptimize(statuses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_WarmBatch)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool ok = runServiceStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

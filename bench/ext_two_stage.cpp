@@ -3,7 +3,7 @@
 // hierarchy "simplifies the addition of new topologies", measured.
 //
 // Prints the four-case comparison for the second topology and benchmarks
-// its flow; writes two_stage_ota.svg.
+// its flow; writes two_stage_ota.svg under examples/out/.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -51,8 +51,9 @@ void printTwoStage() {
                 lay.pairPlan.metrics[1].centroidOffset,
                 lay.pairPlan.metrics[0].orientationImbalance,
                 lay.pairPlan.metrics[1].orientationImbalance);
-    layout::writeFile("two_stage_ota.svg", layout::toSvg(lay.cell.shapes));
-    std::printf("wrote two_stage_ota.svg\n");
+    layout::writeFile(layout::outputPath("two_stage_ota.svg"),
+                      layout::toSvg(lay.cell.shapes));
+    std::printf("wrote %s\n", layout::outputPath("two_stage_ota.svg").c_str());
   }
 }
 

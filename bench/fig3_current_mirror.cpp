@@ -5,7 +5,7 @@
 //   * dummies at the row ends,
 //   * electromigration-sized wires and contact counts for the high current
 //     densities the paper assumes.
-// Writes fig3_current_mirror.svg / .cif next to the binary.
+// Writes fig3_current_mirror.svg / .cif under examples/out/.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -94,9 +94,10 @@ void printFigure3() {
   const auto violations = runDrc(t, cell.shapes);
   std::printf("DRC: %zu violations\n", violations.size());
 
-  writeFile("fig3_current_mirror.svg", toSvg(cell.shapes));
-  writeFile("fig3_current_mirror.cif", toCif(cell.shapes, "FIG3MIRROR"));
-  std::printf("wrote fig3_current_mirror.svg / .cif (%lld x %lld um)\n",
+  writeFile(outputPath("fig3_current_mirror.svg"), toSvg(cell.shapes));
+  writeFile(outputPath("fig3_current_mirror.cif"), toCif(cell.shapes, "FIG3MIRROR"));
+  std::printf("wrote %s / .cif (%lld x %lld um)\n",
+              outputPath("fig3_current_mirror.svg").c_str(),
               static_cast<long long>(cell.bbox().width() / 1000),
               static_cast<long long>(cell.bbox().height() / 1000));
 }

@@ -4,7 +4,7 @@
 // physical layout, and reports what the paper's figure shows: the Fig. 5
 // floorplan, drains on internal diffusions everywhere, the common-centroid
 // input pair with end dummies, and the floating well of the pair.  Writes
-// fig5_ota_layout.svg / .cif next to the binary.
+// fig5_ota_layout.svg / .cif under examples/out/.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -76,9 +76,11 @@ void printFigure5() {
   std::printf("\nDRC: %zu violations (%zu shorts) over %zu shapes\n", violations.size(),
               shorts, lay.cell.shapes.size());
 
-  layout::writeFile("fig5_ota_layout.svg", layout::toSvg(lay.cell.shapes));
-  layout::writeFile("fig5_ota_layout.cif", layout::toCif(lay.cell.shapes, "FIG5OTA"));
-  std::printf("wrote fig5_ota_layout.svg / .cif\n");
+  layout::writeFile(layout::outputPath("fig5_ota_layout.svg"),
+                    layout::toSvg(lay.cell.shapes));
+  layout::writeFile(layout::outputPath("fig5_ota_layout.cif"),
+                    layout::toCif(lay.cell.shapes, "FIG5OTA"));
+  std::printf("wrote %s / .cif\n", layout::outputPath("fig5_ota_layout.svg").c_str());
 }
 
 void BM_OtaLayoutParasiticMode(benchmark::State& state) {

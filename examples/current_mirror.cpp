@@ -70,9 +70,10 @@ int main(int argc, char** argv) {
   std::printf("DRC: %zu violations\n", violations.size());
   if (!violations.empty()) std::printf("%s", formatViolations(violations).c_str());
 
-  writeFile("current_mirror.svg", toSvg(cell.shapes));
-  writeFile("current_mirror.cif", toCif(cell.shapes, "MIRROR"));
-  std::printf("wrote current_mirror.svg / .cif (%.1f x %.1f um)\n",
+  writeFile(outputPath("current_mirror.svg"), toSvg(cell.shapes));
+  writeFile(outputPath("current_mirror.cif"), toCif(cell.shapes, "MIRROR"));
+  std::printf("wrote %s / .cif (%.1f x %.1f um)\n",
+              outputPath("current_mirror.svg").c_str(),
               cell.bbox().width() / 1e3, cell.bbox().height() / 1e3);
   return violations.empty() ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 // Prints the complete Table-1-style report (synthesised vs extracted
 // simulation), the convergence history, the extracted netlist, and, with
 // --mc N, a Monte-Carlo mismatch analysis.  Writes ota_<case>.svg/.cif and
-// ota_<case>.sp.
+// ota_<case>.sp under examples/out/.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
   }
 
   // Artifacts: layout views and the extracted netlist.
-  const std::string base = std::string("ota_") + caseName;
+  const std::string base = layout::outputPath(std::string("ota_") + caseName);
   layout::writeFile(base + ".svg", layout::toSvg(lay.cell.shapes));
   layout::writeFile(base + ".cif", layout::toCif(lay.cell.shapes, "OTA"));
   layout::writeFile(base + ".gds", layout::toGds(lay.cell.shapes, "OTA"));

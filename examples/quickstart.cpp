@@ -57,8 +57,10 @@ int main() {
   row("Power (mW)", result.predicted.powerMw, result.measured.powerMw);
 
   // 5. The physical layout.
-  layout::writeFile("quickstart_ota.svg", layout::toSvg(result.layout.cell.shapes));
-  std::printf("\nlayout: %.1f x %.1f um, written to quickstart_ota.svg\n",
-              result.layout.width / 1e3, result.layout.height / 1e3);
+  const std::string svgPath = layout::outputPath("quickstart_ota.svg");
+  layout::writeFile(svgPath, layout::toSvg(result.layout.cell.shapes));
+  std::printf("\nlayout: %.1f x %.1f um, written to %s\n",
+              result.layout.width / 1e3, result.layout.height / 1e3,
+              svgPath.c_str());
   return 0;
 }

@@ -45,8 +45,9 @@ int main() {
   evaluate(t10, specs);
 
   // Technology-file round trip: everything the tools need is plain text.
-  layout::writeFile("generic060.tech", t06.toText());
-  const tech::Technology reloaded = tech::Technology::fromFile("generic060.tech");
+  const std::string techPath = layout::outputPath("generic060.tech");
+  layout::writeFile(techPath, t06.toText());
+  const tech::Technology reloaded = tech::Technology::fromFile(techPath);
   std::printf("\nwrote generic060.tech and reloaded it: name=%s, nmos vto=%.2f V, "
               "metal1 min width=%lld nm\n",
               reloaded.name.c_str(), reloaded.nmos.vto,

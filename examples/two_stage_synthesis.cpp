@@ -4,7 +4,7 @@
 //
 //   $ ./two_stage_synthesis [--gbw MHz] [--case 1..4]
 //
-// Writes two_stage.svg/.gds and the extracted netlist two_stage.sp.
+// Writes two_stage.svg/.gds and the extracted netlist two_stage.sp under examples/out/.
 #include <cstdio>
 #include <string>
 
@@ -70,16 +70,17 @@ int main(int argc, char** argv) {
     std::printf("\n%s", sim::opReport(tb, sim.dcOperatingPoint()).c_str());
   }
 
-  layout::writeFile("two_stage.svg", layout::toSvg(lay.cell.shapes));
-  layout::writeFile("two_stage.gds", layout::toGds(lay.cell.shapes, "TWOSTAGE"));
+  const std::string base = layout::outputPath("two_stage");
+  layout::writeFile(base + ".svg", layout::toSvg(lay.cell.shapes));
+  layout::writeFile(base + ".gds", layout::toGds(lay.cell.shapes, "TWOSTAGE"));
   {
     circuit::Circuit netlist;
     netlist.title = "extracted two-stage Miller OTA";
     circuit::instantiateTwoStage(netlist, topology.extractedDesign());
     layout::annotateCircuit(netlist, lay.parasitics);
-    layout::writeFile("two_stage.sp", circuit::writeNetlist(netlist));
+    layout::writeFile(base + ".sp", circuit::writeNetlist(netlist));
   }
-  std::printf("\nwrote two_stage.svg / .gds / .sp (layout %.1f x %.1f um)\n",
-              lay.width / 1e3, lay.height / 1e3);
+  std::printf("\nwrote %s.svg / .gds / .sp (layout %.1f x %.1f um)\n",
+              base.c_str(), lay.width / 1e3, lay.height / 1e3);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace lo::core {
@@ -47,6 +48,22 @@ EngineResult SynthesisEngine::run(const sizing::OtaSpecs& specs) const {
 
 EngineResult SynthesisEngine::run(Topology& topology,
                                   const sizing::OtaSpecs& specs) const {
+  const EngineHooks& hooks = options_.hooks;
+  const auto checkCancel = [&hooks] {
+    if (hooks.cancelRequested && hooks.cancelRequested()) throw JobCancelled();
+  };
+  const auto timed = [&hooks](EngineStage stage, auto&& body) {
+    if (!hooks.onStage) {
+      body();
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    hooks.onStage(stage, std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+  };
+
   EngineResult result;
   result.criticalNets = topology.criticalNets();
 
@@ -54,14 +71,19 @@ EngineResult SynthesisEngine::run(Topology& topology,
 
   // First sizing: "one fold per transistor, only diffusion capacitances"
   // (cases 2-4) or no layout caps at all (case 1).
-  topology.size(specs, policy);
+  checkCancel();
+  timed(EngineStage::kSizing, [&] { topology.size(specs, policy); });
 
   if (usesLayoutFeedback(options_.sizingCase)) {
     // Sizing <-> layout loop in parasitic calculation mode, until the
     // critical-net capacitances remain unchanged.
     std::vector<double> prev;
     for (int call = 1; call <= options_.maxLayoutCalls; ++call) {
-      const layout::ParasiticReport& report = topology.layoutParasitic();
+      checkCancel();
+      const layout::ParasiticReport* reportPtr = nullptr;
+      timed(EngineStage::kParasiticLayout,
+            [&] { reportPtr = &topology.layoutParasitic(); });
+      const layout::ParasiticReport& report = *reportPtr;
       ++result.layoutCalls;
 
       EngineIteration it;
@@ -81,17 +103,23 @@ EngineResult SynthesisEngine::run(Topology& topology,
       prev = it.netCaps;
 
       // Feed the layout knowledge back into the sizing policy and resize.
+      checkCancel();
       topology.feedback(policy, options_.sizingCase == SizingCase::kCase4);
-      topology.size(specs, policy);
+      timed(EngineStage::kSizing, [&] { topology.size(specs, policy); });
     }
   }
 
   // Generation mode, extraction and verification-by-simulation: always with
   // every parasitic, whatever the sizing case (Table 1's bracket column).
-  topology.prepareGeneration(options_.includeBiasGenerator);
-  topology.layoutGenerate();
-  topology.applyExtracted();
-  result.measured = topology.verify(options_.verifyOptions);
+  checkCancel();
+  timed(EngineStage::kGeneration, [&] {
+    topology.prepareGeneration(options_.includeBiasGenerator);
+    topology.layoutGenerate();
+  });
+  timed(EngineStage::kExtraction, [&] { topology.applyExtracted(); });
+  checkCancel();
+  timed(EngineStage::kVerification,
+        [&] { result.measured = topology.verify(options_.verifyOptions); });
   result.predicted = topology.predicted();
   return result;
 }

@@ -16,13 +16,55 @@
 // thin wrappers over this engine that preserve the original result types.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/topology.hpp"
 
 namespace lo::core {
+
+/// The pipeline stages the engine reports to EngineHooks::onStage.
+enum class EngineStage {
+  kSizing,           ///< A size() pass (design-plan run).
+  kParasiticLayout,  ///< A parasitic-calculation-mode layout call.
+  kGeneration,       ///< Generation-mode layout (full mask geometry).
+  kExtraction,       ///< Extracted geometry applied back onto the design.
+  kVerification,     ///< Verification-by-simulation.
+};
+
+[[nodiscard]] constexpr const char* engineStageName(EngineStage s) {
+  switch (s) {
+    case EngineStage::kSizing: return "sizing";
+    case EngineStage::kParasiticLayout: return "parasitic_layout";
+    case EngineStage::kGeneration: return "generation";
+    case EngineStage::kExtraction: return "extraction";
+    case EngineStage::kVerification: return "verification";
+  }
+  return "?";
+}
+
+/// Thrown by the engine when EngineHooks::cancelRequested returns true
+/// between stages; callers (the job scheduler) map it to a cancelled /
+/// deadline-expired outcome.
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled() : std::runtime_error("synthesis job cancelled") {}
+};
+
+/// Optional observation and control hooks threaded through a run.  Both
+/// callbacks may be invoked from whichever thread runs the engine; neither
+/// influences the numerical result, so hooked and hook-free runs stay
+/// bit-identical.
+struct EngineHooks {
+  /// Polled before every pipeline stage (and every layout-loop iteration);
+  /// returning true aborts the run with JobCancelled.
+  std::function<bool()> cancelRequested;
+  /// Called after each stage with its wall-clock duration in seconds.
+  std::function<void(EngineStage, double)> onStage;
+};
 
 enum class SizingCase {
   kCase1,  ///< No layout capacitance during sizing (neither diffusion nor routing).
@@ -60,6 +102,9 @@ struct EngineOptions {
   /// parasitics count as "unchanged".
   double convergenceTol = 0.02;
   sizing::VerifyOptions verifyOptions;
+  /// Cancellation / stage-timing hooks (not part of a job's identity: the
+  /// service-layer cache key deliberately ignores them).
+  EngineHooks hooks;
 };
 
 /// One sizing <-> layout iteration, for the convergence study.

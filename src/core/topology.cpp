@@ -26,6 +26,11 @@ TopologyRegistry& TopologyRegistry::instance() {
 
 void TopologyRegistry::add(const std::string& name, Factory factory) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (factories_.count(name) != 0) {
+    throw std::invalid_argument("topology \"" + name +
+                                "\" is already registered; duplicate "
+                                "registrations are rejected");
+  }
   factories_[name] = std::move(factory);
 }
 

@@ -95,7 +95,8 @@ class TopologyRegistry {
   /// The process-wide registry (thread safe).
   [[nodiscard]] static TopologyRegistry& instance();
 
-  /// Register (or replace) a factory under `name`.
+  /// Register a factory under `name`; throws std::invalid_argument when the
+  /// name is already taken (silent replacement hid registration clashes).
   void add(const std::string& name, Factory factory);
 
   /// Instantiate a registered topology; throws std::invalid_argument

@@ -1,6 +1,8 @@
 #include "layout/writers.hpp"
 
 #include <array>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -256,6 +258,15 @@ void writeFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   out << content;
+}
+
+std::string outputPath(const std::string& name) {
+  const char* env = std::getenv("LOS_OUT_DIR");
+  const std::filesystem::path dir = (env != nullptr && *env != '\0')
+                                        ? std::filesystem::path(env)
+                                        : std::filesystem::path("examples/out");
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
 }
 
 }  // namespace lo::layout

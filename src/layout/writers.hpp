@@ -33,4 +33,10 @@ namespace lo::layout {
 /// Write a string to a file; throws std::runtime_error on failure.
 void writeFile(const std::string& path, const std::string& content);
 
+/// Where examples and benches put generated artifacts (SVG/CIF/GDS/SPICE):
+/// $LOS_OUT_DIR if set, else "examples/out".  Creates the directory on
+/// first use and returns "<dir>/<name>", keeping generated files out of
+/// the source tree.
+[[nodiscard]] std::string outputPath(const std::string& name);
+
 }  // namespace lo::layout

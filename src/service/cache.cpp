@@ -1,0 +1,173 @@
+#include "service/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "service/serialize.hpp"
+
+namespace lo::service {
+
+namespace {
+
+/// Bumped whenever the canonical text or the stored JSON layout changes,
+/// so stale disk entries miss instead of misparsing.
+constexpr int kCacheSchemaVersion = 1;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string CacheOptions::defaultDiskDir() {
+  if (const char* dir = std::getenv("LOS_CACHE_DIR")) return dir;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME")) {
+    return std::string(xdg) + "/lo_service";
+  }
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.cache/lo_service";
+  }
+  return ".lo_service_cache";
+}
+
+ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (!options_.diskDir.empty()) {
+    std::filesystem::create_directories(options_.diskDir);
+  }
+}
+
+std::uint64_t ResultCache::fnv1a(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string ResultCache::techFingerprint(const tech::Technology& t) {
+  return hex64(fnv1a(t.toText()));
+}
+
+std::string ResultCache::canonicalText(const core::EngineOptions& options,
+                                       const sizing::OtaSpecs& specs,
+                                       tech::ProcessCorner corner,
+                                       const std::string& techPrint) {
+  const auto num = [](double v) { return Json::formatNumber(v); };
+  std::ostringstream out;
+  out << "v" << kCacheSchemaVersion
+      << "|topology=" << options.topology
+      << "|case=" << core::sizingCaseName(options.sizingCase)
+      << "|model=" << options.modelName
+      << "|bias=" << (options.includeBiasGenerator ? 1 : 0)
+      << "|max_layout_calls=" << options.maxLayoutCalls
+      << "|tol=" << num(options.convergenceTol);
+  const sizing::VerifyOptions& v = options.verifyOptions;
+  out << "|verify=" << num(v.fStart) << "," << num(v.fStop) << ","
+      << v.pointsPerDecade << "," << num(v.tranStep) << "," << num(v.tranStop)
+      << "," << num(v.stepAmplitude);
+  out << "|spec=" << num(specs.vdd) << "," << num(specs.gbw) << ","
+      << num(specs.phaseMarginDeg) << "," << num(specs.cload) << ","
+      << num(specs.inputCmLow) << "," << num(specs.inputCmHigh) << ","
+      << num(specs.outputLow) << "," << num(specs.outputHigh);
+  out << "|corner=" << tech::cornerName(corner) << "|tech=" << techPrint;
+  return out.str();
+}
+
+std::string ResultCache::keyFor(const core::EngineOptions& options,
+                                const sizing::OtaSpecs& specs,
+                                tech::ProcessCorner corner,
+                                const std::string& techPrint) {
+  return hex64(fnv1a(canonicalText(options, specs, corner, techPrint)));
+}
+
+std::optional<core::EngineResult> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+    ++stats_.hits;
+    return it->second->second;
+  }
+  if (!options_.diskDir.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(options_.diskDir) / (key + ".json");
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        core::EngineResult result = resultFromJson(Json::parse(text.str()));
+        insertLocked(key, result);
+        ++stats_.hits;
+        ++stats_.diskHits;
+        return result;
+      } catch (const std::exception&) {
+        // Corrupt / stale entry: treat as a miss and let the insert
+        // overwrite it.
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const std::string& key, const core::EngineResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  insertLocked(key, result);
+  if (!options_.diskDir.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(options_.diskDir) / (key + ".json");
+    // Write-then-rename so a concurrent reader never sees a half file.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << toJson(result).dump() << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec) ++stats_.diskWrites;
+  }
+}
+
+void ResultCache::insertLocked(const std::string& key,
+                               const core::EngineResult& result) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  index_[key] = lru_.begin();
+  ++stats_.inserts;
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace lo::service

@@ -1,0 +1,101 @@
+#include "service/metrics.hpp"
+
+namespace lo::service {
+
+void ServiceMetrics::onSubmit() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.submitted;
+}
+
+void ServiceMetrics::onRetry() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.retries;
+}
+
+void ServiceMetrics::onCoalesced() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.coalesced;
+}
+
+void ServiceMetrics::onFinish(const std::string& state, const JobTrace& trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state == "done") ++data_.completed;
+  else if (state == "failed") ++data_.failed;
+  else if (state == "cancelled") ++data_.cancelled;
+  else if (state == "expired") ++data_.expired;
+  data_.totalQueueSeconds += trace.queueSeconds;
+  data_.totalRunSeconds += trace.runSeconds;
+  for (const StageTiming& st : trace.stages) {
+    data_.stageSeconds[st.stage] += st.seconds;
+    ++data_.stageCalls[st.stage];
+  }
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
+                   std::size_t queueDepth, std::size_t running, int workers) {
+  Json jobs = Json::object();
+  jobs.set("submitted", m.submitted);
+  jobs.set("completed", m.completed);
+  jobs.set("failed", m.failed);
+  jobs.set("cancelled", m.cancelled);
+  jobs.set("expired", m.expired);
+  jobs.set("retries", m.retries);
+  jobs.set("coalesced", m.coalesced);
+  jobs.set("total_queue_seconds", m.totalQueueSeconds);
+  jobs.set("total_run_seconds", m.totalRunSeconds);
+
+  Json stages = Json::object();
+  for (const auto& [stage, seconds] : m.stageSeconds) {
+    Json entry = Json::object();
+    entry.set("seconds", seconds);
+    const auto calls = m.stageCalls.find(stage);
+    entry.set("calls", calls == m.stageCalls.end() ? 0 : calls->second);
+    stages.set(stage, std::move(entry));
+  }
+
+  Json cacheJson = Json::object();
+  cacheJson.set("hits", cache.hits);
+  cacheJson.set("misses", cache.misses);
+  cacheJson.set("inserts", cache.inserts);
+  cacheJson.set("evictions", cache.evictions);
+  cacheJson.set("disk_hits", cache.diskHits);
+  cacheJson.set("disk_writes", cache.diskWrites);
+
+  Json out = Json::object();
+  out.set("jobs", std::move(jobs));
+  out.set("stages", std::move(stages));
+  out.set("cache", std::move(cacheJson));
+  out.set("queue_depth", static_cast<std::uint64_t>(queueDepth));
+  out.set("running", static_cast<std::uint64_t>(running));
+  out.set("workers", workers);
+  return out;
+}
+
+Json traceToJson(std::uint64_t id, const std::string& label,
+                 const std::string& state, bool cacheHit, int attempts,
+                 const JobTrace& trace) {
+  Json out = Json::object();
+  out.set("id", id);
+  out.set("label", label);
+  out.set("state", state);
+  out.set("cache_hit", cacheHit);
+  out.set("attempts", attempts);
+  out.set("queue_seconds", trace.queueSeconds);
+  out.set("run_seconds", trace.runSeconds);
+  Json stages = Json::array();
+  for (const StageTiming& st : trace.stages) {
+    Json entry = Json::object();
+    entry.set("stage", st.stage);
+    entry.set("seconds", st.seconds);
+    stages.push(std::move(entry));
+  }
+  out.set("stages", std::move(stages));
+  return out;
+}
+
+}  // namespace lo::service

@@ -1,0 +1,76 @@
+// Observability for the job service: aggregate counters, per-stage time
+// totals and per-job traces, exported as a JSON snapshot (the `stats`
+// protocol op) and an optional append-only trace log (one JSON line per
+// finished job).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/json.hpp"
+
+namespace lo::service {
+
+/// One timed engine stage inside a job (EngineHooks::onStage events, in
+/// call order; stages repeat across loop iterations).
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// Per-job timing record, kept on the job and summarised into the metrics.
+struct JobTrace {
+  double queueSeconds = 0.0;  ///< Submission -> first pop.
+  double runSeconds = 0.0;    ///< Pop -> terminal state (all attempts).
+  std::vector<StageTiming> stages;
+};
+
+/// Aggregate counters snapshot.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< Reached kDone (cache hits included).
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t retries = 0;    ///< Transient-failure re-runs.
+  std::uint64_t coalesced = 0;  ///< Duplicates served by an in-flight leader.
+  double totalQueueSeconds = 0.0;
+  double totalRunSeconds = 0.0;
+  /// Summed wall-clock and call count per engine stage name.
+  std::map<std::string, double> stageSeconds;
+  std::map<std::string, std::uint64_t> stageCalls;
+};
+
+class ServiceMetrics {
+ public:
+  void onSubmit();
+  void onRetry();
+  void onCoalesced();
+  /// `state` uses the scheduler's terminal-state names ("done", "failed",
+  /// "cancelled", "expired").
+  void onFinish(const std::string& state, const JobTrace& trace);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+/// The `stats` response body: scheduler counters + cache counters + live
+/// queue figures, all under stable snake_case keys (documented in
+/// DESIGN.md "Service architecture").
+[[nodiscard]] Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
+                                 std::size_t queueDepth, std::size_t running,
+                                 int workers);
+
+/// One trace-log line for a finished job.
+[[nodiscard]] Json traceToJson(std::uint64_t id, const std::string& label,
+                               const std::string& state, bool cacheHit,
+                               int attempts, const JobTrace& trace);
+
+}  // namespace lo::service

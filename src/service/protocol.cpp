@@ -1,0 +1,171 @@
+#include "service/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "core/topology.hpp"
+#include "service/serialize.hpp"
+
+namespace lo::service {
+
+namespace {
+
+Json errorResponse(const std::string& why) {
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", why);
+  return out;
+}
+
+}  // namespace
+
+std::string ServiceProtocol::handleLine(const std::string& line) {
+  Json response;
+  try {
+    response = handle(Json::parse(line));
+  } catch (const std::exception& e) {
+    response = errorResponse(e.what());
+  }
+  return response.dump();
+}
+
+void ServiceProtocol::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_ && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handleLine(line) << "\n" << std::flush;
+  }
+}
+
+Json ServiceProtocol::handle(const Json& request) {
+  if (!request.isObject()) return errorResponse("request must be a JSON object");
+  const std::string op = request.at("op").asString();
+  if (op == "synthesize") return handleSynthesize(request);
+  if (op == "sweep") return handleSweep(request);
+  if (op == "stats") return handleStats();
+  if (op == "wait") {
+    const std::uint64_t id = request.at("id").asUint64();
+    if (id == 0) return errorResponse("\"wait\" needs a numeric \"id\"");
+    return outcomeJson(scheduler_.wait(id), request.at("trace").asBool());
+  }
+  if (op == "cancel") {
+    const std::uint64_t id = request.at("id").asUint64();
+    if (id == 0) return errorResponse("\"cancel\" needs a numeric \"id\"");
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("id", id);
+    out.set("cancelled", scheduler_.cancel(id));
+    return out;
+  }
+  if (op == "topologies") {
+    Json names = Json::array();
+    for (const std::string& name : core::TopologyRegistry::instance().names()) {
+      names.push(name);
+    }
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("topologies", std::move(names));
+    return out;
+  }
+  if (op == "shutdown") {
+    shutdown_ = true;
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("shutting_down", true);
+    return out;
+  }
+  return errorResponse("unknown op \"" + op +
+                       "\" (synthesize, sweep, wait, cancel, stats, topologies, "
+                       "shutdown)");
+}
+
+JobRequest ServiceProtocol::parseJob(const Json& request) const {
+  JobRequest job;
+  job.label = request.at("label").asString();
+  if (const Json* topology = request.find("topology")) {
+    job.options.topology = topology->asString();
+  }
+  if (const Json* sizingCase = request.find("case")) {
+    job.options.sizingCase = sizingCaseFromJson(*sizingCase);
+  }
+  if (const Json* model = request.find("model")) {
+    job.options.modelName = model->asString();
+  }
+  if (const Json* bias = request.find("bias")) {
+    job.options.includeBiasGenerator = bias->asBool();
+  }
+  if (const Json* spec = request.find("spec")) specsFromJson(*spec, job.specs);
+  if (const Json* corner = request.find("corner")) {
+    job.corner = cornerFromName(corner->asString());
+  }
+  job.priority = request.at("priority").asInt();
+  job.deadlineSeconds = request.at("deadline_seconds").asDouble();
+  job.maxRetries = request.at("max_retries").asInt();
+  job.bypassCache = request.at("no_cache").asBool();
+  return job;
+}
+
+Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) const {
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("id", status.id);
+  if (!status.label.empty()) out.set("label", status.label);
+  out.set("state", jobStateName(status.state));
+  out.set("cache_hit", status.cacheHit);
+  if (status.coalesced) out.set("coalesced", true);
+  if (status.state == JobState::kDone) {
+    out.set("result", toJson(status.result));
+  } else if (!status.error.empty()) {
+    out.set("error", status.error);
+  }
+  if (includeTrace) {
+    out.set("trace", traceToJson(status.id, status.label,
+                                 jobStateName(status.state), status.cacheHit,
+                                 status.attempts, status.trace));
+  }
+  return out;
+}
+
+Json ServiceProtocol::handleSynthesize(const Json& request) {
+  const JobRequest job = parseJob(request);
+  const std::uint64_t id = scheduler_.submit(job);
+  if (request.at("async").asBool()) {
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("id", id);
+    out.set("state", "queued");
+    return out;
+  }
+  return outcomeJson(scheduler_.wait(id), request.at("trace").asBool());
+}
+
+Json ServiceProtocol::handleSweep(const Json& request) {
+  const Json* jobsField = request.find("jobs");
+  if (jobsField == nullptr || !jobsField->isArray()) {
+    return errorResponse("\"sweep\" needs a \"jobs\" array");
+  }
+  std::vector<JobRequest> jobs;
+  jobs.reserve(jobsField->items().size());
+  for (const Json& entry : jobsField->items()) jobs.push_back(parseJob(entry));
+  const std::vector<JobStatus> statuses = scheduler_.runBatch(jobs);
+  const bool includeTrace = request.at("trace").asBool();
+  Json outcomes = Json::array();
+  for (const JobStatus& status : statuses) {
+    outcomes.push(outcomeJson(status, includeTrace));
+  }
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("outcomes", std::move(outcomes));
+  return out;
+}
+
+Json ServiceProtocol::handleStats() const {
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("stats", metricsToJson(scheduler_.metrics(), scheduler_.cacheStats(),
+                                 scheduler_.queueDepth(), scheduler_.runningCount(),
+                                 scheduler_.workerCount()));
+  return out;
+}
+
+}  // namespace lo::service

@@ -1,0 +1,53 @@
+// The losynthd wire protocol: one JSON object per input line, one JSON
+// object per output line, so any language with a JSON library can drive
+// the synthesis flow over a pipe without linking C++.
+//
+// Ops (field "op"):
+//   synthesize  run (or cache-serve) one job; {"async":true} returns the
+//               job id immediately instead of blocking
+//   wait        block until an async job finishes and return its outcome
+//   cancel      cancel a queued/running job by id
+//   sweep       submit a list of jobs and return outcomes in order
+//   stats       scheduler + cache metrics snapshot (metrics.hpp schema)
+//   topologies  registered topology names
+//   shutdown    acknowledge and stop the read loop
+//
+// Every response carries "ok"; failures put a human-readable reason in
+// "error" and never kill the daemon.  See README.md for a request /
+// response example and DESIGN.md for the full schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/scheduler.hpp"
+
+namespace lo::service {
+
+class ServiceProtocol {
+ public:
+  explicit ServiceProtocol(JobScheduler& scheduler) : scheduler_(scheduler) {}
+
+  /// Handle one request line; always returns a single-line JSON response.
+  [[nodiscard]] std::string handleLine(const std::string& line);
+
+  /// True once a shutdown request has been acknowledged.
+  [[nodiscard]] bool shutdownRequested() const { return shutdown_; }
+
+  /// Serve line-by-line until EOF or shutdown; flushes after every line.
+  void serve(std::istream& in, std::ostream& out);
+
+ private:
+  [[nodiscard]] Json handle(const Json& request);
+  [[nodiscard]] Json handleSynthesize(const Json& request);
+  [[nodiscard]] Json handleSweep(const Json& request);
+  [[nodiscard]] Json handleStats() const;
+  /// Parse the shared job fields of a synthesize/sweep entry.
+  [[nodiscard]] JobRequest parseJob(const Json& request) const;
+  [[nodiscard]] Json outcomeJson(const JobStatus& status, bool includeTrace) const;
+
+  JobScheduler& scheduler_;
+  bool shutdown_ = false;
+};
+
+}  // namespace lo::service

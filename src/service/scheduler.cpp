@@ -1,0 +1,349 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+namespace lo::service {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(tech::Technology baseTech, SchedulerOptions options)
+    : baseTech_(std::move(baseTech)),
+      techPrint_(ResultCache::techFingerprint(baseTech_)),
+      options_(std::move(options)),
+      cache_(options_.cache) {
+  if (!options_.traceLogPath.empty()) {
+    traceLog_.open(options_.traceLogPath, std::ios::app);
+  }
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Queued and parked jobs will never run; running jobs are asked to
+    // abort at their next cancellation poll.
+    for (auto& [id, rec] : jobs_) {
+      if (rec->state == JobState::kQueued) {
+        ready_.erase({-rec->request.priority, id});
+        finishLocked(rec, JobState::kCancelled, "scheduler shut down");
+      } else if (rec->state == JobState::kRunning) {
+        rec->cancelRequested = true;
+      }
+    }
+    waiters_.clear();
+  }
+  workCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::uint64_t JobScheduler::submit(JobRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) throw std::runtime_error("scheduler is shutting down");
+  if (queued_ >= options_.maxQueueDepth) throw QueueFullError(queued_);
+
+  auto rec = std::make_shared<JobRecord>();
+  rec->id = nextId_++;
+  rec->request = std::move(request);
+  rec->submitted = Clock::now();
+  if (rec->request.deadlineSeconds > 0) {
+    rec->hasDeadline = true;
+    rec->deadline = rec->submitted + std::chrono::duration_cast<Clock::duration>(
+                                         std::chrono::duration<double>(
+                                             rec->request.deadlineSeconds));
+  }
+  if (!rec->request.bypassCache) {
+    rec->cacheKey = ResultCache::keyFor(rec->request.options, rec->request.specs,
+                                        rec->request.corner, techPrint_);
+  }
+  const std::uint64_t id = rec->id;
+  const int priority = rec->request.priority;
+  jobs_.emplace(id, std::move(rec));
+  ready_.insert({-priority, id});
+  ++queued_;
+  metrics_.onSubmit();
+  workCv_.notify_one();
+  return id;
+}
+
+void JobScheduler::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    workCv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+
+    const auto it = ready_.begin();
+    const std::uint64_t id = it->second;
+    ready_.erase(it);
+    if (queued_ > 0) --queued_;
+    const RecordPtr rec = jobs_.at(id);
+    rec->trace.queueSeconds = secondsSince(rec->submitted);
+
+    if (rec->cancelRequested) {
+      finishLocked(rec, JobState::kCancelled, "cancelled before start");
+      continue;
+    }
+    if (deadlinePassed(*rec)) {
+      finishLocked(rec, JobState::kExpired, "deadline expired before start");
+      continue;
+    }
+
+    if (!rec->cacheKey.empty()) {
+      // Single-flight: if an identical job is already running, park this
+      // one until the leader publishes its result.
+      const auto leader = inflight_.find(rec->cacheKey);
+      if (leader != inflight_.end()) {
+        waiters_[rec->cacheKey].push_back(id);
+        ++queued_;
+        rec->coalesced = true;
+        metrics_.onCoalesced();
+        continue;
+      }
+      inflight_[rec->cacheKey] = id;
+    }
+
+    rec->state = JobState::kRunning;
+    ++running_;
+    runJob(rec, lock);  // Unlocks for the engine run, relocks before returning.
+  }
+}
+
+void JobScheduler::runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lock) {
+  const JobRequest request = rec->request;  // Stable copy for unlocked use.
+  const std::string key = rec->cacheKey;
+  lock.unlock();
+
+  const auto runStart = Clock::now();
+  enum class Outcome { kOk, kFailed, kAborted } outcome = Outcome::kFailed;
+  core::EngineResult result;
+  std::string error;
+  bool fromCache = false;
+  std::vector<StageTiming> stages;
+
+  if (!key.empty()) {
+    if (std::optional<core::EngineResult> hit = cache_.lookup(key)) {
+      result = std::move(*hit);
+      fromCache = true;
+      outcome = Outcome::kOk;
+    }
+  }
+
+  if (!fromCache) {
+    core::EngineOptions engineOptions = request.options;
+    engineOptions.hooks.cancelRequested = [this, rec] {
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        if (rec->cancelRequested) return true;
+      }
+      return deadlinePassed(*rec);
+    };
+    engineOptions.hooks.onStage = [&stages, upstream = request.options.hooks.onStage](
+                                      core::EngineStage stage, double seconds) {
+      stages.push_back({core::engineStageName(stage), seconds});
+      if (upstream) upstream(stage, seconds);
+    };
+
+    for (int attempt = 1;; ++attempt) {
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        rec->attempts = attempt;
+      }
+      try {
+        if (options_.preRunHook) options_.preRunHook(request, attempt);
+        // SweepDriver's isolation pattern: a private Technology at the
+        // job's corner and a private MosModel inside the engine.
+        const tech::Technology jobTech = baseTech_.atCorner(request.corner);
+        const core::SynthesisEngine engine(jobTech, engineOptions);
+        result = engine.run(request.specs);
+        outcome = Outcome::kOk;
+      } catch (const core::JobCancelled&) {
+        outcome = Outcome::kAborted;
+      } catch (const TransientError& e) {
+        if (attempt <= request.maxRetries) {
+          metrics_.onRetry();
+          continue;
+        }
+        error = std::string("transient failure, retries exhausted: ") + e.what();
+        outcome = Outcome::kFailed;
+      } catch (const std::exception& e) {
+        error = e.what();
+        outcome = Outcome::kFailed;
+      }
+      break;
+    }
+
+    if (outcome == Outcome::kOk && !key.empty()) {
+      cache_.insert(key, result);  // Disk write-through stays off the lock.
+    }
+  }
+
+  lock.lock();
+  rec->trace.runSeconds = secondsSince(runStart);
+  rec->trace.stages = std::move(stages);
+  rec->cacheHit = fromCache;
+  if (outcome == Outcome::kOk) {
+    rec->result = result;
+    finishLocked(rec, JobState::kDone, "");
+    if (!key.empty()) {
+      inflight_.erase(key);
+      completeWaitersLocked(key, result);
+    }
+  } else {
+    if (outcome == Outcome::kAborted) {
+      // The engine aborted via the cancellation hook: distinguish an
+      // explicit cancel from a deadline expiry.
+      const JobState state = rec->cancelRequested ? JobState::kCancelled
+                                                  : JobState::kExpired;
+      finishLocked(rec, state,
+                   state == JobState::kExpired ? "deadline expired mid-run" : "");
+    } else {
+      finishLocked(rec, JobState::kFailed, error);
+    }
+    if (!key.empty()) {
+      inflight_.erase(key);
+      requeueWaitersLocked(key);
+    }
+  }
+}
+
+void JobScheduler::finishLocked(const RecordPtr& rec, JobState state,
+                                const std::string& error) {
+  if (isTerminal(rec->state)) return;
+  if (rec->state == JobState::kRunning && running_ > 0) --running_;
+  rec->state = state;
+  if (!error.empty()) rec->error = error;
+  metrics_.onFinish(jobStateName(state), rec->trace);
+  if (traceLog_.is_open()) {
+    const std::lock_guard<std::mutex> guard(traceMutex_);
+    traceLog_ << traceToJson(rec->id, rec->request.label, jobStateName(state),
+                             rec->cacheHit, rec->attempts, rec->trace)
+                     .dump()
+              << "\n";
+    traceLog_.flush();
+  }
+  doneCv_.notify_all();
+}
+
+void JobScheduler::completeWaitersLocked(const std::string& key,
+                                         const core::EngineResult& result) {
+  const auto it = waiters_.find(key);
+  if (it == waiters_.end()) return;
+  for (const std::uint64_t id : it->second) {
+    const auto found = jobs_.find(id);
+    if (found == jobs_.end()) continue;
+    const RecordPtr& rec = found->second;
+    if (isTerminal(rec->state)) continue;  // Cancelled while parked.
+    if (queued_ > 0) --queued_;
+    rec->cacheHit = true;
+    rec->result = result;
+    rec->trace.runSeconds = 0.0;
+    finishLocked(rec, JobState::kDone, "");
+  }
+  waiters_.erase(it);
+}
+
+void JobScheduler::requeueWaitersLocked(const std::string& key) {
+  const auto it = waiters_.find(key);
+  if (it == waiters_.end()) return;
+  // The leader produced no result: every parked duplicate goes back to the
+  // ready queue and runs (or coalesces again) on its own.
+  for (const std::uint64_t id : it->second) {
+    const auto found = jobs_.find(id);
+    if (found == jobs_.end() || isTerminal(found->second->state)) continue;
+    ready_.insert({-found->second->request.priority, id});
+  }
+  waiters_.erase(it);
+  workCv_.notify_all();
+}
+
+JobStatus JobScheduler::snapshotLocked(const JobRecord& rec) const {
+  JobStatus status;
+  status.id = rec.id;
+  status.label = rec.request.label;
+  status.state = rec.state;
+  status.cacheHit = rec.cacheHit;
+  status.coalesced = rec.coalesced;
+  status.attempts = rec.attempts;
+  status.error = rec.error;
+  status.result = rec.result;
+  status.trace = rec.trace;
+  return status;
+}
+
+JobStatus JobScheduler::wait(std::uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("unknown job id " + std::to_string(id));
+  }
+  const RecordPtr rec = it->second;
+  doneCv_.wait(lock, [&rec] { return isTerminal(rec->state); });
+  return snapshotLocked(*rec);
+}
+
+std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshotLocked(*it->second);
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const RecordPtr& rec = it->second;
+  if (isTerminal(rec->state)) return false;
+  rec->cancelRequested = true;
+  if (rec->state == JobState::kQueued) {
+    ready_.erase({-rec->request.priority, id});
+    if (!rec->cacheKey.empty()) {
+      const auto w = waiters_.find(rec->cacheKey);
+      if (w != waiters_.end()) {
+        w->second.erase(std::remove(w->second.begin(), w->second.end(), id),
+                        w->second.end());
+      }
+    }
+    if (queued_ > 0) --queued_;
+    finishLocked(rec, JobState::kCancelled, "cancelled before start");
+  }
+  return true;
+}
+
+std::vector<JobStatus> JobScheduler::runBatch(
+    const std::vector<JobRequest>& requests) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(requests.size());
+  for (const JobRequest& request : requests) ids.push_back(submit(request));
+  std::vector<JobStatus> statuses;
+  statuses.reserve(ids.size());
+  for (const std::uint64_t id : ids) statuses.push_back(wait(id));
+  return statuses;
+}
+
+std::size_t JobScheduler::queueDepth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t JobScheduler::runningCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+}  // namespace lo::service

@@ -1,0 +1,205 @@
+// JobScheduler: the request-serving shell over SynthesisEngine.
+//
+// A bounded submission queue feeds a worker pool; every job runs with the
+// SweepDriver's isolation pattern (a private Technology at the job's
+// corner, a private MosModel inside the engine), so workers share no
+// mutable engine state.  On top of the plain pool the scheduler adds what
+// a service needs and a batch driver does not:
+//
+//  * priorities -- higher runs first, FIFO within a priority class;
+//  * per-job deadlines -- expired jobs are dropped before they run, and a
+//    running job polls its deadline through EngineHooks::cancelRequested;
+//  * cancellation -- queued jobs die immediately, running jobs abort at
+//    the next engine cancellation poll;
+//  * retry-on-transient-failure -- a TransientError re-runs the job in
+//    place up to JobRequest::maxRetries times;
+//  * the content-addressed ResultCache -- a popped job first consults the
+//    cache, and identical jobs already running are *coalesced*: followers
+//    park until the leader finishes and then share its result, so a
+//    duplicate-heavy batch runs each distinct point exactly once;
+//  * metrics + per-job traces (metrics.hpp) for the `stats` op and the
+//    optional trace log.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+
+namespace lo::service {
+
+/// Thrown by backends for failures worth retrying (and by test hooks to
+/// exercise the retry path); any other exception fails the job at once.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by submit() when the queue is at SchedulerOptions::maxQueueDepth.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(std::size_t depth)
+      : std::runtime_error("job queue is full (" + std::to_string(depth) +
+                           " jobs queued)") {}
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled, kExpired };
+
+[[nodiscard]] constexpr const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool isTerminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kExpired;
+}
+
+struct JobRequest {
+  std::string label;  ///< Free-form tag echoed into status and traces.
+  core::EngineOptions options;
+  sizing::OtaSpecs specs;
+  tech::ProcessCorner corner = tech::ProcessCorner::kTypical;
+  int priority = 0;            ///< Higher runs first; FIFO within a class.
+  double deadlineSeconds = 0;  ///< From submission; 0 = no deadline.
+  int maxRetries = 0;          ///< Re-runs after a TransientError.
+  bool bypassCache = false;    ///< Force a fresh engine run (still inserts).
+};
+
+/// Snapshot of one job, returned by status()/wait().
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string label;
+  JobState state = JobState::kQueued;
+  bool cacheHit = false;   ///< Served from the cache (or a coalesced leader).
+  bool coalesced = false;  ///< Waited on an identical in-flight job.
+  int attempts = 0;        ///< Engine runs performed (0 for pure hits).
+  std::string error;       ///< Exception text for kFailed.
+  core::EngineResult result;  ///< Valid for kDone.
+  JobTrace trace;
+};
+
+struct SchedulerOptions {
+  int threads = 0;  ///< Worker cap; 0 picks hardware_concurrency().
+  std::size_t maxQueueDepth = 256;
+  CacheOptions cache;
+  /// Append one JSON line per finished job to this path (empty = off).
+  std::string traceLogPath;
+  /// Test seam: runs before every engine attempt (outside the scheduler
+  /// lock); may throw TransientError to exercise the retry path.
+  std::function<void(const JobRequest&, int attempt)> preRunHook;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(tech::Technology baseTech, SchedulerOptions options = {});
+  ~JobScheduler();  ///< Cancels queued jobs and joins the workers.
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueue a job; throws QueueFullError at maxQueueDepth.
+  std::uint64_t submit(JobRequest request);
+
+  /// Block until the job reaches a terminal state.
+  [[nodiscard]] JobStatus wait(std::uint64_t id) const;
+
+  /// Non-blocking snapshot; nullopt for an unknown id.
+  [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// Request cancellation.  Queued and parked jobs finish as kCancelled
+  /// immediately; a running job aborts at its next cancellation poll.
+  /// Returns false when the job is unknown or already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Convenience batch driver: submit everything, wait for everything,
+  /// return statuses in request order.
+  [[nodiscard]] std::vector<JobStatus> runBatch(const std::vector<JobRequest>& requests);
+
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] std::size_t queueDepth() const;
+  [[nodiscard]] std::size_t runningCount() const;
+  [[nodiscard]] int workerCount() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] const tech::Technology& baseTechnology() const { return baseTech_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct JobRecord {
+    std::uint64_t id = 0;
+    JobRequest request;
+    std::string cacheKey;
+    JobState state = JobState::kQueued;
+    bool cacheHit = false;
+    bool coalesced = false;
+    bool cancelRequested = false;  ///< Guarded by mutex_; polled via hooks.
+    int attempts = 0;
+    std::string error;
+    core::EngineResult result;
+    JobTrace trace;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  ///< == time_point() when none.
+    bool hasDeadline = false;
+  };
+  using RecordPtr = std::shared_ptr<JobRecord>;
+
+  void workerLoop();
+  void runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lock);
+  /// Terminal transition; notifies waiters, updates metrics, logs a trace.
+  void finishLocked(const RecordPtr& rec, JobState state, const std::string& error);
+  void completeWaitersLocked(const std::string& key, const core::EngineResult& result);
+  void requeueWaitersLocked(const std::string& key);
+  [[nodiscard]] JobStatus snapshotLocked(const JobRecord& rec) const;
+  [[nodiscard]] bool deadlinePassed(const JobRecord& rec) const {
+    return rec.hasDeadline && Clock::now() >= rec.deadline;
+  }
+
+  tech::Technology baseTech_;
+  std::string techPrint_;
+  SchedulerOptions options_;
+  ResultCache cache_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable workCv_;   ///< Queue -> workers.
+  mutable std::condition_variable doneCv_;   ///< Terminal transitions -> wait().
+  std::map<std::uint64_t, RecordPtr> jobs_;
+  /// Ready queue: (-priority, id) so begin() is highest priority, FIFO.
+  std::set<std::pair<int, std::uint64_t>> ready_;
+  std::unordered_map<std::string, std::uint64_t> inflight_;  ///< key -> leader.
+  std::unordered_map<std::string, std::vector<std::uint64_t>> waiters_;
+  std::size_t queued_ = 0;   ///< ready_ plus parked waiters.
+  std::size_t running_ = 0;
+  std::uint64_t nextId_ = 1;
+  bool stopping_ = false;
+
+  std::ofstream traceLog_;
+  std::mutex traceMutex_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lo::service

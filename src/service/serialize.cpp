@@ -1,0 +1,151 @@
+#include "service/serialize.hpp"
+
+#include <stdexcept>
+
+namespace lo::service {
+
+namespace {
+
+// One row per OtaPerformance member; keeps toJson/fromJson and the field
+// list in a single place.
+struct PerfField {
+  const char* name;
+  double sizing::OtaPerformance::* member;
+};
+
+constexpr PerfField kPerfFields[] = {
+    {"dc_gain_db", &sizing::OtaPerformance::dcGainDb},
+    {"gbw_hz", &sizing::OtaPerformance::gbwHz},
+    {"phase_margin_deg", &sizing::OtaPerformance::phaseMarginDeg},
+    {"slew_rate_v_per_us", &sizing::OtaPerformance::slewRateVPerUs},
+    {"cmrr_db", &sizing::OtaPerformance::cmrrDb},
+    {"offset_mv", &sizing::OtaPerformance::offsetMv},
+    {"output_resistance_mohm", &sizing::OtaPerformance::outputResistanceMOhm},
+    {"input_noise_uv", &sizing::OtaPerformance::inputNoiseUv},
+    {"thermal_noise_density_nv", &sizing::OtaPerformance::thermalNoiseDensityNv},
+    {"flicker_noise_uv", &sizing::OtaPerformance::flickerNoiseUv},
+    {"power_mw", &sizing::OtaPerformance::powerMw},
+    {"psrr_db", &sizing::OtaPerformance::psrrDb},
+    {"settling_time_ns", &sizing::OtaPerformance::settlingTimeNs},
+};
+
+struct SpecField {
+  const char* name;
+  double sizing::OtaSpecs::* member;
+};
+
+constexpr SpecField kSpecFields[] = {
+    {"vdd", &sizing::OtaSpecs::vdd},
+    {"gbw", &sizing::OtaSpecs::gbw},
+    {"phase_margin_deg", &sizing::OtaSpecs::phaseMarginDeg},
+    {"cload", &sizing::OtaSpecs::cload},
+    {"input_cm_low", &sizing::OtaSpecs::inputCmLow},
+    {"input_cm_high", &sizing::OtaSpecs::inputCmHigh},
+    {"output_low", &sizing::OtaSpecs::outputLow},
+    {"output_high", &sizing::OtaSpecs::outputHigh},
+};
+
+}  // namespace
+
+Json toJson(const sizing::OtaPerformance& perf) {
+  Json j = Json::object();
+  for (const PerfField& f : kPerfFields) j.set(f.name, perf.*(f.member));
+  return j;
+}
+
+sizing::OtaPerformance performanceFromJson(const Json& j) {
+  sizing::OtaPerformance perf;
+  for (const PerfField& f : kPerfFields) perf.*(f.member) = j.at(f.name).asDouble();
+  return perf;
+}
+
+Json toJson(const core::EngineResult& result) {
+  Json j = Json::object();
+  Json nets = Json::array();
+  for (const std::string& net : result.criticalNets) nets.push(net);
+  j.set("critical_nets", std::move(nets));
+  Json iterations = Json::array();
+  for (const core::EngineIteration& it : result.iterations) {
+    Json row = Json::object();
+    row.set("layout_call", it.layoutCall);
+    Json caps = Json::array();
+    for (const double c : it.netCaps) caps.push(c);
+    row.set("net_caps", std::move(caps));
+    row.set("primary_current", it.primaryCurrent);
+    row.set("pair_width", it.pairWidth);
+    iterations.push(std::move(row));
+  }
+  j.set("iterations", std::move(iterations));
+  j.set("layout_calls", result.layoutCalls);
+  j.set("parasitic_converged", result.parasiticConverged);
+  j.set("predicted", toJson(result.predicted));
+  j.set("measured", toJson(result.measured));
+  return j;
+}
+
+core::EngineResult resultFromJson(const Json& j) {
+  core::EngineResult result;
+  for (const Json& net : j.at("critical_nets").items()) {
+    result.criticalNets.push_back(net.asString());
+  }
+  for (const Json& row : j.at("iterations").items()) {
+    core::EngineIteration it;
+    it.layoutCall = row.at("layout_call").asInt();
+    for (const Json& c : row.at("net_caps").items()) it.netCaps.push_back(c.asDouble());
+    it.primaryCurrent = row.at("primary_current").asDouble();
+    it.pairWidth = row.at("pair_width").asDouble();
+    result.iterations.push_back(std::move(it));
+  }
+  result.layoutCalls = j.at("layout_calls").asInt();
+  result.parasiticConverged = j.at("parasitic_converged").asBool();
+  result.predicted = performanceFromJson(j.at("predicted"));
+  result.measured = performanceFromJson(j.at("measured"));
+  return result;
+}
+
+Json toJson(const sizing::OtaSpecs& specs) {
+  Json j = Json::object();
+  for (const SpecField& f : kSpecFields) j.set(f.name, specs.*(f.member));
+  return j;
+}
+
+void specsFromJson(const Json& j, sizing::OtaSpecs& specs) {
+  if (!j.isObject()) throw std::invalid_argument("\"spec\" must be a JSON object");
+  for (const auto& [key, value] : j.members()) {
+    bool known = false;
+    for (const SpecField& f : kSpecFields) {
+      if (key == f.name) {
+        specs.*(f.member) = value.asDouble();
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::invalid_argument("unknown spec field \"" + key + "\"");
+  }
+}
+
+core::SizingCase sizingCaseFromJson(const Json& j) {
+  const std::string text =
+      j.type() == Json::Type::kNumber ? "case" + std::to_string(j.asInt())
+                                      : j.asString();
+  for (const core::SizingCase c :
+       {core::SizingCase::kCase1, core::SizingCase::kCase2, core::SizingCase::kCase3,
+        core::SizingCase::kCase4}) {
+    if (text == core::sizingCaseName(c)) return c;
+  }
+  throw std::invalid_argument("unknown sizing case \"" + text +
+                              "\" (expected 1..4 or \"case1\"..\"case4\")");
+}
+
+tech::ProcessCorner cornerFromName(const std::string& name) {
+  for (const tech::ProcessCorner c :
+       {tech::ProcessCorner::kTypical, tech::ProcessCorner::kSlow,
+        tech::ProcessCorner::kFast, tech::ProcessCorner::kSlowNFastP,
+        tech::ProcessCorner::kFastNSlowP}) {
+    if (name == tech::cornerName(c)) return c;
+  }
+  throw std::invalid_argument("unknown process corner \"" + name +
+                              "\" (expected tt/ss/ff/sf/fs)");
+}
+
+}  // namespace lo::service

@@ -1,0 +1,35 @@
+// JSON (de)serialisation of the engine's value types, shared by the
+// result-cache disk store, the losynthd protocol and the service bench.
+//
+// Round trips are exact: every double survives toJson -> dump -> parse ->
+// fromJson bit-identically (see Json::formatNumber), so a result served
+// from the disk store is indistinguishable from the cold run that
+// produced it.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "service/json.hpp"
+
+namespace lo::service {
+
+[[nodiscard]] Json toJson(const sizing::OtaPerformance& perf);
+[[nodiscard]] sizing::OtaPerformance performanceFromJson(const Json& j);
+
+[[nodiscard]] Json toJson(const core::EngineResult& result);
+[[nodiscard]] core::EngineResult resultFromJson(const Json& j);
+
+[[nodiscard]] Json toJson(const sizing::OtaSpecs& specs);
+/// Apply the members present in `j` onto `specs` (absent fields keep their
+/// defaults); throws std::invalid_argument on an unknown field name, so
+/// client typos fail loudly instead of silently synthesising the default.
+void specsFromJson(const Json& j, sizing::OtaSpecs& specs);
+
+/// "case1".."case4" (or bare 1..4) -> SizingCase; throws on anything else.
+[[nodiscard]] core::SizingCase sizingCaseFromJson(const Json& j);
+
+/// "tt"/"ss"/"ff"/"sf"/"fs" -> corner; throws std::invalid_argument.
+[[nodiscard]] tech::ProcessCorner cornerFromName(const std::string& name);
+
+}  // namespace lo::service

@@ -58,6 +58,25 @@ TEST(TopologyRegistry, CustomRegistrationRoundTrips) {
   EXPECT_EQ(topo->name(), kTwoStageTopologyName);
 }
 
+TEST(TopologyRegistry, DuplicateRegistrationIsRejected) {
+  auto& reg = TopologyRegistry::instance();
+  try {
+    reg.add(kTwoStageTopologyName,
+            [](const tech::Technology& t, const device::MosModel& m) {
+              return TopologyRegistry::instance().create(kTwoStageTopologyName, t,
+                                                         m);
+            });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::strstr(e.what(), kTwoStageTopologyName), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "already registered"), nullptr);
+  }
+  // The original factory survives the rejected overwrite attempt.
+  const auto model = device::MosModel::create("ekv");
+  EXPECT_EQ(reg.create(kTwoStageTopologyName, kTech, *model)->name(),
+            kTwoStageTopologyName);
+}
+
 // --- Shared loop plumbing. ---
 
 TEST(Engine, PolicyForMatchesTableOneCases) {
@@ -149,6 +168,51 @@ TEST(Engine, TwoStageConvergenceWatchesCompensationNets) {
   for (const EngineIteration& it : r.iterations) {
     EXPECT_EQ(it.netCaps.size(), nets.size());
   }
+}
+
+// --- Engine hooks (cancellation + stage timing). ---
+
+TEST(EngineHooks, CancelRequestedAbortsBeforeAnyWork) {
+  EngineOptions opt;
+  opt.hooks.cancelRequested = [] { return true; };
+  const SynthesisEngine engine(kTech, opt);
+  EXPECT_THROW((void)engine.run(sizing::OtaSpecs{}), JobCancelled);
+}
+
+TEST(EngineHooks, OnStageReportsEveryLoopPhase) {
+  EngineOptions opt;
+  std::vector<std::string> stages;
+  opt.hooks.onStage = [&stages](EngineStage stage, double seconds) {
+    EXPECT_GE(seconds, 0.0);
+    stages.push_back(engineStageName(stage));
+  };
+  const SynthesisEngine engine(kTech, opt);
+  const EngineResult r = engine.run(sizing::OtaSpecs{});
+  EXPECT_GT(r.measured.gbwHz, 0.0);
+  ASSERT_FALSE(stages.empty());
+  EXPECT_EQ(stages.front(), "sizing");
+  for (const char* expected :
+       {"sizing", "parasitic_layout", "generation", "extraction", "verification"}) {
+    EXPECT_NE(std::find(stages.begin(), stages.end(), expected), stages.end())
+        << expected;
+  }
+}
+
+TEST(EngineHooks, HookedRunIsBitIdenticalToUnhooked) {
+  // Observation must not perturb the numbers: the cache stores unhooked
+  // results and serves them to hooked jobs.
+  const EngineResult plain = SynthesisEngine(kTech, EngineOptions{}).run(sizing::OtaSpecs{});
+  EngineOptions opt;
+  opt.hooks.cancelRequested = [] { return false; };
+  opt.hooks.onStage = [](EngineStage, double) {};
+  const EngineResult hooked = SynthesisEngine(kTech, opt).run(sizing::OtaSpecs{});
+  EXPECT_EQ(std::memcmp(&plain.measured, &hooked.measured,
+                        sizeof(sizing::OtaPerformance)),
+            0);
+  EXPECT_EQ(std::memcmp(&plain.predicted, &hooked.predicted,
+                        sizeof(sizing::OtaPerformance)),
+            0);
+  EXPECT_EQ(plain.layoutCalls, hooked.layoutCalls);
 }
 
 // --- Sweep driver. ---

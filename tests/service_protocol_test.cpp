@@ -1,0 +1,251 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "service/json.hpp"
+#include "service/serialize.hpp"
+
+namespace lo::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json value type
+// ---------------------------------------------------------------------------
+
+TEST(Json, DumpIsCompactAndInsertionOrdered) {
+  Json obj = Json::object();
+  obj.set("b", 1);
+  obj.set("a", true);
+  Json arr = Json::array();
+  arr.push("x");
+  arr.push(Json());
+  obj.set("list", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"b\":1,\"a\":true,\"list\":[\"x\",null]}");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double v : {0.0, 1.0, -1.0, 65e6, 3e-12, 1.0 / 3.0, 0.1,
+                         10.500000000000002, 1e300, -2.2250738585072014e-308}) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_EQ(parsed.asDouble(), v) << Json(v).dump();
+  }
+  // Integers print without an exponent or decimal point.
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, ParseHandlesEscapesAndNesting) {
+  const Json j = Json::parse(
+      R"({"s":"a\"b\\c\nA","arr":[1,2.5,-3e2],"o":{"k":false}})");
+  EXPECT_EQ(j.at("s").asString(), "a\"b\\c\nA");
+  ASSERT_EQ(j.at("arr").items().size(), 3u);
+  EXPECT_EQ(j.at("arr").items()[2].asDouble(), -300.0);
+  EXPECT_FALSE(j.at("o").at("k").asBool(true));
+  EXPECT_TRUE(j.at("missing").isNull());
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{ not json"), JsonParseError);
+  EXPECT_THROW((void)Json::parse(""), JsonParseError);
+  EXPECT_THROW((void)Json::parse("{} trailing"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("[1,2,"), JsonParseError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(Json, SetOverwritesInPlaceKeepingPosition) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 3);  // Overwrite must not move "a" behind "b".
+  EXPECT_EQ(obj.dump(), "{\"a\":3,\"b\":2}");
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation of the engine value types
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, PerformanceRoundTripIsExact) {
+  sizing::OtaPerformance perf{};
+  perf.dcGainDb = 71.3000000000000007;
+  perf.gbwHz = 64.93e6;
+  perf.phaseMarginDeg = 61.0 / 7.0 * 7.0;
+  perf.settlingTimeNs = 10.500000000000002;
+  const sizing::OtaPerformance back =
+      performanceFromJson(Json::parse(toJson(perf).dump()));
+  EXPECT_EQ(back.dcGainDb, perf.dcGainDb);
+  EXPECT_EQ(back.gbwHz, perf.gbwHz);
+  EXPECT_EQ(back.phaseMarginDeg, perf.phaseMarginDeg);
+  EXPECT_EQ(back.settlingTimeNs, perf.settlingTimeNs);
+}
+
+TEST(Serialize, SpecsApplyPartialOverridesAndRejectTypos) {
+  sizing::OtaSpecs specs;
+  const double defaultVdd = specs.vdd;
+  specsFromJson(Json::parse(R"({"gbw":40e6,"cload":5e-12})"), specs);
+  EXPECT_EQ(specs.gbw, 40e6);
+  EXPECT_EQ(specs.cload, 5e-12);
+  EXPECT_EQ(specs.vdd, defaultVdd);  // Untouched fields keep defaults.
+  EXPECT_THROW(specsFromJson(Json::parse(R"({"gwb":40e6})"), specs),
+               std::invalid_argument);
+}
+
+TEST(Serialize, SizingCaseAcceptsNamesAndNumbers) {
+  EXPECT_EQ(sizingCaseFromJson(Json("case1")), core::SizingCase::kCase1);
+  EXPECT_EQ(sizingCaseFromJson(Json("case4")), core::SizingCase::kCase4);
+  EXPECT_EQ(sizingCaseFromJson(Json(2)), core::SizingCase::kCase2);
+  EXPECT_THROW((void)sizingCaseFromJson(Json("case9")), std::invalid_argument);
+  EXPECT_THROW((void)sizingCaseFromJson(Json(0)), std::invalid_argument);
+}
+
+TEST(Serialize, CornerNamesMapToEnum) {
+  EXPECT_EQ(cornerFromName("tt"), tech::ProcessCorner::kTypical);
+  EXPECT_EQ(cornerFromName("ss"), tech::ProcessCorner::kSlow);
+  EXPECT_EQ(cornerFromName("ff"), tech::ProcessCorner::kFast);
+  EXPECT_THROW((void)cornerFromName("xx"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Line protocol
+// ---------------------------------------------------------------------------
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest()
+      : scheduler_(tech::Technology::generic060(), singleThread()),
+        protocol_(scheduler_) {}
+
+  static SchedulerOptions singleThread() {
+    SchedulerOptions options;
+    options.threads = 1;
+    return options;
+  }
+
+  Json respond(const std::string& line) {
+    return Json::parse(protocol_.handleLine(line));
+  }
+
+  JobScheduler scheduler_;
+  ServiceProtocol protocol_;
+};
+
+TEST_F(ProtocolTest, MalformedAndUnknownRequestsFailGracefully) {
+  EXPECT_FALSE(respond("{ nope").at("ok").asBool(true));
+  EXPECT_FALSE(respond("[1,2,3]").at("ok").asBool(true));
+  const Json unknown = respond(R"({"op":"frobnicate"})");
+  EXPECT_FALSE(unknown.at("ok").asBool(true));
+  EXPECT_NE(unknown.at("error").asString().find("frobnicate"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, SynthesizeRunsEndToEndAndDuplicateHitsCache) {
+  const std::string request =
+      R"({"op":"synthesize","case":"case1","label":"p1","trace":true})";
+  const Json first = respond(request);
+  ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+  EXPECT_EQ(first.at("state").asString(), "done");
+  EXPECT_FALSE(first.at("cache_hit").asBool(true));
+  EXPECT_GT(first.at("result").at("measured").at("gbw_hz").asDouble(), 0.0);
+  EXPECT_FALSE(first.at("trace").at("stages").items().empty());
+
+  const Json second = respond(request);
+  ASSERT_TRUE(second.at("ok").asBool());
+  EXPECT_TRUE(second.at("cache_hit").asBool());
+  // The duplicate's payload is byte-identical to the cold run's.
+  EXPECT_EQ(second.at("result").dump(), first.at("result").dump());
+}
+
+TEST_F(ProtocolTest, AsyncSynthesizeThenWait) {
+  const Json queued =
+      respond(R"({"op":"synthesize","case":"case1","async":true})");
+  ASSERT_TRUE(queued.at("ok").asBool()) << queued.dump();
+  const std::uint64_t id = queued.at("id").asUint64();
+  ASSERT_GT(id, 0u);
+  const Json done = respond(R"({"op":"wait","id":)" + std::to_string(id) + "}");
+  ASSERT_TRUE(done.at("ok").asBool()) << done.dump();
+  EXPECT_EQ(done.at("state").asString(), "done");
+}
+
+TEST_F(ProtocolTest, FailedJobReportsErrorWithOkTrue) {
+  // Transport succeeded, the job itself failed: ok stays true and the
+  // outcome carries state + error.
+  const Json out =
+      respond(R"({"op":"synthesize","topology":"no_such_topology"})");
+  ASSERT_TRUE(out.at("ok").asBool()) << out.dump();
+  EXPECT_EQ(out.at("state").asString(), "failed");
+  EXPECT_NE(out.at("error").asString().find("no_such_topology"),
+            std::string::npos);
+}
+
+TEST_F(ProtocolTest, SweepReturnsOutcomesInOrder) {
+  const Json out = respond(
+      R"({"op":"sweep","jobs":[)"
+      R"({"label":"a","case":"case1"},)"
+      R"({"label":"b","case":"case1","spec":{"gbw":40e6}}]})");
+  ASSERT_TRUE(out.at("ok").asBool()) << out.dump();
+  const auto& outcomes = out.at("outcomes").items();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].at("label").asString(), "a");
+  EXPECT_EQ(outcomes[1].at("label").asString(), "b");
+  EXPECT_EQ(outcomes[0].at("state").asString(), "done");
+  EXPECT_EQ(outcomes[1].at("state").asString(), "done");
+  EXPECT_NE(outcomes[0].at("result").dump(), outcomes[1].at("result").dump());
+}
+
+TEST_F(ProtocolTest, StatsReflectSchedulerActivity) {
+  (void)respond(R"({"op":"synthesize","case":"case1"})");
+  (void)respond(R"({"op":"synthesize","case":"case1"})");
+  const Json out = respond(R"({"op":"stats"})");
+  ASSERT_TRUE(out.at("ok").asBool());
+  const Json& stats = out.at("stats");
+  EXPECT_EQ(stats.at("jobs").at("submitted").asUint64(), 2u);
+  EXPECT_EQ(stats.at("jobs").at("completed").asUint64(), 2u);
+  EXPECT_EQ(stats.at("cache").at("hits").asUint64(), 1u);
+  EXPECT_EQ(stats.at("cache").at("misses").asUint64(), 1u);
+  EXPECT_EQ(stats.at("workers").asInt(), 1);
+  EXPECT_GT(stats.at("stages").at("sizing").at("calls").asUint64(), 0u);
+}
+
+TEST_F(ProtocolTest, CancelUnknownIdReturnsFalse) {
+  const Json out = respond(R"({"op":"cancel","id":424242})");
+  ASSERT_TRUE(out.at("ok").asBool());
+  EXPECT_FALSE(out.at("cancelled").asBool(true));
+}
+
+TEST_F(ProtocolTest, TopologiesListsRegistry) {
+  const Json out = respond(R"({"op":"topologies"})");
+  ASSERT_TRUE(out.at("ok").asBool());
+  bool sawOta = false, sawTwoStage = false;
+  for (const Json& name : out.at("topologies").items()) {
+    if (name.asString() == core::kFoldedCascodeOtaTopologyName) sawOta = true;
+    if (name.asString() == core::kTwoStageTopologyName) sawTwoStage = true;
+  }
+  EXPECT_TRUE(sawOta);
+  EXPECT_TRUE(sawTwoStage);
+}
+
+TEST_F(ProtocolTest, ServeStopsAtShutdownAndAnswersEveryLine) {
+  std::istringstream in(
+      "{\"op\":\"topologies\"}\n"
+      "\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"stats\"}\n");  // After shutdown: must never be answered.
+  std::ostringstream out;
+  protocol_.serve(in, out);
+  EXPECT_TRUE(protocol_.shutdownRequested());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<Json> responses;
+  while (std::getline(lines, line)) responses.push_back(Json::parse(line));
+  ASSERT_EQ(responses.size(), 2u);  // Blank line skipped, post-shutdown unread.
+  EXPECT_TRUE(responses[0].at("ok").asBool());
+  EXPECT_TRUE(responses[1].at("shutting_down").asBool());
+}
+
+}  // namespace
+}  // namespace lo::service

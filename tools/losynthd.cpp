@@ -1,0 +1,84 @@
+// losynthd: the synthesis job daemon.
+//
+// Speaks the lo_service line protocol (protocol.hpp) over stdin/stdout:
+// one JSON request per line in, one JSON response per line out.  External
+// clients -- scripts, notebooks, other services -- drive the full
+// size -> layout -> extract -> verify flow without linking any C++.
+//
+//   $ printf '%s\n' '{"op":"synthesize","topology":"two_stage"}' '{"op":"stats"}' |
+//       losynthd --threads 4
+//
+// Flags:
+//   --threads N          worker pool size (0 = hardware concurrency)
+//   --queue-depth N      bounded submission queue (default 256)
+//   --cache-capacity N   in-memory LRU entries (default 256)
+//   --cache-dir PATH     on-disk result store ("default" = ~/.cache/lo_service)
+//   --trace-log PATH     append one JSON trace line per finished job
+//   --tech PATH          technology file (default: built-in generic060)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--queue-depth N] [--cache-capacity N]\n"
+               "          [--cache-dir PATH|default] [--trace-log PATH] "
+               "[--tech PATH]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lo;
+
+  service::SchedulerOptions options;
+  std::string techPath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") options.threads = std::stoi(value());
+    else if (arg == "--queue-depth") options.maxQueueDepth = std::stoul(value());
+    else if (arg == "--cache-capacity") options.cache.capacity = std::stoul(value());
+    else if (arg == "--cache-dir") {
+      const std::string dir = value();
+      options.cache.diskDir =
+          dir == "default" ? service::CacheOptions::defaultDiskDir() : dir;
+    } else if (arg == "--trace-log") options.traceLogPath = value();
+    else if (arg == "--tech") techPath = value();
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    const tech::Technology technology = techPath.empty()
+                                            ? tech::Technology::generic060()
+                                            : tech::Technology::fromFile(techPath);
+    service::JobScheduler scheduler(technology, options);
+    service::ServiceProtocol protocol(scheduler);
+    protocol.serve(std::cin, std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "losynthd: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# losynthd end-to-end smoke test (also run by CI): pipe a three-request
+# script -- synthesize, the identical synthesize again, stats -- and assert
+# the duplicate was served from the result cache.
+set -eu
+
+BIN="$1"
+
+REQ='{"op":"synthesize","topology":"folded_cascode_ota","case":1,"label":"smoke"}'
+OUT=$(printf '%s\n%s\n%s\n' "$REQ" "$REQ" '{"op":"stats"}' | "$BIN" --threads 1)
+
+printf '%s\n' "$OUT"
+
+[ "$(printf '%s\n' "$OUT" | wc -l)" -eq 3 ] || {
+  echo "FAIL: expected 3 response lines" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"ok":true' || {
+  echo "FAIL: first synthesize did not succeed" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"cache_hit":false' || {
+  echo "FAIL: first synthesize should be a cold run" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 2p | grep -q '"cache_hit":true' || {
+  echo "FAIL: duplicate synthesize was not served from the cache" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 3p | grep -q '"hits":1' || {
+  echo "FAIL: stats does not report exactly one cache hit" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 3p | grep -q '"misses":1' || {
+  echo "FAIL: stats does not report exactly one cache miss" >&2
+  exit 1
+}
+echo "losynthd smoke OK"

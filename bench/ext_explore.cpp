@@ -1,0 +1,196 @@
+// Extension benchmark: the design-space explorer over the synthesis
+// service.
+//
+// One GBW x load-capacitance space runs three ways:
+//   cold     -- empty cache; seed grid plus adaptive refinement under the
+//               budget.  The final front must weakly dominate the
+//               coarse-grid (seed) front on every objective: refinement
+//               only ever adds non-dominated points at the same budget.
+//   repeat   -- same scheduler again; the trajectory must be bit-identical
+//               (byte-equal CSV export), because the budget counts
+//               distinct evaluated points whether or not they hit the
+//               cache -- warmth changes wall-clock time, never the result.
+//   rerun    -- a fresh scheduler on the same disk store; >= 90% of the
+//               evaluations must be served from the result cache.
+//
+// --explore-budget=N (default 32) shortens the run for CI smoke.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "explore/export.hpp"
+
+namespace {
+
+using namespace lo;
+using namespace lo::explore;
+
+int gBudget = 32;
+
+ExploreSpace makeSpace() {
+  ExploreSpace space;
+  space.engineOptions.sizingCase = core::SizingCase::kCase4;
+  SpecAxis gbw;
+  gbw.field = "gbw";
+  gbw.lo = 45e6;
+  gbw.hi = 75e6;
+  gbw.points = 3;
+  space.axes.push_back(gbw);
+  SpecAxis cload;
+  cload.field = "cload";
+  cload.lo = 1.5e-12;
+  cload.hi = 3.5e-12;
+  cload.points = 3;
+  space.axes.push_back(cload);
+  return space;
+}
+
+ExploreOptions makeOptions() {
+  ExploreOptions options;
+  options.budget = gBudget;
+  options.maxRounds = 3;
+  options.specTolerance = 0.05;
+  return options;
+}
+
+bool runExploreStudy() {
+  const tech::Technology technology = tech::Technology::generic060();
+  const ExploreSpace space = makeSpace();
+  const ExploreOptions options = makeOptions();
+
+  const std::filesystem::path diskDir =
+      std::filesystem::temp_directory_path() / "lo_ext_explore_cache";
+  std::filesystem::remove_all(diskDir);
+
+  service::SchedulerOptions schedulerOptions;
+  schedulerOptions.threads = 4;
+  schedulerOptions.cache.diskDir = diskDir.string();
+
+  std::printf("\n=== Design-space exploration: %zu-axis spec space, budget %d ===\n",
+              space.axes.size(), options.budget);
+
+  const auto timeRun = [&](service::JobScheduler& scheduler, ExploreResult& out) {
+    Explorer explorer(scheduler, space, options);
+    const auto start = std::chrono::steady_clock::now();
+    out = explorer.run();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  ExploreResult cold, repeat, rerun;
+  double tCold = 0, tRepeat = 0, tRerun = 0;
+  {
+    service::JobScheduler scheduler(technology, schedulerOptions);
+    tCold = timeRun(scheduler, cold);
+    tRepeat = timeRun(scheduler, repeat);
+  }
+  {
+    service::JobScheduler scheduler(technology, schedulerOptions);  // Same disk.
+    tRerun = timeRun(scheduler, rerun);
+  }
+
+  bool ok = true;
+  for (const PointEval& p : cold.points) {
+    if (!p.ok) {
+      std::printf("POINT FAILED: [%s]: %s\n", p.key.c_str(), p.error.c_str());
+      ok = false;
+    }
+  }
+  if (cold.front.empty() || cold.seedFront.empty()) {
+    std::printf("EMPTY FRONT: final %zu, seed %zu\n", cold.front.size(),
+                cold.seedFront.size());
+    ok = false;
+  }
+
+  // Acceptance 1: the refined front weakly dominates the coarse-grid front
+  // on every objective, at the same budget.
+  bool dominates = true;
+  for (const PointEval& p : cold.seedFront) {
+    if (!ParetoArchive::frontWeaklyDominates(cold.front, p, options.objectives)) {
+      std::printf("SEED POINT NOT DOMINATED: [%s]\n", p.key.c_str());
+      dominates = false;
+    }
+  }
+
+  // Acceptance 2: bit-identical trajectory regardless of cache warmth.
+  const std::string coldCsv = frontCsv(cold, space);
+  const bool repeatIdentical = coldCsv == frontCsv(repeat, space);
+  const bool rerunIdentical = coldCsv == frontCsv(rerun, space);
+
+  // Acceptance 3: a warm re-run is served almost entirely from the cache.
+  const double hitRate =
+      rerun.evaluations > 0
+          ? static_cast<double>(rerun.cacheHits) / rerun.evaluations
+          : 0.0;
+
+  std::printf("cold:    %.3f s  (%d evaluations, %d rounds, front %zu, seed front %zu)\n",
+              tCold, cold.evaluations, cold.rounds, cold.front.size(),
+              cold.seedFront.size());
+  std::printf("repeat:  %.3f s  (same scheduler; %d/%d cache hits)\n", tRepeat,
+              repeat.cacheHits, repeat.evaluations);
+  std::printf("rerun:   %.3f s  (fresh scheduler, same disk; hit rate %.0f%%, require >= 90%%)\n",
+              tRerun, hitRate * 100.0);
+  std::printf("refined front weakly dominates seed front: %s\n",
+              dominates ? "yes" : "NO -- BUG");
+  std::printf("repeat run byte-identical: %s\n",
+              repeatIdentical ? "yes" : "NO -- BUG");
+  std::printf("warm rerun byte-identical: %s\n",
+              rerunIdentical ? "yes" : "NO -- BUG");
+
+  ok = ok && dominates && repeatIdentical && rerunIdentical && hitRate >= 0.9;
+  std::printf("ext_explore acceptance: %s\n", ok ? "PASS" : "FAIL");
+  std::filesystem::remove_all(diskDir);
+  return ok;
+}
+
+void BM_WarmExplore(benchmark::State& state) {
+  const tech::Technology technology = tech::Technology::generic060();
+  const ExploreSpace space = makeSpace();
+  const ExploreOptions options = makeOptions();
+  service::SchedulerOptions schedulerOptions;
+  schedulerOptions.threads = 4;
+  service::JobScheduler scheduler(technology, schedulerOptions);
+  {
+    Explorer explorer(scheduler, space, options);  // Prime the cache once.
+    (void)explorer.run();
+  }
+  for (auto _ : state) {
+    Explorer explorer(scheduler, space, options);
+    const ExploreResult result = explorer.run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * gBudget);
+}
+BENCHMARK(BM_WarmExplore)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees (and rejects) it.
+  int outArgc = 0;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--explore-budget=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      gBudget = std::atoi(argv[i] + std::strlen(kFlag));
+      if (gBudget <= 0) {
+        std::fprintf(stderr, "bad --explore-budget\n");
+        return 2;
+      }
+      continue;
+    }
+    argv[outArgc++] = argv[i];
+  }
+  argc = outArgc;
+
+  const bool ok = runExploreStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

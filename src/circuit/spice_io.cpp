@@ -50,21 +50,25 @@ double parseSpiceNumber(std::string_view token) {
   } catch (const std::exception&) {
     throw NetlistParseError("bad number: '" + std::string(token) + "'");
   }
-  std::string_view suffix = std::string_view(t).substr(pos);
+  const std::string_view suffix = std::string_view(t).substr(pos);
   if (suffix.empty()) return value;
-  if (suffix.starts_with("meg")) return value * 1e6;
-  switch (suffix.front()) {
-    case 'f': return value * 1e-15;
-    case 'p': return value * 1e-12;
-    case 'n': return value * 1e-9;
-    case 'u': return value * 1e-6;
-    case 'm': return value * 1e-3;
-    case 'k': return value * 1e3;
-    case 'g': return value * 1e9;
-    case 't': return value * 1e12;
-    default:
-      throw NetlistParseError("bad number suffix: '" + std::string(token) + "'");
+  // Suffixes must match exactly: "3meg" scales, "3megx" (or "5kk", "1m5")
+  // is an error rather than silently parsing as the recognised prefix.
+  if (suffix == "meg") return value * 1e6;
+  if (suffix.size() == 1) {
+    switch (suffix.front()) {
+      case 'f': return value * 1e-15;
+      case 'p': return value * 1e-12;
+      case 'n': return value * 1e-9;
+      case 'u': return value * 1e-6;
+      case 'm': return value * 1e-3;
+      case 'k': return value * 1e3;
+      case 'g': return value * 1e9;
+      case 't': return value * 1e12;
+      default: break;
+    }
   }
+  throw NetlistParseError("bad number suffix: '" + std::string(token) + "'");
 }
 
 std::string formatSpiceNumber(double value) {

@@ -35,8 +35,10 @@ class NetlistParseError : public std::runtime_error {
 /// parseNetlist).
 [[nodiscard]] std::string writeNetlist(const Circuit& circuit);
 
-/// Parse one SPICE number with optional SI suffix ("2.5u", "3meg", "10k").
-/// Throws NetlistParseError on malformed input.
+/// Parse one SPICE number with optional SI suffix ("2.5u", "3MEG", "10k"),
+/// case-insensitively.  The suffix must match exactly: trailing characters
+/// after a recognised suffix ("10megx", "1m5") throw NetlistParseError
+/// instead of silently parsing as the prefix.
 [[nodiscard]] double parseSpiceNumber(std::string_view token);
 
 /// Format a value in engineering notation with SI suffix (e.g. "2.5u").

@@ -116,6 +116,8 @@ EngineResult SynthesisEngine::run(Topology& topology,
     topology.prepareGeneration(options_.includeBiasGenerator);
     topology.layoutGenerate();
   });
+  result.layoutWidthUm = static_cast<double>(topology.layoutWidth()) * 1e-3;
+  result.layoutHeightUm = static_cast<double>(topology.layoutHeight()) * 1e-3;
   timed(EngineStage::kExtraction, [&] { topology.applyExtracted(); });
   checkCancel();
   timed(EngineStage::kVerification,

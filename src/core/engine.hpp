@@ -124,6 +124,13 @@ struct EngineResult {
   bool parasiticConverged = false;
   sizing::OtaPerformance predicted;  ///< Synthesised values (Table 1 plain).
   sizing::OtaPerformance measured;   ///< Extracted-netlist simulation (brackets).
+  /// Generation-mode cell bounding box [um]; 0 when the topology draws no
+  /// geometry.  The slicing-tree result, surfaced so layout area can serve
+  /// as an optimisation objective without adapter access.
+  double layoutWidthUm = 0.0;
+  double layoutHeightUm = 0.0;
+
+  [[nodiscard]] double layoutAreaUm2() const { return layoutWidthUm * layoutHeightUm; }
 };
 
 class SynthesisEngine {

@@ -39,6 +39,8 @@ class FoldedCascodeOtaTopology final : public Topology {
     return sizing_.design.tailCurrent;
   }
   [[nodiscard]] double pairWidth() const override { return sizing_.design.inputPair.w; }
+  [[nodiscard]] geom::Coord layoutWidth() const override { return layout_.width; }
+  [[nodiscard]] geom::Coord layoutHeight() const override { return layout_.height; }
 
   // Topology-specific outputs, valid after an engine run.
   [[nodiscard]] const sizing::SizingResult& sizingResult() const { return sizing_; }

@@ -82,6 +82,13 @@ class Topology {
   /// Diagnostics recorded into the per-iteration history.
   [[nodiscard]] virtual double primaryCurrent() const = 0;
   [[nodiscard]] virtual double pairWidth() const = 0;
+
+  /// Bounding-box dimensions of the generation-mode layout [nm]; 0 before
+  /// layoutGenerate() has run (or for topologies with no physical layout).
+  /// The engine records these into EngineResult so downstream consumers
+  /// (the design-space explorer's area objective) need no adapter access.
+  [[nodiscard]] virtual geom::Coord layoutWidth() const { return 0; }
+  [[nodiscard]] virtual geom::Coord layoutHeight() const { return 0; }
 };
 
 /// String-keyed factory table for topologies.  The built-in adapters

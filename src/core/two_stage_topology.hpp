@@ -36,6 +36,8 @@ class TwoStageTopology final : public Topology {
     return sizing_.design.tailCurrent;
   }
   [[nodiscard]] double pairWidth() const override { return sizing_.design.inputPair.w; }
+  [[nodiscard]] geom::Coord layoutWidth() const override { return layout_.width; }
+  [[nodiscard]] geom::Coord layoutHeight() const override { return layout_.height; }
 
   // Topology-specific outputs, valid after an engine run.
   [[nodiscard]] const sizing::TwoStageSizingResult& sizingResult() const {

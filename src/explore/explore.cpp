@@ -1,0 +1,212 @@
+#include "explore/explore.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace lo::explore {
+
+Explorer::Explorer(service::JobScheduler& scheduler, ExploreSpace space,
+                   ExploreOptions options)
+    : scheduler_(scheduler),
+      space_(std::move(space)),
+      options_(std::move(options)),
+      archive_(options_.objectives) {}
+
+ExploreProgress Explorer::progress() const {
+  const std::lock_guard<std::mutex> lock(progressMutex_);
+  return progress_;
+}
+
+int Explorer::remainingBudget() const {
+  const std::lock_guard<std::mutex> lock(progressMutex_);
+  return options_.budget - progress_.evaluated;
+}
+
+PointEval Explorer::makeEval(const std::vector<double>& coords,
+                             const service::JobStatus& status) const {
+  PointEval eval;
+  eval.key = coordKey(coords);
+  eval.coords = coords;
+  eval.ok = status.state == service::JobState::kDone;
+  eval.cacheHit = status.cacheHit;
+  eval.error = status.error;
+  if (!eval.ok && eval.error.empty()) {
+    eval.error = service::jobStateName(status.state);
+  }
+  if (eval.ok) {
+    const sizing::OtaSpecs specs = specsAt(space_, coords);
+    const auto& m = status.result.measured;
+    eval.powerMw = m.powerMw;
+    eval.areaUm2 = status.result.layoutAreaUm2();
+    eval.noiseUv = m.inputNoiseUv;
+    eval.gbwHz = m.gbwHz;
+    eval.phaseMarginDeg = m.phaseMarginDeg;
+    eval.slewRateVPerUs = m.slewRateVPerUs;
+    const double tol = options_.specTolerance;
+    eval.feasible = m.gbwHz >= specs.gbw * (1.0 - tol) &&
+                    m.phaseMarginDeg >= specs.phaseMarginDeg * (1.0 - tol);
+  }
+  return eval;
+}
+
+bool Explorer::evaluateBatch(const std::vector<std::vector<double>>& coords) {
+  // New distinct points, in first-appearance order.
+  std::vector<std::vector<double>> fresh;
+  std::set<std::string> batchKeys;
+  for (const auto& c : coords) {
+    const std::string key = coordKey(c);
+    if (evals_.count(key) || !batchKeys.insert(key).second) continue;
+    fresh.push_back(c);
+  }
+  const int room = remainingBudget();
+  const bool cut = static_cast<int>(fresh.size()) > room;
+  if (cut) fresh.resize(static_cast<std::size_t>(room));
+  if (fresh.empty()) return !cut;
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(fresh.size());
+  for (const auto& c : fresh) {
+    service::JobRequest req;
+    req.label = "explore:" + coordKey(c);
+    req.options = space_.engineOptions;
+    req.specs = specsAt(space_, c);
+    req.corner = space_.corner;
+    req.priority = options_.priority;
+    req.deadlineSeconds = options_.deadlineSeconds;
+    ids.push_back(scheduler_.submit(req));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const service::JobStatus status = scheduler_.wait(ids[i]);
+    PointEval eval = makeEval(fresh[i], status);
+    if (eval.feasible) archive_.insert(eval);
+    const std::lock_guard<std::mutex> lock(progressMutex_);
+    ++progress_.evaluated;
+    if (eval.cacheHit) ++progress_.cacheHits;
+    if (eval.feasible) ++progress_.feasibleCount;
+    progress_.frontSize = static_cast<int>(archive_.size());
+    evals_.emplace(eval.key, std::move(eval));
+  }
+  return !cut;
+}
+
+ExploreResult Explorer::run() {
+  validateSpace(space_);
+  if (options_.budget <= 0) {
+    throw std::invalid_argument("explore budget must be positive");
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(progressMutex_);
+    progress_ = ExploreProgress{};
+    progress_.phase = ExplorePhase::kSeed;
+    progress_.budget = options_.budget;
+  }
+
+  ExploreResult result;
+  bool exhausted = !evaluateBatch(seedGrid(space_));
+
+  result.seedFront = archive_.front();
+
+  {
+    const std::lock_guard<std::mutex> lock(progressMutex_);
+    progress_.phase = ExplorePhase::kRefine;
+  }
+
+  std::vector<Cell> cells = seedCells(space_);
+  for (int round = 1; round <= options_.maxRounds && !exhausted; ++round) {
+    // A cell is interesting when every corner has been evaluated and
+    // either the corners disagree on feasibility or one of them sits on
+    // the current front.  Cells that are not interesting are retired:
+    // nothing in them borders the boundary or the trade-off surface.
+    std::set<std::string> frontKeys;
+    for (const PointEval& p : archive_.front()) frontKeys.insert(p.key);
+
+    std::vector<std::size_t> interesting;
+    std::vector<std::vector<std::vector<double>>> cornerCache(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      cornerCache[i] = cellCorners(cells[i]);
+      bool allEvaluated = true;
+      bool anyFeasible = false, anyInfeasible = false, onFront = false;
+      for (const auto& corner : cornerCache[i]) {
+        const auto it = evals_.find(coordKey(corner));
+        if (it == evals_.end()) {
+          allEvaluated = false;
+          break;
+        }
+        (it->second.feasible ? anyFeasible : anyInfeasible) = true;
+        if (frontKeys.count(it->second.key)) onFront = true;
+      }
+      if (allEvaluated && ((anyFeasible && anyInfeasible) || onFront)) {
+        interesting.push_back(i);
+      }
+    }
+    if (interesting.empty()) break;
+
+    // Collect whole-cell lattices while the budget affords them; a cell is
+    // refined completely or not at all, so the trajectory is independent
+    // of cache warmth and worker count.
+    std::vector<std::vector<double>> batch;
+    std::set<std::string> planned;
+    std::vector<std::size_t> refined;
+    int room = remainingBudget();
+    bool truncated = false;
+    for (const std::size_t i : interesting) {
+      const auto lattice = cellLattice(cells[i]);
+      std::vector<std::vector<double>> freshHere;
+      for (const auto& c : lattice) {
+        const std::string key = coordKey(c);
+        if (evals_.count(key) || planned.count(key)) continue;
+        freshHere.push_back(c);
+      }
+      if (static_cast<int>(freshHere.size()) > room) {
+        truncated = true;
+        break;
+      }
+      room -= static_cast<int>(freshHere.size());
+      for (const auto& c : freshHere) {
+        planned.insert(coordKey(c));
+        batch.push_back(c);
+      }
+      refined.push_back(i);
+    }
+    if (refined.empty()) {
+      exhausted = true;
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(progressMutex_);
+      progress_.round = round;
+    }
+    if (!evaluateBatch(batch)) exhausted = true;
+    result.rounds = round;
+    if (truncated) exhausted = true;
+
+    // Next generation: children of every refined cell, plus interesting
+    // cells the budget skipped (in case a later round can afford them).
+    std::vector<Cell> next;
+    const std::set<std::size_t> refinedSet(refined.begin(), refined.end());
+    for (const std::size_t i : refined) {
+      for (Cell& child : splitCell(cells[i])) next.push_back(std::move(child));
+    }
+    for (const std::size_t i : interesting) {
+      if (!refinedSet.count(i)) next.push_back(cells[i]);
+    }
+    cells = std::move(next);
+  }
+
+  result.budgetExhausted = exhausted;
+  result.front = archive_.front();
+  result.points.reserve(evals_.size());
+  for (const auto& [key, eval] : evals_) result.points.push_back(eval);
+  {
+    const std::lock_guard<std::mutex> lock(progressMutex_);
+    progress_.phase = ExplorePhase::kDone;
+    result.evaluations = progress_.evaluated;
+    result.cacheHits = progress_.cacheHits;
+  }
+  return result;
+}
+
+}  // namespace lo::explore

@@ -1,0 +1,115 @@
+// The design-space explorer: coarse grid seeding plus adaptive cell
+// refinement over the synthesis service.
+//
+// Every candidate point is one synthesis job submitted through a
+// service::JobScheduler, so exploration inherits the service layer's
+// coalescing, result cache, retries, deadlines and metrics for free.  The
+// budget counts *distinct evaluated points* -- cache hits included -- so a
+// run's trajectory is a pure function of (space, options); warm caches
+// change wall-clock time, never the result.
+//
+// Phase 1 (seed) evaluates the row-major coarse grid.  Phase 2 (refine)
+// repeatedly bisects the "interesting" cells: a cell whose corners are all
+// evaluated and either disagree on feasibility (the feasibility boundary
+// runs through it) or touch the current Pareto front (the trade-off is
+// locally active).  Each refined cell contributes its 3^d lattice of new
+// points and is replaced by its 2^d children.  Rounds stop when the
+// budget is exhausted, no cell is interesting, or maxRounds is reached.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "explore/pareto.hpp"
+#include "explore/space.hpp"
+#include "service/scheduler.hpp"
+
+namespace lo::explore {
+
+struct ExploreOptions {
+  /// Maximum number of distinct points evaluated (seed + refinement).
+  int budget = 64;
+  /// Maximum refinement rounds after the seed phase.
+  int maxRounds = 8;
+  /// Objectives the archive minimises (defaults to power/area/noise).
+  std::vector<Objective> objectives = allObjectives();
+  /// Relative slack on the spec targets when judging feasibility: a point
+  /// is feasible when measured GBW and phase margin reach (1 - tol) of the
+  /// specs it was synthesised for.
+  double specTolerance = 0.02;
+  int priority = 0;            ///< Forwarded to every submitted job.
+  double deadlineSeconds = 0;  ///< Per-job deadline; 0 = none.
+};
+
+enum class ExplorePhase { kPending, kSeed, kRefine, kDone };
+
+[[nodiscard]] constexpr const char* explorePhaseName(ExplorePhase p) {
+  switch (p) {
+    case ExplorePhase::kPending: return "pending";
+    case ExplorePhase::kSeed: return "seed";
+    case ExplorePhase::kRefine: return "refine";
+    case ExplorePhase::kDone: return "done";
+  }
+  return "?";
+}
+
+/// Live snapshot, safe to read from another thread while run() executes
+/// (the daemon's `stats` op reports these).
+struct ExploreProgress {
+  ExplorePhase phase = ExplorePhase::kPending;
+  int evaluated = 0;     ///< Distinct points evaluated so far.
+  int budget = 0;
+  int round = 0;         ///< Current refinement round (0 during seed).
+  int frontSize = 0;
+  int feasibleCount = 0;
+  int cacheHits = 0;
+};
+
+struct ExploreResult {
+  std::vector<PointEval> points;     ///< Every evaluated point, sorted by key.
+  std::vector<PointEval> front;      ///< Final non-dominated feasible set.
+  std::vector<PointEval> seedFront;  ///< Front snapshot after the seed phase.
+  int evaluations = 0;
+  int cacheHits = 0;
+  int rounds = 0;                 ///< Refinement rounds actually run.
+  bool budgetExhausted = false;   ///< Stopped because the budget ran out.
+};
+
+class Explorer {
+ public:
+  /// The scheduler must outlive the explorer; its engine configuration is
+  /// taken from space.engineOptions per job.
+  Explorer(service::JobScheduler& scheduler, ExploreSpace space,
+           ExploreOptions options = {});
+
+  /// Run the full exploration (blocking).  Throws std::invalid_argument on
+  /// a degenerate space or non-positive budget.  Not re-entrant.
+  [[nodiscard]] ExploreResult run();
+
+  [[nodiscard]] ExploreProgress progress() const;
+
+  [[nodiscard]] const ExploreSpace& space() const { return space_; }
+  [[nodiscard]] const ExploreOptions& options() const { return options_; }
+
+ private:
+  /// Evaluate every not-yet-seen coordinate in `coords` (deduplicated, in
+  /// order) up to the remaining budget.  Returns false when the budget cut
+  /// the batch short.
+  bool evaluateBatch(const std::vector<std::vector<double>>& coords);
+  [[nodiscard]] PointEval makeEval(const std::vector<double>& coords,
+                                   const service::JobStatus& status) const;
+  [[nodiscard]] int remainingBudget() const;
+
+  service::JobScheduler& scheduler_;
+  ExploreSpace space_;
+  ExploreOptions options_;
+  ParetoArchive archive_;
+
+  /// Every evaluated point, keyed canonically; only run()'s thread writes.
+  std::map<std::string, PointEval> evals_;
+
+  mutable std::mutex progressMutex_;
+  ExploreProgress progress_;
+};
+
+}  // namespace lo::explore

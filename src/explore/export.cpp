@@ -1,0 +1,91 @@
+#include "explore/export.hpp"
+
+namespace lo::explore {
+
+namespace {
+
+using service::Json;
+
+void appendNumber(std::string& out, double v) {
+  out += Json::formatNumber(v);
+}
+
+}  // namespace
+
+std::string frontCsv(const ExploreResult& result, const ExploreSpace& space) {
+  std::string out;
+  for (const SpecAxis& axis : space.axes) {
+    out += axis.field;
+    out += ',';
+  }
+  out += "power_mw,area_um2,noise_uv,gbw_hz,phase_margin_deg,slew_rate_v_per_us\n";
+  for (const PointEval& p : result.front) {
+    for (const double c : p.coords) {
+      appendNumber(out, c);
+      out += ',';
+    }
+    appendNumber(out, p.powerMw);
+    out += ',';
+    appendNumber(out, p.areaUm2);
+    out += ',';
+    appendNumber(out, p.noiseUv);
+    out += ',';
+    appendNumber(out, p.gbwHz);
+    out += ',';
+    appendNumber(out, p.phaseMarginDeg);
+    out += ',';
+    appendNumber(out, p.slewRateVPerUs);
+    out += '\n';
+  }
+  return out;
+}
+
+service::Json frontJson(const ExploreResult& result, const ExploreSpace& space,
+                        const ExploreOptions& options) {
+  Json j = Json::object();
+
+  Json axes = Json::array();
+  for (const SpecAxis& axis : space.axes) {
+    Json a = Json::object();
+    a.set("field", axis.field);
+    a.set("lo", axis.lo);
+    a.set("hi", axis.hi);
+    a.set("points", static_cast<double>(axis.points));
+    axes.push(std::move(a));
+  }
+  j.set("axes", std::move(axes));
+
+  Json objectives = Json::array();
+  for (const Objective o : options.objectives) {
+    objectives.push(std::string(objectiveName(o)));
+  }
+  j.set("objectives", std::move(objectives));
+
+  Json front = Json::array();
+  for (const PointEval& p : result.front) {
+    Json point = Json::object();
+    Json coords = Json::array();
+    for (std::size_t k = 0; k < p.coords.size(); ++k) {
+      coords.push(p.coords[k]);
+    }
+    point.set("coords", std::move(coords));
+    point.set("power_mw", p.powerMw);
+    point.set("area_um2", p.areaUm2);
+    point.set("noise_uv", p.noiseUv);
+    point.set("gbw_hz", p.gbwHz);
+    point.set("phase_margin_deg", p.phaseMarginDeg);
+    point.set("slew_rate_v_per_us", p.slewRateVPerUs);
+    point.set("cache_hit", p.cacheHit);
+    front.push(std::move(point));
+  }
+  j.set("front", std::move(front));
+
+  j.set("evaluations", static_cast<double>(result.evaluations));
+  j.set("cache_hits", static_cast<double>(result.cacheHits));
+  j.set("rounds", static_cast<double>(result.rounds));
+  j.set("seed_front_size", static_cast<double>(result.seedFront.size()));
+  j.set("budget_exhausted", result.budgetExhausted);
+  return j;
+}
+
+}  // namespace lo::explore

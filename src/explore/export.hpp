@@ -1,0 +1,27 @@
+// Front exporters: CSV for plotting, JSON for the daemon protocol and the
+// experiment logs.  Both use the exact-round-trip number formatting, so
+// identical explorations produce byte-identical exports.
+#pragma once
+
+#include <string>
+
+#include "explore/explore.hpp"
+#include "service/json.hpp"
+
+namespace lo::explore {
+
+/// One row per front point: the axis columns (named after the swept spec
+/// fields), then power_mw, area_um2, noise_uv, gbw_hz, phase_margin_deg,
+/// slew_rate_v_per_us.
+[[nodiscard]] std::string frontCsv(const ExploreResult& result,
+                                   const ExploreSpace& space);
+
+/// {"axes": [...], "objectives": [...], "front": [...], "evaluations": N,
+///  "cache_hits": N, "rounds": N, "seed_front_size": N,
+///  "budget_exhausted": bool} -- the payload the daemon's `explore` op
+/// returns.
+[[nodiscard]] service::Json frontJson(const ExploreResult& result,
+                                      const ExploreSpace& space,
+                                      const ExploreOptions& options);
+
+}  // namespace lo::explore

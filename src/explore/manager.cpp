@@ -1,0 +1,104 @@
+#include "explore/manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lo::explore {
+
+ExploreManager::ExploreManager(service::JobScheduler& scheduler)
+    : scheduler_(scheduler) {}
+
+ExploreManager::~ExploreManager() {
+  // Snapshot the records, then join outside the lock: the worker threads
+  // take the lock to publish their outcome.
+  std::vector<std::shared_ptr<Record>> records;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, rec] : records_) records.push_back(rec);
+  }
+  for (auto& rec : records) {
+    if (rec->thread.joinable()) rec->thread.join();
+  }
+}
+
+std::uint64_t ExploreManager::start(ExploreSpace space, ExploreOptions options) {
+  auto rec = std::make_shared<Record>();
+  rec->explorer = std::make_unique<Explorer>(scheduler_, std::move(space),
+                                             std::move(options));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rec->id = nextId_++;
+    records_[rec->id] = rec;
+  }
+  rec->thread = std::thread([this, rec] {
+    ExploreResult result;
+    std::string error;
+    bool ok = true;
+    try {
+      result = rec->explorer->run();
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      rec->result = std::move(result);
+      rec->error = std::move(error);
+      rec->ok = ok;
+      rec->done = true;
+    }
+    doneCv_.notify_all();
+  });
+  return rec->id;
+}
+
+ExploreManager::Outcome ExploreManager::wait(std::uint64_t id) const {
+  std::shared_ptr<Record> rec;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end()) {
+      throw std::invalid_argument("unknown exploration id " + std::to_string(id));
+    }
+    rec = it->second;
+    doneCv_.wait(lock, [&] { return rec->done; });
+  }
+  Outcome out;
+  out.id = id;
+  out.ok = rec->ok;
+  out.error = rec->error;
+  out.result = rec->result;
+  out.space = rec->explorer->space();
+  out.options = rec->explorer->options();
+  return out;
+}
+
+std::vector<ExploreManager::Snapshot> ExploreManager::snapshots() const {
+  std::vector<std::shared_ptr<Record>> records;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, rec] : records_) records.push_back(rec);
+  }
+  std::vector<Snapshot> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    Snapshot s;
+    s.id = rec->id;
+    s.progress = rec->explorer->progress();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      s.done = rec->done;
+      s.ok = rec->ok;
+      s.error = rec->error;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t ExploreManager::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace lo::explore

@@ -1,0 +1,81 @@
+// ExploreManager: named, background explorations for the daemon.
+//
+// Each start() spawns one thread that drives an Explorer to completion
+// over the shared JobScheduler (the per-point parallelism lives in the
+// scheduler's worker pool, so one manager thread per exploration is
+// cheap).  The daemon's `explore` op starts or waits on explorations and
+// the `stats` op reports live snapshots of every one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/explore.hpp"
+
+namespace lo::explore {
+
+class ExploreManager {
+ public:
+  /// The scheduler must outlive the manager.
+  explicit ExploreManager(service::JobScheduler& scheduler);
+  ~ExploreManager();  ///< Joins every exploration thread.
+
+  ExploreManager(const ExploreManager&) = delete;
+  ExploreManager& operator=(const ExploreManager&) = delete;
+
+  /// Launch an exploration in the background; returns its id immediately.
+  /// Space/option validation happens on the worker thread -- a degenerate
+  /// space surfaces as a failed outcome, not a throw.
+  std::uint64_t start(ExploreSpace space, ExploreOptions options);
+
+  struct Outcome {
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string error;  ///< Exception text when !ok.
+    ExploreResult result;
+    ExploreSpace space;      ///< For exporters, which need the axes.
+    ExploreOptions options;
+  };
+
+  /// Block until the exploration finishes; throws std::invalid_argument on
+  /// an unknown id.
+  [[nodiscard]] Outcome wait(std::uint64_t id) const;
+
+  struct Snapshot {
+    std::uint64_t id = 0;
+    ExploreProgress progress;
+    bool done = false;
+    bool ok = false;
+    std::string error;
+  };
+
+  /// Live view of every exploration ever started, ordered by id.
+  [[nodiscard]] std::vector<Snapshot> snapshots() const;
+
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  struct Record {
+    std::uint64_t id = 0;
+    std::unique_ptr<Explorer> explorer;
+    std::thread thread;
+    bool done = false;
+    bool ok = false;
+    std::string error;
+    ExploreResult result;
+  };
+
+  service::JobScheduler& scheduler_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable doneCv_;
+  std::map<std::uint64_t, std::shared_ptr<Record>> records_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace lo::explore

@@ -1,0 +1,141 @@
+#include "explore/service_ops.hpp"
+
+#include <stdexcept>
+
+#include "explore/export.hpp"
+#include "service/serialize.hpp"
+
+namespace lo::explore {
+
+namespace {
+
+using service::Json;
+
+Json outcomeToJson(const ExploreManager::Outcome& outcome, bool includeCsv) {
+  Json out = Json::object();
+  out.set("ok", outcome.ok);
+  out.set("explore_id", outcome.id);
+  if (!outcome.ok) {
+    out.set("error", outcome.error);
+    return out;
+  }
+  Json front = frontJson(outcome.result, outcome.space, outcome.options);
+  for (const auto& [key, value] : front.members()) out.set(key, value);
+  if (includeCsv) out.set("csv", frontCsv(outcome.result, outcome.space));
+  return out;
+}
+
+}  // namespace
+
+ExploreSpace spaceFromJson(const Json& request) {
+  ExploreSpace space;
+  if (const Json* topology = request.find("topology")) {
+    space.engineOptions.topology = topology->asString();
+  }
+  if (const Json* sizingCase = request.find("case")) {
+    space.engineOptions.sizingCase = service::sizingCaseFromJson(*sizingCase);
+  }
+  if (const Json* model = request.find("model")) {
+    space.engineOptions.modelName = model->asString();
+  }
+  if (const Json* bias = request.find("bias")) {
+    space.engineOptions.includeBiasGenerator = bias->asBool();
+  }
+  if (const Json* corner = request.find("corner")) {
+    space.corner = service::cornerFromName(corner->asString());
+  }
+  if (const Json* spec = request.find("spec")) {
+    service::specsFromJson(*spec, space.base);
+  }
+  const Json* axes = request.find("axes");
+  if (axes == nullptr || !axes->isArray() || axes->items().empty()) {
+    throw std::invalid_argument("\"explore\" needs a non-empty \"axes\" array");
+  }
+  for (const Json& entry : axes->items()) {
+    SpecAxis axis;
+    axis.field = entry.at("field").asString();
+    axis.lo = entry.at("lo").asDouble();
+    axis.hi = entry.at("hi").asDouble();
+    axis.points = entry.at("points").asInt(3);
+    space.axes.push_back(std::move(axis));
+  }
+  validateSpace(space);
+  return space;
+}
+
+ExploreOptions optionsFromJson(const Json& request) {
+  ExploreOptions options;
+  if (const Json* budget = request.find("budget")) {
+    options.budget = budget->asInt();
+  }
+  if (const Json* rounds = request.find("max_rounds")) {
+    options.maxRounds = rounds->asInt();
+  }
+  if (const Json* tolerance = request.find("tolerance")) {
+    options.specTolerance = tolerance->asDouble();
+  }
+  if (const Json* objectives = request.find("objectives")) {
+    if (!objectives->isArray() || objectives->items().empty()) {
+      throw std::invalid_argument("\"objectives\" must be a non-empty array");
+    }
+    options.objectives.clear();
+    for (const Json& name : objectives->items()) {
+      options.objectives.push_back(objectiveFromName(name.asString()));
+    }
+  }
+  options.priority = request.at("priority").asInt();
+  options.deadlineSeconds = request.at("deadline_seconds").asDouble();
+  if (options.budget <= 0) {
+    throw std::invalid_argument("\"budget\" must be positive");
+  }
+  if (options.maxRounds < 0) {
+    throw std::invalid_argument("\"max_rounds\" must be non-negative");
+  }
+  return options;
+}
+
+void installExploreOps(service::ServiceProtocol& protocol, ExploreManager& manager) {
+  protocol.registerOp("explore", [&manager](const Json& request) {
+    const ExploreSpace space = spaceFromJson(request);
+    const ExploreOptions options = optionsFromJson(request);
+    const std::uint64_t id = manager.start(space, options);
+    if (request.at("async").asBool()) {
+      Json out = Json::object();
+      out.set("ok", true);
+      out.set("explore_id", id);
+      out.set("state", "running");
+      return out;
+    }
+    return outcomeToJson(manager.wait(id), request.at("csv").asBool());
+  });
+
+  protocol.registerOp("explore_result", [&manager](const Json& request) {
+    const std::uint64_t id = request.at("explore_id").asUint64();
+    if (id == 0) {
+      throw std::invalid_argument(
+          "\"explore_result\" needs a numeric \"explore_id\"");
+    }
+    return outcomeToJson(manager.wait(id), request.at("csv").asBool());
+  });
+
+  protocol.registerStatsSection("explorations", [&manager] {
+    Json list = Json::array();
+    for (const ExploreManager::Snapshot& s : manager.snapshots()) {
+      Json entry = Json::object();
+      entry.set("id", s.id);
+      entry.set("phase", explorePhaseName(s.progress.phase));
+      entry.set("evaluated", static_cast<double>(s.progress.evaluated));
+      entry.set("budget", static_cast<double>(s.progress.budget));
+      entry.set("round", static_cast<double>(s.progress.round));
+      entry.set("front_size", static_cast<double>(s.progress.frontSize));
+      entry.set("feasible", static_cast<double>(s.progress.feasibleCount));
+      entry.set("cache_hits", static_cast<double>(s.progress.cacheHits));
+      entry.set("done", s.done);
+      if (s.done && !s.ok) entry.set("error", s.error);
+      list.push(std::move(entry));
+    }
+    return list;
+  });
+}
+
+}  // namespace lo::explore

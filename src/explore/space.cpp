@@ -1,0 +1,179 @@
+#include "explore/space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "service/json.hpp"
+#include "service/serialize.hpp"
+
+namespace lo::explore {
+
+void validateSpace(const ExploreSpace& space) {
+  if (space.axes.empty()) {
+    throw std::invalid_argument("explore space has no axes");
+  }
+  if (space.axes.size() > 4) {
+    throw std::invalid_argument("explore space has more than 4 axes");
+  }
+  const auto& known = service::specFieldNames();
+  for (const SpecAxis& axis : space.axes) {
+    if (std::find(known.begin(), known.end(), axis.field) == known.end()) {
+      throw std::invalid_argument("unknown spec axis field \"" + axis.field + "\"");
+    }
+    if (!(axis.hi > axis.lo)) {
+      throw std::invalid_argument("axis \"" + axis.field +
+                                  "\": hi must be greater than lo");
+    }
+    if (axis.points < 2) {
+      throw std::invalid_argument("axis \"" + axis.field +
+                                  "\": needs at least 2 grid points");
+    }
+  }
+  for (std::size_t i = 0; i < space.axes.size(); ++i) {
+    for (std::size_t j = i + 1; j < space.axes.size(); ++j) {
+      if (space.axes[i].field == space.axes[j].field) {
+        throw std::invalid_argument("duplicate spec axis \"" +
+                                    space.axes[i].field + "\"");
+      }
+    }
+  }
+}
+
+std::string coordKey(const std::vector<double>& coords) {
+  std::string key;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (i) key += ',';
+    key += service::Json::formatNumber(coords[i]);
+  }
+  return key;
+}
+
+sizing::OtaSpecs specsAt(const ExploreSpace& space,
+                         const std::vector<double>& coords) {
+  sizing::OtaSpecs specs = space.base;
+  for (std::size_t k = 0; k < space.axes.size(); ++k) {
+    service::setSpecField(specs, space.axes[k].field, coords[k]);
+  }
+  return specs;
+}
+
+namespace {
+
+/// Row-major walk over a per-axis list of candidate values (last axis
+/// fastest), the one deterministic ordering every grid here uses.
+std::vector<std::vector<double>> crossProduct(
+    const std::vector<std::vector<double>>& axisValues) {
+  std::vector<std::vector<double>> out;
+  std::size_t total = 1;
+  for (const auto& vals : axisValues) total *= vals.size();
+  out.reserve(total);
+  std::vector<std::size_t> idx(axisValues.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::vector<double> point(axisValues.size());
+    for (std::size_t k = 0; k < axisValues.size(); ++k) {
+      point[k] = axisValues[k][idx[k]];
+    }
+    out.push_back(std::move(point));
+    for (std::size_t k = axisValues.size(); k-- > 0;) {
+      if (++idx[k] < axisValues[k].size()) break;
+      idx[k] = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> axisTicks(const SpecAxis& axis) {
+  std::vector<double> ticks(static_cast<std::size_t>(axis.points));
+  const double step = (axis.hi - axis.lo) / (axis.points - 1);
+  for (int i = 0; i < axis.points; ++i) {
+    ticks[static_cast<std::size_t>(i)] =
+        (i == axis.points - 1) ? axis.hi : axis.lo + step * i;
+  }
+  return ticks;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> seedGrid(const ExploreSpace& space) {
+  std::vector<std::vector<double>> axisValues;
+  axisValues.reserve(space.axes.size());
+  for (const SpecAxis& axis : space.axes) axisValues.push_back(axisTicks(axis));
+  return crossProduct(axisValues);
+}
+
+std::vector<Cell> seedCells(const ExploreSpace& space) {
+  std::vector<std::vector<double>> lows;
+  std::vector<std::vector<double>> ticksPerAxis;
+  ticksPerAxis.reserve(space.axes.size());
+  for (const SpecAxis& axis : space.axes) ticksPerAxis.push_back(axisTicks(axis));
+
+  // A cell per interval on each axis: cross product of interval indices.
+  std::vector<std::vector<double>> intervalStarts;
+  intervalStarts.reserve(ticksPerAxis.size());
+  for (const auto& ticks : ticksPerAxis) {
+    std::vector<double> starts(ticks.begin(), ticks.end() - 1);
+    intervalStarts.push_back(std::move(starts));
+  }
+  const auto startPoints = crossProduct(intervalStarts);
+
+  std::vector<Cell> cells;
+  cells.reserve(startPoints.size());
+  for (const auto& start : startPoints) {
+    Cell cell;
+    cell.lo = start;
+    cell.hi.resize(start.size());
+    for (std::size_t k = 0; k < start.size(); ++k) {
+      const auto& ticks = ticksPerAxis[k];
+      const auto it = std::find(ticks.begin(), ticks.end(), start[k]);
+      cell.hi[k] = *(it + 1);
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::vector<double>> cellCorners(const Cell& cell) {
+  std::vector<std::vector<double>> axisValues;
+  axisValues.reserve(cell.lo.size());
+  for (std::size_t k = 0; k < cell.lo.size(); ++k) {
+    axisValues.push_back({cell.lo[k], cell.hi[k]});
+  }
+  return crossProduct(axisValues);
+}
+
+std::vector<std::vector<double>> cellLattice(const Cell& cell) {
+  std::vector<std::vector<double>> axisValues;
+  axisValues.reserve(cell.lo.size());
+  for (std::size_t k = 0; k < cell.lo.size(); ++k) {
+    const double mid = 0.5 * (cell.lo[k] + cell.hi[k]);
+    axisValues.push_back({cell.lo[k], mid, cell.hi[k]});
+  }
+  return crossProduct(axisValues);
+}
+
+std::vector<Cell> splitCell(const Cell& cell) {
+  std::vector<std::vector<double>> starts;
+  starts.reserve(cell.lo.size());
+  for (std::size_t k = 0; k < cell.lo.size(); ++k) {
+    const double mid = 0.5 * (cell.lo[k] + cell.hi[k]);
+    starts.push_back({cell.lo[k], mid});
+  }
+  const auto startPoints = crossProduct(starts);
+
+  std::vector<Cell> children;
+  children.reserve(startPoints.size());
+  for (const auto& start : startPoints) {
+    Cell child;
+    child.lo = start;
+    child.hi.resize(start.size());
+    child.level = cell.level + 1;
+    for (std::size_t k = 0; k < start.size(); ++k) {
+      const double mid = 0.5 * (cell.lo[k] + cell.hi[k]);
+      child.hi[k] = (start[k] == cell.lo[k]) ? mid : cell.hi[k];
+    }
+    children.push_back(std::move(child));
+  }
+  return children;
+}
+
+}  // namespace lo::explore

@@ -1,0 +1,74 @@
+// The explorable spec space: named spec axes over a base specification,
+// plus the grid / cell machinery the adaptive refinement walks.
+//
+// A point is a coordinate vector (one value per axis); its canonical key
+// is the exact-round-trip text of those values, so two visits to the same
+// coordinates -- in either exploration phase, or across re-runs -- always
+// collapse to one evaluation and one cache entry.  Cells are the axis-
+// aligned boxes between adjacent evaluated coordinates; refinement bisects
+// a cell on every axis at once (the 3^d lattice of corner/edge/centre
+// midpoints) and replaces it with its 2^d children.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lo::explore {
+
+/// One swept spec dimension, by protocol field name ("gbw", "cload", ...).
+struct SpecAxis {
+  std::string field;
+  double lo = 0.0;
+  double hi = 0.0;
+  int points = 3;  ///< Coarse-grid samples on this axis (>= 2).
+};
+
+/// Everything that defines an exploration's search space: the synthesis
+/// configuration (topology, sizing case, model, corner), the base specs
+/// every point starts from, and the swept axes.
+struct ExploreSpace {
+  core::EngineOptions engineOptions;
+  tech::ProcessCorner corner = tech::ProcessCorner::kTypical;
+  sizing::OtaSpecs base;
+  std::vector<SpecAxis> axes;
+};
+
+/// Throws std::invalid_argument on an empty/degenerate space (no axes,
+/// unknown field names, hi <= lo, points < 2, more than 4 axes).
+void validateSpace(const ExploreSpace& space);
+
+/// Canonical key for a coordinate vector (exact-round-trip doubles joined
+/// with ','), used for dedup, archive ordering and reproducibility.
+[[nodiscard]] std::string coordKey(const std::vector<double>& coords);
+
+/// The specs at a grid point: base specs with each axis field overridden.
+[[nodiscard]] sizing::OtaSpecs specsAt(const ExploreSpace& space,
+                                       const std::vector<double>& coords);
+
+/// The coarse seed grid in deterministic row-major order (last axis
+/// fastest): points[i][k] is the value on axis k.
+[[nodiscard]] std::vector<std::vector<double>> seedGrid(const ExploreSpace& space);
+
+/// An axis-aligned box in the spec space, tracked by the refiner.
+struct Cell {
+  std::vector<double> lo;  ///< Per-axis lower corner.
+  std::vector<double> hi;  ///< Per-axis upper corner.
+  int level = 0;           ///< Bisection depth (seed cells are level 0).
+};
+
+/// The seed grid's cells in deterministic row-major order.
+[[nodiscard]] std::vector<Cell> seedCells(const ExploreSpace& space);
+
+/// The cell's 2^d corner coordinates, row-major.
+[[nodiscard]] std::vector<std::vector<double>> cellCorners(const Cell& cell);
+
+/// The full 3^d refinement lattice over {lo, mid, hi} per axis, row-major
+/// (includes the corners; callers skip already-evaluated points).
+[[nodiscard]] std::vector<std::vector<double>> cellLattice(const Cell& cell);
+
+/// The 2^d child cells produced by bisecting every axis, row-major.
+[[nodiscard]] std::vector<Cell> splitCell(const Cell& cell);
+
+}  // namespace lo::explore

@@ -43,19 +43,36 @@ ParasiticReport buildReport(const tech::Technology& t, const RoutingResult& rout
   return report;
 }
 
-void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report) {
+void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report,
+                     double minSeriesRes) {
+  // First pass: decide where each net's parasitics attach.  A net with
+  // appreciable routing resistance is split behind a series RPAR_ resistor
+  // so its capacitors see the wire RC; cheap nets attach directly.
+  std::map<std::string, circuit::NodeId> attach;
   for (const auto& [net, par] : report.nets) {
     const auto node = c.findNode(net);
     if (!node) continue;
+    if (par.routingRes >= minSeriesRes) {
+      const circuit::NodeId tap = c.node(net + "_rpar");
+      c.addResistor("RPAR_" + net, *node, tap, par.routingRes);
+      attach[net] = tap;
+    } else {
+      attach[net] = *node;
+    }
+  }
+  for (const auto& [net, par] : report.nets) {
+    const auto it = attach.find(net);
+    if (it == attach.end()) continue;
     const double ground = par.routingCap + par.wellCap;
     if (ground > 0.0) {
-      c.addCapacitor("CPAR_" + net, *node, circuit::kGround, ground);
+      c.addCapacitor("CPAR_" + net, it->second, circuit::kGround, ground);
     }
     for (const auto& [other, cap] : par.coupling) {
       if (net >= other) continue;  // Emit each pair once.
-      const auto otherNode = c.findNode(other);
-      if (!otherNode || cap <= 0.0) continue;
-      c.addCapacitor("CCPL_" + net + "_" + other, *node, *otherNode, cap);
+      const auto otherAttach = attach.find(other);
+      if (otherAttach == attach.end() || cap <= 0.0) continue;
+      c.addCapacitor("CCPL_" + net + "_" + other, it->second, otherAttach->second,
+                     cap);
     }
   }
 }

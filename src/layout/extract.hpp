@@ -51,9 +51,20 @@ struct ParasiticReport {
                                           const geom::ShapeList& shapes,
                                           const std::vector<std::string>& acGroundNets);
 
+/// Routing resistances below this default are lumped to zero when a report
+/// is folded back into a circuit (sub-ohm wires are noise next to the
+/// multi-kohm device impedances, and every extra node costs MNA time).
+inline constexpr double kMinAnnotatedSeriesRes = 1.0;
+
 /// Fold a report into a circuit: adds a grounded capacitor per net and a
 /// coupling capacitor per net pair (names prefixed "CPAR_"/"CCPL_").
-/// Nets missing from the circuit are ignored.
-void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report);
+/// A net whose accumulated routing resistance reaches `minSeriesRes` is
+/// split: a series resistor "RPAR_<net>" connects the device node to an
+/// internal tap node "<net>_rpar", and that net's parasitic capacitors
+/// attach to the tap, so the wire RC actually filters in simulation
+/// instead of the resistance being dropped.  Nets missing from the
+/// circuit are ignored.
+void annotateCircuit(circuit::Circuit& c, const ParasiticReport& report,
+                     double minSeriesRes = kMinAnnotatedSeriesRes);
 
 }  // namespace lo::layout

@@ -14,7 +14,7 @@ namespace {
 
 /// Bumped whenever the canonical text or the stored JSON layout changes,
 /// so stale disk entries miss instead of misparsing.
-constexpr int kCacheSchemaVersion = 1;
+constexpr int kCacheSchemaVersion = 2;
 
 std::string hex64(std::uint64_t v) {
   char buf[17];

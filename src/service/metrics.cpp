@@ -17,6 +17,11 @@ void ServiceMetrics::onCoalesced() {
   ++data_.coalesced;
 }
 
+void ServiceMetrics::onRunning(std::size_t running) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running > data_.maxRunning) data_.maxRunning = running;
+}
+
 void ServiceMetrics::onFinish(const std::string& state, const JobTrace& trace) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (state == "done") ++data_.completed;
@@ -46,6 +51,7 @@ Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
   jobs.set("expired", m.expired);
   jobs.set("retries", m.retries);
   jobs.set("coalesced", m.coalesced);
+  jobs.set("max_running", m.maxRunning);
   jobs.set("total_queue_seconds", m.totalQueueSeconds);
   jobs.set("total_run_seconds", m.totalRunSeconds);
 

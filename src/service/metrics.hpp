@@ -38,6 +38,9 @@ struct MetricsSnapshot {
   std::uint64_t expired = 0;
   std::uint64_t retries = 0;    ///< Transient-failure re-runs.
   std::uint64_t coalesced = 0;  ///< Duplicates served by an in-flight leader.
+  /// High-water mark of simultaneously running jobs: the direct evidence
+  /// that a batch (or an exploration) actually spread across the pool.
+  std::uint64_t maxRunning = 0;
   double totalQueueSeconds = 0.0;
   double totalRunSeconds = 0.0;
   /// Summed wall-clock and call count per engine stage name.
@@ -50,6 +53,9 @@ class ServiceMetrics {
   void onSubmit();
   void onRetry();
   void onCoalesced();
+  /// Called with the live running count after a job starts; records the
+  /// high-water mark.
+  void onRunning(std::size_t running);
   /// `state` uses the scheduler's terminal-state names ("done", "failed",
   /// "cancelled", "expired").
   void onFinish(const std::string& state, const JobTrace& trace);

@@ -22,11 +22,43 @@ Json errorResponse(const std::string& why) {
 std::string ServiceProtocol::handleLine(const std::string& line) {
   Json response;
   try {
-    response = handle(Json::parse(line));
+    if (line.size() > kMaxRequestLineBytes) {
+      response = errorResponse("request line too long (" +
+                               std::to_string(line.size()) + " bytes, limit " +
+                               std::to_string(kMaxRequestLineBytes) + ")");
+    } else {
+      response = handle(Json::parse(line));
+    }
   } catch (const std::exception& e) {
     response = errorResponse(e.what());
   }
   return response.dump();
+}
+
+void ServiceProtocol::registerOp(const std::string& op, OpHandler handler) {
+  if (!handler) throw std::invalid_argument("null handler for op \"" + op + "\"");
+  static const char* kBuiltins[] = {"synthesize", "sweep",      "wait",
+                                    "cancel",     "stats",      "topologies",
+                                    "shutdown"};
+  for (const char* builtin : kBuiltins) {
+    if (op == builtin) {
+      throw std::invalid_argument("cannot override built-in op \"" + op + "\"");
+    }
+  }
+  if (!extraOps_.emplace(op, std::move(handler)).second) {
+    throw std::invalid_argument("op \"" + op + "\" is already registered");
+  }
+}
+
+void ServiceProtocol::registerStatsSection(const std::string& key,
+                                           StatsProvider provider) {
+  if (!provider) {
+    throw std::invalid_argument("null stats provider for \"" + key + "\"");
+  }
+  if (!statsSections_.emplace(key, std::move(provider)).second) {
+    throw std::invalid_argument("stats section \"" + key +
+                                "\" is already registered");
+  }
 }
 
 void ServiceProtocol::serve(std::istream& in, std::ostream& out) {
@@ -74,9 +106,12 @@ Json ServiceProtocol::handle(const Json& request) {
     out.set("shutting_down", true);
     return out;
   }
-  return errorResponse("unknown op \"" + op +
-                       "\" (synthesize, sweep, wait, cancel, stats, topologies, "
-                       "shutdown)");
+  const auto extra = extraOps_.find(op);
+  if (extra != extraOps_.end()) return extra->second(request);
+  std::string known =
+      "synthesize, sweep, wait, cancel, stats, topologies, shutdown";
+  for (const auto& [name, handler] : extraOps_) known += ", " + name;
+  return errorResponse("unknown op \"" + op + "\" (" + known + ")");
 }
 
 JobRequest ServiceProtocol::parseJob(const Json& request) const {
@@ -160,11 +195,13 @@ Json ServiceProtocol::handleSweep(const Json& request) {
 }
 
 Json ServiceProtocol::handleStats() const {
+  Json stats = metricsToJson(scheduler_.metrics(), scheduler_.cacheStats(),
+                             scheduler_.queueDepth(), scheduler_.runningCount(),
+                             scheduler_.workerCount());
+  for (const auto& [key, provider] : statsSections_) stats.set(key, provider());
   Json out = Json::object();
   out.set("ok", true);
-  out.set("stats", metricsToJson(scheduler_.metrics(), scheduler_.cacheStats(),
-                                 scheduler_.queueDepth(), scheduler_.runningCount(),
-                                 scheduler_.workerCount()));
+  out.set("stats", std::move(stats));
   return out;
 }
 

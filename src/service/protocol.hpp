@@ -12,17 +12,29 @@
 //   topologies  registered topology names
 //   shutdown    acknowledge and stop the read loop
 //
+// Higher layers extend the protocol without a dependency cycle through
+// registerOp() / registerStatsSection(): lo_explore installs its
+// explore / explore_result ops this way (explore/service_ops.hpp).
+//
 // Every response carries "ok"; failures put a human-readable reason in
-// "error" and never kill the daemon.  See README.md for a request /
-// response example and DESIGN.md for the full schema.
+// "error" and never kill the daemon: malformed JSON, unknown ops and
+// over-long lines (kMaxRequestLineBytes) all answer {"ok":false,...}.
+// See README.md for a request / response example and DESIGN.md for the
+// full schema.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 
 #include "service/scheduler.hpp"
 
 namespace lo::service {
+
+/// Requests longer than this are rejected with a structured error before
+/// parsing, so a hostile or broken client cannot balloon daemon memory.
+inline constexpr std::size_t kMaxRequestLineBytes = 1 << 20;
 
 class ServiceProtocol {
  public:
@@ -37,6 +49,17 @@ class ServiceProtocol {
   /// Serve line-by-line until EOF or shutdown; flushes after every line.
   void serve(std::istream& in, std::ostream& out);
 
+  /// Extension seam for higher layers: handle requests whose "op" equals
+  /// `op` with `handler`.  Built-in ops cannot be overridden; registering
+  /// a duplicate extension op throws std::invalid_argument.  Handlers run
+  /// on the protocol thread; thrown exceptions become {"ok":false,...}.
+  using OpHandler = std::function<Json(const Json& request)>;
+  void registerOp(const std::string& op, OpHandler handler);
+
+  /// Add a named section to the `stats` response (e.g. "explorations").
+  using StatsProvider = std::function<Json()>;
+  void registerStatsSection(const std::string& key, StatsProvider provider);
+
  private:
   [[nodiscard]] Json handle(const Json& request);
   [[nodiscard]] Json handleSynthesize(const Json& request);
@@ -48,6 +71,8 @@ class ServiceProtocol {
 
   JobScheduler& scheduler_;
   bool shutdown_ = false;
+  std::map<std::string, OpHandler> extraOps_;
+  std::map<std::string, StatsProvider> statsSections_;
 };
 
 }  // namespace lo::service

@@ -119,6 +119,7 @@ void JobScheduler::workerLoop() {
 
     rec->state = JobState::kRunning;
     ++running_;
+    metrics_.onRunning(running_);
     runJob(rec, lock);  // Unlocks for the engine run, relocks before returning.
   }
 }

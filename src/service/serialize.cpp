@@ -78,6 +78,8 @@ Json toJson(const core::EngineResult& result) {
   j.set("iterations", std::move(iterations));
   j.set("layout_calls", result.layoutCalls);
   j.set("parasitic_converged", result.parasiticConverged);
+  j.set("layout_width_um", result.layoutWidthUm);
+  j.set("layout_height_um", result.layoutHeightUm);
   j.set("predicted", toJson(result.predicted));
   j.set("measured", toJson(result.measured));
   return j;
@@ -98,6 +100,8 @@ core::EngineResult resultFromJson(const Json& j) {
   }
   result.layoutCalls = j.at("layout_calls").asInt();
   result.parasiticConverged = j.at("parasitic_converged").asBool();
+  result.layoutWidthUm = j.at("layout_width_um").asDouble();
+  result.layoutHeightUm = j.at("layout_height_um").asDouble();
   result.predicted = performanceFromJson(j.at("predicted"));
   result.measured = performanceFromJson(j.at("measured"));
   return result;
@@ -107,6 +111,32 @@ Json toJson(const sizing::OtaSpecs& specs) {
   Json j = Json::object();
   for (const SpecField& f : kSpecFields) j.set(f.name, specs.*(f.member));
   return j;
+}
+
+const std::vector<std::string>& specFieldNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const SpecField& f : kSpecFields) out.emplace_back(f.name);
+    return out;
+  }();
+  return names;
+}
+
+void setSpecField(sizing::OtaSpecs& specs, const std::string& name, double value) {
+  for (const SpecField& f : kSpecFields) {
+    if (name == f.name) {
+      specs.*(f.member) = value;
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown spec field \"" + name + "\"");
+}
+
+double specField(const sizing::OtaSpecs& specs, const std::string& name) {
+  for (const SpecField& f : kSpecFields) {
+    if (name == f.name) return specs.*(f.member);
+  }
+  throw std::invalid_argument("unknown spec field \"" + name + "\"");
 }
 
 void specsFromJson(const Json& j, sizing::OtaSpecs& specs) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "service/json.hpp"
@@ -25,6 +26,16 @@ namespace lo::service {
 /// defaults); throws std::invalid_argument on an unknown field name, so
 /// client typos fail loudly instead of silently synthesising the default.
 void specsFromJson(const Json& j, sizing::OtaSpecs& specs);
+
+/// The OtaSpecs field names the protocol understands ("spec" object keys),
+/// in their canonical serialisation order.
+[[nodiscard]] const std::vector<std::string>& specFieldNames();
+
+/// Get / set one spec field by its protocol name; throws
+/// std::invalid_argument on an unknown name.  The explorer sweeps spec
+/// axes by name through these instead of hard-coding members.
+void setSpecField(sizing::OtaSpecs& specs, const std::string& name, double value);
+[[nodiscard]] double specField(const sizing::OtaSpecs& specs, const std::string& name);
 
 /// "case1".."case4" (or bare 1..4) -> SizingCase; throws on anything else.
 [[nodiscard]] core::SizingCase sizingCaseFromJson(const Json& j);

@@ -132,6 +132,69 @@ TEST(Extract, CouplingBetweenSignalNetsKeptSymmetric) {
   EXPECT_DOUBLE_EQ(rep.nets.at("x1").totalCap(), 4e-15);
 }
 
+TEST(Extract, AnnotateSplitsNetWithSeriesResistance) {
+  circuit::Circuit c;
+  const auto x1 = c.node("x1");
+  ParasiticReport rep;
+  rep.nets["x1"].routingRes = 50.0;
+  rep.nets["x1"].routingCap = 5e-15;
+  annotateCircuit(c, rep);
+
+  // The wire resistance becomes a series RPAR_ element to a tap node, and
+  // the net's parasitic capacitance hangs off the tap (the far end of the
+  // wire), not the original node.
+  ASSERT_EQ(c.resistors.size(), 1u);
+  EXPECT_EQ(c.resistors[0].name, "RPAR_x1");
+  EXPECT_DOUBLE_EQ(c.resistors[0].ohms, 50.0);
+  const auto tap = c.findNode("x1_rpar");
+  ASSERT_TRUE(tap.has_value());
+  EXPECT_EQ(c.resistors[0].a, x1);
+  EXPECT_EQ(c.resistors[0].b, *tap);
+  EXPECT_DOUBLE_EQ(c.explicitCapAt(*tap), 5e-15);
+  EXPECT_DOUBLE_EQ(c.explicitCapAt(x1), 0.0);
+}
+
+TEST(Extract, AnnotateSkipsNegligibleSeriesResistance) {
+  circuit::Circuit c;
+  const auto x1 = c.node("x1");
+  ParasiticReport rep;
+  rep.nets["x1"].routingRes = 0.5;  // Below the 1-ohm default threshold.
+  rep.nets["x1"].routingCap = 5e-15;
+  annotateCircuit(c, rep);
+  EXPECT_TRUE(c.resistors.empty());
+  EXPECT_FALSE(c.findNode("x1_rpar").has_value());
+  EXPECT_DOUBLE_EQ(c.explicitCapAt(x1), 5e-15);
+}
+
+TEST(Extract, AnnotateSeriesResistanceThresholdIsConfigurable) {
+  circuit::Circuit c;
+  (void)c.node("x1");
+  ParasiticReport rep;
+  rep.nets["x1"].routingRes = 0.5;
+  annotateCircuit(c, rep, /*minSeriesRes=*/0.1);
+  ASSERT_EQ(c.resistors.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.resistors[0].ohms, 0.5);
+}
+
+TEST(Extract, AnnotateCouplingAttachesToTapNodes) {
+  circuit::Circuit c;
+  (void)c.node("x1");
+  (void)c.node("x2");
+  ParasiticReport rep;
+  rep.nets["x1"].routingRes = 20.0;
+  rep.nets["x1"].coupling["x2"] = 2e-15;
+  rep.nets["x2"].coupling["x1"] = 2e-15;
+  annotateCircuit(c, rep);
+  // x1 splits (20 ohm), x2 does not; the coupling cap runs tap-to-node.
+  ASSERT_EQ(c.resistors.size(), 1u);
+  ASSERT_EQ(c.capacitors.size(), 1u);
+  const auto tap = c.findNode("x1_rpar");
+  ASSERT_TRUE(tap.has_value());
+  const auto x2 = *c.findNode("x2");
+  EXPECT_TRUE((c.capacitors[0].a == *tap && c.capacitors[0].b == x2) ||
+              (c.capacitors[0].a == x2 && c.capacitors[0].b == *tap));
+}
+
 TEST(Extract, AnnotateCircuitAddsLumpedCaps) {
   circuit::Circuit c;
   const auto x1 = c.node("x1"), x2 = c.node("x2");

@@ -247,5 +247,115 @@ TEST_F(ProtocolTest, ServeStopsAtShutdownAndAnswersEveryLine) {
   EXPECT_TRUE(responses[1].at("shutting_down").asBool());
 }
 
+// ---------------------------------------------------------------------------
+// Hardening: hostile input must produce structured errors, never kill the
+// serving loop.
+// ---------------------------------------------------------------------------
+
+TEST_F(ProtocolTest, GarbageAndTruncatedLinesAnswerStructuredErrors) {
+  const char* kGarbage[] = {
+      "\x01\x02\xff binary noise",
+      "{\"op\":\"synthesize\"",          // Truncated mid-object.
+      "{\"op\":\"synthesize\",\"spec\"", // Truncated mid-key.
+      "}{",
+      "null",
+      "42",
+      "\"just a string\"",
+      "{\"op\":12}",                     // Wrong op type.
+      "{}",                              // No op at all.
+  };
+  for (const char* line : kGarbage) {
+    const Json out = respond(line);
+    EXPECT_FALSE(out.at("ok").asBool(true)) << line;
+    EXPECT_FALSE(out.at("error").asString().empty()) << line;
+  }
+  // The protocol object is still fully functional afterwards.
+  EXPECT_TRUE(respond(R"({"op":"topologies"})").at("ok").asBool());
+}
+
+TEST_F(ProtocolTest, OversizedLineIsRejectedBeforeParsing) {
+  std::string line = R"({"op":"synthesize","label":")";
+  line.append(kMaxRequestLineBytes, 'x');
+  line += R"("})";
+  const Json out = respond(line);
+  EXPECT_FALSE(out.at("ok").asBool(true));
+  EXPECT_NE(out.at("error").asString().find("too long"), std::string::npos);
+  EXPECT_TRUE(respond(R"({"op":"topologies"})").at("ok").asBool());
+}
+
+TEST_F(ProtocolTest, ServeSurvivesHostileScript) {
+  std::istringstream in(
+      "{ nope\n"
+      "]]]\n"
+      "{\"op\":\"definitely_not_an_op\"}\n"
+      "{\"op\":\"topologies\"}\n");
+  std::ostringstream out;
+  protocol_.serve(in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<Json> responses;
+  while (std::getline(lines, line)) responses.push_back(Json::parse(line));
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_FALSE(responses[0].at("ok").asBool(true));
+  EXPECT_FALSE(responses[1].at("ok").asBool(true));
+  EXPECT_FALSE(responses[2].at("ok").asBool(true));
+  EXPECT_TRUE(responses[3].at("ok").asBool());
+}
+
+// ---------------------------------------------------------------------------
+// Extension seam
+// ---------------------------------------------------------------------------
+
+TEST_F(ProtocolTest, RegisteredOpDispatchesAndFailuresStayStructured) {
+  protocol_.registerOp("echo", [](const Json& request) {
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("echo", request.at("payload").asString());
+    return out;
+  });
+  protocol_.registerOp("boom", [](const Json&) -> Json {
+    throw std::runtime_error("handler exploded");
+  });
+
+  const Json echoed = respond(R"({"op":"echo","payload":"hello"})");
+  ASSERT_TRUE(echoed.at("ok").asBool());
+  EXPECT_EQ(echoed.at("echo").asString(), "hello");
+
+  const Json boomed = respond(R"({"op":"boom"})");
+  EXPECT_FALSE(boomed.at("ok").asBool(true));
+  EXPECT_NE(boomed.at("error").asString().find("handler exploded"),
+            std::string::npos);
+
+  // Unknown-op errors advertise extension ops alongside the builtins.
+  const Json unknown = respond(R"({"op":"nope"})");
+  EXPECT_NE(unknown.at("error").asString().find("echo"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, RegisterOpRejectsBuiltinsDuplicatesAndNullHandlers) {
+  EXPECT_THROW(protocol_.registerOp("synthesize", [](const Json&) { return Json(); }),
+               std::invalid_argument);
+  EXPECT_THROW(protocol_.registerOp("stats", [](const Json&) { return Json(); }),
+               std::invalid_argument);
+  protocol_.registerOp("mine", [](const Json&) { return Json::object(); });
+  EXPECT_THROW(protocol_.registerOp("mine", [](const Json&) { return Json(); }),
+               std::invalid_argument);
+  EXPECT_THROW(protocol_.registerOp("null_op", ServiceProtocol::OpHandler{}),
+               std::invalid_argument);
+}
+
+TEST_F(ProtocolTest, RegisteredStatsSectionAppearsInStats) {
+  protocol_.registerStatsSection("custom_section", [] {
+    Json j = Json::object();
+    j.set("answer", 42);
+    return j;
+  });
+  EXPECT_THROW(
+      protocol_.registerStatsSection("custom_section", [] { return Json(); }),
+      std::invalid_argument);
+  const Json out = respond(R"({"op":"stats"})");
+  ASSERT_TRUE(out.at("ok").asBool());
+  EXPECT_EQ(out.at("stats").at("custom_section").at("answer").asInt(), 42);
+}
+
 }  // namespace
 }  // namespace lo::service

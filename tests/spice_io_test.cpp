@@ -21,6 +21,42 @@ TEST(SpiceNumber, RejectsGarbage) {
   EXPECT_THROW((void)parseSpiceNumber("1.5x"), NetlistParseError);
 }
 
+TEST(SpiceNumber, SuffixesAreCaseInsensitiveAndMegIsNotMilli) {
+  // "meg" in any case is mega; a single "m" in any case is milli -- the
+  // classic SPICE trap.
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3MEG"), 3e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3Meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3mEg"), 3e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3M"), 3e-3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("10K"), 1e4);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("100F"), 1e-13);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1T"), 1e12);
+}
+
+TEST(SpiceNumber, NegativeExponentsComposeWithSuffixes) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1e-3k"), 1.0);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2.5e-6meg"), 2.5);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("-1.5e-2m"), -1.5e-5);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("4E-9"), 4e-9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1e3u"), 1e-3);
+}
+
+TEST(SpiceNumber, MalformedSuffixesThrowInsteadOfParsingThePrefix) {
+  // A recognised suffix followed by trailing junk must not silently parse
+  // as the shorter suffix ("10megx" is not 10 milli, "1m5" is not 1 milli).
+  EXPECT_THROW((void)parseSpiceNumber("10megx"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("1m5"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("5kk"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("3me"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("3megmeg"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("2uF"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber(""), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("meg"), NetlistParseError);
+  EXPECT_THROW((void)parseSpiceNumber("1.5 k"), NetlistParseError);
+}
+
 TEST(SpiceNumber, FormatRoundTrips) {
   for (double v : {2.5e-6, 3e6, 1e4, 4.7e-9, -3e-3, 1.5, 0.0}) {
     EXPECT_DOUBLE_EQ(parseSpiceNumber(formatSpiceNumber(v)), v) << v;

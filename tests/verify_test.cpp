@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/spice_io.hpp"
 #include "sizing/ota_sizer.hpp"
 
 namespace lo::sizing {
@@ -64,6 +65,36 @@ TEST(Verify, ParasiticAnnotationDegradesBandwidth) {
   const OtaPerformance loaded = v.verify(sized().result.design, &report);
   EXPECT_LT(loaded.gbwHz, clean.gbwHz * 0.95);
   EXPECT_LT(loaded.phaseMarginDeg, clean.phaseMarginDeg);
+}
+
+TEST(Verify, WireResistanceReachesTheSimulatedNetlist) {
+  // Regression: annotateCircuit used to drop NetParasitics::routingRes, so
+  // extracted wire resistance never influenced verification.  The series
+  // RPAR_ element must appear in the testbench the simulator consumes, and
+  // a resistive report must measure differently from a capacitive one.
+  OtaVerifier v(kTech, *sized().model);
+  layout::ParasiticReport report;
+  report.nets["out"].routingCap = 400e-15;
+  report.nets["out"].routingRes = 2000.0;
+
+  const circuit::Circuit tb =
+      v.buildAcTestbench(sized().result.design, &report, 1, 0, 0);
+  bool sawRpar = false;
+  for (const circuit::Resistor& r : tb.resistors) {
+    if (r.name == "RPAR_out") {
+      sawRpar = true;
+      EXPECT_DOUBLE_EQ(r.ohms, 2000.0);
+    }
+  }
+  EXPECT_TRUE(sawRpar);
+  EXPECT_NE(circuit::writeNetlist(tb).find("RPAR_out"), std::string::npos);
+
+  layout::ParasiticReport capOnly;
+  capOnly.nets["out"].routingCap = 400e-15;
+  const OtaPerformance withRes = v.verify(sized().result.design, &report);
+  const OtaPerformance capOnlyPerf = v.verify(sized().result.design, &capOnly);
+  EXPECT_NE(withRes.gbwHz, capOnlyPerf.gbwHz);
+  EXPECT_NE(withRes.phaseMarginDeg, capOnlyPerf.phaseMarginDeg);
 }
 
 TEST(Verify, ApplyExtractedGeometryReplacesJunctions) {

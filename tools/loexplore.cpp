@@ -1,0 +1,185 @@
+// loexplore: multi-objective design-space exploration from the command
+// line.  Sweeps spec axes over the synthesis service, refines around the
+// feasibility boundary and the Pareto front, and prints the front as CSV
+// (or JSON with --json).
+//
+//   $ loexplore --axis gbw:40e6:90e6:3 --axis cload:1e-12:5e-12:3
+//               --budget 40 --threads 4 --cache-dir default
+//
+// Flags:
+//   --axis F:LO:HI[:N]   swept spec field (repeatable; N grid points, default 3)
+//   --spec NAME=VALUE    base-spec override (repeatable)
+//   --topology NAME      registered topology (default folded-cascode OTA)
+//   --case caseK         sizing case 1..4 (default case4)
+//   --model NAME         device model (default ekv)
+//   --corner CC          process corner tt/ss/ff/sf/fs (default tt)
+//   --objectives LIST    comma-separated subset of power,area,noise
+//   --budget N           max distinct evaluated points (default 64)
+//   --max-rounds N       refinement rounds after the seed grid (default 8)
+//   --tolerance X        relative spec slack for feasibility (default 0.02)
+//   --threads N          scheduler workers (0 = hardware concurrency)
+//   --cache-dir PATH     on-disk result store ("default" = ~/.cache/lo_service)
+//   --json               print the JSON export instead of CSV
+//   --tech PATH          technology file (default: built-in generic060)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "explore/export.hpp"
+#include "service/serialize.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --axis F:LO:HI[:N] [--axis ...] [--spec NAME=VALUE]\n"
+               "          [--topology NAME] [--case caseK] [--model NAME]\n"
+               "          [--corner CC] [--objectives power,area,noise]\n"
+               "          [--budget N] [--max-rounds N] [--tolerance X]\n"
+               "          [--threads N] [--cache-dir PATH|default] [--json]\n"
+               "          [--tech PATH]\n",
+               argv0);
+}
+
+double parseDouble(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "loexplore: bad %s \"%s\"\n", what.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> splitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    parts.push_back(text.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+lo::explore::SpecAxis parseAxis(const std::string& text) {
+  const auto parts = splitOn(text, ':');
+  if (parts.size() < 3 || parts.size() > 4) {
+    std::fprintf(stderr,
+                 "loexplore: --axis wants FIELD:LO:HI[:POINTS], got \"%s\"\n",
+                 text.c_str());
+    std::exit(2);
+  }
+  lo::explore::SpecAxis axis;
+  axis.field = parts[0];
+  axis.lo = parseDouble(parts[1], "axis lo");
+  axis.hi = parseDouble(parts[2], "axis hi");
+  if (parts.size() == 4) {
+    axis.points = static_cast<int>(parseDouble(parts[3], "axis points"));
+  }
+  return axis;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lo;
+
+  explore::ExploreSpace space;
+  explore::ExploreOptions exploreOptions;
+  service::SchedulerOptions schedulerOptions;
+  std::string techPath;
+  bool jsonOutput = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--axis") space.axes.push_back(parseAxis(value()));
+      else if (arg == "--spec") {
+        const std::string pair = value();
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          std::fprintf(stderr, "loexplore: --spec wants NAME=VALUE\n");
+          return 2;
+        }
+        service::setSpecField(space.base, pair.substr(0, eq),
+                              parseDouble(pair.substr(eq + 1), "spec value"));
+      } else if (arg == "--topology") space.engineOptions.topology = value();
+      else if (arg == "--case") {
+        space.engineOptions.sizingCase =
+            service::sizingCaseFromJson(service::Json(value()));
+      } else if (arg == "--model") space.engineOptions.modelName = value();
+      else if (arg == "--corner") space.corner = service::cornerFromName(value());
+      else if (arg == "--objectives") {
+        exploreOptions.objectives.clear();
+        for (const std::string& name : splitOn(value(), ',')) {
+          exploreOptions.objectives.push_back(explore::objectiveFromName(name));
+        }
+      } else if (arg == "--budget") exploreOptions.budget = std::stoi(value());
+      else if (arg == "--max-rounds") exploreOptions.maxRounds = std::stoi(value());
+      else if (arg == "--tolerance") {
+        exploreOptions.specTolerance = parseDouble(value(), "tolerance");
+      } else if (arg == "--threads") schedulerOptions.threads = std::stoi(value());
+      else if (arg == "--cache-dir") {
+        const std::string dir = value();
+        schedulerOptions.cache.diskDir =
+            dir == "default" ? service::CacheOptions::defaultDiskDir() : dir;
+      } else if (arg == "--json") jsonOutput = true;
+      else if (arg == "--tech") techPath = value();
+      else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loexplore: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (space.axes.empty()) {
+    std::fprintf(stderr, "loexplore: at least one --axis is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const tech::Technology technology = techPath.empty()
+                                            ? tech::Technology::generic060()
+                                            : tech::Technology::fromFile(techPath);
+    service::JobScheduler scheduler(technology, schedulerOptions);
+    explore::Explorer explorer(scheduler, space, exploreOptions);
+    const explore::ExploreResult result = explorer.run();
+
+    if (jsonOutput) {
+      std::printf("%s\n",
+                  explore::frontJson(result, space, exploreOptions).dump().c_str());
+    } else {
+      std::fputs(explore::frontCsv(result, space).c_str(), stdout);
+    }
+    std::fprintf(stderr,
+                 "loexplore: %d evaluations (%d cache hits), %d refinement "
+                 "rounds, front size %zu%s\n",
+                 result.evaluations, result.cacheHits, result.rounds,
+                 result.front.size(),
+                 result.budgetExhausted ? ", budget exhausted" : "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loexplore: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,10 @@
 //   $ printf '%s\n' '{"op":"synthesize","topology":"two_stage"}' '{"op":"stats"}' |
 //       losynthd --threads 4
 //
+// The lo_explore ops (explore / explore_result, plus the "explorations"
+// stats section) are installed through the protocol's extension seam; see
+// explore/service_ops.hpp for their schema.
+//
 // Flags:
 //   --threads N          worker pool size (0 = hardware concurrency)
 //   --queue-depth N      bounded submission queue (default 256)
@@ -20,6 +24,8 @@
 #include <iostream>
 #include <string>
 
+#include "explore/manager.hpp"
+#include "explore/service_ops.hpp"
 #include "service/protocol.hpp"
 #include "tech/technology.hpp"
 
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
                                             : tech::Technology::fromFile(techPath);
     service::JobScheduler scheduler(technology, options);
     service::ServiceProtocol protocol(scheduler);
+    explore::ExploreManager explorations(scheduler);
+    explore::installExploreOps(protocol, explorations);
     protocol.serve(std::cin, std::cout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "losynthd: fatal: %s\n", e.what());

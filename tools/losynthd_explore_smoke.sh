@@ -1,0 +1,54 @@
+#!/bin/sh
+# losynthd exploration smoke test (also run by CI): start an exploration
+# asynchronously, watch it through the `stats` op, block on its result with
+# `explore_result`, then assert the scheduler actually ran points in
+# parallel (metrics max_running > 1 with --threads 4).
+set -eu
+
+BIN="$1"
+
+# Case 4 (full layout feedback) so the synthesised points actually meet
+# their specs; case 1's extracted GBW falls ~9% short and the whole grid
+# would be infeasible.
+EXPLORE='{"op":"explore","async":true,"case":4,"budget":12,"max_rounds":1,"tolerance":0.05,"axes":[{"field":"gbw","lo":55e6,"hi":65e6,"points":2},{"field":"cload","lo":2e-12,"hi":3e-12,"points":2}]}'
+OUT=$(printf '%s\n%s\n%s\n%s\n' \
+  "$EXPLORE" \
+  '{"op":"stats"}' \
+  '{"op":"explore_result","explore_id":1}' \
+  '{"op":"stats"}' | "$BIN" --threads 4)
+
+printf '%s\n' "$OUT"
+
+[ "$(printf '%s\n' "$OUT" | wc -l)" -eq 4 ] || {
+  echo "FAIL: expected 4 response lines" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"ok":true' || {
+  echo "FAIL: explore submission did not succeed" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"explore_id":1' || {
+  echo "FAIL: explore did not return explore_id 1" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 2p | grep -q '"explorations":\[{"id":1' || {
+  echo "FAIL: stats does not report the running exploration" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 3p | grep -q '"ok":true' || {
+  echo "FAIL: explore_result did not succeed" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 3p | grep -q '"front":\[{' || {
+  echo "FAIL: explore_result returned an empty front" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 4p | grep -q '"phase":"done"' || {
+  echo "FAIL: final stats does not show the exploration as done" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 4p | grep -Eq '"max_running":([2-9]|[1-9][0-9])' || {
+  echo "FAIL: scheduler never had more than one job running" >&2
+  exit 1
+}
+echo "losynthd explore smoke OK"

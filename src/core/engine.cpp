@@ -53,6 +53,7 @@ EngineResult SynthesisEngine::run(Topology& topology,
     if (hooks.cancelRequested && hooks.cancelRequested()) throw JobCancelled();
   };
   const auto timed = [&hooks](EngineStage stage, auto&& body) {
+    if (hooks.onStageStart) hooks.onStageStart(stage);
     if (!hooks.onStage) {
       body();
       return;

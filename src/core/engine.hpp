@@ -54,14 +54,20 @@ class JobCancelled : public std::runtime_error {
   JobCancelled() : std::runtime_error("synthesis job cancelled") {}
 };
 
-/// Optional observation and control hooks threaded through a run.  Both
-/// callbacks may be invoked from whichever thread runs the engine; neither
+/// Optional observation and control hooks threaded through a run.  All
+/// callbacks may be invoked from whichever thread runs the engine; none
 /// influences the numerical result, so hooked and hook-free runs stay
 /// bit-identical.
 struct EngineHooks {
   /// Polled before every pipeline stage (and every layout-loop iteration);
   /// returning true aborts the run with JobCancelled.
   std::function<bool()> cancelRequested;
+  /// Called immediately before each stage body runs.  May throw: the
+  /// exception propagates out of run() exactly as a stage failure would,
+  /// which is how the testkit fault planner lands a TransientError in the
+  /// middle of a run (after real work has already happened) instead of
+  /// only at the attempt boundary.
+  std::function<void(EngineStage)> onStageStart;
   /// Called after each stage with its wall-clock duration in seconds.
   std::function<void(EngineStage, double)> onStage;
 };

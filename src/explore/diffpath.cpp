@@ -1,0 +1,38 @@
+#include "explore/diffpath.hpp"
+
+#include <stdexcept>
+
+namespace lo::explore {
+
+PointEval evaluateSinglePoint(service::JobScheduler& scheduler,
+                              const core::EngineOptions& options,
+                              const sizing::OtaSpecs& specs,
+                              tech::ProcessCorner corner) {
+  ExploreSpace space;
+  space.engineOptions = options;
+  space.corner = corner;
+  space.base = specs;
+  // One axis whose lower bound is exactly the requested GBW: the budget-1
+  // seed evaluates only the grid's first point, which is the point itself
+  // (specsAt overrides "gbw" with the axis value, bit-identically).
+  SpecAxis axis;
+  axis.field = "gbw";
+  axis.lo = specs.gbw;
+  axis.hi = specs.gbw * 2.0;
+  axis.points = 2;
+  space.axes.push_back(axis);
+
+  ExploreOptions exploreOptions;
+  exploreOptions.budget = 1;
+  exploreOptions.maxRounds = 1;
+
+  Explorer explorer(scheduler, std::move(space), exploreOptions);
+  const ExploreResult result = explorer.run();
+  if (result.points.size() != 1) {
+    throw std::logic_error("single-point exploration evaluated " +
+                           std::to_string(result.points.size()) + " points");
+  }
+  return result.points.front();
+}
+
+}  // namespace lo::explore

@@ -1,0 +1,26 @@
+// Differential-verification entry point into the exploration machinery.
+//
+// The testkit's differential oracle needs to push a single (topology,
+// spec, corner) point through the *same* code the explorer runs -- space
+// validation, canonical coordinate keys, evaluateBatch's dedup and the
+// scheduler submission it performs -- and then compare the synthesis
+// result against the engine-direct run.  evaluateSinglePoint wraps that:
+// a budget-1 exploration over a one-axis space anchored at the point, so
+// exactly one job (the point itself) is evaluated.  The EngineResult lands
+// in the scheduler's cache under the point's content-addressed key, where
+// the oracle retrieves it for byte comparison.
+#pragma once
+
+#include "explore/explore.hpp"
+
+namespace lo::explore {
+
+/// Run one point through the full explore pipeline over `scheduler`.
+/// Returns its PointEval (ok/error/objectives); the synthesis result is in
+/// scheduler.cache() under ResultCache::keyFor(options, specs, corner, ...).
+[[nodiscard]] PointEval evaluateSinglePoint(service::JobScheduler& scheduler,
+                                            const core::EngineOptions& options,
+                                            const sizing::OtaSpecs& specs,
+                                            tech::ProcessCorner corner);
+
+}  // namespace lo::explore

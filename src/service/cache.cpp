@@ -6,6 +6,10 @@
 #include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "service/serialize.hpp"
 
 namespace lo::service {
@@ -20,6 +24,21 @@ std::string hex64(std::uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
   return buf;
+}
+
+/// Write `text` to `path` durably: fwrite + fflush + fsync before close,
+/// so the subsequent rename publishes a file whose bytes have actually
+/// reached the device.  Returns false on any I/O failure.
+bool writeDurably(const std::filesystem::path& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
 }
 
 }  // namespace
@@ -109,8 +128,10 @@ std::optional<core::EngineResult> ResultCache::lookup(const std::string& key) {
         ++stats_.diskHits;
         return result;
       } catch (const std::exception&) {
-        // Corrupt / stale entry: treat as a miss and let the insert
-        // overwrite it.
+        // Corrupt / truncated / stale entry: treat as a miss and let the
+        // insert overwrite it.  A half-written file from a crashed writer
+        // must never poison the cache.
+        ++stats_.diskCorrupt;
       }
     }
   }
@@ -124,15 +145,32 @@ void ResultCache::insert(const std::string& key, const core::EngineResult& resul
   if (!options_.diskDir.empty()) {
     const std::filesystem::path path =
         std::filesystem::path(options_.diskDir) / (key + ".json");
-    // Write-then-rename so a concurrent reader never sees a half file.
-    const std::filesystem::path tmp = path.string() + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::trunc);
-      out << toJson(result).dump() << "\n";
+    const std::string text = toJson(result).dump() + "\n";
+    if (options_.diskWriteFault && options_.diskWriteFault(key)) {
+      // Injected fault: leave the kind of wreckage a writer that died
+      // mid-write (without the tmp-rename discipline) would -- a truncated
+      // entry at the final path.  lookup() must treat it as a miss.
+      (void)writeDurably(path, text.substr(0, text.size() / 2));
+      ++stats_.diskWriteFailures;
+      return;
     }
+    // Durable write, then rename: fsync before publishing so a crash
+    // between rename and writeback cannot surface a half file, and a
+    // concurrent reader only ever sees complete entries.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    bool ok = writeDurably(tmp, text);
     std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (!ec) ++stats_.diskWrites;
+    if (ok) {
+      std::filesystem::rename(tmp, path, ec);
+      ok = !ec;
+    } else {
+      std::filesystem::remove(tmp, ec);
+    }
+    if (ok) {
+      ++stats_.diskWrites;
+    } else {
+      ++stats_.diskWriteFailures;
+    }
   }
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -44,12 +45,23 @@ struct CacheStats {
   std::uint64_t evictions = 0;   ///< LRU evictions from memory.
   std::uint64_t diskHits = 0;    ///< Subset of hits that came from disk.
   std::uint64_t diskWrites = 0;
+  /// On-disk entries that failed to parse during lookup and were treated
+  /// as misses (corrupt / truncated / stale-schema files).
+  std::uint64_t diskCorrupt = 0;
+  /// Store writes that failed (I/O error or an injected fault).
+  std::uint64_t diskWriteFailures = 0;
 };
 
 struct CacheOptions {
   std::size_t capacity = 256;  ///< In-memory entries before LRU eviction.
   /// Directory for the write-through JSON store; empty disables disk.
   std::string diskDir;
+  /// Test seam (testkit fault plans): consulted once per attempted disk
+  /// store write with the entry's key.  Returning true makes the write
+  /// fail the way a crashed writer would -- a truncated file lands at the
+  /// final path without the atomic tmp-rename -- so the corrupt-entry
+  /// tolerance of lookup() is exercised deterministically.
+  std::function<bool(const std::string& key)> diskWriteFault;
 
   /// XDG-style default store location: $LOS_CACHE_DIR, else
   /// $XDG_CACHE_HOME/lo_service, else $HOME/.cache/lo_service, else

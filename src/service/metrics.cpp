@@ -71,6 +71,8 @@ Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
   cacheJson.set("evictions", cache.evictions);
   cacheJson.set("disk_hits", cache.diskHits);
   cacheJson.set("disk_writes", cache.diskWrites);
+  cacheJson.set("disk_corrupt", cache.diskCorrupt);
+  cacheJson.set("disk_write_failures", cache.diskWriteFailures);
 
   Json out = Json::object();
   out.set("jobs", std::move(jobs));
@@ -84,13 +86,14 @@ Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
 
 Json traceToJson(std::uint64_t id, const std::string& label,
                  const std::string& state, bool cacheHit, int attempts,
-                 const JobTrace& trace) {
+                 int retries, const JobTrace& trace) {
   Json out = Json::object();
   out.set("id", id);
   out.set("label", label);
   out.set("state", state);
   out.set("cache_hit", cacheHit);
   out.set("attempts", attempts);
+  out.set("retries", retries);
   out.set("queue_seconds", trace.queueSeconds);
   out.set("run_seconds", trace.runSeconds);
   Json stages = Json::array();

@@ -77,6 +77,6 @@ class ServiceMetrics {
 /// One trace-log line for a finished job.
 [[nodiscard]] Json traceToJson(std::uint64_t id, const std::string& label,
                                const std::string& state, bool cacheHit,
-                               int attempts, const JobTrace& trace);
+                               int attempts, int retries, const JobTrace& trace);
 
 }  // namespace lo::service

@@ -32,7 +32,9 @@ std::string ServiceProtocol::handleLine(const std::string& line) {
   } catch (const std::exception& e) {
     response = errorResponse(e.what());
   }
-  return response.dump();
+  std::string text = response.dump();
+  if (responseTransform_) text = responseTransform_(std::move(text));
+  return text;
 }
 
 void ServiceProtocol::registerOp(const std::string& op, OpHandler handler) {
@@ -148,6 +150,8 @@ Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) co
   out.set("state", jobStateName(status.state));
   out.set("cache_hit", status.cacheHit);
   if (status.coalesced) out.set("coalesced", true);
+  out.set("attempts", status.attempts);
+  if (status.retries > 0) out.set("retries", status.retries);
   if (status.state == JobState::kDone) {
     out.set("result", toJson(status.result));
   } else if (!status.error.empty()) {
@@ -156,7 +160,7 @@ Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) co
   if (includeTrace) {
     out.set("trace", traceToJson(status.id, status.label,
                                  jobStateName(status.state), status.cacheHit,
-                                 status.attempts, status.trace));
+                                 status.attempts, status.retries, status.trace));
   }
   return out;
 }

@@ -60,6 +60,16 @@ class ServiceProtocol {
   using StatsProvider = std::function<Json()>;
   void registerStatsSection(const std::string& key, StatsProvider provider);
 
+  /// Test seam (testkit fault plans): transform every response line just
+  /// before it leaves handleLine().  Used to emit truncated / corrupted
+  /// responses deterministically, so client-side transport-error handling
+  /// can be exercised; identity when unset.  The daemon itself never sees
+  /// the transform's output -- its state advances exactly as if the clean
+  /// response had been sent.
+  void setResponseTransform(std::function<std::string(std::string)> transform) {
+    responseTransform_ = std::move(transform);
+  }
+
  private:
   [[nodiscard]] Json handle(const Json& request);
   [[nodiscard]] Json handleSynthesize(const Json& request);
@@ -73,6 +83,7 @@ class ServiceProtocol {
   bool shutdown_ = false;
   std::map<std::string, OpHandler> extraOps_;
   std::map<std::string, StatsProvider> statsSections_;
+  std::function<std::string(std::string)> responseTransform_;
 };
 
 }  // namespace lo::service

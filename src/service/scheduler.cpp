@@ -60,6 +60,8 @@ std::uint64_t JobScheduler::submit(JobRequest request) {
   auto rec = std::make_shared<JobRecord>();
   rec->id = nextId_++;
   rec->request = std::move(request);
+  rec->request.maxRetries =
+      std::clamp(rec->request.maxRetries, 0, options_.maxRetryLimit);
   rec->submitted = Clock::now();
   if (rec->request.deadlineSeconds > 0) {
     rec->hasDeadline = true;
@@ -176,6 +178,10 @@ void JobScheduler::runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lo
         outcome = Outcome::kAborted;
       } catch (const TransientError& e) {
         if (attempt <= request.maxRetries) {
+          {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            ++rec->retries;
+          }
           metrics_.onRetry();
           continue;
         }
@@ -232,7 +238,8 @@ void JobScheduler::finishLocked(const RecordPtr& rec, JobState state,
   if (traceLog_.is_open()) {
     const std::lock_guard<std::mutex> guard(traceMutex_);
     traceLog_ << traceToJson(rec->id, rec->request.label, jobStateName(state),
-                             rec->cacheHit, rec->attempts, rec->trace)
+                             rec->cacheHit, rec->attempts, rec->retries,
+                             rec->trace)
                      .dump()
               << "\n";
     traceLog_.flush();
@@ -280,6 +287,7 @@ JobStatus JobScheduler::snapshotLocked(const JobRecord& rec) const {
   status.cacheHit = rec.cacheHit;
   status.coalesced = rec.coalesced;
   status.attempts = rec.attempts;
+  status.retries = rec.retries;
   status.error = rec.error;
   status.result = rec.result;
   status.trace = rec.trace;

@@ -83,7 +83,10 @@ struct JobRequest {
   tech::ProcessCorner corner = tech::ProcessCorner::kTypical;
   int priority = 0;            ///< Higher runs first; FIFO within a class.
   double deadlineSeconds = 0;  ///< From submission; 0 = no deadline.
-  int maxRetries = 0;          ///< Re-runs after a TransientError.
+  /// Re-runs after a TransientError.  Clamped at submit() to
+  /// SchedulerOptions::maxRetryLimit, so a hostile or buggy client cannot
+  /// pin a worker on a permanently-flaky job.
+  int maxRetries = 0;
   bool bypassCache = false;    ///< Force a fresh engine run (still inserts).
 };
 
@@ -95,6 +98,7 @@ struct JobStatus {
   bool cacheHit = false;   ///< Served from the cache (or a coalesced leader).
   bool coalesced = false;  ///< Waited on an identical in-flight job.
   int attempts = 0;        ///< Engine runs performed (0 for pure hits).
+  int retries = 0;         ///< Transient-failure re-runs (attempts - 1 when > 0).
   std::string error;       ///< Exception text for kFailed.
   core::EngineResult result;  ///< Valid for kDone.
   JobTrace trace;
@@ -103,6 +107,9 @@ struct JobStatus {
 struct SchedulerOptions {
   int threads = 0;  ///< Worker cap; 0 picks hardware_concurrency().
   std::size_t maxQueueDepth = 256;
+  /// Hard ceiling on JobRequest::maxRetries (requests asking for more are
+  /// clamped), bounding the worker time one flaky job can consume.
+  int maxRetryLimit = 8;
   CacheOptions cache;
   /// Append one JSON line per finished job to this path (empty = off).
   std::string traceLogPath;
@@ -157,6 +164,7 @@ class JobScheduler {
     bool coalesced = false;
     bool cancelRequested = false;  ///< Guarded by mutex_; polled via hooks.
     int attempts = 0;
+    int retries = 0;
     std::string error;
     core::EngineResult result;
     JobTrace trace;

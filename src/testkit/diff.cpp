@@ -1,0 +1,119 @@
+#include "testkit/diff.hpp"
+
+#include <cmath>
+
+#include "service/serialize.hpp"
+
+namespace lo::testkit {
+
+namespace {
+
+using service::Json;
+
+std::string typeName(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+std::string join(const std::string& base, const std::string& leaf) {
+  return base.empty() ? leaf : base + "." + leaf;
+}
+
+std::optional<FieldDiff> walk(const Json& a, const Json& b,
+                              const std::string& path, double relTol) {
+  if (a.type() != b.type()) {
+    return FieldDiff{path, typeName(a.type()), typeName(b.type()), 0.0};
+  }
+  switch (a.type()) {
+    case Json::Type::kNull:
+      return std::nullopt;
+    case Json::Type::kBool:
+      if (a.asBool() != b.asBool()) {
+        return FieldDiff{path, a.asBool() ? "true" : "false",
+                         b.asBool() ? "true" : "false", 0.0};
+      }
+      return std::nullopt;
+    case Json::Type::kNumber: {
+      const double x = a.asDouble();
+      const double y = b.asDouble();
+      if (x == y) return std::nullopt;
+      const double scale = std::max(std::abs(x), std::abs(y));
+      const double rel = scale > 0 ? std::abs(x - y) / scale : 0.0;
+      if (rel <= relTol && std::isfinite(rel)) return std::nullopt;
+      return FieldDiff{path, Json::formatNumber(x), Json::formatNumber(y), rel};
+    }
+    case Json::Type::kString:
+      if (a.asString() != b.asString()) {
+        return FieldDiff{path, a.asString(), b.asString(), 0.0};
+      }
+      return std::nullopt;
+    case Json::Type::kArray: {
+      if (a.items().size() != b.items().size()) {
+        return FieldDiff{path,
+                         "array[" + std::to_string(a.items().size()) + "]",
+                         "array[" + std::to_string(b.items().size()) + "]", 0.0};
+      }
+      for (std::size_t i = 0; i < a.items().size(); ++i) {
+        if (auto d = walk(a.items()[i], b.items()[i],
+                          join(path, std::to_string(i)), relTol)) {
+          return d;
+        }
+      }
+      return std::nullopt;
+    }
+    case Json::Type::kObject: {
+      // Both sides come from the same serialiser, so member order is the
+      // canonical order; compare pairwise and fall back to a key diff.
+      const auto& am = a.members();
+      const auto& bm = b.members();
+      const std::size_t n = std::min(am.size(), bm.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (am[i].first != bm[i].first) {
+          return FieldDiff{join(path, "<keys>"), am[i].first, bm[i].first, 0.0};
+        }
+        if (auto d = walk(am[i].second, bm[i].second,
+                          join(path, am[i].first), relTol)) {
+          return d;
+        }
+      }
+      if (am.size() != bm.size()) {
+        const auto& extra = am.size() > bm.size() ? am : bm;
+        return FieldDiff{join(path, extra[n].first),
+                         am.size() > bm.size() ? "present" : "missing",
+                         am.size() > bm.size() ? "missing" : "present", 0.0};
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string FieldDiff::describe() const {
+  std::string out = path.empty() ? std::string("<root>") : path;
+  out += ": " + lhs + " vs " + rhs;
+  if (relError > 0.0) {
+    out += " (rel " + Json::formatNumber(relError) + ")";
+  }
+  return out;
+}
+
+std::optional<FieldDiff> diffJson(const Json& a, const Json& b, double relTol) {
+  return walk(a, b, "", relTol);
+}
+
+std::optional<FieldDiff> diffResults(const core::EngineResult& a,
+                                     const core::EngineResult& b,
+                                     double relTol) {
+  return diffJson(service::toJson(a), service::toJson(b), relTol);
+}
+
+}  // namespace lo::testkit

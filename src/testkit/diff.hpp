@@ -1,0 +1,42 @@
+// Tolerance-aware structured diff over canonical result serialisations.
+//
+// The differential oracle's byte-equality check is binary: it tells you
+// *that* two paths diverged, not *where*.  diffJson walks two values in
+// canonical member order and reports the first diverging field with its
+// JSON-pointer-style path ("measured.gbw_hz", "iterations.2.net_caps.0"),
+// both formatted values and the relative error -- enough to tell a real
+// numerical divergence from a schema drift at a glance.  relTol = 0 is
+// exact (bit-identical doubles); a positive relTol accepts numbers within
+// that relative distance, for cross-platform comparisons.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/engine.hpp"
+#include "service/json.hpp"
+
+namespace lo::testkit {
+
+/// The first point where two values diverge.
+struct FieldDiff {
+  std::string path;  ///< Dotted path from the root ("measured.gbw_hz").
+  std::string lhs;   ///< Formatted left value (or type/arity description).
+  std::string rhs;
+  double relError = 0.0;  ///< Relative error when both sides are numbers.
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// First divergence between two JSON values, walking objects in member
+/// order and arrays by index; std::nullopt when they match under relTol.
+[[nodiscard]] std::optional<FieldDiff> diffJson(const service::Json& a,
+                                                const service::Json& b,
+                                                double relTol = 0.0);
+
+/// Same, over the canonical serialisation of two engine results.
+[[nodiscard]] std::optional<FieldDiff> diffResults(const core::EngineResult& a,
+                                                   const core::EngineResult& b,
+                                                   double relTol = 0.0);
+
+}  // namespace lo::testkit

@@ -1,0 +1,90 @@
+#include "testkit/generators.hpp"
+
+#include <sstream>
+
+#include "core/topology.hpp"
+
+namespace lo::testkit {
+
+service::JobRequest CorpusPoint::toJobRequest() const {
+  service::JobRequest request;
+  request.label = label;
+  request.options = options;
+  request.specs = specs;
+  request.corner = corner;
+  return request;
+}
+
+double SpecGen::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng_);
+}
+
+int SpecGen::pick(int n) {
+  return std::uniform_int_distribution<int>(0, n - 1)(rng_);
+}
+
+sizing::OtaSpecs SpecGen::specs(const std::string& topology) {
+  sizing::OtaSpecs s;  // Start from the paper's Table 1 baseline.
+  if (topology == core::kTwoStageTopologyName) {
+    s.gbw = uniform(20e6, 35e6);
+  } else {
+    s.gbw = uniform(40e6, 70e6);
+  }
+  s.cload = uniform(2e-12, 4e-12);
+  s.phaseMarginDeg = uniform(55.0, 66.0);
+  return s;
+}
+
+tech::ProcessCorner SpecGen::corner(bool includeNonTypical) {
+  if (!includeNonTypical || pick(4) != 0) return tech::ProcessCorner::kTypical;
+  static const tech::ProcessCorner kOthers[] = {
+      tech::ProcessCorner::kSlow, tech::ProcessCorner::kFast,
+      tech::ProcessCorner::kSlowNFastP, tech::ProcessCorner::kFastNSlowP};
+  return kOthers[pick(4)];
+}
+
+CorpusPoint SpecGen::point(const CorpusOptions& options) {
+  CorpusPoint p;
+  const std::vector<std::string> topologies =
+      options.topologies.empty()
+          ? std::vector<std::string>{core::kFoldedCascodeOtaTopologyName,
+                                     core::kTwoStageTopologyName}
+          : options.topologies;
+  const std::vector<core::SizingCase> cases =
+      options.cases.empty()
+          ? std::vector<core::SizingCase>{core::SizingCase::kCase1,
+                                          core::SizingCase::kCase1,
+                                          core::SizingCase::kCase2,
+                                          core::SizingCase::kCase2,
+                                          core::SizingCase::kCase3,
+                                          core::SizingCase::kCase4}
+          : options.cases;
+  p.options.topology = topologies[static_cast<std::size_t>(
+      pick(static_cast<int>(topologies.size())))];
+  p.options.sizingCase = cases[static_cast<std::size_t>(
+      pick(static_cast<int>(cases.size())))];
+  p.specs = specs(p.options.topology);
+  p.corner = corner(options.includeCorners);
+
+  std::ostringstream label;
+  label << p.options.topology << "/"
+        << core::sizingCaseName(p.options.sizingCase) << "/"
+        << static_cast<int>(p.specs.gbw / 1e6) << "MHz/"
+        << tech::cornerName(p.corner);
+  p.label = label.str();
+  return p;
+}
+
+std::vector<CorpusPoint> generateCorpus(std::uint64_t seed, CorpusOptions options) {
+  SpecGen gen(seed);
+  std::vector<CorpusPoint> corpus;
+  corpus.reserve(static_cast<std::size_t>(options.size));
+  for (int i = 0; i < options.size; ++i) {
+    CorpusPoint p = gen.point(options);
+    p.label = "corpus" + std::to_string(i) + ":" + p.label;
+    corpus.push_back(std::move(p));
+  }
+  return corpus;
+}
+
+}  // namespace lo::testkit

@@ -1,0 +1,68 @@
+// Seeded, property-style generators for synthesis inputs.
+//
+// Built on the same std::mt19937 family as sizing::montecarlo, so a corpus
+// is a pure function of its seed: generateCorpus(seed, n) returns the same
+// n (topology, sizing case, spec, corner) points on every machine and every
+// run.  Ranges are chosen so most points synthesise successfully while a
+// tail stresses the spec envelope -- a point that fails is fine (the
+// differential oracle then requires every path to fail identically), a
+// point that hangs is not.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "service/scheduler.hpp"
+
+namespace lo::testkit {
+
+/// One corpus entry: everything that identifies a synthesis job.
+struct CorpusPoint {
+  std::string label;
+  core::EngineOptions options;
+  sizing::OtaSpecs specs;
+  tech::ProcessCorner corner = tech::ProcessCorner::kTypical;
+
+  /// The same point as a scheduler request (cache enabled, no deadline).
+  [[nodiscard]] service::JobRequest toJobRequest() const;
+};
+
+struct CorpusOptions {
+  int size = 50;
+  /// Registry names drawn from; defaults to both built-in topologies.
+  std::vector<std::string> topologies;
+  /// Sizing cases drawn from, with repetition acting as weight; defaults
+  /// to {1, 1, 2, 2, 3, 4} -- biased toward the cheap cases so a 50-point
+  /// corpus stays test-suite fast while still covering the full loop.
+  std::vector<core::SizingCase> cases;
+  /// Draw non-typical process corners for ~1 point in 4.
+  bool includeCorners = true;
+};
+
+/// Seeded generator over specs / corners / corpus points.  Every draw
+/// advances one shared mt19937, so interleaving draws stays deterministic.
+class SpecGen {
+ public:
+  explicit SpecGen(std::uint64_t seed) : rng_(static_cast<std::uint32_t>(seed)) {}
+
+  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] int pick(int n);  ///< Uniform integer in [0, n).
+
+  /// Specs with GBW / load / phase margin drawn from a range the given
+  /// topology can usually meet (two_stage targets lower GBW).
+  [[nodiscard]] sizing::OtaSpecs specs(const std::string& topology);
+  [[nodiscard]] tech::ProcessCorner corner(bool includeNonTypical = true);
+  [[nodiscard]] CorpusPoint point(const CorpusOptions& options);
+
+ private:
+  std::mt19937 rng_;
+};
+
+/// The seeded corpus the differential oracle and the soak runner share.
+[[nodiscard]] std::vector<CorpusPoint> generateCorpus(std::uint64_t seed,
+                                                      CorpusOptions options = {});
+
+}  // namespace lo::testkit

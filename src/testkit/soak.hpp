@@ -1,0 +1,76 @@
+// Concurrent soak of the service stack under a fault plan.
+//
+// runSoak drives one in-process daemon (JobScheduler + ServiceProtocol,
+// the exact objects losynthd serves) with N client threads speaking the
+// line protocol: async submissions, waits, cancellations and stats
+// requests, over a small pool of distinct design points so coalescing and
+// the result cache actually engage.  A fault plan may be armed across
+// every seam (transient engine errors, deadline overruns, cache-store
+// write failures, truncated responses).  Whatever fires, these invariants
+// must hold at the end:
+//
+//   * no lost jobs -- everything submitted reaches a definite terminal
+//     state: submitted == done + failed + cancelled + expired, with the
+//     queue empty and nothing running;
+//   * stats monotonicity -- a monitor thread snapshots the metrics
+//     throughout and no counter ever decreases;
+//   * cache-hit accounting -- inserts <= misses + disk hits (engine runs
+//     and disk-hit promotions are the only sources), evictions <= inserts,
+//     disk hits <= hits, and the memory tier never exceeds its capacity;
+//   * bounded time -- the drain completes within drainTimeoutSeconds.
+//
+// Violations come back as human-readable strings in the report; an empty
+// list is a pass.  tools/lostress is the CLI over this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+#include "service/metrics.hpp"
+#include "testkit/faults.hpp"
+
+namespace lo::testkit {
+
+struct SoakOptions {
+  std::uint64_t seed = 1;
+  int clients = 4;
+  int schedulerThreads = 2;
+  double durationSeconds = 5.0;
+  /// Per-client request cap; 0 = duration-limited only.
+  int maxRequestsPerClient = 0;
+  /// Distinct design points the clients draw from (small, so duplicates
+  /// exercise coalescing and the cache).
+  int poolSize = 12;
+  FaultPlanOptions faults;
+  std::string cacheDir;  ///< Optional on-disk store; empty = memory only.
+  /// Fraction of submissions carrying a tight deadline.
+  double deadlineFraction = 0.2;
+  double deadlineSeconds = 0.03;
+  int maxRetries = 2;  ///< Forwarded on every submission.
+  double drainTimeoutSeconds = 60.0;
+};
+
+struct SoakReport {
+  std::uint64_t requests = 0;         ///< Protocol lines sent by clients.
+  std::uint64_t rejected = 0;         ///< {"ok":false} responses (queue full, ...).
+  std::uint64_t transportErrors = 0;  ///< Unparseable (truncated) responses.
+  std::uint64_t trackedJobs = 0;      ///< Ids the clients saw in responses.
+  std::map<std::string, std::uint64_t> terminalStates;  ///< Over tracked jobs.
+  service::MetricsSnapshot metrics;
+  service::CacheStats cache;
+  std::map<std::string, std::uint64_t> faultsFired;  ///< Site name -> count.
+  std::vector<std::string> violations;
+  double elapsedSeconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Full report as JSON (what lostress prints).
+  [[nodiscard]] service::Json toJson() const;
+};
+
+[[nodiscard]] SoakReport runSoak(const tech::Technology& technology,
+                                 const SoakOptions& options);
+
+}  // namespace lo::testkit

@@ -1,0 +1,98 @@
+// ParetoArchive under contention: 8 threads hammer insert/front with a
+// seeded point set; the final front must equal the single-threaded
+// reference exactly.  The non-dominated set of a fixed point set is
+// order-independent, so any divergence is a synchronisation bug.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "explore/pareto.hpp"
+
+namespace lo::explore {
+namespace {
+
+std::vector<PointEval> seededPoints(std::uint32_t seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<PointEval> points;
+  points.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PointEval p;
+    p.key = "p" + std::to_string(1000 + i);  // Fixed-width: stable sort order.
+    p.ok = true;
+    p.feasible = unit(rng) > 0.15;  // A rejected tail, like a real sweep.
+    p.powerMw = 0.5 + unit(rng);
+    p.areaUm2 = 800.0 + 400.0 * unit(rng);
+    p.noiseUv = 40.0 + 30.0 * unit(rng);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void expectSameFront(const std::vector<PointEval>& a,
+                     const std::vector<PointEval>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].powerMw, b[i].powerMw);
+    EXPECT_EQ(a[i].areaUm2, b[i].areaUm2);
+    EXPECT_EQ(a[i].noiseUv, b[i].noiseUv);
+  }
+}
+
+TEST(ParetoConcurrency, EightThreadsMatchTheSingleThreadedReference) {
+  const std::vector<PointEval> points = seededPoints(99, 400);
+
+  ParetoArchive reference;
+  for (const PointEval& p : points) (void)reference.insert(p);
+  const std::vector<PointEval> expected = reference.front();
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), points.size());  // Dominance actually pruned.
+
+  constexpr int kThreads = 8;
+  for (int round = 0; round < 5; ++round) {
+    ParetoArchive shared;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&shared, &points, t] {
+        // Strided partition: every thread's inserts interleave across the
+        // whole set, maximising eviction races; front() snapshots mid-churn
+        // must never crash or tear.
+        for (std::size_t i = static_cast<std::size_t>(t); i < points.size();
+             i += kThreads) {
+          (void)shared.insert(points[i]);
+          if (i % 31 == 0) {
+            const std::vector<PointEval> snapshot = shared.front();
+            for (std::size_t k = 1; k < snapshot.size(); ++k) {
+              EXPECT_LT(snapshot[k - 1].key, snapshot[k].key);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    expectSameFront(shared.front(), expected);
+  }
+}
+
+TEST(ParetoConcurrency, ConcurrentDuplicateInsertsKeepOneCopy) {
+  const std::vector<PointEval> points = seededPoints(7, 32);
+  ParetoArchive reference;
+  for (const PointEval& p : points) (void)reference.insert(p);
+
+  ParetoArchive shared;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&shared, &points] {
+      for (const PointEval& p : points) (void)shared.insert(p);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  expectSameFront(shared.front(), reference.front());
+}
+
+}  // namespace
+}  // namespace lo::explore

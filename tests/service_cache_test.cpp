@@ -213,6 +213,53 @@ TEST_F(DiskCacheTest, CorruptEntryCountsAsMissAndIsRepairedByInsert) {
   EXPECT_TRUE(reader.lookup("0000000000000bad").has_value());
 }
 
+TEST_F(DiskCacheTest, HandTruncatedEntryIsAMissAndIsRepairedByInsert) {
+  // Write a genuine entry, then chop it mid-JSON -- the torn-write shape a
+  // crash between fwrite and rename can leave behind.
+  const core::EngineResult original = makeResult(4);
+  {
+    ResultCache writer(diskOptions());
+    writer.insert("feedbeeffeedbeef", original);
+  }
+  const std::filesystem::path entry = dir_ / "feedbeeffeedbeef.json";
+  const auto fullSize = std::filesystem::file_size(entry);
+  std::filesystem::resize_file(entry, fullSize / 2);
+
+  ResultCache cache(diskOptions());
+  EXPECT_FALSE(cache.lookup("feedbeeffeedbeef").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().diskCorrupt, 1u);
+
+  // The miss re-runs and re-inserts; the store heals.
+  cache.insert("feedbeeffeedbeef", original);
+  ResultCache reader(diskOptions());
+  const auto healed = reader.lookup("feedbeeffeedbeef");
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(toJson(*healed).dump(), toJson(original).dump());
+}
+
+TEST_F(DiskCacheTest, InjectedWriteFailureIsCountedAndToleratedOnRead) {
+  CacheOptions faulty = diskOptions();
+  faulty.diskWriteFault = [](const std::string& key) {
+    return key == "00000000deadc0de";
+  };
+  {
+    ResultCache writer(faulty);
+    writer.insert("00000000deadc0de", makeResult(3));  // Store write fails.
+    writer.insert("00000000feedf00d", makeResult(6));  // Unaffected key.
+    const CacheStats stats = writer.stats();
+    EXPECT_EQ(stats.diskWriteFailures, 1u);
+    EXPECT_EQ(stats.diskWrites, 1u);
+    // The memory tier still serves the result within this process.
+    EXPECT_TRUE(writer.lookup("00000000deadc0de").has_value());
+  }
+  // A fresh process finds a torn entry: a miss, never an exception.
+  ResultCache reader(diskOptions());
+  EXPECT_FALSE(reader.lookup("00000000deadc0de").has_value());
+  EXPECT_EQ(reader.stats().diskCorrupt, 1u);
+  EXPECT_TRUE(reader.lookup("00000000feedf00d").has_value());
+}
+
 TEST_F(DiskCacheTest, ClearDropsMemoryButDiskSurvives) {
   ResultCache cache(diskOptions());
   cache.insert("cafecafecafecafe", makeResult(7));

@@ -290,6 +290,44 @@ TEST(SchedulerRetry, TransientFailuresRetryUpToBudget) {
   EXPECT_NE(failed.error.find("retries exhausted"), std::string::npos);
 }
 
+TEST(SchedulerRetry, RetryCountIsSurfacedInTheStatus) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.preRunHook = [](const JobRequest& request, int attempt) {
+    if (request.label == "thrice" && attempt <= 3) {
+      throw TransientError("injected fault: engine_transient");
+    }
+  };
+  JobScheduler scheduler(kTech, options);
+
+  JobRequest job = fastJob("thrice");
+  job.maxRetries = 3;
+  const JobStatus status = scheduler.wait(scheduler.submit(job));
+  EXPECT_EQ(status.state, JobState::kDone) << status.error;
+  EXPECT_EQ(status.attempts, 4);  // Three injected failures, then success.
+  EXPECT_EQ(status.retries, 3);
+  EXPECT_EQ(scheduler.metrics().retries, 3u);
+}
+
+TEST(SchedulerRetry, RetryBudgetIsClampedToTheSchedulerLimit) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.maxRetryLimit = 2;
+  std::atomic<int> attempts{0};
+  options.preRunHook = [&attempts](const JobRequest&, int) {
+    ++attempts;
+    throw TransientError("always down");  // Never lets an attempt through.
+  };
+  JobScheduler scheduler(kTech, options);
+
+  JobRequest hostile = fastJob("hostile");
+  hostile.maxRetries = 1000000;  // A client cannot pin a worker forever.
+  const JobStatus status = scheduler.wait(scheduler.submit(hostile));
+  EXPECT_EQ(status.state, JobState::kFailed);
+  EXPECT_EQ(status.retries, 2);
+  EXPECT_EQ(attempts.load(), 3);  // 1 + the clamped retry budget.
+}
+
 TEST(SchedulerQueue, BoundedSubmissionRejectsOverflow) {
   Gate gate;
   SchedulerOptions options;

@@ -1,0 +1,45 @@
+#!/bin/sh
+# losynthd shutdown smoke test (also run by CI): pile several slow async
+# jobs onto a small worker pool, then send shutdown while they are queued
+# and running.  The daemon must drain cleanly -- cancelling queued work,
+# aborting running jobs at their next cancellation poll -- and exit within
+# the time bound, never hang.
+set -eu
+
+BIN="$1"
+BOUND="${2:-60}"
+
+REQ='{"op":"synthesize","topology":"folded_cascode_ota","case":4,"async":true,"label":"shutdown-smoke"}'
+SCRIPT=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n' \
+  "${REQ}" "${REQ%?},\"spec\":{\"gbw\":5.1e7}}" "${REQ%?},\"spec\":{\"gbw\":5.2e7}}" \
+  "${REQ%?},\"spec\":{\"gbw\":5.3e7}}" "${REQ%?},\"spec\":{\"gbw\":5.4e7}}" \
+  '{"op":"shutdown"}')
+
+if command -v timeout >/dev/null 2>&1; then
+  RUN="timeout ${BOUND}"
+else
+  RUN=""
+fi
+
+START=$(date +%s)
+OUT=$(printf '%s\n' "$SCRIPT" | ${RUN} "$BIN" --threads 2) || {
+  echo "FAIL: daemon did not exit cleanly within ${BOUND}s" >&2
+  exit 1
+}
+ELAPSED=$(( $(date +%s) - START ))
+
+printf '%s\n' "$OUT"
+
+[ "$(printf '%s\n' "$OUT" | wc -l)" -eq 6 ] || {
+  echo "FAIL: expected 6 response lines" >&2
+  exit 1
+}
+[ "$(printf '%s\n' "$OUT" | sed -n '1,5p' | grep -c '"ok":true')" -eq 5 ] || {
+  echo "FAIL: not every async submission was accepted" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 6p | grep -q '"shutting_down":true' || {
+  echo "FAIL: shutdown was not acknowledged" >&2
+  exit 1
+}
+echo "losynthd shutdown smoke OK (${ELAPSED}s with jobs in flight)"

@@ -1,0 +1,129 @@
+// Extension benchmark: write-ahead journal replay cost at restart.
+//
+// A crashed losynthd's reboot replays its job journal before serving, so
+// replay time is boot latency.  Setup (untimed) writes synthetic journals
+// of growing record counts -- every submitted record carries a fully
+// serialised JobRequest, and half the jobs also carry a finished record,
+// the shape a mid-batch crash leaves.  The timed region is
+// JobJournal::replayFile: frame parsing, checksum verification and the
+// pending-job digest.  An acceptance check first proves the digest is
+// exact (pending == submitted - finished) so the numbers describe a
+// correct replay, not a fast wrong one.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "service/journal.hpp"
+#include "service/scheduler.hpp"
+#include "service/serialize.hpp"
+
+namespace {
+
+using namespace lo;
+
+/// Builds a journal with `records` submitted jobs, every even one
+/// finished; returns the log path.  fsync is off: setup cost, not replay
+/// cost, is what it would dominate.
+std::string journalWithRecords(int records) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("lo_bench_recover_" + std::to_string(records));
+  std::filesystem::remove_all(dir);
+  service::JournalOptions options;
+  options.dir = dir.string();
+  options.fsyncEachRecord = false;
+  service::JobJournal journal(options);
+  (void)journal.replay();
+  for (int i = 0; i < records; ++i) {
+    service::JobRequest request;
+    request.label = "bench" + std::to_string(i);
+    request.options.sizingCase = core::SizingCase::kCase1;
+    request.specs.gbw = 40e6 + 1e5 * i;
+    service::JournalRecord rec;
+    rec.type = service::JournalRecordType::kSubmitted;
+    rec.id = static_cast<std::uint64_t>(i + 1);
+    rec.cacheKey = "key" + std::to_string(i);
+    rec.job = service::toJson(request);
+    journal.append(rec);
+    if (i % 2 == 0) {
+      service::JournalRecord fin;
+      fin.type = service::JournalRecordType::kFinished;
+      fin.id = rec.id;
+      fin.state = "done";
+      fin.cacheKey = rec.cacheKey;
+      journal.append(fin);
+    }
+  }
+  return (dir / "journal.wal").string();
+}
+
+bool replayDigestIsExact() {
+  const int records = 1000;
+  const std::string path = journalWithRecords(records);
+  const service::JournalReplay replay = service::JobJournal::replayFile(path);
+  const std::uint64_t finished = (records + 1) / 2;
+  const bool ok = replay.records.size() == records + finished &&
+                  replay.finished == finished &&
+                  replay.pending.size() == records - finished &&
+                  !replay.tornTail;
+  std::printf("replay digest over %d jobs: %zu frames, %llu finished, "
+              "%zu pending -- %s\n",
+              records, replay.records.size(),
+              static_cast<unsigned long long>(replay.finished),
+              replay.pending.size(), ok ? "exact" : "WRONG");
+  return ok;
+}
+
+void BM_JournalReplay(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  const std::string path = journalWithRecords(records);
+  std::uint64_t pending = 0;
+  for (auto _ : state) {
+    const service::JournalReplay replay = service::JobJournal::replayFile(path);
+    pending += replay.pending.size();
+  }
+  benchmark::DoNotOptimize(pending);
+  // Items = frames parsed per pass (every even job adds a finished frame).
+  state.SetItemsProcessed(state.iterations() *
+                          (records + (records + 1) / 2));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_JournalReplay)->Arg(10)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // The submit-path cost a journalled scheduler adds per job (fsync off,
+  // so this is the framing + serialisation floor, not disk latency).
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lo_bench_recover_append";
+  std::filesystem::remove_all(dir);
+  service::JournalOptions options;
+  options.dir = dir.string();
+  options.fsyncEachRecord = false;
+  service::JobJournal journal(options);
+  (void)journal.replay();
+  service::JobRequest request;
+  request.options.sizingCase = core::SizingCase::kCase1;
+  service::JournalRecord rec;
+  rec.type = service::JournalRecordType::kSubmitted;
+  rec.cacheKey = "key";
+  rec.job = service::toJson(request);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    rec.id = ++id;
+    journal.append(rec);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JournalAppend);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool ok = replayDigestIsExact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

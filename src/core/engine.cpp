@@ -27,13 +27,49 @@ sizing::SizingPolicy SynthesisEngine::policyFor(SizingCase c) {
 
 double SynthesisEngine::relativeChange(const std::vector<double>& a,
                                        const std::vector<double>& b) {
+  // A length mismatch means the critical-net set itself changed between
+  // snapshots; treating it as 100% change keeps the loop running instead
+  // of silently comparing only the common prefix.
+  if (a.size() != b.size()) return 1.0;
   double worst = 0.0;
-  const std::size_t n = std::min(a.size(), b.size());
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
     const double base = std::max(std::abs(a[i]), 1e-18);
     worst = std::max(worst, std::abs(a[i] - b[i]) / base);
   }
   return worst;
+}
+
+ConvergenceReport analyzeConvergence(const std::vector<EngineIteration>& iterations,
+                                     bool parasiticConverged, double tol) {
+  ConvergenceReport report;
+  report.loopRan = !iterations.empty();
+  if (!report.loopRan) return report;  // Cases 1/2: nothing to converge.
+
+  const std::size_t n = iterations.size();
+  report.callDeltas.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    report.callDeltas.push_back(SynthesisEngine::relativeChange(
+        iterations[i - 1].netCaps, iterations[i].netCaps));
+  }
+  // A single snapshot carries no settling evidence at all.
+  report.worstResidual = report.callDeltas.empty() ? 1.0 : report.callDeltas.back();
+
+  if (parasiticConverged) return report;  // verdict stays kConverged.
+
+  // The loop fell out of maxLayoutCalls still moving.  Oscillation: the
+  // final cap vector matches (within tol) an earlier snapshot at least two
+  // calls back, so the loop was revisiting states, not approaching one.
+  const std::vector<double>& last = iterations[n - 1].netCaps;
+  for (std::size_t period = 2; period < n; ++period) {
+    if (SynthesisEngine::relativeChange(iterations[n - 1 - period].netCaps, last) <
+        std::max(tol, 1e-12)) {
+      report.verdict = ConvergenceVerdict::kOscillating;
+      report.cycleLength = static_cast<int>(period);
+      return report;
+    }
+  }
+  report.verdict = ConvergenceVerdict::kDrifting;
+  return report;
 }
 
 SynthesisEngine::SynthesisEngine(const tech::Technology& t, EngineOptions options)
@@ -109,6 +145,10 @@ EngineResult SynthesisEngine::run(Topology& topology,
       timed(EngineStage::kSizing, [&] { topology.size(specs, policy); });
     }
   }
+
+  result.convergence = analyzeConvergence(result.iterations,
+                                          result.parasiticConverged,
+                                          options_.convergenceTol);
 
   // Generation mode, extraction and verification-by-simulation: always with
   // every parasitic, whatever the sizing case (Table 1's bracket column).

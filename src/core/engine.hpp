@@ -123,11 +123,58 @@ struct EngineIteration {
   double pairWidth = 0.0;       ///< Input-pair width [m].
 };
 
+/// How a parasitic loop that fell out of `maxLayoutCalls` actually failed
+/// (or how it succeeded).  Downstream layers treat anything other than
+/// kConverged as a degraded result: the scheduler surfaces it, the Pareto
+/// archive refuses the point, and the sweep driver reports it.
+enum class ConvergenceVerdict {
+  kConverged,    ///< Critical-net caps settled below the tolerance.
+  kOscillating,  ///< The cap vector revisits an earlier state (a cycle).
+  kDrifting,     ///< Caps keep moving with no detected cycle.
+};
+
+[[nodiscard]] constexpr const char* convergenceVerdictName(ConvergenceVerdict v) {
+  switch (v) {
+    case ConvergenceVerdict::kConverged: return "converged";
+    case ConvergenceVerdict::kOscillating: return "oscillating";
+    case ConvergenceVerdict::kDrifting: return "drifting";
+  }
+  return "?";
+}
+
+/// The convergence watchdog's findings for one engine run.  Cases 1/2 skip
+/// the parasitic loop entirely; they report kConverged with loopRan=false.
+struct ConvergenceReport {
+  ConvergenceVerdict verdict = ConvergenceVerdict::kConverged;
+  bool loopRan = false;        ///< The sizing<->layout loop executed (cases 3/4).
+  /// Relative change between the last two cap snapshots (1.0 when only a
+  /// single snapshot exists, so an unfinished loop never looks settled).
+  double worstResidual = 0.0;
+  /// relativeChange between successive snapshots, one entry per layout
+  /// call after the first.
+  std::vector<double> callDeltas;
+  /// Detected oscillation period in layout calls (>= 2); 0 otherwise.
+  int cycleLength = 0;
+
+  [[nodiscard]] bool converged() const {
+    return verdict == ConvergenceVerdict::kConverged;
+  }
+};
+
+/// The watchdog itself, exposed so tests can feed synthetic cap histories:
+/// classifies an iteration history as converged / oscillating / drifting.
+/// `tol` is the same tolerance the loop's exit criterion used; a cycle is
+/// a final cap vector within `tol` of an earlier snapshot >= 2 calls back.
+[[nodiscard]] ConvergenceReport analyzeConvergence(
+    const std::vector<EngineIteration>& iterations, bool parasiticConverged,
+    double tol);
+
 struct EngineResult {
   std::vector<std::string> criticalNets;  ///< Order of EngineIteration::netCaps.
   std::vector<EngineIteration> iterations;
   int layoutCalls = 0;          ///< Parasitic-mode calls before convergence.
   bool parasiticConverged = false;
+  ConvergenceReport convergence;  ///< Watchdog verdict over `iterations`.
   sizing::OtaPerformance predicted;  ///< Synthesised values (Table 1 plain).
   sizing::OtaPerformance measured;   ///< Extracted-netlist simulation (brackets).
   /// Generation-mode cell bounding box [um]; 0 when the topology draws no
@@ -161,6 +208,9 @@ class SynthesisEngine {
   [[nodiscard]] static sizing::SizingPolicy policyFor(SizingCase c);
 
   /// Largest relative per-net change between two capacitance snapshots.
+  /// Snapshots of different lengths (a topology whose critical-net list
+  /// changed mid-loop) count as 100% change, never as "compare the common
+  /// prefix and call it settled".
   [[nodiscard]] static double relativeChange(const std::vector<double>& a,
                                              const std::vector<double>& b);
 

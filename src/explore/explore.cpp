@@ -37,6 +37,7 @@ PointEval Explorer::makeEval(const std::vector<double>& coords,
   if (eval.ok) {
     const sizing::OtaSpecs specs = specsAt(space_, coords);
     const auto& m = status.result.measured;
+    eval.converged = status.result.convergence.converged();
     eval.powerMw = m.powerMw;
     eval.areaUm2 = status.result.layoutAreaUm2();
     eval.noiseUv = m.inputNoiseUv;
@@ -44,7 +45,11 @@ PointEval Explorer::makeEval(const std::vector<double>& coords,
     eval.phaseMarginDeg = m.phaseMarginDeg;
     eval.slewRateVPerUs = m.slewRateVPerUs;
     const double tol = options_.specTolerance;
-    eval.feasible = m.gbwHz >= specs.gbw * (1.0 - tol) &&
+    // A point whose parasitic loop never settled (the convergence watchdog
+    // flagged oscillation or drift) reports numbers measured at an
+    // arbitrary stop, not at a fixed point: it must not anchor the front.
+    eval.feasible = eval.converged &&
+                    m.gbwHz >= specs.gbw * (1.0 - tol) &&
                     m.phaseMarginDeg >= specs.phaseMarginDeg * (1.0 - tol);
   }
   return eval;

@@ -75,6 +75,7 @@ service::Json frontJson(const ExploreResult& result, const ExploreSpace& space,
     point.set("gbw_hz", p.gbwHz);
     point.set("phase_margin_deg", p.phaseMarginDeg);
     point.set("slew_rate_v_per_us", p.slewRateVPerUs);
+    point.set("converged", p.converged);
     point.set("cache_hit", p.cacheHit);
     front.push(std::move(point));
   }

@@ -41,7 +41,8 @@ struct PointEval {
   std::string key;             ///< Canonical coordinate key (space.hpp).
   std::vector<double> coords;  ///< Axis values, aligned with the space's axes.
   bool ok = false;             ///< Synthesis job reached "done".
-  bool feasible = false;       ///< ok && measured performance meets the specs.
+  bool converged = false;      ///< Parasitic loop reached a fixed point.
+  bool feasible = false;       ///< ok && converged && performance meets specs.
   bool cacheHit = false;       ///< Served from the result cache.
   std::string error;           ///< Failure text when !ok.
 

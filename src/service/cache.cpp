@@ -18,7 +18,7 @@ namespace {
 
 /// Bumped whenever the canonical text or the stored JSON layout changes,
 /// so stale disk entries miss instead of misparsing.
-constexpr int kCacheSchemaVersion = 2;
+constexpr int kCacheSchemaVersion = 3;  // v3: EngineResult carries ConvergenceReport.
 
 std::string hex64(std::uint64_t v) {
   char buf[17];

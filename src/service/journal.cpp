@@ -1,0 +1,322 @@
+#include "service/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "service/cache.hpp"  // ResultCache::fnv1a
+
+namespace lo::service {
+
+namespace {
+
+/// 8-byte file magic; bump the digit when the frame layout changes so a
+/// stale-format log is reset instead of misparsed.
+constexpr char kMagic[8] = {'L', 'O', 'S', 'W', 'A', 'L', '1', '\n'};
+constexpr std::size_t kMagicBytes = sizeof kMagic;
+constexpr std::size_t kFrameHeaderBytes = 4 + 8;  // u32 length + u64 checksum.
+/// Sanity bound on one record; anything larger is treated as corruption.
+constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+void putU32(unsigned char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void putU64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint32_t getU32(const unsigned char* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+std::uint64_t getU64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+bool syncFile(std::FILE* f) {
+  bool ok = std::fflush(f) == 0;
+#ifndef _WIN32
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  return ok;
+}
+
+std::string frameBytes(const std::string& payload) {
+  std::string frame(kFrameHeaderBytes, '\0');
+  putU32(reinterpret_cast<unsigned char*>(frame.data()),
+         static_cast<std::uint32_t>(payload.size()));
+  putU64(reinterpret_cast<unsigned char*>(frame.data()) + 4,
+         ResultCache::fnv1a(payload));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+JournalRecordType journalRecordTypeFromName(const std::string& name) {
+  for (const JournalRecordType t :
+       {JournalRecordType::kSubmitted, JournalRecordType::kStarted,
+        JournalRecordType::kRetried, JournalRecordType::kFinished,
+        JournalRecordType::kCancelled}) {
+    if (name == journalRecordTypeName(t)) return t;
+  }
+  throw std::invalid_argument("unknown journal record type \"" + name + "\"");
+}
+
+Json JournalRecord::toJson() const {
+  Json j = Json::object();
+  j.set("type", journalRecordTypeName(type));
+  j.set("id", id);
+  switch (type) {
+    case JournalRecordType::kSubmitted:
+      j.set("key", cacheKey);
+      j.set("job", job);
+      break;
+    case JournalRecordType::kStarted:
+    case JournalRecordType::kRetried:
+      j.set("attempt", attempt);
+      break;
+    case JournalRecordType::kFinished:
+      j.set("state", state);
+      j.set("key", cacheKey);
+      break;
+    case JournalRecordType::kCancelled:
+      break;
+  }
+  return j;
+}
+
+JournalRecord JournalRecord::fromJson(const Json& j) {
+  JournalRecord rec;
+  rec.type = journalRecordTypeFromName(j.at("type").asString());
+  rec.id = j.at("id").asUint64();
+  rec.cacheKey = j.at("key").asString();
+  rec.state = j.at("state").asString();
+  rec.attempt = j.at("attempt").asInt();
+  if (const Json* job = j.find("job")) rec.job = *job;
+  return rec;
+}
+
+JobJournal::JobJournal(JournalOptions options) : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw std::invalid_argument("JobJournal needs a directory");
+  }
+  std::filesystem::create_directories(options_.dir);
+}
+
+JobJournal::~JobJournal() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closeLocked();
+}
+
+std::string JobJournal::logPath() const {
+  return (std::filesystem::path(options_.dir) / "journal.wal").string();
+}
+
+void JobJournal::closeLocked() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool JobJournal::openForAppendLocked() {
+  if (file_ != nullptr) return true;
+  const std::string path = logPath();
+  const bool fresh = !std::filesystem::exists(path) ||
+                     std::filesystem::file_size(path) == 0;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return false;
+  if (fresh) {
+    if (std::fwrite(kMagic, 1, kMagicBytes, file_) != kMagicBytes ||
+        !syncFile(file_)) {
+      closeLocked();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool JobJournal::writeFrameLocked(std::FILE* f, const std::string& payload) {
+  const std::string frame = frameBytes(payload);
+  if (options_.tornWriteFault && options_.tornWriteFault()) {
+    // The injected SIGKILL-mid-write: half a frame reaches the disk and
+    // the process never writes again.
+    const std::size_t torn = frame.size() / 2;
+    (void)std::fwrite(frame.data(), 1, torn, f);
+    (void)syncFile(f);
+    frozen_ = true;
+    return false;
+  }
+  bool ok = std::fwrite(frame.data(), 1, frame.size(), f) == frame.size();
+  if (options_.fsyncEachRecord) ok = syncFile(f) && ok;
+  return ok;
+}
+
+void JobJournal::append(const JournalRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (frozen_) return;
+  if (!openForAppendLocked()) {
+    throw std::runtime_error("journal: cannot open " + logPath() +
+                             " for append");
+  }
+  if (writeFrameLocked(file_, record.toJson().dump())) {
+    ++appended_;
+    ++recordsInLog_;
+  } else if (!frozen_) {
+    throw std::runtime_error("journal: append to " + logPath() + " failed");
+  }
+}
+
+JournalReplay JobJournal::replay() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closeLocked();  // Reopen cleanly after any truncation below.
+
+  JournalReplay replay = replayFile(logPath());
+  if (replay.truncatedBytes > 0 && !frozen_) {
+    // Cut the torn tail (or a stale-format file) away so the next append
+    // starts on a clean frame boundary.
+    const std::string path = logPath();
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size >= replay.truncatedBytes) {
+      std::filesystem::resize_file(path, size - replay.truncatedBytes, ec);
+    }
+    if (ec) {
+      throw std::runtime_error("journal: cannot truncate torn tail of " + path);
+    }
+  }
+  recordsInLog_ = replay.records.size();
+  return replay;
+}
+
+JournalReplay JobJournal::replayFile(const std::string& path) {
+  JournalReplay replay;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return replay;  // No log yet: empty digest.
+
+  std::fseek(f, 0, SEEK_END);
+  const long fileSize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+
+  char magic[kMagicBytes];
+  std::size_t good = 0;  // Offset of the last intact frame boundary.
+  if (std::fread(magic, 1, kMagicBytes, f) == kMagicBytes &&
+      std::memcmp(magic, kMagic, kMagicBytes) == 0) {
+    good = kMagicBytes;
+    for (;;) {
+      unsigned char header[kFrameHeaderBytes];
+      if (std::fread(header, 1, kFrameHeaderBytes, f) != kFrameHeaderBytes) break;
+      const std::uint32_t length = getU32(header);
+      const std::uint64_t checksum = getU64(header + 4);
+      if (length > kMaxPayloadBytes) break;
+      std::string payload(length, '\0');
+      if (length > 0 && std::fread(payload.data(), 1, length, f) != length) break;
+      if (ResultCache::fnv1a(payload) != checksum) break;
+      JournalRecord record;
+      try {
+        record = JournalRecord::fromJson(Json::parse(payload));
+      } catch (const std::exception&) {
+        break;  // A checksummed-but-unparseable payload: treat as torn.
+      }
+      replay.records.push_back(std::move(record));
+      good += kFrameHeaderBytes + length;
+    }
+  }
+  std::fclose(f);
+
+  if (fileSize > 0 && static_cast<std::size_t>(fileSize) > good) {
+    replay.tornTail = good > 0;  // A bad magic is a reset, not a torn tail.
+    replay.truncatedBytes = static_cast<std::uint64_t>(fileSize) - good;
+  }
+
+  // Digest: which submitted jobs never reached a terminal record.
+  std::vector<std::uint64_t> terminalIds;
+  for (const JournalRecord& rec : replay.records) {
+    if (rec.id > replay.maxId) replay.maxId = rec.id;
+    if (rec.type == JournalRecordType::kFinished ||
+        rec.type == JournalRecordType::kCancelled) {
+      terminalIds.push_back(rec.id);
+      ++replay.finished;
+    }
+  }
+  for (const JournalRecord& rec : replay.records) {
+    if (rec.type != JournalRecordType::kSubmitted) continue;
+    bool done = false;
+    for (const std::uint64_t id : terminalIds) {
+      if (id == rec.id) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) replay.pending.push_back(rec);
+  }
+  return replay;
+}
+
+void JobJournal::compact(const std::vector<JournalRecord>& live) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (frozen_) return;
+  closeLocked();
+
+  const std::string path = logPath();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("journal: cannot open " + tmp + " for compaction");
+  }
+  bool ok = std::fwrite(kMagic, 1, kMagicBytes, f) == kMagicBytes;
+  for (const JournalRecord& rec : live) {
+    if (!ok || frozen_) break;
+    ok = writeFrameLocked(f, rec.toJson().dump()) && ok;
+  }
+  ok = syncFile(f) && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (frozen_) return;  // tornWriteFault fired mid-compaction.
+  std::error_code ec;
+  if (ok) {
+    std::filesystem::rename(tmp, path, ec);
+    ok = !ec;
+  } else {
+    std::filesystem::remove(tmp, ec);
+  }
+  if (!ok) {
+    throw std::runtime_error("journal: compaction of " + path + " failed");
+  }
+  recordsInLog_ = live.size();
+  ++compactions_;
+}
+
+void JobJournal::simulateCrash() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  frozen_ = true;
+  closeLocked();
+}
+
+std::uint64_t JobJournal::recordsInLog() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recordsInLog_;
+}
+
+std::uint64_t JobJournal::appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::uint64_t JobJournal::compactions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_;
+}
+
+bool JobJournal::frozen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_;
+}
+
+}  // namespace lo::service

@@ -1,0 +1,146 @@
+// JobJournal: the scheduler's crash-safety spine -- an append-only,
+// fsync'd, write-ahead log of job lifecycle records.
+//
+// Every record is framed as
+//
+//   u32 payload length (little-endian)  |  u64 FNV-1a of the payload  |  payload
+//
+// where the payload is one compact JSON object ({"type":"submitted",...}).
+// Appends are durable before they return (fwrite + fflush + fsync), so a
+// job whose submission was acknowledged is guaranteed to be found by a
+// replay after a SIGKILL.  A process that dies mid-append leaves a *torn*
+// final record; replay() tolerates exactly that -- it stops at the first
+// frame whose length runs past EOF or whose checksum mismatches, truncates
+// the wreckage away, and reports everything before it.
+//
+// Replay semantics (what JobScheduler does with the digest):
+//   * a `submitted` record with no `finished`/`cancelled` counterpart is a
+//     job the dead process still owed an answer for -> re-enqueue it;
+//   * a job with a terminal record needs nothing: its result (if "done")
+//     is already in the result cache, keyed by the record's cache key;
+//   * replay is idempotent -- replaying the same log twice yields the same
+//     digest, and re-enqueued jobs keep their original ids.
+//
+// compact() rewrites the log to only the still-live submitted records once
+// the recovered backlog has drained, so the journal never grows without
+// bound across restarts.
+//
+// The journal speaks Json, not JobRequest: the scheduler serialises
+// requests through service/serialize.hpp, which keeps this file free of
+// scheduler dependencies (the replay bench loads journals standalone).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace lo::service {
+
+enum class JournalRecordType { kSubmitted, kStarted, kRetried, kFinished, kCancelled };
+
+[[nodiscard]] constexpr const char* journalRecordTypeName(JournalRecordType t) {
+  switch (t) {
+    case JournalRecordType::kSubmitted: return "submitted";
+    case JournalRecordType::kStarted: return "started";
+    case JournalRecordType::kRetried: return "retried";
+    case JournalRecordType::kFinished: return "finished";
+    case JournalRecordType::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Inverse of journalRecordTypeName; throws std::invalid_argument.
+[[nodiscard]] JournalRecordType journalRecordTypeFromName(const std::string& name);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSubmitted;
+  std::uint64_t id = 0;    ///< Scheduler job id; stable across restarts.
+  std::string cacheKey;    ///< Result-cache key ("" for bypass-cache jobs).
+  std::string state;       ///< Terminal state name (kFinished only).
+  int attempt = 0;         ///< Attempt / retry ordinal (kStarted, kRetried).
+  Json job;                ///< Serialised JobRequest (kSubmitted only).
+
+  [[nodiscard]] Json toJson() const;
+  [[nodiscard]] static JournalRecord fromJson(const Json& j);
+};
+
+struct JournalOptions {
+  /// Directory holding the log (created if missing); empty disables the
+  /// journal entirely at the scheduler level.
+  std::string dir;
+  /// fsync after every record (the crash-safety guarantee).  Turning this
+  /// off trades durability of the last few records for throughput; replay
+  /// still works on whatever reached the disk.
+  bool fsyncEachRecord = true;
+  /// Test seam (testkit journal_torn_write): consulted once per append.
+  /// Firing writes only the first half of the frame and freezes the
+  /// journal -- byte-for-byte what a process SIGKILLed mid-append leaves.
+  std::function<bool()> tornWriteFault;
+};
+
+/// What a replay found.  `records` holds every intact record in log order;
+/// `pending` is the digest the scheduler acts on.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  std::vector<JournalRecord> pending;  ///< Submitted, never finished/cancelled.
+  std::uint64_t finished = 0;          ///< Terminal records seen.
+  std::uint64_t maxId = 0;
+  bool tornTail = false;               ///< A torn final record was dropped.
+  std::uint64_t truncatedBytes = 0;    ///< Bytes cut from the tail.
+};
+
+class JobJournal {
+ public:
+  explicit JobJournal(JournalOptions options);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Read the log, truncating a torn tail so later appends start on a
+  /// clean frame boundary, and return the digest.  Safe to call again
+  /// later (tests replay twice to prove idempotence); throws
+  /// std::runtime_error only on I/O errors, never on torn data.
+  [[nodiscard]] JournalReplay replay();
+
+  /// Parse a journal file read-only (no truncation, no side effects).
+  [[nodiscard]] static JournalReplay replayFile(const std::string& path);
+
+  /// Append one record durably.  No-op after simulateCrash().
+  void append(const JournalRecord& record);
+
+  /// Rewrite the log to exactly `live` (the still-running/queued submitted
+  /// records), via tmp + fsync + rename, dropping everything replay would
+  /// discard.  No-op after simulateCrash().
+  void compact(const std::vector<JournalRecord>& live);
+
+  /// Test seam: silently drop every subsequent append/compact, as if the
+  /// process had died at this instant.  The file keeps whatever it holds.
+  void simulateCrash();
+
+  [[nodiscard]] std::string logPath() const;
+  [[nodiscard]] std::uint64_t recordsInLog() const;  ///< Frames currently on disk.
+  [[nodiscard]] std::uint64_t appended() const;      ///< Appends since open.
+  [[nodiscard]] std::uint64_t compactions() const;
+  [[nodiscard]] bool frozen() const;
+
+ private:
+  void closeLocked();
+  bool openForAppendLocked();
+  bool writeFrameLocked(std::FILE* f, const std::string& payload);
+
+  JournalOptions options_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool frozen_ = false;
+  std::uint64_t recordsInLog_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace lo::service

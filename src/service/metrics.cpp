@@ -17,6 +17,21 @@ void ServiceMetrics::onCoalesced() {
   ++data_.coalesced;
 }
 
+void ServiceMetrics::onOverloadRejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.overloadRejections;
+}
+
+void ServiceMetrics::onBreakerRejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.breakerRejections;
+}
+
+void ServiceMetrics::onBreakerOpened() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.breakerOpens;
+}
+
 void ServiceMetrics::onRunning(std::size_t running) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (running > data_.maxRunning) data_.maxRunning = running;
@@ -28,6 +43,7 @@ void ServiceMetrics::onFinish(const std::string& state, const JobTrace& trace) {
   else if (state == "failed") ++data_.failed;
   else if (state == "cancelled") ++data_.cancelled;
   else if (state == "expired") ++data_.expired;
+  else if (state == "shed") ++data_.shed;
   data_.totalQueueSeconds += trace.queueSeconds;
   data_.totalRunSeconds += trace.runSeconds;
   for (const StageTiming& st : trace.stages) {
@@ -49,8 +65,12 @@ Json metricsToJson(const MetricsSnapshot& m, const CacheStats& cache,
   jobs.set("failed", m.failed);
   jobs.set("cancelled", m.cancelled);
   jobs.set("expired", m.expired);
+  jobs.set("shed", m.shed);
   jobs.set("retries", m.retries);
   jobs.set("coalesced", m.coalesced);
+  jobs.set("overload_rejections", m.overloadRejections);
+  jobs.set("breaker_rejections", m.breakerRejections);
+  jobs.set("breaker_opens", m.breakerOpens);
   jobs.set("max_running", m.maxRunning);
   jobs.set("total_queue_seconds", m.totalQueueSeconds);
   jobs.set("total_run_seconds", m.totalRunSeconds);

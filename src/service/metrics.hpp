@@ -36,8 +36,14 @@ struct MetricsSnapshot {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
+  std::uint64_t shed = 0;       ///< Displaced by admission control under overload.
   std::uint64_t retries = 0;    ///< Transient-failure re-runs.
   std::uint64_t coalesced = 0;  ///< Duplicates served by an in-flight leader.
+  /// Submissions rejected at the door: queue overload (OverloadedError /
+  /// QueueFullError) and open circuit breakers.  These never became jobs.
+  std::uint64_t overloadRejections = 0;
+  std::uint64_t breakerRejections = 0;
+  std::uint64_t breakerOpens = 0;  ///< Closed/half-open -> open transitions.
   /// High-water mark of simultaneously running jobs: the direct evidence
   /// that a batch (or an exploration) actually spread across the pool.
   std::uint64_t maxRunning = 0;
@@ -53,6 +59,9 @@ class ServiceMetrics {
   void onSubmit();
   void onRetry();
   void onCoalesced();
+  void onOverloadRejected();
+  void onBreakerRejected();
+  void onBreakerOpened();
   /// Called with the live running count after a job starts; records the
   /// high-water mark.
   void onRunning(std::size_t running);

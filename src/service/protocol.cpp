@@ -17,6 +17,21 @@ Json errorResponse(const std::string& why) {
   return out;
 }
 
+/// Admission rejections answer with a machine-readable error object so
+/// clients can distinguish "back off and retry" from a real failure.
+Json structuredError(const std::string& code, const std::string& message,
+                     std::size_t queueDepth, int retryAfterMs) {
+  Json err = Json::object();
+  err.set("code", code);
+  err.set("message", message);
+  err.set("queue_depth", static_cast<std::uint64_t>(queueDepth));
+  err.set("retry_after_ms", retryAfterMs);
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", std::move(err));
+  return out;
+}
+
 }  // namespace
 
 std::string ServiceProtocol::handleLine(const std::string& line) {
@@ -29,6 +44,14 @@ std::string ServiceProtocol::handleLine(const std::string& line) {
     } else {
       response = handle(Json::parse(line));
     }
+  } catch (const OverloadedError& e) {
+    response = structuredError("overloaded", e.what(), e.queueDepth(),
+                               e.retryAfterMs());
+  } catch (const QueueFullError& e) {
+    response = structuredError("queue_full", e.what(), e.queueDepth(), 0);
+  } catch (const CircuitOpenError& e) {
+    response = structuredError("circuit_open", e.what(),
+                               scheduler_.queueDepth(), e.retryAfterMs());
   } catch (const std::exception& e) {
     response = errorResponse(e.what());
   }
@@ -40,8 +63,8 @@ std::string ServiceProtocol::handleLine(const std::string& line) {
 void ServiceProtocol::registerOp(const std::string& op, OpHandler handler) {
   if (!handler) throw std::invalid_argument("null handler for op \"" + op + "\"");
   static const char* kBuiltins[] = {"synthesize", "sweep",      "wait",
-                                    "cancel",     "stats",      "topologies",
-                                    "shutdown"};
+                                    "cancel",     "stats",      "health",
+                                    "topologies", "shutdown"};
   for (const char* builtin : kBuiltins) {
     if (op == builtin) {
       throw std::invalid_argument("cannot override built-in op \"" + op + "\"");
@@ -77,6 +100,7 @@ Json ServiceProtocol::handle(const Json& request) {
   if (op == "synthesize") return handleSynthesize(request);
   if (op == "sweep") return handleSweep(request);
   if (op == "stats") return handleStats();
+  if (op == "health") return handleHealth();
   if (op == "wait") {
     const std::uint64_t id = request.at("id").asUint64();
     if (id == 0) return errorResponse("\"wait\" needs a numeric \"id\"");
@@ -111,7 +135,7 @@ Json ServiceProtocol::handle(const Json& request) {
   const auto extra = extraOps_.find(op);
   if (extra != extraOps_.end()) return extra->second(request);
   std::string known =
-      "synthesize, sweep, wait, cancel, stats, topologies, shutdown";
+      "synthesize, sweep, wait, cancel, stats, health, topologies, shutdown";
   for (const auto& [name, handler] : extraOps_) known += ", " + name;
   return errorResponse("unknown op \"" + op + "\" (" + known + ")");
 }
@@ -150,6 +174,7 @@ Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) co
   out.set("state", jobStateName(status.state));
   out.set("cache_hit", status.cacheHit);
   if (status.coalesced) out.set("coalesced", true);
+  if (status.recovered) out.set("recovered", true);
   out.set("attempts", status.attempts);
   if (status.retries > 0) out.set("retries", status.retries);
   if (status.state == JobState::kDone) {
@@ -195,6 +220,49 @@ Json ServiceProtocol::handleSweep(const Json& request) {
   Json out = Json::object();
   out.set("ok", true);
   out.set("outcomes", std::move(outcomes));
+  return out;
+}
+
+Json ServiceProtocol::handleHealth() const {
+  const HealthSnapshot h = scheduler_.health();
+  Json queue = Json::object();
+  queue.set("depth", static_cast<std::uint64_t>(h.queueDepth));
+  queue.set("limit", static_cast<std::uint64_t>(h.queueLimit));
+  queue.set("shed_depth", static_cast<std::uint64_t>(h.shedDepth));
+  queue.set("running", static_cast<std::uint64_t>(h.running));
+  queue.set("workers", h.workers);
+  queue.set("overloaded", h.overloaded);
+
+  Json breakers = Json::object();
+  for (const BreakerSnapshot& b : h.breakers) {
+    Json entry = Json::object();
+    entry.set("state", b.state);
+    entry.set("consecutive_failures", b.consecutiveFailures);
+    entry.set("opens", b.opens);
+    entry.set("rejections", b.rejections);
+    breakers.set(b.topology, std::move(entry));
+  }
+
+  Json journal = Json::object();
+  journal.set("enabled", h.journal.enabled);
+  if (h.journal.enabled) {
+    journal.set("records_in_log", h.journal.recordsInLog);
+    journal.set("live_jobs", h.journal.liveJobs);
+    journal.set("lag", h.journal.lag);
+    journal.set("replayed_records", h.journal.replayedRecords);
+    journal.set("recovered_jobs", h.journal.recoveredJobs);
+    journal.set("recovered_remaining", h.journal.recoveredRemaining);
+    journal.set("compactions", h.journal.compactions);
+    journal.set("torn_tail_recovered", h.journal.tornTailRecovered);
+  }
+
+  Json health = Json::object();
+  health.set("queue", std::move(queue));
+  health.set("breakers", std::move(breakers));
+  health.set("journal", std::move(journal));
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("health", std::move(health));
   return out;
 }
 

@@ -9,6 +9,7 @@
 //   cancel      cancel a queued/running job by id
 //   sweep       submit a list of jobs and return outcomes in order
 //   stats       scheduler + cache metrics snapshot (metrics.hpp schema)
+//   health      queue / circuit-breaker / journal liveness snapshot
 //   topologies  registered topology names
 //   shutdown    acknowledge and stop the read loop
 //
@@ -19,6 +20,10 @@
 // Every response carries "ok"; failures put a human-readable reason in
 // "error" and never kill the daemon: malformed JSON, unknown ops and
 // over-long lines (kMaxRequestLineBytes) all answer {"ok":false,...}.
+// Admission rejections answer with a *structured* error object instead of
+// a bare string -- {"error":{"code":"overloaded"|"circuit_open"|
+// "queue_full","message":...,"queue_depth":N,"retry_after_ms":N}} -- so
+// clients can back off programmatically.
 // See README.md for a request / response example and DESIGN.md for the
 // full schema.
 #pragma once
@@ -75,6 +80,7 @@ class ServiceProtocol {
   [[nodiscard]] Json handleSynthesize(const Json& request);
   [[nodiscard]] Json handleSweep(const Json& request);
   [[nodiscard]] Json handleStats() const;
+  [[nodiscard]] Json handleHealth() const;
   /// Parse the shared job fields of a synthesize/sweep entry.
   [[nodiscard]] JobRequest parseJob(const Json& request) const;
   [[nodiscard]] Json outcomeJson(const JobStatus& status, bool includeTrace) const;

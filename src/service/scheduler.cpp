@@ -1,6 +1,9 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "service/serialize.hpp"
 
 namespace lo::service {
 
@@ -9,6 +12,15 @@ namespace {
 double secondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+constexpr const char* breakerStateName(int state) {
+  switch (state) {
+    case 0: return "closed";
+    case 1: return "open";
+    case 2: return "half_open";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -20,6 +32,10 @@ JobScheduler::JobScheduler(tech::Technology baseTech, SchedulerOptions options)
       cache_(options_.cache) {
   if (!options_.traceLogPath.empty()) {
     traceLog_.open(options_.traceLogPath, std::ios::app);
+  }
+  if (!options_.journal.dir.empty()) {
+    journal_ = std::make_unique<JobJournal>(options_.journal);
+    replayJournal();  // Before the workers exist: no locking subtleties.
   }
   int threads = options_.threads;
   if (threads <= 0) {
@@ -50,12 +66,71 @@ JobScheduler::~JobScheduler() {
   }
   workCv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  if (journal_) {
+    // Clean shutdown: every job is terminal, so the live set is empty and
+    // the next boot replays nothing.
+    try {
+      journal_->compact({});
+    } catch (const std::exception&) {
+      // A failed compaction leaves the old log; replay handles it.
+    }
+  }
+}
+
+void JobScheduler::replayJournal() {
+  const JournalReplay replay = journal_->replay();
+  replayedRecords_ = replay.records.size();
+  tornTailRecovered_ = replay.tornTail;
+  for (const JournalRecord& pending : replay.pending) {
+    JobRequest request;
+    try {
+      request = jobRequestFromJson(pending.job);
+    } catch (const std::exception&) {
+      continue;  // A record from a newer/older schema: drop, don't crash.
+    }
+    auto rec = std::make_shared<JobRecord>();
+    rec->id = pending.id;
+    rec->request = std::move(request);
+    rec->request.maxRetries =
+        std::clamp(rec->request.maxRetries, 0, options_.maxRetryLimit);
+    rec->submitted = Clock::now();
+    // Deadlines restart from recovery: the dead process's clock is gone,
+    // and punishing a job for downtime it didn't cause helps nobody.
+    if (rec->request.deadlineSeconds > 0) {
+      rec->hasDeadline = true;
+      rec->deadline =
+          rec->submitted + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   rec->request.deadlineSeconds));
+    }
+    if (!rec->request.bypassCache) {
+      // Recompute rather than trust the record: the technology may have
+      // changed between restarts, and the key must match what lookup uses.
+      rec->cacheKey = ResultCache::keyFor(rec->request.options,
+                                          rec->request.specs,
+                                          rec->request.corner, techPrint_);
+    }
+    rec->recovered = true;
+    const std::uint64_t id = rec->id;
+    const int priority = rec->request.priority;
+    jobs_.emplace(id, std::move(rec));
+    ready_.insert({-priority, id});
+    ++queued_;
+    ++recoveredJobs_;
+    metrics_.onSubmit();
+  }
+  recoveredRemaining_ = recoveredJobs_;
+  if (replay.maxId >= nextId_) nextId_ = replay.maxId + 1;
+  if (recoveredRemaining_ == 0 && replayedRecords_ > 0) {
+    // Nothing pending: drop the finished history now instead of waiting
+    // for a drain that will never come.
+    compactJournalLocked();
+  }
 }
 
 std::uint64_t JobScheduler::submit(JobRequest request) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_) throw std::runtime_error("scheduler is shutting down");
-  if (queued_ >= options_.maxQueueDepth) throw QueueFullError(queued_);
 
   auto rec = std::make_shared<JobRecord>();
   rec->id = nextId_++;
@@ -73,6 +148,8 @@ std::uint64_t JobScheduler::submit(JobRequest request) {
     rec->cacheKey = ResultCache::keyFor(rec->request.options, rec->request.specs,
                                         rec->request.corner, techPrint_);
   }
+  admitLocked(rec->request, *rec);  // May throw; the id above is then unused.
+  appendJournalLocked(JournalRecordType::kSubmitted, *rec);
   const std::uint64_t id = rec->id;
   const int priority = rec->request.priority;
   jobs_.emplace(id, std::move(rec));
@@ -81,6 +158,127 @@ std::uint64_t JobScheduler::submit(JobRequest request) {
   metrics_.onSubmit();
   workCv_.notify_one();
   return id;
+}
+
+std::size_t JobScheduler::shedDepthLocked() const {
+  const double frac = std::clamp(options_.shedWatermark, 0.0, 1.0);
+  const auto depth = static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(options_.maxQueueDepth)));
+  return std::clamp<std::size_t>(depth, 1, options_.maxQueueDepth);
+}
+
+int JobScheduler::retryAfterMsLocked() const {
+  // ETA for the queue to drain one slot: average run time times depth over
+  // the pool width.  No history yet -> assume a quarter second per job.
+  const MetricsSnapshot m = metrics_.snapshot();
+  const std::uint64_t ran = m.completed + m.failed + m.expired;
+  double avgRun = ran > 0 ? m.totalRunSeconds / static_cast<double>(ran) : 0.25;
+  if (!(avgRun > 0)) avgRun = 0.25;
+  const double pool = std::max<std::size_t>(workers_.empty() ? 1 : workers_.size(), 1);
+  const double etaMs = avgRun * static_cast<double>(queued_ + 1) / pool * 1000.0;
+  return static_cast<int>(std::clamp(etaMs, 100.0, 30000.0));
+}
+
+bool JobScheduler::shedLowestLocked(int priority) {
+  if (ready_.empty()) return false;  // Everything queued is parked on a leader.
+  // ready_ orders by (-priority, id): rbegin() is the lowest priority, and
+  // within that class the newest arrival -- the job that loses least.
+  const auto victim = std::prev(ready_.end());
+  const std::uint64_t victimId = victim->second;
+  const RecordPtr rec = jobs_.at(victimId);
+  if (rec->request.priority >= priority) return false;  // Only shed downward.
+  ready_.erase(victim);
+  if (queued_ > 0) --queued_;
+  finishLocked(rec, JobState::kShed,
+               "shed: displaced by priority " + std::to_string(priority) +
+                   " work under overload");
+  return true;
+}
+
+void JobScheduler::admitLocked(const JobRequest& request, JobRecord& rec) {
+  // Circuit breaker first: an open breaker refuses even when the queue is
+  // empty, because the work is known-doomed.
+  if (options_.breakerFailureThreshold > 0) {
+    Breaker& b = breakers_[request.options.topology];
+    switch (b.state) {
+      case Breaker::State::kClosed:
+        break;
+      case Breaker::State::kOpen: {
+        const auto resetAt =
+            b.openedAt + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.breakerResetSeconds));
+        if (Clock::now() >= resetAt) {
+          b.state = Breaker::State::kHalfOpen;
+          b.probeInFlight = true;
+          rec.breakerProbe = true;
+          break;
+        }
+        ++b.rejections;
+        metrics_.onBreakerRejected();
+        const double remainMs =
+            std::chrono::duration<double, std::milli>(resetAt - Clock::now())
+                .count();
+        throw CircuitOpenError(
+            request.options.topology,
+            static_cast<int>(std::clamp(remainMs, 100.0, 3600000.0)));
+      }
+      case Breaker::State::kHalfOpen:
+        if (!b.probeInFlight) {
+          b.probeInFlight = true;
+          rec.breakerProbe = true;
+          break;
+        }
+        ++b.rejections;
+        metrics_.onBreakerRejected();
+        throw CircuitOpenError(request.options.topology, retryAfterMsLocked());
+    }
+  }
+
+  if (queued_ < shedDepthLocked()) return;
+  // Past the watermark: admit only by displacing strictly-lower-priority
+  // queued work; otherwise push back with a retry hint.
+  if (!shedLowestLocked(request.priority)) {
+    if (rec.breakerProbe) {
+      // The probe slot must not leak when admission fails downstream.
+      Breaker& b = breakers_[request.options.topology];
+      b.probeInFlight = false;
+      rec.breakerProbe = false;
+    }
+    metrics_.onOverloadRejected();
+    throw OverloadedError(queued_, retryAfterMsLocked());
+  }
+}
+
+void JobScheduler::appendJournalLocked(JournalRecordType type,
+                                       const JobRecord& rec) {
+  if (!journal_) return;
+  JournalRecord record;
+  record.type = type;
+  record.id = rec.id;
+  record.cacheKey = rec.cacheKey;
+  record.attempt = rec.attempts;
+  if (type == JournalRecordType::kSubmitted) {
+    record.job = toJson(rec.request);
+  } else if (type == JournalRecordType::kFinished) {
+    record.state = jobStateName(rec.state);
+  }
+  journal_->append(record);
+}
+
+void JobScheduler::compactJournalLocked() {
+  if (!journal_) return;
+  std::vector<JournalRecord> live;
+  for (const auto& [id, rec] : jobs_) {
+    if (isTerminal(rec->state)) continue;
+    JournalRecord record;
+    record.type = JournalRecordType::kSubmitted;
+    record.id = rec->id;
+    record.cacheKey = rec->cacheKey;
+    record.job = toJson(rec->request);
+    live.push_back(std::move(record));
+  }
+  journal_->compact(live);
 }
 
 void JobScheduler::workerLoop() {
@@ -165,6 +363,9 @@ void JobScheduler::runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lo
       {
         const std::lock_guard<std::mutex> guard(mutex_);
         rec->attempts = attempt;
+        appendJournalLocked(attempt == 1 ? JournalRecordType::kStarted
+                                         : JournalRecordType::kRetried,
+                            *rec);
       }
       try {
         if (options_.preRunHook) options_.preRunHook(request, attempt);
@@ -187,6 +388,10 @@ void JobScheduler::runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lo
         }
         error = std::string("transient failure, retries exhausted: ") + e.what();
         outcome = Outcome::kFailed;
+        {
+          const std::lock_guard<std::mutex> guard(mutex_);
+          rec->transientFailure = true;  // Doesn't count against the breaker.
+        }
       } catch (const std::exception& e) {
         error = e.what();
         outcome = Outcome::kFailed;
@@ -235,6 +440,16 @@ void JobScheduler::finishLocked(const RecordPtr& rec, JobState state,
   rec->state = state;
   if (!error.empty()) rec->error = error;
   metrics_.onFinish(jobStateName(state), rec->trace);
+  breakerOnFinishLocked(rec, state);
+  appendJournalLocked(state == JobState::kCancelled
+                          ? JournalRecordType::kCancelled
+                          : JournalRecordType::kFinished,
+                      *rec);
+  if (rec->recovered && recoveredRemaining_ > 0 && --recoveredRemaining_ == 0) {
+    // The replayed backlog has drained: fold the journal down to whatever
+    // is still live so it never grows across restarts.
+    compactJournalLocked();
+  }
   if (traceLog_.is_open()) {
     const std::lock_guard<std::mutex> guard(traceMutex_);
     traceLog_ << traceToJson(rec->id, rec->request.label, jobStateName(state),
@@ -279,6 +494,36 @@ void JobScheduler::requeueWaitersLocked(const std::string& key) {
   workCv_.notify_all();
 }
 
+void JobScheduler::breakerOnFinishLocked(const RecordPtr& rec, JobState state) {
+  if (options_.breakerFailureThreshold <= 0) return;
+  const auto it = breakers_.find(rec->request.options.topology);
+  Breaker* b = it == breakers_.end() ? nullptr : &it->second;
+  if (rec->breakerProbe) {
+    if (b != nullptr) b->probeInFlight = false;
+    rec->breakerProbe = false;
+  }
+  if (b == nullptr) {
+    if (state != JobState::kFailed) return;
+    b = &breakers_[rec->request.options.topology];
+  }
+  if (state == JobState::kDone) {
+    b->consecutiveFailures = 0;
+    b->state = Breaker::State::kClosed;
+  } else if (state == JobState::kFailed && !rec->transientFailure) {
+    ++b->consecutiveFailures;
+    if (b->state == Breaker::State::kHalfOpen ||
+        b->consecutiveFailures >= options_.breakerFailureThreshold) {
+      if (b->state != Breaker::State::kOpen) {
+        ++b->opens;
+        metrics_.onBreakerOpened();
+      }
+      b->state = Breaker::State::kOpen;
+      b->openedAt = Clock::now();
+    }
+  }
+  // Cancelled / expired / shed jobs are no evidence about the topology.
+}
+
 JobStatus JobScheduler::snapshotLocked(const JobRecord& rec) const {
   JobStatus status;
   status.id = rec.id;
@@ -289,6 +534,7 @@ JobStatus JobScheduler::snapshotLocked(const JobRecord& rec) const {
   status.attempts = rec.attempts;
   status.retries = rec.retries;
   status.error = rec.error;
+  status.recovered = rec.recovered;
   status.result = rec.result;
   status.trace = rec.trace;
   return status;
@@ -353,6 +599,43 @@ std::size_t JobScheduler::queueDepth() const {
 std::size_t JobScheduler::runningCount() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return running_;
+}
+
+HealthSnapshot JobScheduler::health() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HealthSnapshot h;
+  h.queueDepth = queued_;
+  h.queueLimit = options_.maxQueueDepth;
+  h.shedDepth = shedDepthLocked();
+  h.running = running_;
+  h.workers = static_cast<int>(workers_.size());
+  h.overloaded = queued_ >= h.shedDepth;
+  for (const auto& [topology, b] : breakers_) {
+    BreakerSnapshot s;
+    s.topology = topology;
+    s.state = breakerStateName(static_cast<int>(b.state));
+    s.consecutiveFailures = b.consecutiveFailures;
+    s.opens = b.opens;
+    s.rejections = b.rejections;
+    h.breakers.push_back(std::move(s));
+  }
+  if (journal_) {
+    h.journal.enabled = true;
+    h.journal.recordsInLog = journal_->recordsInLog();
+    std::uint64_t live = 0;
+    for (const auto& [id, rec] : jobs_) {
+      if (!isTerminal(rec->state)) ++live;
+    }
+    h.journal.liveJobs = live;
+    h.journal.lag =
+        h.journal.recordsInLog > live ? h.journal.recordsInLog - live : 0;
+    h.journal.replayedRecords = replayedRecords_;
+    h.journal.recoveredJobs = recoveredJobs_;
+    h.journal.recoveredRemaining = recoveredRemaining_;
+    h.journal.compactions = journal_->compactions();
+    h.journal.tornTailRecovered = tornTailRecovered_;
+  }
+  return h;
 }
 
 }  // namespace lo::service

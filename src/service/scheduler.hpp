@@ -38,6 +38,7 @@
 
 #include "core/engine.hpp"
 #include "service/cache.hpp"
+#include "service/journal.hpp"
 #include "service/metrics.hpp"
 
 namespace lo::service {
@@ -54,10 +55,62 @@ class QueueFullError : public std::runtime_error {
  public:
   explicit QueueFullError(std::size_t depth)
       : std::runtime_error("job queue is full (" + std::to_string(depth) +
-                           " jobs queued)") {}
+                           " jobs queued)"),
+        depth_(depth) {}
+
+  [[nodiscard]] std::size_t queueDepth() const { return depth_; }
+
+ protected:
+  QueueFullError(const std::string& what, std::size_t depth)
+      : std::runtime_error(what), depth_(depth) {}
+
+ private:
+  std::size_t depth_ = 0;
 };
 
-enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled, kExpired };
+/// The admission-control rejection: the queue is past its shed watermark
+/// and the incoming job's priority cannot displace anything queued.
+/// Carries a retry hint so clients back off instead of hammering; derives
+/// from QueueFullError so callers catching the old error keep working.
+class OverloadedError : public QueueFullError {
+ public:
+  OverloadedError(std::size_t depth, int retryAfterMs)
+      : QueueFullError("scheduler overloaded (" + std::to_string(depth) +
+                           " jobs queued); retry in " +
+                           std::to_string(retryAfterMs) + " ms",
+                       depth),
+        retryAfterMs_(retryAfterMs) {}
+
+  [[nodiscard]] int retryAfterMs() const { return retryAfterMs_; }
+
+ private:
+  int retryAfterMs_ = 0;
+};
+
+/// Thrown by submit() while a topology's circuit breaker is open: the
+/// engine failed non-transiently N times in a row for this topology, so
+/// new work is refused until the half-open probe succeeds.
+class CircuitOpenError : public std::runtime_error {
+ public:
+  CircuitOpenError(const std::string& topology, int retryAfterMs)
+      : std::runtime_error("circuit breaker open for topology \"" + topology +
+                           "\"; retry in " + std::to_string(retryAfterMs) +
+                           " ms"),
+        topology_(topology),
+        retryAfterMs_(retryAfterMs) {}
+
+  [[nodiscard]] const std::string& topology() const { return topology_; }
+  [[nodiscard]] int retryAfterMs() const { return retryAfterMs_; }
+
+ private:
+  std::string topology_;
+  int retryAfterMs_ = 0;
+};
+
+enum class JobState {
+  kQueued, kRunning, kDone, kFailed, kCancelled, kExpired,
+  kShed,  ///< Displaced from the queue by admission control under overload.
+};
 
 [[nodiscard]] constexpr const char* jobStateName(JobState s) {
   switch (s) {
@@ -67,13 +120,15 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled, kExpired };
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
     case JobState::kExpired: return "expired";
+    case JobState::kShed: return "shed";
   }
   return "?";
 }
 
 [[nodiscard]] constexpr bool isTerminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed ||
-         s == JobState::kCancelled || s == JobState::kExpired;
+         s == JobState::kCancelled || s == JobState::kExpired ||
+         s == JobState::kShed;
 }
 
 struct JobRequest {
@@ -100,6 +155,7 @@ struct JobStatus {
   int attempts = 0;        ///< Engine runs performed (0 for pure hits).
   int retries = 0;         ///< Transient-failure re-runs (attempts - 1 when > 0).
   std::string error;       ///< Exception text for kFailed.
+  bool recovered = false;  ///< Re-enqueued from the journal at boot.
   core::EngineResult result;  ///< Valid for kDone.
   JobTrace trace;
 };
@@ -111,11 +167,56 @@ struct SchedulerOptions {
   /// clamped), bounding the worker time one flaky job can consume.
   int maxRetryLimit = 8;
   CacheOptions cache;
+  /// Write-ahead job journal (journal.hpp).  journal.dir empty = off; set,
+  /// the scheduler replays the log at construction, re-enqueues unfinished
+  /// jobs under their original ids, and compacts once they drain.
+  JournalOptions journal;
+  /// Admission control: fraction of maxQueueDepth past which new work must
+  /// displace a strictly-lower-priority queued job or be rejected with
+  /// OverloadedError.  1.0 = shed only at the hard limit (legacy behaviour).
+  double shedWatermark = 1.0;
+  /// Per-topology circuit breaker: open after this many *consecutive*
+  /// non-transient engine failures for one topology.  0 = disabled.
+  int breakerFailureThreshold = 0;
+  /// Seconds an open breaker waits before letting one half-open probe
+  /// through.
+  double breakerResetSeconds = 30.0;
   /// Append one JSON line per finished job to this path (empty = off).
   std::string traceLogPath;
   /// Test seam: runs before every engine attempt (outside the scheduler
   /// lock); may throw TransientError to exercise the retry path.
   std::function<void(const JobRequest&, int attempt)> preRunHook;
+};
+
+/// One topology's circuit-breaker state, for health().
+struct BreakerSnapshot {
+  std::string topology;
+  std::string state;  ///< "closed" / "open" / "half_open".
+  int consecutiveFailures = 0;
+  std::uint64_t opens = 0;
+  std::uint64_t rejections = 0;
+};
+
+/// Liveness/durability summary served by the `health` protocol op.
+struct HealthSnapshot {
+  std::size_t queueDepth = 0;
+  std::size_t queueLimit = 0;
+  std::size_t shedDepth = 0;  ///< Watermark in jobs; >= here sheds/rejects.
+  std::size_t running = 0;
+  int workers = 0;
+  bool overloaded = false;  ///< queueDepth >= shedDepth right now.
+  std::vector<BreakerSnapshot> breakers;
+  struct Journal {
+    bool enabled = false;
+    std::uint64_t recordsInLog = 0;  ///< Frames since the last compaction.
+    std::uint64_t liveJobs = 0;      ///< Non-terminal jobs in the scheduler.
+    std::uint64_t lag = 0;           ///< recordsInLog - liveJobs: compaction debt.
+    std::uint64_t replayedRecords = 0;  ///< Frames read at boot.
+    std::uint64_t recoveredJobs = 0;    ///< Unfinished jobs re-enqueued at boot.
+    std::uint64_t recoveredRemaining = 0;  ///< Recovered jobs not yet terminal.
+    std::uint64_t compactions = 0;
+    bool tornTailRecovered = false;  ///< Boot replay truncated a torn frame.
+  } journal;
 };
 
 class JobScheduler {
@@ -152,6 +253,12 @@ class JobScheduler {
   [[nodiscard]] int workerCount() const { return static_cast<int>(workers_.size()); }
   [[nodiscard]] const tech::Technology& baseTechnology() const { return baseTech_; }
 
+  /// Queue, breaker and journal liveness, for the `health` protocol op.
+  [[nodiscard]] HealthSnapshot health() const;
+  /// The write-ahead journal, or nullptr when journalling is off.  Exposed
+  /// for the fault-injection seams (testkit) and tests.
+  [[nodiscard]] JobJournal* journal() { return journal_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -171,8 +278,22 @@ class JobScheduler {
     Clock::time_point submitted;
     Clock::time_point deadline;  ///< == time_point() when none.
     bool hasDeadline = false;
+    bool recovered = false;        ///< Re-enqueued from the journal at boot.
+    bool transientFailure = false;  ///< kFailed caused by a TransientError.
+    bool breakerProbe = false;      ///< The half-open probe for its topology.
   };
   using RecordPtr = std::shared_ptr<JobRecord>;
+
+  /// Per-topology circuit breaker (guarded by mutex_).
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutiveFailures = 0;
+    Clock::time_point openedAt;
+    bool probeInFlight = false;
+    std::uint64_t opens = 0;
+    std::uint64_t rejections = 0;
+  };
 
   void workerLoop();
   void runJob(const RecordPtr& rec, std::unique_lock<std::mutex>& lock);
@@ -185,11 +306,30 @@ class JobScheduler {
     return rec.hasDeadline && Clock::now() >= rec.deadline;
   }
 
+  /// Admission control for submit().  Throws CircuitOpenError /
+  /// OverloadedError; on success the job may have displaced (shed) a
+  /// lower-priority queued job.
+  void admitLocked(const JobRequest& request, JobRecord& rec);
+  /// Sheds the lowest-priority queued job if it is strictly below
+  /// `priority`; returns false when nothing can be displaced.
+  bool shedLowestLocked(int priority);
+  [[nodiscard]] std::size_t shedDepthLocked() const;
+  [[nodiscard]] int retryAfterMsLocked() const;
+  /// Breaker bookkeeping on a terminal transition.
+  void breakerOnFinishLocked(const RecordPtr& rec, JobState state);
+  /// Re-enqueue unfinished journalled jobs; runs in the constructor before
+  /// the workers start.
+  void replayJournal();
+  void appendJournalLocked(JournalRecordType type, const JobRecord& rec);
+  /// Rewrite the journal down to the live (non-terminal) job set.
+  void compactJournalLocked();
+
   tech::Technology baseTech_;
   std::string techPrint_;
   SchedulerOptions options_;
   ResultCache cache_;
   ServiceMetrics metrics_;
+  std::unique_ptr<JobJournal> journal_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable workCv_;   ///< Queue -> workers.
@@ -203,6 +343,14 @@ class JobScheduler {
   std::size_t running_ = 0;
   std::uint64_t nextId_ = 1;
   bool stopping_ = false;
+
+  std::map<std::string, Breaker> breakers_;  ///< Keyed by topology.
+
+  // Journal recovery bookkeeping (guarded by mutex_ after construction).
+  std::uint64_t replayedRecords_ = 0;
+  std::uint64_t recoveredJobs_ = 0;
+  std::uint64_t recoveredRemaining_ = 0;
+  bool tornTailRecovered_ = false;
 
   std::ofstream traceLog_;
   std::mutex traceMutex_;

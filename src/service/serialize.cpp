@@ -59,6 +59,43 @@ sizing::OtaPerformance performanceFromJson(const Json& j) {
   return perf;
 }
 
+namespace {
+
+core::ConvergenceVerdict verdictFromName(const std::string& name) {
+  for (const core::ConvergenceVerdict v :
+       {core::ConvergenceVerdict::kConverged, core::ConvergenceVerdict::kOscillating,
+        core::ConvergenceVerdict::kDrifting}) {
+    if (name == core::convergenceVerdictName(v)) return v;
+  }
+  throw std::invalid_argument("unknown convergence verdict \"" + name + "\"");
+}
+
+Json toJson(const core::ConvergenceReport& report) {
+  Json j = Json::object();
+  j.set("verdict", core::convergenceVerdictName(report.verdict));
+  j.set("loop_ran", report.loopRan);
+  j.set("worst_residual", report.worstResidual);
+  Json deltas = Json::array();
+  for (const double d : report.callDeltas) deltas.push(d);
+  j.set("call_deltas", std::move(deltas));
+  j.set("cycle_length", report.cycleLength);
+  return j;
+}
+
+core::ConvergenceReport convergenceFromJson(const Json& j) {
+  core::ConvergenceReport report;
+  report.verdict = verdictFromName(j.at("verdict").asString());
+  report.loopRan = j.at("loop_ran").asBool();
+  report.worstResidual = j.at("worst_residual").asDouble();
+  for (const Json& d : j.at("call_deltas").items()) {
+    report.callDeltas.push_back(d.asDouble());
+  }
+  report.cycleLength = j.at("cycle_length").asInt();
+  return report;
+}
+
+}  // namespace
+
 Json toJson(const core::EngineResult& result) {
   Json j = Json::object();
   Json nets = Json::array();
@@ -78,6 +115,7 @@ Json toJson(const core::EngineResult& result) {
   j.set("iterations", std::move(iterations));
   j.set("layout_calls", result.layoutCalls);
   j.set("parasitic_converged", result.parasiticConverged);
+  j.set("convergence", toJson(result.convergence));
   j.set("layout_width_um", result.layoutWidthUm);
   j.set("layout_height_um", result.layoutHeightUm);
   j.set("predicted", toJson(result.predicted));
@@ -100,6 +138,7 @@ core::EngineResult resultFromJson(const Json& j) {
   }
   result.layoutCalls = j.at("layout_calls").asInt();
   result.parasiticConverged = j.at("parasitic_converged").asBool();
+  result.convergence = convergenceFromJson(j.at("convergence"));
   result.layoutWidthUm = j.at("layout_width_um").asDouble();
   result.layoutHeightUm = j.at("layout_height_um").asDouble();
   result.predicted = performanceFromJson(j.at("predicted"));
@@ -152,6 +191,61 @@ void specsFromJson(const Json& j, sizing::OtaSpecs& specs) {
     }
     if (!known) throw std::invalid_argument("unknown spec field \"" + key + "\"");
   }
+}
+
+Json toJson(const JobRequest& request) {
+  const core::EngineOptions& o = request.options;
+  Json j = Json::object();
+  j.set("label", request.label);
+  j.set("topology", o.topology);
+  j.set("case", core::sizingCaseName(o.sizingCase));
+  j.set("model", o.modelName);
+  j.set("bias", o.includeBiasGenerator);
+  j.set("max_layout_calls", o.maxLayoutCalls);
+  j.set("convergence_tol", o.convergenceTol);
+  const sizing::VerifyOptions& v = o.verifyOptions;
+  Json verify = Json::object();
+  verify.set("f_start", v.fStart);
+  verify.set("f_stop", v.fStop);
+  verify.set("points_per_decade", v.pointsPerDecade);
+  verify.set("tran_step", v.tranStep);
+  verify.set("tran_stop", v.tranStop);
+  verify.set("step_amplitude", v.stepAmplitude);
+  j.set("verify", std::move(verify));
+  j.set("spec", toJson(request.specs));
+  j.set("corner", tech::cornerName(request.corner));
+  j.set("priority", request.priority);
+  j.set("deadline_seconds", request.deadlineSeconds);
+  j.set("max_retries", request.maxRetries);
+  j.set("no_cache", request.bypassCache);
+  return j;
+}
+
+JobRequest jobRequestFromJson(const Json& j) {
+  JobRequest request;
+  request.label = j.at("label").asString();
+  core::EngineOptions& o = request.options;
+  o.topology = j.at("topology").asString();
+  o.sizingCase = sizingCaseFromJson(j.at("case"));
+  o.modelName = j.at("model").asString();
+  o.includeBiasGenerator = j.at("bias").asBool();
+  o.maxLayoutCalls = j.at("max_layout_calls").asInt();
+  o.convergenceTol = j.at("convergence_tol").asDouble();
+  const Json& verify = j.at("verify");
+  sizing::VerifyOptions& v = o.verifyOptions;
+  v.fStart = verify.at("f_start").asDouble();
+  v.fStop = verify.at("f_stop").asDouble();
+  v.pointsPerDecade = verify.at("points_per_decade").asInt();
+  v.tranStep = verify.at("tran_step").asDouble();
+  v.tranStop = verify.at("tran_stop").asDouble();
+  v.stepAmplitude = verify.at("step_amplitude").asDouble();
+  specsFromJson(j.at("spec"), request.specs);
+  request.corner = cornerFromName(j.at("corner").asString());
+  request.priority = j.at("priority").asInt();
+  request.deadlineSeconds = j.at("deadline_seconds").asDouble();
+  request.maxRetries = j.at("max_retries").asInt();
+  request.bypassCache = j.at("no_cache").asBool();
+  return request;
 }
 
 core::SizingCase sizingCaseFromJson(const Json& j) {

@@ -12,6 +12,7 @@
 
 #include "core/engine.hpp"
 #include "service/json.hpp"
+#include "service/scheduler.hpp"
 
 namespace lo::service {
 
@@ -20,6 +21,14 @@ namespace lo::service {
 
 [[nodiscard]] Json toJson(const core::EngineResult& result);
 [[nodiscard]] core::EngineResult resultFromJson(const Json& j);
+
+/// Full-fidelity JobRequest round trip for the write-ahead job journal:
+/// every field that influences the job's result or its scheduling (label,
+/// topology, case, model, engine knobs, verify options, specs, corner,
+/// priority, deadline, retries, cache bypass) survives exactly, so a
+/// replayed job computes the same cache key as the original submission.
+[[nodiscard]] Json toJson(const JobRequest& request);
+[[nodiscard]] JobRequest jobRequestFromJson(const Json& j);
 
 [[nodiscard]] Json toJson(const sizing::OtaSpecs& specs);
 /// Apply the members present in `j` onto `specs` (absent fields keep their

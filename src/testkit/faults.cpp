@@ -24,7 +24,8 @@ const std::vector<FaultSite>& allFaultSites() {
   static const std::vector<FaultSite> kSites = {
       FaultSite::kEngineTransient, FaultSite::kStageTransient,
       FaultSite::kDeadlineOverrun, FaultSite::kCacheWrite,
-      FaultSite::kResponseTruncate};
+      FaultSite::kResponseTruncate, FaultSite::kJournalTornWrite,
+      FaultSite::kProcessKill};
   return kSites;
 }
 
@@ -33,6 +34,11 @@ FaultPlanOptions FaultPlanOptions::basic(std::uint64_t seed) {
   options.seed = seed;
   options.rate = 0.1;
   for (const FaultSite site : allFaultSites()) options.sites.insert(site);
+  // The two crash sites are one-shot by nature (the first firing freezes
+  // the journal), so the blanket rate would make every soak die in its
+  // first seconds.  They stay opt-in via explicitOps / journal_torn etc.
+  options.sites.erase(FaultSite::kJournalTornWrite);
+  options.sites.erase(FaultSite::kProcessKill);
   return options;
 }
 
@@ -42,12 +48,21 @@ FaultPlanOptions FaultPlanOptions::none(std::uint64_t seed) {
   return options;
 }
 
+FaultPlanOptions FaultPlanOptions::journalTorn(std::uint64_t seed) {
+  FaultPlanOptions options;
+  options.seed = seed;
+  options.rate = 0.25;
+  options.sites.insert(FaultSite::kJournalTornWrite);
+  return options;
+}
+
 FaultPlanOptions FaultPlanOptions::preset(const std::string& name,
                                           std::uint64_t seed) {
   if (name == "basic") return basic(seed);
   if (name == "none") return none(seed);
+  if (name == "journal_torn_write") return journalTorn(seed);
   throw std::invalid_argument("unknown fault preset \"" + name +
-                              "\" (basic, none)");
+                              "\" (basic, none, journal_torn_write)");
 }
 
 FaultPlan::FaultPlan(FaultPlanOptions options) : options_(std::move(options)) {}
@@ -119,6 +134,18 @@ void installSchedulerFaults(service::SchedulerOptions& options, FaultPlan& plan)
           const std::string& key) {
         const bool upstreamFired = upstream && upstream(key);
         return plan.shouldFire(FaultSite::kCacheWrite) || upstreamFired;
+      };
+}
+
+void installJournalFaults(service::SchedulerOptions& options, FaultPlan& plan) {
+  if (options.journal.dir.empty()) {
+    throw std::invalid_argument(
+        "installJournalFaults: options.journal.dir is empty (journalling off)");
+  }
+  options.journal.tornWriteFault =
+      [&plan, upstream = std::move(options.journal.tornWriteFault)]() {
+        const bool upstreamFired = upstream && upstream();
+        return plan.shouldFire(FaultSite::kJournalTornWrite) || upstreamFired;
       };
 }
 

@@ -39,6 +39,8 @@ enum class FaultSite {
   kDeadlineOverrun,   ///< Sleep before the attempt so deadlines lapse.
   kCacheWrite,        ///< On-disk cache store write fails (truncated file).
   kResponseTruncate,  ///< Daemon response line truncated mid-JSON.
+  kJournalTornWrite,  ///< Journal append writes half a frame and freezes.
+  kProcessKill,       ///< Simulated SIGKILL: the journal stops recording.
 };
 
 [[nodiscard]] constexpr const char* faultSiteName(FaultSite s) {
@@ -48,6 +50,8 @@ enum class FaultSite {
     case FaultSite::kDeadlineOverrun: return "deadline_overrun";
     case FaultSite::kCacheWrite: return "cache_write";
     case FaultSite::kResponseTruncate: return "response_truncate";
+    case FaultSite::kJournalTornWrite: return "journal_torn_write";
+    case FaultSite::kProcessKill: return "process_kill";
   }
   return "?";
 }
@@ -67,11 +71,18 @@ struct FaultPlanOptions {
   /// Sleep length of a kDeadlineOverrun firing [s].
   double overrunSeconds = 0.05;
 
-  /// The standard `--faults basic` plan: every site enabled at 10%.
+  /// The standard `--faults basic` plan: every recoverable site enabled at
+  /// 10%.  The crash sites (kJournalTornWrite, kProcessKill) stay off --
+  /// the first firing freezes the journal for good, which is a dedicated
+  /// scenario, not background noise.
   [[nodiscard]] static FaultPlanOptions basic(std::uint64_t seed);
   /// No faults at all (the identity plan).
   [[nodiscard]] static FaultPlanOptions none(std::uint64_t seed = 1);
-  /// Parse a CLI name: "basic" or "none"; throws std::invalid_argument.
+  /// The `--faults journal_torn_write` plan: only the journal torn-write
+  /// site, at 25% -- the first firing tears a frame mid-append.
+  [[nodiscard]] static FaultPlanOptions journalTorn(std::uint64_t seed);
+  /// Parse a CLI name: "basic", "none" or "journal_torn_write"; throws
+  /// std::invalid_argument.
   [[nodiscard]] static FaultPlanOptions preset(const std::string& name,
                                                std::uint64_t seed);
 };
@@ -127,5 +138,11 @@ void installEngineFaults(core::EngineOptions& options, FaultPlan& plan);
 /// length (mid-JSON), exercising client transport-error handling while the
 /// daemon's own state advances normally.
 void installProtocolFaults(service::ServiceProtocol& protocol, FaultPlan& plan);
+
+/// Arm kJournalTornWrite on the scheduler's write-ahead journal: a fired
+/// append writes only the first half of its frame and freezes the journal,
+/// byte-for-byte what a SIGKILL mid-append leaves behind.  Requires
+/// options.journal.dir to be set.
+void installJournalFaults(service::SchedulerOptions& options, FaultPlan& plan);
 
 }  // namespace lo::testkit

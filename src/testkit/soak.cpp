@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "core/topology.hpp"
@@ -108,6 +111,18 @@ service::Json SoakReport::toJson() const {
   for (const auto& [site, count] : faultsFired) faults.set(site, count);
   out.set("faults_fired", std::move(faults));
 
+  if (recovery.ran) {
+    service::Json rec = service::Json::object();
+    rec.set("crashed", recovery.crashed);
+    rec.set("replayed_records", recovery.replayedRecords);
+    rec.set("pending_at_boot", recovery.pendingAtBoot);
+    rec.set("served_from_cache", recovery.servedFromCache);
+    rec.set("re_run", recovery.reRun);
+    rec.set("compactions", recovery.compactions);
+    rec.set("torn_tail", recovery.tornTail);
+    out.set("recovery", std::move(rec));
+  }
+
   out.set("stats", metricsToJson(metrics, cache, 0, 0, 0));
 
   service::Json viol = service::Json::array();
@@ -126,8 +141,14 @@ SoakReport runSoak(const tech::Technology& technology, const SoakOptions& option
   schedulerOptions.cache.diskDir = options.cacheDir;
   schedulerOptions.cache.capacity = 64;
   installSchedulerFaults(schedulerOptions, plan);
+  if (!options.journalDir.empty()) {
+    schedulerOptions.journal.dir = options.journalDir;
+    installJournalFaults(schedulerOptions, plan);
+  }
 
-  service::JobScheduler scheduler(technology, schedulerOptions);
+  auto schedulerPtr =
+      std::make_unique<service::JobScheduler>(technology, schedulerOptions);
+  service::JobScheduler& scheduler = *schedulerPtr;
   service::ServiceProtocol protocol(scheduler);
   installProtocolFaults(protocol, plan);
 
@@ -181,6 +202,15 @@ SoakReport runSoak(const tech::Technology& technology, const SoakOptions& option
                 sent < options.maxRequestsPerClient)) {
           const int dice = gen.pick(100);
           if (dice < 65 || pending.empty()) {
+            if (scheduler.journal() != nullptr &&
+                plan.shouldFire(FaultSite::kProcessKill)) {
+              // The simulated SIGKILL: from here on nothing reaches the
+              // journal, exactly as if the process had died at this
+              // instant.  The in-process daemon keeps serving (phase 1's
+              // invariants still apply); the recovery phase below replays
+              // whatever the frozen log claims is unfinished.
+              scheduler.journal()->simulateCrash();
+            }
             const CorpusPoint& point =
                 pool[static_cast<std::size_t>(gen.pick(options.poolSize))];
             const bool deadline =
@@ -230,7 +260,7 @@ SoakReport runSoak(const tech::Technology& technology, const SoakOptions& option
     while (Clock::now() < drainDeadline) {
       const service::MetricsSnapshot m = scheduler.metrics();
       const std::uint64_t terminal =
-          m.completed + m.failed + m.cancelled + m.expired;
+          m.completed + m.failed + m.cancelled + m.expired + m.shed;
       if (terminal == m.submitted && scheduler.queueDepth() == 0 &&
           scheduler.runningCount() == 0) {
         break;
@@ -254,7 +284,8 @@ SoakReport runSoak(const tech::Technology& technology, const SoakOptions& option
   const std::uint64_t terminal = report.metrics.completed +
                                  report.metrics.failed +
                                  report.metrics.cancelled +
-                                 report.metrics.expired;
+                                 report.metrics.expired +
+                                 report.metrics.shed;
   if (terminal != report.metrics.submitted || scheduler.queueDepth() != 0 ||
       scheduler.runningCount() != 0) {
     report.violations.push_back(
@@ -300,6 +331,96 @@ SoakReport runSoak(const tech::Technology& technology, const SoakOptions& option
       options.faults.explicitOps.count(FaultSite::kResponseTruncate) == 0 &&
       transportErrors > 0) {
     report.violations.push_back("transport errors without response faults");
+  }
+
+  // Recovery phase: tear the daemon down and boot a fresh one on the same
+  // journal + cache directories, then hold it to crash-safety's contract:
+  //   * zero lost -- every job the dead daemon's log still owes reaches a
+  //     definite terminal state after replay;
+  //   * zero duplicated -- the engine never re-runs a cache key whose
+  //     result already survived on disk (exactly-once at the key level);
+  //   * the journal compacts once the replayed backlog drains.
+  if (!options.journalDir.empty()) {
+    report.recovery.ran = true;
+    report.recovery.crashed =
+        scheduler.journal() != nullptr && scheduler.journal()->frozen();
+    const std::string logPath = scheduler.journal()->logPath();
+    schedulerPtr.reset();  // A frozen journal skips the shutdown compaction.
+
+    const service::JournalReplay digest =
+        service::JobJournal::replayFile(logPath);
+    report.recovery.pendingAtBoot = digest.pending.size();
+    report.recovery.tornTail = digest.tornTail;
+
+    // Keys whose results already survived on the disk cache: re-running
+    // the engine for one of these would be a duplicated result.
+    std::set<std::string> durableKeys;
+    if (!options.cacheDir.empty()) {
+      for (const service::JournalRecord& rec : digest.pending) {
+        if (rec.cacheKey.empty()) continue;
+        if (std::filesystem::exists(std::filesystem::path(options.cacheDir) /
+                                    (rec.cacheKey + ".json"))) {
+          durableKeys.insert(rec.cacheKey);
+        }
+      }
+    }
+
+    const std::string techPrint =
+        service::ResultCache::techFingerprint(technology);
+    service::SchedulerOptions bootOptions;
+    bootOptions.threads = options.schedulerThreads;
+    bootOptions.maxQueueDepth = 512;
+    bootOptions.cache.diskDir = options.cacheDir;
+    bootOptions.cache.capacity = 64;
+    bootOptions.journal.dir = options.journalDir;
+    bootOptions.preRunHook = [&](const service::JobRequest& request, int) {
+      const std::string key = service::ResultCache::keyFor(
+          request.options, request.specs, request.corner, techPrint);
+      if (durableKeys.count(key) > 0) {
+        const std::lock_guard<std::mutex> lock(violationsMutex);
+        report.violations.push_back(
+            "duplicated result: the engine re-ran cache key " + key +
+            " whose result already survived the crash");
+      }
+    };
+
+    service::JobScheduler recovered(technology, bootOptions);
+    report.recovery.replayedRecords = recovered.health().journal.replayedRecords;
+
+    const auto recoverDeadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.drainTimeoutSeconds));
+    while (Clock::now() < recoverDeadline) {
+      const service::HealthSnapshot h = recovered.health();
+      if (h.journal.recoveredRemaining == 0 && h.queueDepth == 0 &&
+          h.running == 0) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    for (const service::JournalRecord& rec : digest.pending) {
+      const auto status = recovered.status(rec.id);
+      if (!status.has_value() || !service::isTerminal(status->state)) {
+        report.violations.push_back(
+            "lost after recovery: journalled job " + std::to_string(rec.id) +
+            " never reached a terminal state in the restarted daemon");
+        continue;
+      }
+      if (status->cacheHit) {
+        ++report.recovery.servedFromCache;
+      } else {
+        ++report.recovery.reRun;
+      }
+    }
+
+    const service::HealthSnapshot h = recovered.health();
+    report.recovery.compactions = h.journal.compactions;
+    if (report.recovery.pendingAtBoot > 0 && h.journal.compactions == 0) {
+      report.violations.push_back(
+          "journal never compacted after the replayed backlog drained");
+    }
   }
 
   report.elapsedSeconds = seconds(started, Clock::now());

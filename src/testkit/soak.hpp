@@ -46,11 +46,30 @@ struct SoakOptions {
   int poolSize = 12;
   FaultPlanOptions faults;
   std::string cacheDir;  ///< Optional on-disk store; empty = memory only.
+  /// Write-ahead journal directory; set, the soak arms the crash sites
+  /// (kProcessKill freezes the journal mid-run, kJournalTornWrite tears an
+  /// append) and finishes with a *recovery phase*: the daemon is torn
+  /// down, a second one boots on the same journal + cache directories, and
+  /// the report asserts zero lost and zero duplicated results at the
+  /// cache-key level.  Empty = journalling off, no recovery phase.
+  std::string journalDir;
   /// Fraction of submissions carrying a tight deadline.
   double deadlineFraction = 0.2;
   double deadlineSeconds = 0.03;
   int maxRetries = 2;  ///< Forwarded on every submission.
   double drainTimeoutSeconds = 60.0;
+};
+
+/// What the post-crash restart found and did (journalDir soaks only).
+struct RecoveryReport {
+  bool ran = false;      ///< A recovery phase executed.
+  bool crashed = false;  ///< The journal actually froze during phase 1.
+  std::uint64_t replayedRecords = 0;  ///< Intact frames read at reboot.
+  std::uint64_t pendingAtBoot = 0;    ///< Jobs the dead daemon still owed.
+  std::uint64_t servedFromCache = 0;  ///< Pending jobs answered without re-running.
+  std::uint64_t reRun = 0;            ///< Pending jobs that needed the engine.
+  std::uint64_t compactions = 0;
+  bool tornTail = false;  ///< The reboot truncated a torn final frame.
 };
 
 struct SoakReport {
@@ -62,6 +81,7 @@ struct SoakReport {
   service::MetricsSnapshot metrics;
   service::CacheStats cache;
   std::map<std::string, std::uint64_t> faultsFired;  ///< Site name -> count.
+  RecoveryReport recovery;
   std::vector<std::string> violations;
   double elapsedSeconds = 0.0;
 

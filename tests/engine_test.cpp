@@ -125,6 +125,94 @@ TEST(Engine, ZeroToleranceNeverConverges) {
   EXPECT_EQ(r.iterations.size(), 4u);
 }
 
+// --- Convergence watchdog. ---
+
+EngineIteration snapshot(std::vector<double> caps) {
+  EngineIteration it;
+  it.netCaps = std::move(caps);
+  return it;
+}
+
+TEST(Engine, RelativeChangeSizeMismatchIsTotalChange) {
+  // A changed critical-net set between snapshots must read as 100% change,
+  // not as a comparison of the common prefix.
+  EXPECT_DOUBLE_EQ(SynthesisEngine::relativeChange({1.0}, {1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SynthesisEngine::relativeChange({1.0, 2.0}, {}), 1.0);
+}
+
+TEST(ConvergenceWatchdog, EmptyHistoryIsConvergedWithoutLoop) {
+  // Cases 1/2 never run the parasitic loop: nothing to converge, and the
+  // report must say the loop never ran rather than claim a settled loop.
+  const ConvergenceReport r = analyzeConvergence({}, false, 0.01);
+  EXPECT_TRUE(r.converged());
+  EXPECT_FALSE(r.loopRan);
+  EXPECT_DOUBLE_EQ(r.worstResidual, 0.0);
+  EXPECT_TRUE(r.callDeltas.empty());
+  EXPECT_EQ(r.cycleLength, 0);
+}
+
+TEST(ConvergenceWatchdog, SettledLoopStaysConverged) {
+  const std::vector<EngineIteration> history = {
+      snapshot({1.0e-12}), snapshot({1.2e-12}), snapshot({1.2e-12})};
+  const ConvergenceReport r = analyzeConvergence(history, true, 0.01);
+  EXPECT_TRUE(r.converged());
+  EXPECT_TRUE(r.loopRan);
+  ASSERT_EQ(r.callDeltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.worstResidual, r.callDeltas.back());
+}
+
+TEST(ConvergenceWatchdog, AlternatingCapsReadAsPeriodTwoOscillation) {
+  // A -> B -> A -> B: the loop revisits states instead of approaching one.
+  const std::vector<EngineIteration> history = {
+      snapshot({1.0e-12}), snapshot({2.0e-12}),
+      snapshot({1.0e-12}), snapshot({2.0e-12})};
+  const ConvergenceReport r = analyzeConvergence(history, false, 0.01);
+  EXPECT_EQ(r.verdict, ConvergenceVerdict::kOscillating);
+  EXPECT_EQ(r.cycleLength, 2);
+  EXPECT_FALSE(r.converged());
+  // The oscillation amplitude is the residual: |1-2|/1 = 1.0.
+  EXPECT_DOUBLE_EQ(r.worstResidual, 1.0);
+}
+
+TEST(ConvergenceWatchdog, MonotoneGrowthReadsAsDrift) {
+  const std::vector<EngineIteration> history = {
+      snapshot({1.0e-12}), snapshot({2.0e-12}),
+      snapshot({4.0e-12}), snapshot({8.0e-12})};
+  const ConvergenceReport r = analyzeConvergence(history, false, 0.01);
+  EXPECT_EQ(r.verdict, ConvergenceVerdict::kDrifting);
+  EXPECT_EQ(r.cycleLength, 0);
+  ASSERT_EQ(r.callDeltas.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.worstResidual, 1.0);  // Last step: |4-8|/4.
+}
+
+TEST(ConvergenceWatchdog, SingleSnapshotNeverLooksSettled) {
+  // One snapshot carries no settling evidence: the residual pins to 1.0
+  // and the verdict is drift, not convergence.
+  const ConvergenceReport r =
+      analyzeConvergence({snapshot({1.0e-12})}, false, 0.01);
+  EXPECT_EQ(r.verdict, ConvergenceVerdict::kDrifting);
+  EXPECT_DOUBLE_EQ(r.worstResidual, 1.0);
+  EXPECT_TRUE(r.callDeltas.empty());
+}
+
+TEST(ConvergenceWatchdog, EngineResultCarriesTheVerdict) {
+  // A converged real run reports kConverged with the loop's own deltas; a
+  // zero-tolerance run that fell out of the cap reports a failure verdict.
+  const SynthesisEngine engine(kTech, EngineOptions{});
+  const EngineResult ok = engine.run(sizing::OtaSpecs{});
+  EXPECT_EQ(ok.convergence.converged(), ok.parasiticConverged);
+  EXPECT_TRUE(ok.convergence.loopRan);
+  EXPECT_EQ(ok.convergence.callDeltas.size(), ok.iterations.size() - 1);
+
+  EngineOptions strict;
+  strict.convergenceTol = 0.0;
+  strict.maxLayoutCalls = 4;
+  const EngineResult stuck = SynthesisEngine(kTech, strict).run(sizing::OtaSpecs{});
+  EXPECT_FALSE(stuck.convergence.converged());
+  EXPECT_TRUE(stuck.convergence.loopRan);
+  EXPECT_EQ(stuck.convergence.callDeltas.size(), stuck.iterations.size() - 1);
+}
+
 TEST(Engine, IterationsCarryAllCriticalNets) {
   const SynthesisEngine engine(kTech, EngineOptions{});
   const EngineResult r = engine.run(sizing::OtaSpecs{});

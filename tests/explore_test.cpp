@@ -272,6 +272,30 @@ TEST_F(ExplorerTest, CsvExportHasAxisColumnsAndOneRowPerFrontPoint) {
   EXPECT_EQ(j.at("front").items().size(), result.front.size());
   EXPECT_EQ(j.at("evaluations").asInt(), result.evaluations);
   EXPECT_EQ(j.at("axes").items().size(), 1u);
+  // Every exported front member carries its convergence verdict (and only
+  // converged points ever reach the front).
+  for (const Json& point : j.at("front").items()) {
+    EXPECT_TRUE(point.at("converged").asBool());
+  }
+}
+
+TEST_F(ExplorerTest, UnconvergedPointsAreExcludedFromTheFront) {
+  ExploreSpace space = quickSpace();
+  // Case 4 runs the parasitic loop; a zero tolerance guarantees it falls
+  // out of the call cap still moving, so the watchdog flags every point.
+  space.engineOptions.sizingCase = core::SizingCase::kCase4;
+  space.engineOptions.convergenceTol = 0.0;
+  space.engineOptions.maxLayoutCalls = 2;
+  Explorer explorer(scheduler_, space, quickOptions());
+  const ExploreResult result = explorer.run();
+
+  EXPECT_GT(result.evaluations, 0);
+  EXPECT_TRUE(result.front.empty());
+  for (const PointEval& p : result.points) {
+    EXPECT_TRUE(p.ok) << p.error;       // The jobs themselves succeeded...
+    EXPECT_FALSE(p.converged);          // ...but never reached a fixed point,
+    EXPECT_FALSE(p.feasible) << p.key;  // so none may anchor the front.
+  }
 }
 
 TEST_F(ExplorerTest, ManagerRunsInBackgroundAndReportsSnapshots) {

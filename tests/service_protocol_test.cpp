@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
 #include <sstream>
 
 #include "service/json.hpp"
@@ -300,6 +303,130 @@ TEST_F(ProtocolTest, ServeSurvivesHostileScript) {
   EXPECT_FALSE(responses[1].at("ok").asBool(true));
   EXPECT_FALSE(responses[2].at("ok").asBool(true));
   EXPECT_TRUE(responses[3].at("ok").asBool());
+}
+
+// ---------------------------------------------------------------------------
+// Structured errors and the health op
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolStructuredErrors, OverloadAnswersCodeDepthAndRetryHint) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool entered = false, open = false;
+  SchedulerOptions options;
+  options.threads = 1;
+  options.maxQueueDepth = 1;
+  options.preRunHook = [&](const JobRequest&, int) {
+    std::unique_lock<std::mutex> lock(m);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  };
+  JobScheduler scheduler(tech::Technology::generic060(), options);
+  ServiceProtocol protocol(scheduler);
+  const auto respond = [&](const std::string& line) {
+    return Json::parse(protocol.handleLine(line));
+  };
+
+  // One job held inside the worker, one filling the single queue slot
+  // (distinct specs, so they neither coalesce nor hit the cache).
+  ASSERT_TRUE(respond(R"({"op":"synthesize","async":true,"case":"case1",)"
+                      R"("spec":{"gbw":41e6}})")
+                  .at("ok")
+                  .asBool());
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return entered; });
+  }
+  ASSERT_TRUE(respond(R"({"op":"synthesize","async":true,"case":"case1",)"
+                      R"("spec":{"gbw":42e6}})")
+                  .at("ok")
+                  .asBool());
+
+  // The third submission is turned away with a machine-readable error
+  // object instead of a bare string.
+  const Json rejected = respond(
+      R"({"op":"synthesize","async":true,"case":"case1","spec":{"gbw":43e6}})");
+  EXPECT_FALSE(rejected.at("ok").asBool(true));
+  const Json& error = rejected.at("error");
+  EXPECT_EQ(error.at("code").asString(), "overloaded");
+  EXPECT_EQ(error.at("queue_depth").asUint64(), 1u);
+  EXPECT_GE(error.at("retry_after_ms").asInt(), 100);
+  EXPECT_FALSE(error.at("message").asString().empty());
+
+  {
+    const std::lock_guard<std::mutex> lock(m);
+    open = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ProtocolStructuredErrors, CircuitOpenAnswersCode) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.breakerFailureThreshold = 1;
+  JobScheduler scheduler(tech::Technology::generic060(), options);
+  ServiceProtocol protocol(scheduler);
+  const auto respond = [&](const std::string& line) {
+    return Json::parse(protocol.handleLine(line));
+  };
+
+  // One non-transient failure opens the breaker for that topology...
+  const Json failed = respond(R"({"op":"synthesize","topology":"no_such_topology"})");
+  ASSERT_TRUE(failed.at("ok").asBool()) << failed.dump();
+  EXPECT_EQ(failed.at("state").asString(), "failed");
+
+  // ...and the next submission answers circuit_open with a retry hint.
+  const Json rejected =
+      respond(R"({"op":"synthesize","topology":"no_such_topology"})");
+  EXPECT_FALSE(rejected.at("ok").asBool(true));
+  EXPECT_EQ(rejected.at("error").at("code").asString(), "circuit_open");
+  EXPECT_GT(rejected.at("error").at("retry_after_ms").asInt(), 0);
+  EXPECT_NE(rejected.at("error").at("message").asString().find("no_such_topology"),
+            std::string::npos);
+}
+
+TEST(ProtocolHealth, HealthOpCoversQueueBreakersAndJournal) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "lo_protocol_health_journal";
+  std::filesystem::remove_all(dir);
+  SchedulerOptions options;
+  options.threads = 1;
+  options.maxQueueDepth = 8;
+  options.shedWatermark = 0.5;
+  options.breakerFailureThreshold = 3;
+  options.journal.dir = dir.string();
+  JobScheduler scheduler(tech::Technology::generic060(), options);
+  ServiceProtocol protocol(scheduler);
+  const auto respond = [&](const std::string& line) {
+    return Json::parse(protocol.handleLine(line));
+  };
+
+  ASSERT_TRUE(respond(R"({"op":"synthesize","case":"case1"})").at("ok").asBool());
+  ASSERT_TRUE(respond(R"({"op":"synthesize","topology":"no_such_topology"})")
+                  .at("ok")
+                  .asBool());
+
+  const Json out = respond(R"({"op":"health"})");
+  ASSERT_TRUE(out.at("ok").asBool()) << out.dump();
+  const Json& health = out.at("health");
+  EXPECT_EQ(health.at("queue").at("depth").asUint64(), 0u);
+  EXPECT_EQ(health.at("queue").at("limit").asUint64(), 8u);
+  EXPECT_EQ(health.at("queue").at("shed_depth").asUint64(), 4u);
+  EXPECT_EQ(health.at("queue").at("workers").asInt(), 1);
+  EXPECT_FALSE(health.at("queue").at("overloaded").asBool(true));
+
+  const Json* breaker = health.at("breakers").find("no_such_topology");
+  ASSERT_NE(breaker, nullptr) << out.dump();
+  EXPECT_EQ(breaker->at("state").asString(), "closed");
+  EXPECT_EQ(breaker->at("consecutive_failures").asInt(), 1);
+
+  const Json& journal = health.at("journal");
+  EXPECT_TRUE(journal.at("enabled").asBool());
+  EXPECT_GE(journal.at("records_in_log").asUint64(), 2u);
+  EXPECT_EQ(journal.at("live_jobs").asUint64(), 0u);
+  EXPECT_EQ(journal.at("replayed_records").asUint64(), 0u);
+  EXPECT_FALSE(journal.at("torn_tail_recovered").asBool(true));
 }
 
 // ---------------------------------------------------------------------------

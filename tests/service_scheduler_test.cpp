@@ -344,6 +344,127 @@ TEST(SchedulerQueue, BoundedSubmissionRejectsOverflow) {
   (void)scheduler.wait(running);
 }
 
+TEST(SchedulerAdmission, OverloadShedsLowestPriorityWork) {
+  Gate gate;
+  SchedulerOptions options;
+  options.threads = 1;
+  options.maxQueueDepth = 4;
+  options.shedWatermark = 0.5;  // Shed depth: 2 of 4.
+  options.preRunHook = [&](const JobRequest&, int) { gate.enterAndWait(); };
+  JobScheduler scheduler(kTech, options);
+
+  const std::uint64_t running = scheduler.submit(stubJob("running"));
+  gate.waitUntilEntered();  // Popped: only the two below stay queued.
+  const std::uint64_t keep = scheduler.submit(stubJob("keep", 1));
+  const std::uint64_t victimId = scheduler.submit(stubJob("victim", 0));
+
+  // At the watermark: higher-priority work displaces the lowest queued job.
+  const std::uint64_t vip = scheduler.submit(stubJob("vip", 5));
+  const JobStatus victim = scheduler.wait(victimId);
+  EXPECT_EQ(victim.state, JobState::kShed);
+  EXPECT_NE(victim.error.find("displaced"), std::string::npos);
+  EXPECT_EQ(scheduler.metrics().shed, 1u);
+
+  // Nothing strictly lower-priority remains to displace: the submission is
+  // pushed back with a structured retry hint, catchable as the legacy
+  // QueueFullError too.
+  try {
+    (void)scheduler.submit(stubJob("turned-away", 1));
+    FAIL() << "expected OverloadedError";
+  } catch (const OverloadedError& e) {
+    EXPECT_EQ(e.queueDepth(), 2u);
+    EXPECT_GE(e.retryAfterMs(), 100);
+    EXPECT_LE(e.retryAfterMs(), 30000);
+  }
+  EXPECT_THROW((void)scheduler.submit(stubJob("legacy", 1)), QueueFullError);
+  EXPECT_EQ(scheduler.metrics().overloadRejections, 2u);
+
+  gate.release();
+  (void)scheduler.wait(running);
+  (void)scheduler.wait(keep);
+  (void)scheduler.wait(vip);
+}
+
+TEST(SchedulerBreaker, OpensAfterConsecutiveFailuresThenReopensOnBadProbe) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.breakerFailureThreshold = 2;
+  options.breakerResetSeconds = 0.05;
+  JobScheduler scheduler(kTech, options);
+
+  (void)scheduler.wait(scheduler.submit(stubJob("f1")));
+  (void)scheduler.wait(scheduler.submit(stubJob("f2")));
+  // Two consecutive non-transient failures: the topology's breaker is open.
+  try {
+    (void)scheduler.submit(stubJob("rejected"));
+    FAIL() << "expected CircuitOpenError";
+  } catch (const CircuitOpenError& e) {
+    EXPECT_EQ(e.topology(), "no_such_topology");
+    EXPECT_GE(e.retryAfterMs(), 1);
+  }
+  EXPECT_EQ(scheduler.metrics().breakerOpens, 1u);
+  EXPECT_EQ(scheduler.metrics().breakerRejections, 1u);
+  // Healthy topologies are unaffected: breakers are per-topology.
+  EXPECT_EQ(scheduler.wait(scheduler.submit(fastJob("healthy"))).state,
+            JobState::kDone);
+
+  // After the reset window one half-open probe gets through; its failure
+  // slams the breaker shut again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(scheduler.wait(scheduler.submit(stubJob("probe"))).state,
+            JobState::kFailed);
+  EXPECT_THROW((void)scheduler.submit(stubJob("still-open")), CircuitOpenError);
+  EXPECT_EQ(scheduler.metrics().breakerOpens, 2u);
+}
+
+TEST(SchedulerBreaker, SuccessfulProbeClosesTheBreaker) {
+  std::atomic<bool> poison{true};
+  SchedulerOptions options;
+  options.threads = 1;
+  options.breakerFailureThreshold = 1;
+  options.breakerResetSeconds = 0.05;
+  options.preRunHook = [&](const JobRequest&, int) {
+    if (poison.load()) throw std::runtime_error("injected engine failure");
+  };
+  JobScheduler scheduler(kTech, options);
+
+  EXPECT_EQ(scheduler.wait(scheduler.submit(fastJob("poisoned"))).state,
+            JobState::kFailed);
+  EXPECT_THROW((void)scheduler.submit(fastJob("while-open", 66.0)),
+               CircuitOpenError);
+
+  poison.store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(scheduler.wait(scheduler.submit(fastJob("probe", 67.0))).state,
+            JobState::kDone);
+  // The good probe closed the breaker: submissions flow freely again.
+  EXPECT_EQ(scheduler.wait(scheduler.submit(fastJob("after", 68.0))).state,
+            JobState::kDone);
+}
+
+TEST(SchedulerHealth, SnapshotCoversQueueBreakersAndJournal) {
+  SchedulerOptions options;
+  options.threads = 2;
+  options.maxQueueDepth = 8;
+  options.shedWatermark = 0.5;
+  options.breakerFailureThreshold = 3;
+  JobScheduler scheduler(kTech, options);
+  (void)scheduler.wait(scheduler.submit(stubJob("fail")));
+
+  const HealthSnapshot h = scheduler.health();
+  EXPECT_EQ(h.queueLimit, 8u);
+  EXPECT_EQ(h.shedDepth, 4u);
+  EXPECT_EQ(h.workers, 2);
+  EXPECT_EQ(h.queueDepth, 0u);
+  EXPECT_FALSE(h.overloaded);
+  EXPECT_FALSE(h.journal.enabled);  // No --journal: the section says so.
+  ASSERT_EQ(h.breakers.size(), 1u);
+  EXPECT_EQ(h.breakers[0].topology, "no_such_topology");
+  EXPECT_EQ(h.breakers[0].state, "closed");
+  EXPECT_EQ(h.breakers[0].consecutiveFailures, 1);
+  EXPECT_EQ(h.breakers[0].opens, 0u);
+}
+
 TEST(SchedulerErrors, EngineFailureIsReportedNotThrown) {
   JobScheduler scheduler(kTech, SchedulerOptions{});
   const JobStatus status = scheduler.wait(scheduler.submit(stubJob("bad")));

@@ -72,7 +72,15 @@ TEST(FaultPlan, PresetsParseAndUnknownNamesThrow) {
   const FaultPlanOptions basic = FaultPlanOptions::preset("basic", 9);
   EXPECT_EQ(basic.seed, 9u);
   EXPECT_DOUBLE_EQ(basic.rate, 0.1);
-  EXPECT_EQ(basic.sites.size(), allFaultSites().size());
+  // Every recoverable site — the two one-shot crash sites stay opt-in, or
+  // the blanket rate would kill every soak in its first seconds.
+  EXPECT_EQ(basic.sites.size(), allFaultSites().size() - 2);
+  EXPECT_FALSE(basic.sites.count(FaultSite::kJournalTornWrite));
+  EXPECT_FALSE(basic.sites.count(FaultSite::kProcessKill));
+
+  const FaultPlanOptions torn = FaultPlanOptions::preset("journal_torn_write", 9);
+  EXPECT_EQ(torn.sites.size(), 1u);
+  EXPECT_TRUE(torn.sites.count(FaultSite::kJournalTornWrite));
 
   const FaultPlanOptions none = FaultPlanOptions::preset("none", 9);
   EXPECT_TRUE(none.sites.empty());
@@ -287,6 +295,69 @@ TEST(Soak, ShortCappedRunHoldsEveryInvariant) {
   const service::Json json = report.toJson();
   EXPECT_TRUE(json.at("ok").asBool());
   EXPECT_EQ(json.at("requests").asUint64(), report.requests);
+}
+
+TEST(Soak, CrashRecoveryPhaseLosesAndDuplicatesNothing) {
+  SoakOptions options;
+  options.seed = 11;
+  options.clients = 2;
+  options.schedulerThreads = 2;
+  options.durationSeconds = 30.0;
+  options.maxRequestsPerClient = 20;
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("lo_testkit_recovery_" + std::to_string(::getpid())))
+          .string();
+  options.cacheDir = scratch + "/cache";
+  options.journalDir = scratch + "/journal";
+  // The crash mid-run is deterministic, not probabilistic: an explicit
+  // process_kill op freezes the journal partway through the request load.
+  options.faults.seed = 11;
+  options.faults.rate = 0.0;
+  options.faults.explicitOps[FaultSite::kProcessKill] = {13};
+
+  const SoakReport report = runSoak(kTech, options);
+  std::filesystem::remove_all(scratch);
+
+  EXPECT_TRUE(report.ok()) << report.toJson().dump();
+  ASSERT_TRUE(report.recovery.ran);
+  EXPECT_TRUE(report.recovery.crashed);
+  // Every pending job was accounted for, one way or the other.
+  EXPECT_EQ(report.recovery.servedFromCache + report.recovery.reRun,
+            report.recovery.pendingAtBoot);
+  if (report.recovery.pendingAtBoot > 0) {
+    EXPECT_GE(report.recovery.compactions, 1u);
+  }
+  const service::Json json = report.toJson();
+  EXPECT_TRUE(json.at("recovery").at("crashed").asBool());
+}
+
+TEST(Soak, TornWritePresetSurvivesRecovery) {
+  SoakOptions options;
+  options.seed = 23;
+  options.clients = 2;
+  options.schedulerThreads = 2;
+  options.durationSeconds = 30.0;
+  options.maxRequestsPerClient = 15;
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("lo_testkit_torn_" + std::to_string(::getpid())))
+          .string();
+  options.cacheDir = scratch + "/cache";
+  options.journalDir = scratch + "/journal";
+  options.faults = FaultPlanOptions::journalTorn(23);
+
+  const SoakReport report = runSoak(kTech, options);
+  std::filesystem::remove_all(scratch);
+
+  EXPECT_TRUE(report.ok()) << report.toJson().dump();
+  ASSERT_TRUE(report.recovery.ran);
+  // The torn append froze the journal; the reboot truncated the half-frame
+  // and recovered what the log still held.
+  EXPECT_TRUE(report.recovery.crashed);
+  EXPECT_TRUE(report.recovery.tornTail);
+  EXPECT_EQ(report.recovery.servedFromCache + report.recovery.reRun,
+            report.recovery.pendingAtBoot);
 }
 
 }  // namespace

@@ -14,13 +14,16 @@
 //
 // Flags:
 //   --seed N             fault-plan and workload seed (default 1)
-//   --faults NAME        plan preset: "basic" (all sites @ 10%) or "none"
+//   --faults NAME        plan preset: "basic" (recoverable sites @ 10%),
+//                        "journal_torn_write" (torn journal appends) or "none"
 //   --duration T         wall-clock soak length, e.g. 10s or 2.5 (seconds)
 //   --clients N          client threads (default 4)
 //   --threads N          scheduler workers (default 2)
 //   --pool N             distinct design points clients draw from (default 12)
 //   --max-requests N     per-client request cap, 0 = duration-only (default 0)
 //   --cache-dir PATH     on-disk result store for the run
+//   --journal-dir PATH   write-ahead job journal; arms the crash sites and
+//                        adds a kill -> restart -> replay recovery phase
 //   --drain-timeout T    bound on the post-soak drain (default 60s)
 //   --tech PATH          technology file (default: built-in generic060)
 #include <cstdio>
@@ -34,10 +37,10 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--faults basic|none] [--duration T]\n"
-               "          [--clients N] [--threads N] [--pool N]\n"
+               "usage: %s [--seed N] [--faults basic|none|journal_torn_write]\n"
+               "          [--duration T] [--clients N] [--threads N] [--pool N]\n"
                "          [--max-requests N] [--cache-dir PATH]\n"
-               "          [--drain-timeout T] [--tech PATH]\n",
+               "          [--journal-dir PATH] [--drain-timeout T] [--tech PATH]\n",
                argv0);
 }
 
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
     else if (arg == "--pool") options.poolSize = std::stoi(value());
     else if (arg == "--max-requests") options.maxRequestsPerClient = std::stoi(value());
     else if (arg == "--cache-dir") options.cacheDir = value();
+    else if (arg == "--journal-dir") options.journalDir = value();
     else if (arg == "--drain-timeout") options.drainTimeoutSeconds = parseDuration(value());
     else if (arg == "--tech") techPath = value();
     else if (arg == "--help" || arg == "-h") {
@@ -102,10 +106,13 @@ int main(int argc, char** argv) {
     std::printf("%s\n", report.toJson().dump().c_str());
     std::fprintf(stderr,
                  "lostress: %llu requests from %d clients in %.2fs, %llu jobs "
-                 "tracked, %llu faults fired, %zu violation(s)\n",
+                 "tracked (%llu shed, %llu rejected), %llu faults fired, "
+                 "%zu violation(s)\n",
                  static_cast<unsigned long long>(report.requests),
                  options.clients, report.elapsedSeconds,
                  static_cast<unsigned long long>(report.trackedJobs),
+                 static_cast<unsigned long long>(report.metrics.shed),
+                 static_cast<unsigned long long>(report.rejected),
                  static_cast<unsigned long long>(
                      [&] {
                        std::uint64_t total = 0;
@@ -113,6 +120,18 @@ int main(int argc, char** argv) {
                        return total;
                      }()),
                  report.violations.size());
+    if (report.recovery.ran) {
+      std::fprintf(stderr,
+                   "lostress: recovery: crashed=%d replayed=%llu pending=%llu "
+                   "cache_served=%llu re_run=%llu compactions=%llu torn_tail=%d\n",
+                   report.recovery.crashed ? 1 : 0,
+                   static_cast<unsigned long long>(report.recovery.replayedRecords),
+                   static_cast<unsigned long long>(report.recovery.pendingAtBoot),
+                   static_cast<unsigned long long>(report.recovery.servedFromCache),
+                   static_cast<unsigned long long>(report.recovery.reRun),
+                   static_cast<unsigned long long>(report.recovery.compactions),
+                   report.recovery.tornTail ? 1 : 0);
+    }
     for (const std::string& v : report.violations) {
       std::fprintf(stderr, "lostress: VIOLATION: %s\n", v.c_str());
     }

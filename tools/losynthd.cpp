@@ -17,6 +17,18 @@
 //   --queue-depth N      bounded submission queue (default 256)
 //   --cache-capacity N   in-memory LRU entries (default 256)
 //   --cache-dir PATH     on-disk result store ("default" = ~/.cache/lo_service)
+//   --journal PATH       write-ahead job journal directory: every accepted
+//                        job is durably logged before the ack, and a restart
+//                        replays the log -- unfinished jobs re-enqueue under
+//                        their original ids, finished ones serve from the
+//                        cache (pair with --cache-dir for exactly-once)
+//   --shed-watermark F   fraction of --queue-depth past which lower-priority
+//                        work is shed / submissions answer "overloaded"
+//                        (default 1.0 = only at the hard limit)
+//   --breaker N          open a topology's circuit breaker after N
+//                        consecutive non-transient failures (default 0 = off)
+//   --breaker-reset T    seconds an open breaker waits before the half-open
+//                        probe (default 30)
 //   --trace-log PATH     append one JSON trace line per finished job
 //   --tech PATH          technology file (default: built-in generic060)
 #include <cstdio>
@@ -34,8 +46,9 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--queue-depth N] [--cache-capacity N]\n"
-               "          [--cache-dir PATH|default] [--trace-log PATH] "
-               "[--tech PATH]\n",
+               "          [--cache-dir PATH|default] [--journal PATH]\n"
+               "          [--shed-watermark F] [--breaker N] [--breaker-reset T]\n"
+               "          [--trace-log PATH] [--tech PATH]\n",
                argv0);
 }
 
@@ -63,7 +76,11 @@ int main(int argc, char** argv) {
       const std::string dir = value();
       options.cache.diskDir =
           dir == "default" ? service::CacheOptions::defaultDiskDir() : dir;
-    } else if (arg == "--trace-log") options.traceLogPath = value();
+    } else if (arg == "--journal") options.journal.dir = value();
+    else if (arg == "--shed-watermark") options.shedWatermark = std::stod(value());
+    else if (arg == "--breaker") options.breakerFailureThreshold = std::stoi(value());
+    else if (arg == "--breaker-reset") options.breakerResetSeconds = std::stod(value());
+    else if (arg == "--trace-log") options.traceLogPath = value();
     else if (arg == "--tech") techPath = value();
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
@@ -80,6 +97,16 @@ int main(int argc, char** argv) {
                                             ? tech::Technology::generic060()
                                             : tech::Technology::fromFile(techPath);
     service::JobScheduler scheduler(technology, options);
+    if (!options.journal.dir.empty()) {
+      const service::HealthSnapshot h = scheduler.health();
+      std::fprintf(stderr,
+                   "losynthd: journal %s: replayed %llu record(s), recovered "
+                   "%llu unfinished job(s)%s\n",
+                   options.journal.dir.c_str(),
+                   static_cast<unsigned long long>(h.journal.replayedRecords),
+                   static_cast<unsigned long long>(h.journal.recoveredJobs),
+                   h.journal.tornTailRecovered ? " (torn tail truncated)" : "");
+    }
     service::ServiceProtocol protocol(scheduler);
     explore::ExploreManager explorations(scheduler);
     explore::installExploreOps(protocol, explorations);

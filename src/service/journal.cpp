@@ -131,6 +131,7 @@ bool JobJournal::openForAppendLocked() {
   const std::string path = logPath();
   const bool fresh = !std::filesystem::exists(path) ||
                      std::filesystem::file_size(path) == 0;
+  goodOffset_ = fresh ? 0 : std::filesystem::file_size(path);
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) return false;
   if (fresh) {
@@ -139,11 +140,13 @@ bool JobJournal::openForAppendLocked() {
       closeLocked();
       return false;
     }
+    goodOffset_ = kMagicBytes;
   }
   return true;
 }
 
-bool JobJournal::writeFrameLocked(std::FILE* f, const std::string& payload) {
+bool JobJournal::writeFrameLocked(std::FILE* f, const std::string& payload,
+                                  bool durable) {
   const std::string frame = frameBytes(payload);
   if (options_.tornWriteFault && options_.tornWriteFault()) {
     // The injected SIGKILL-mid-write: half a frame reaches the disk and
@@ -154,23 +157,52 @@ bool JobJournal::writeFrameLocked(std::FILE* f, const std::string& payload) {
     frozen_ = true;
     return false;
   }
+  if (options_.shortWriteFault && options_.shortWriteFault()) {
+    // The injected transient ENOSPC: half a frame lands and the write
+    // reports failure, but the journal itself survives.
+    (void)std::fwrite(frame.data(), 1, frame.size() / 2, f);
+    return false;
+  }
   bool ok = std::fwrite(frame.data(), 1, frame.size(), f) == frame.size();
-  if (options_.fsyncEachRecord) ok = syncFile(f) && ok;
+  if (durable && options_.fsyncEachRecord) {
+    ok = syncFile(f) && ok;
+  } else {
+    // Flush to the OS so the frame survives a process kill and stays
+    // visible to replayFile(); only the fsync (power-loss durability) is
+    // skipped for non-durable records.
+    ok = std::fflush(f) == 0 && ok;
+  }
   return ok;
 }
 
-void JobJournal::append(const JournalRecord& record) {
+void JobJournal::append(const JournalRecord& record, bool durable) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (frozen_) return;
   if (!openForAppendLocked()) {
     throw std::runtime_error("journal: cannot open " + logPath() +
                              " for append");
   }
-  if (writeFrameLocked(file_, record.toJson().dump())) {
+  const std::string payload = record.toJson().dump();
+  if (writeFrameLocked(file_, payload, durable)) {
     ++appended_;
     ++recordsInLog_;
+    goodOffset_ += kFrameHeaderBytes + payload.size();
   } else if (!frozen_) {
-    throw std::runtime_error("journal: append to " + logPath() + " failed");
+    // Part of the frame may have reached the disk.  Leaving it there would
+    // strand every later (possibly acknowledged and fsync'd) append behind
+    // a torn frame that replay stops at -- so cut back to the last good
+    // frame boundary; if even that fails, freeze fail-stop.
+    closeLocked();
+    std::error_code ec;
+    std::filesystem::resize_file(logPath(), goodOffset_, ec);
+    if (ec) {
+      frozen_ = true;
+      throw std::runtime_error("journal: append to " + logPath() +
+                               " failed and the torn tail could not be "
+                               "truncated; journal frozen");
+    }
+    throw std::runtime_error("journal: append to " + logPath() +
+                             " failed (torn tail truncated)");
   }
 }
 
@@ -274,7 +306,9 @@ void JobJournal::compact(const std::vector<JournalRecord>& live) {
   bool ok = std::fwrite(kMagic, 1, kMagicBytes, f) == kMagicBytes;
   for (const JournalRecord& rec : live) {
     if (!ok || frozen_) break;
-    ok = writeFrameLocked(f, rec.toJson().dump()) && ok;
+    // Non-durable per frame: the single syncFile below covers the whole
+    // rewrite, instead of one fsync per live record.
+    ok = writeFrameLocked(f, rec.toJson().dump(), /*durable=*/false) && ok;
   }
   ok = syncFile(f) && ok;
   ok = std::fclose(f) == 0 && ok;

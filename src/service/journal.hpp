@@ -6,12 +6,25 @@
 //   u32 payload length (little-endian)  |  u64 FNV-1a of the payload  |  payload
 //
 // where the payload is one compact JSON object ({"type":"submitted",...}).
-// Appends are durable before they return (fwrite + fflush + fsync), so a
-// job whose submission was acknowledged is guaranteed to be found by a
-// replay after a SIGKILL.  A process that dies mid-append leaves a *torn*
-// final record; replay() tolerates exactly that -- it stops at the first
-// frame whose length runs past EOF or whose checksum mismatches, truncates
-// the wreckage away, and reports everything before it.
+// Durable appends (the default) are on disk before they return (fwrite +
+// fflush + fsync), so a job whose submission was acknowledged is
+// guaranteed to be found by a replay after a SIGKILL.  Callers may mark an
+// append non-durable (append(rec, false)): it is still flushed to the OS
+// -- so it survives a process kill and stays visible to replayFile() --
+// but skips the fsync; the scheduler uses this for lifecycle records
+// (started/retried/finished/cancelled), whose loss at worst re-enqueues a
+// finished job that the content-addressed result cache then serves without
+// an engine re-run.  Because every durable append flushes its
+// predecessors, the log is always a prefix-consistent record sequence.
+//
+// A process that dies mid-append leaves a *torn* final record; replay()
+// tolerates exactly that -- it stops at the first frame whose length runs
+// past EOF or whose checksum mismatches, truncates the wreckage away, and
+// reports everything before it.  An append that *fails* mid-write (short
+// fwrite, e.g. transient ENOSPC) truncates the log back to the last good
+// frame boundary before throwing, so later acknowledged appends are never
+// stranded behind a torn frame; only if that truncation itself fails does
+// the journal freeze fail-stop.
 //
 // Replay semantics (what JobScheduler does with the digest):
 //   * a `submitted` record with no `finished`/`cancelled` counterpart is a
@@ -73,14 +86,19 @@ struct JournalOptions {
   /// Directory holding the log (created if missing); empty disables the
   /// journal entirely at the scheduler level.
   std::string dir;
-  /// fsync after every record (the crash-safety guarantee).  Turning this
-  /// off trades durability of the last few records for throughput; replay
-  /// still works on whatever reached the disk.
+  /// fsync every record appended with durable=true (the crash-safety
+  /// guarantee).  Turning this off trades durability of the last few
+  /// records for throughput; replay still works on whatever reached the
+  /// disk.  Non-durable appends only fflush regardless.
   bool fsyncEachRecord = true;
   /// Test seam (testkit journal_torn_write): consulted once per append.
   /// Firing writes only the first half of the frame and freezes the
   /// journal -- byte-for-byte what a process SIGKILLed mid-append leaves.
   std::function<bool()> tornWriteFault;
+  /// Test seam: a firing append writes only half its frame and *fails*
+  /// without freezing -- a transient short write (ENOSPC), exercising the
+  /// truncate-back-to-good-boundary recovery in append().
+  std::function<bool()> shortWriteFault;
 };
 
 /// What a replay found.  `records` holds every intact record in log order;
@@ -111,8 +129,12 @@ class JobJournal {
   /// Parse a journal file read-only (no truncation, no side effects).
   [[nodiscard]] static JournalReplay replayFile(const std::string& path);
 
-  /// Append one record durably.  No-op after simulateCrash().
-  void append(const JournalRecord& record);
+  /// Append one record; durable (the default) fsyncs before returning,
+  /// non-durable only flushes (see the header comment for when that is
+  /// sound).  A failed write truncates back to the last good frame
+  /// boundary and throws; the journal freezes only if even the truncation
+  /// fails.  No-op after simulateCrash().
+  void append(const JournalRecord& record, bool durable = true);
 
   /// Rewrite the log to exactly `live` (the still-running/queued submitted
   /// records), via tmp + fsync + rename, dropping everything replay would
@@ -132,12 +154,15 @@ class JobJournal {
  private:
   void closeLocked();
   bool openForAppendLocked();
-  bool writeFrameLocked(std::FILE* f, const std::string& payload);
+  bool writeFrameLocked(std::FILE* f, const std::string& payload, bool durable);
 
   JournalOptions options_;
   mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
   bool frozen_ = false;
+  /// Offset of the last fully-appended frame boundary in the open log;
+  /// a failed append truncates back to here.
+  std::uint64_t goodOffset_ = 0;
   std::uint64_t recordsInLog_ = 0;
   std::uint64_t appended_ = 0;
   std::uint64_t compactions_ = 0;

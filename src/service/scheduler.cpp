@@ -53,12 +53,22 @@ JobScheduler::~JobScheduler() {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
     // Queued and parked jobs will never run; running jobs are asked to
-    // abort at their next cancellation poll.
+    // abort at their next cancellation poll.  In memory they finish as
+    // cancelled so blocked wait() callers unblock -- but with a journal
+    // attached these jobs were acknowledged and are still owed an answer,
+    // so their terminal records are withheld from the log and the compact
+    // below keeps them live for the next boot to recover (the --journal
+    // restart contract).  A user-cancelled running job is not preserved:
+    // the client asked for it to die.
     for (auto& [id, rec] : jobs_) {
       if (rec->state == JobState::kQueued) {
         ready_.erase({-rec->request.priority, id});
+        rec->preserveInJournal = journal_ != nullptr;
         finishLocked(rec, JobState::kCancelled, "scheduler shut down");
       } else if (rec->state == JobState::kRunning) {
+        if (!rec->cancelRequested) {
+          rec->preserveInJournal = journal_ != nullptr;
+        }
         rec->cancelRequested = true;
       }
     }
@@ -67,10 +77,23 @@ JobScheduler::~JobScheduler() {
   workCv_.notify_all();
   for (std::thread& t : workers_) t.join();
   if (journal_) {
-    // Clean shutdown: every job is terminal, so the live set is empty and
-    // the next boot replays nothing.
+    // Compact down to the jobs this shutdown interrupted (a running job
+    // that still completed was journalled normally and is excluded); a
+    // fully-drained scheduler compacts to an empty log.
+    std::vector<JournalRecord> live;
+    for (const auto& [id, rec] : jobs_) {
+      if (!rec->preserveInJournal || rec->state != JobState::kCancelled) {
+        continue;
+      }
+      JournalRecord record;
+      record.type = JournalRecordType::kSubmitted;
+      record.id = rec->id;
+      record.cacheKey = rec->cacheKey;
+      record.job = toJson(rec->request);
+      live.push_back(std::move(record));
+    }
     try {
-      journal_->compact({});
+      journal_->compact(live);
     } catch (const std::exception&) {
       // A failed compaction leaves the old log; replay handles it.
     }
@@ -148,8 +171,18 @@ std::uint64_t JobScheduler::submit(JobRequest request) {
     rec->cacheKey = ResultCache::keyFor(rec->request.options, rec->request.specs,
                                         rec->request.corner, techPrint_);
   }
-  admitLocked(rec->request, *rec);  // May throw; the id above is then unused.
-  appendJournalLocked(JournalRecordType::kSubmitted, *rec);
+  // Admission decides first (and may pick a shed victim), but the victim
+  // is only displaced after the incoming job's submitted record is
+  // durably journalled: a failed append rejects the submission without
+  // having destroyed queued work for an admission that never happened.
+  const RecordPtr victim = admitLocked(rec->request, *rec);
+  try {
+    appendJournalLocked(JournalRecordType::kSubmitted, *rec);
+  } catch (...) {
+    releaseProbeLocked(*rec);
+    throw;
+  }
+  if (victim != nullptr) shedVictimLocked(victim, rec->request.priority);
   const std::uint64_t id = rec->id;
   const int priority = rec->request.priority;
   jobs_.emplace(id, std::move(rec));
@@ -179,23 +212,32 @@ int JobScheduler::retryAfterMsLocked() const {
   return static_cast<int>(std::clamp(etaMs, 100.0, 30000.0));
 }
 
-bool JobScheduler::shedLowestLocked(int priority) {
-  if (ready_.empty()) return false;  // Everything queued is parked on a leader.
+JobScheduler::RecordPtr JobScheduler::findShedVictimLocked(int priority) const {
+  if (ready_.empty()) return nullptr;  // Everything queued is parked on a leader.
   // ready_ orders by (-priority, id): rbegin() is the lowest priority, and
   // within that class the newest arrival -- the job that loses least.
   const auto victim = std::prev(ready_.end());
-  const std::uint64_t victimId = victim->second;
-  const RecordPtr rec = jobs_.at(victimId);
-  if (rec->request.priority >= priority) return false;  // Only shed downward.
-  ready_.erase(victim);
-  if (queued_ > 0) --queued_;
-  finishLocked(rec, JobState::kShed,
-               "shed: displaced by priority " + std::to_string(priority) +
-                   " work under overload");
-  return true;
+  const RecordPtr rec = jobs_.at(victim->second);
+  if (rec->request.priority >= priority) return nullptr;  // Only shed downward.
+  return rec;
 }
 
-void JobScheduler::admitLocked(const JobRequest& request, JobRecord& rec) {
+void JobScheduler::shedVictimLocked(const RecordPtr& victim, int priority) {
+  ready_.erase({-victim->request.priority, victim->id});
+  if (queued_ > 0) --queued_;
+  finishLocked(victim, JobState::kShed,
+               "shed: displaced by priority " + std::to_string(priority) +
+                   " work under overload");
+}
+
+void JobScheduler::releaseProbeLocked(JobRecord& rec) {
+  if (!rec.breakerProbe) return;
+  breakers_[rec.request.options.topology].probeInFlight = false;
+  rec.breakerProbe = false;
+}
+
+JobScheduler::RecordPtr JobScheduler::admitLocked(const JobRequest& request,
+                                                  JobRecord& rec) {
   // Circuit breaker first: an open breaker refuses even when the queue is
   // empty, because the work is known-doomed.
   if (options_.breakerFailureThreshold > 0) {
@@ -235,19 +277,17 @@ void JobScheduler::admitLocked(const JobRequest& request, JobRecord& rec) {
     }
   }
 
-  if (queued_ < shedDepthLocked()) return;
+  if (queued_ < shedDepthLocked()) return nullptr;
   // Past the watermark: admit only by displacing strictly-lower-priority
   // queued work; otherwise push back with a retry hint.
-  if (!shedLowestLocked(request.priority)) {
-    if (rec.breakerProbe) {
-      // The probe slot must not leak when admission fails downstream.
-      Breaker& b = breakers_[request.options.topology];
-      b.probeInFlight = false;
-      rec.breakerProbe = false;
-    }
+  const RecordPtr victim = findShedVictimLocked(request.priority);
+  if (victim == nullptr) {
+    // The probe slot must not leak when admission fails downstream.
+    releaseProbeLocked(rec);
     metrics_.onOverloadRejected();
     throw OverloadedError(queued_, retryAfterMsLocked());
   }
+  return victim;
 }
 
 void JobScheduler::appendJournalLocked(JournalRecordType type,
@@ -263,7 +303,25 @@ void JobScheduler::appendJournalLocked(JournalRecordType type,
   } else if (type == JournalRecordType::kFinished) {
     record.state = jobStateName(rec.state);
   }
-  journal_->append(record);
+  // Only the submission needs an fsync before it returns -- that is the
+  // ack clients rely on, and it is the one append on the submit path.
+  // Lifecycle records from the workers are flushed but not fsynced, so
+  // finishing a job never serializes the whole scheduler (this runs under
+  // mutex_) on disk-flush latency; losing a tail of them at power loss
+  // merely re-enqueues finished work that the content-addressed cache
+  // then serves without an engine re-run.
+  if (type == JournalRecordType::kSubmitted) {
+    journal_->append(record, /*durable=*/true);
+    return;
+  }
+  try {
+    journal_->append(record, /*durable=*/false);
+  } catch (const std::exception&) {
+    // Advisory record on a worker/finish path: a transient append failure
+    // must not kill the thread.  The journal already truncated back to a
+    // clean boundary; at worst the next boot re-enqueues a finished job
+    // and serves it from the cache.
+  }
 }
 
 void JobScheduler::compactJournalLocked() {
@@ -441,10 +499,14 @@ void JobScheduler::finishLocked(const RecordPtr& rec, JobState state,
   if (!error.empty()) rec->error = error;
   metrics_.onFinish(jobStateName(state), rec->trace);
   breakerOnFinishLocked(rec, state);
-  appendJournalLocked(state == JobState::kCancelled
-                          ? JournalRecordType::kCancelled
-                          : JournalRecordType::kFinished,
-                      *rec);
+  if (!(rec->preserveInJournal && state == JobState::kCancelled)) {
+    // A shutdown-interrupted job keeps its submitted record live in the
+    // log instead of being marked terminal: the next boot re-enqueues it.
+    appendJournalLocked(state == JobState::kCancelled
+                            ? JournalRecordType::kCancelled
+                            : JournalRecordType::kFinished,
+                        *rec);
+  }
   if (rec->recovered && recoveredRemaining_ > 0 && --recoveredRemaining_ == 0) {
     // The replayed backlog has drained: fold the journal down to whatever
     // is still live so it never grows across restarts.

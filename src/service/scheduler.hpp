@@ -222,7 +222,10 @@ struct HealthSnapshot {
 class JobScheduler {
  public:
   explicit JobScheduler(tech::Technology baseTech, SchedulerOptions options = {});
-  ~JobScheduler();  ///< Cancels queued jobs and joins the workers.
+  /// Cancels queued jobs and joins the workers.  With a journal attached,
+  /// acknowledged-but-unfinished jobs stay live in the log (compacted to
+  /// exactly that set), so the next boot recovers them.
+  ~JobScheduler();
 
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
@@ -281,6 +284,11 @@ class JobScheduler {
     bool recovered = false;        ///< Re-enqueued from the journal at boot.
     bool transientFailure = false;  ///< kFailed caused by a TransientError.
     bool breakerProbe = false;      ///< The half-open probe for its topology.
+    /// Shutdown interrupted this acknowledged job before it finished: its
+    /// terminal record is withheld from the journal and the destructor
+    /// compacts it back in as a live submission, so the next boot
+    /// recovers it (only honoured when it ends kCancelled).
+    bool preserveInJournal = false;
   };
   using RecordPtr = std::shared_ptr<JobRecord>;
 
@@ -307,12 +315,19 @@ class JobScheduler {
   }
 
   /// Admission control for submit().  Throws CircuitOpenError /
-  /// OverloadedError; on success the job may have displaced (shed) a
-  /// lower-priority queued job.
-  void admitLocked(const JobRequest& request, JobRecord& rec);
-  /// Sheds the lowest-priority queued job if it is strictly below
-  /// `priority`; returns false when nothing can be displaced.
-  bool shedLowestLocked(int priority);
+  /// OverloadedError; on success returns the queued job the submission
+  /// must displace (nullptr when the queue has room).  The caller sheds
+  /// the victim only after the incoming job is journalled, so a failed
+  /// append never destroys queued work for an admission that never
+  /// happened.
+  [[nodiscard]] RecordPtr admitLocked(const JobRequest& request, JobRecord& rec);
+  /// The lowest-priority queued job strictly below `priority`, or nullptr
+  /// when nothing can be displaced.
+  [[nodiscard]] RecordPtr findShedVictimLocked(int priority) const;
+  /// Terminally finish `victim` as kShed, displaced by `priority` work.
+  void shedVictimLocked(const RecordPtr& victim, int priority);
+  /// Return rec's half-open probe slot to its breaker, if it holds one.
+  void releaseProbeLocked(JobRecord& rec);
   [[nodiscard]] std::size_t shedDepthLocked() const;
   [[nodiscard]] int retryAfterMsLocked() const;
   /// Breaker bookkeeping on a terminal transition.

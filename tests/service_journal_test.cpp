@@ -9,10 +9,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/scheduler.hpp"
@@ -169,6 +171,29 @@ TEST(JobJournal, TornWriteFaultLeavesReplayableLog) {
   EXPECT_EQ(replay.pending.size(), 2u);
 }
 
+TEST(JobJournal, AppendFailureTruncatesBackToGoodBoundary) {
+  const std::string dir = scratchDir("short_write");
+  std::atomic<int> appends{0};
+  JournalOptions options = dirOptions(dir);
+  // The second append suffers a transient short write (half a frame lands,
+  // as an ENOSPC would leave).
+  options.shortWriteFault = [&appends] { return ++appends == 2; };
+  JobJournal journal(options);
+  (void)journal.replay();
+  journal.append(submittedRecord(1, "a"));
+  EXPECT_THROW(journal.append(submittedRecord(2, "b")), std::runtime_error);
+  // Transient failure, not a crash: the journal stays usable, and the torn
+  // bytes were truncated away so the next acknowledged append lands on a
+  // clean frame boundary instead of behind a frame replay stops at.
+  EXPECT_FALSE(journal.frozen());
+  journal.append(finishedRecord(1, "done"));
+  const JournalReplay replay = journal.replay();
+  EXPECT_FALSE(replay.tornTail);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[1].type, JournalRecordType::kFinished);
+  EXPECT_TRUE(replay.pending.empty());
+}
+
 TEST(JobJournal, StaleMagicResetsInsteadOfMisparsing) {
   const std::string dir = scratchDir("magic");
   {
@@ -221,6 +246,100 @@ TEST(SchedulerJournal, CleanShutdownLeavesEmptyJournal) {
   // A reboot on the empty journal recovers nothing.
   JobScheduler rebooted(kTech, options);
   EXPECT_EQ(rebooted.health().journal.recoveredJobs, 0u);
+}
+
+TEST(SchedulerJournal, CleanShutdownPreservesUnfinishedJobsForRecovery) {
+  const std::string dir = scratchDir("shutdown_preserve");
+  SchedulerOptions options;
+  options.threads = 1;
+  options.journal.dir = dir;
+
+  std::vector<std::uint64_t> ids;
+  {
+    JobScheduler scheduler(kTech, options);
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(scheduler.submit(fastJob("q" + std::to_string(i),
+                                             60.0 + i)));
+    }
+  }  // Clean shutdown with (at least) the queue tail never run.
+
+  // Every acknowledged job is accounted for: finished in the log, or kept
+  // live for the next boot -- never silently erased by the shutdown
+  // compaction.
+  const std::string path =
+      (std::filesystem::path(dir) / "journal.wal").string();
+  const JournalReplay replay = JobJournal::replayFile(path);
+  std::set<std::uint64_t> pending;
+  for (const JournalRecord& rec : replay.pending) pending.insert(rec.id);
+  std::set<std::uint64_t> finished;
+  for (const JournalRecord& rec : replay.records) {
+    if (rec.type == JournalRecordType::kFinished) finished.insert(rec.id);
+  }
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(pending.count(id) > 0 || finished.count(id) > 0)
+        << "job " << id << " vanished from the journal at clean shutdown";
+  }
+  // The single worker cannot have drained a 3-job batch before the
+  // destructor ran: the queued tail must have been preserved.
+  EXPECT_GE(pending.size(), 2u);
+
+  // A reboot on the same journal recovers exactly the preserved jobs and
+  // finishes them.
+  JobScheduler rebooted(kTech, options);
+  EXPECT_EQ(rebooted.health().journal.recoveredJobs, pending.size());
+  for (const std::uint64_t id : pending) {
+    const JobStatus status = rebooted.wait(id);
+    EXPECT_EQ(status.state, JobState::kDone) << status.error;
+    EXPECT_TRUE(status.recovered);
+  }
+}
+
+TEST(SchedulerJournal, SubmitJournalFailureDoesNotShedQueuedVictim) {
+  const std::string dir = scratchDir("shed_append_fail");
+  std::atomic<bool> hold{true};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> failNext{false};
+
+  SchedulerOptions options;
+  options.threads = 1;
+  options.maxQueueDepth = 4;
+  options.shedWatermark = 0.5;  // Shed depth: 2.
+  options.journal.dir = dir;
+  options.journal.shortWriteFault = [&failNext] {
+    return failNext.exchange(false);
+  };
+  // Pin the single worker so the queue cannot drain underneath the test.
+  options.preRunHook = [&hold, &entered](const JobRequest&, int) {
+    entered = true;
+    while (hold) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+
+  {
+    JobScheduler scheduler(kTech, options);
+    (void)scheduler.submit(fastJob("blocker", 60.0));
+    while (!entered) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)scheduler.submit(fastJob("low1", 61.0));
+    const std::uint64_t victimId = scheduler.submit(fastJob("low2", 62.0));
+
+    // The queue sits at the watermark; a higher-priority submission would
+    // displace low2 -- but its journal append fails, so the submission is
+    // rejected and the victim must survive untouched.
+    JobRequest high = fastJob("high", 63.0);
+    high.priority = 5;
+    failNext = true;
+    EXPECT_THROW((void)scheduler.submit(high), std::runtime_error);
+    ASSERT_TRUE(scheduler.status(victimId).has_value());
+    EXPECT_EQ(scheduler.status(victimId)->state, JobState::kQueued);
+    EXPECT_EQ(scheduler.metrics().shed, 0u);
+
+    // With the journal healthy again the same submission is admitted and
+    // the displacement actually happens.
+    (void)scheduler.submit(high);
+    EXPECT_EQ(scheduler.status(victimId)->state, JobState::kShed);
+    EXPECT_EQ(scheduler.metrics().shed, 1u);
+
+    hold = false;
+  }
 }
 
 TEST(SchedulerJournal, KillMidBatchRestartAccountsForEveryJob) {

@@ -21,7 +21,10 @@
 //                        job is durably logged before the ack, and a restart
 //                        replays the log -- unfinished jobs re-enqueue under
 //                        their original ids, finished ones serve from the
-//                        cache (pair with --cache-dir for exactly-once)
+//                        cache (pair with --cache-dir for exactly-once).
+//                        This covers clean shutdowns too: jobs still queued
+//                        or running at `shutdown` stay live in the log and
+//                        the next boot picks them up
 //   --shed-watermark F   fraction of --queue-depth past which lower-priority
 //                        work is shed / submissions answer "overloaded"
 //                        (default 1.0 = only at the hard limit)

@@ -104,6 +104,11 @@ EngineResult SynthesisEngine::run(Topology& topology,
   EngineResult result;
   result.criticalNets = topology.criticalNets();
 
+  // A malformed matching declaration fails every layout call identically;
+  // reject it up front with the full violation list instead of letting the
+  // first parasitic-mode layout throw mid-loop.
+  layout::requireValidConstraints(topology.placementConstraints());
+
   sizing::SizingPolicy policy = policyFor(options_.sizingCase);
 
   // First sizing: "one fold per transistor, only diffusion capacitances"

@@ -19,6 +19,9 @@ class FoldedCascodeOtaTopology final : public Topology {
     return kFoldedCascodeOtaTopologyName;
   }
   [[nodiscard]] const std::vector<std::string>& criticalNets() const override;
+  [[nodiscard]] layout::ConstraintSet placementConstraints() const override {
+    return layout::otaPlacementConstraints(layoutOptions_, biasEnabled_);
+  }
 
   void size(const sizing::OtaSpecs& specs, const sizing::SizingPolicy& policy) override;
   const layout::ParasiticReport& layoutParasitic() override;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "device/mos_model.hpp"
+#include "layout/constraints.hpp"
 #include "layout/extract.hpp"
 #include "sizing/ota_spec.hpp"
 #include "sizing/verify.hpp"
@@ -41,6 +42,14 @@ class Topology {
   /// layout loop counts as converged (paper: "till the calculated
   /// parasitics remain unchanged").  Fixed for the topology's lifetime.
   [[nodiscard]] virtual const std::vector<std::string>& criticalNets() const = 0;
+
+  /// The matching intent the topology's layout program declares (mirror
+  /// pairs, common-centroid stacks, rows) as first-class constraints; the
+  /// engine validates them before the first layout call.  Topologies with
+  /// no physical layout return an empty set.
+  [[nodiscard]] virtual layout::ConstraintSet placementConstraints() const {
+    return {};
+  }
 
   /// Run (or re-run) the design plan under the current policy state.
   virtual void size(const sizing::OtaSpecs& specs,

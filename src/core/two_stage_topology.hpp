@@ -17,6 +17,9 @@ class TwoStageTopology final : public Topology {
 
   [[nodiscard]] std::string_view name() const override { return kTwoStageTopologyName; }
   [[nodiscard]] const std::vector<std::string>& criticalNets() const override;
+  [[nodiscard]] layout::ConstraintSet placementConstraints() const override {
+    return layout::twoStagePlacementConstraints();
+  }
 
   void size(const sizing::OtaSpecs& specs, const sizing::SizingPolicy& policy) override;
   const layout::ParasiticReport& layoutParasitic() override;

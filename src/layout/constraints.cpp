@@ -1,0 +1,241 @@
+#include "layout/constraints.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace lo::layout {
+
+const char* constraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kMirrorPair: return "mirror_pair";
+    case ConstraintKind::kCommonCentroid: return "common_centroid";
+    case ConstraintKind::kInterdigitate: return "interdigitate";
+    case ConstraintKind::kSameRow: return "same_row";
+    case ConstraintKind::kSymmetryAxis: return "symmetry_axis";
+    case ConstraintKind::kProximity: return "proximity";
+  }
+  return "?";
+}
+
+PlacementConstraint PlacementConstraint::mirrorPair(std::string a, std::string b) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kMirrorPair;
+  c.items = {std::move(a), std::move(b)};
+  return c;
+}
+
+PlacementConstraint PlacementConstraint::commonCentroid(std::string group,
+                                                        std::vector<std::string> devices) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kCommonCentroid;
+  c.group = std::move(group);
+  c.items = std::move(devices);
+  return c;
+}
+
+PlacementConstraint PlacementConstraint::interdigitate(std::string group,
+                                                       std::vector<std::string> devices) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kInterdigitate;
+  c.group = std::move(group);
+  c.items = std::move(devices);
+  return c;
+}
+
+PlacementConstraint PlacementConstraint::sameRow(std::vector<std::string> items) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kSameRow;
+  c.items = std::move(items);
+  return c;
+}
+
+PlacementConstraint PlacementConstraint::symmetryAxis(std::vector<std::string> items) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kSymmetryAxis;
+  c.items = std::move(items);
+  return c;
+}
+
+PlacementConstraint PlacementConstraint::proximity(std::string a, std::string b,
+                                                   double weight) {
+  PlacementConstraint c;
+  c.kind = ConstraintKind::kProximity;
+  c.items = {std::move(a), std::move(b)};
+  c.weight = weight;
+  return c;
+}
+
+std::string PlacementConstraint::describe() const {
+  std::ostringstream out;
+  out << constraintKindName(kind) << '(';
+  if (!group.empty()) out << group << ": ";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out << ", ";
+    out << items[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+std::vector<const PlacementConstraint*> ConstraintSet::ofKind(ConstraintKind kind) const {
+  std::vector<const PlacementConstraint*> out;
+  for (const PlacementConstraint& c : constraints_) {
+    if (c.kind == kind) out.push_back(&c);
+  }
+  return out;
+}
+
+const PlacementConstraint* ConstraintSet::matchingFor(const std::string& group) const {
+  for (const PlacementConstraint& c : constraints_) {
+    if ((c.kind == ConstraintKind::kCommonCentroid ||
+         c.kind == ConstraintKind::kInterdigitate) &&
+        c.group == group) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+std::map<std::string, std::string> ConstraintSet::mirrorLocks() const {
+  std::map<std::string, std::string> locks;
+  for (const PlacementConstraint& c : constraints_) {
+    if (c.kind == ConstraintKind::kMirrorPair && c.items.size() == 2) {
+      locks[c.items[1]] = c.items[0];
+    }
+  }
+  return locks;
+}
+
+std::vector<std::string> ConstraintSet::axisItems() const {
+  std::vector<std::string> out;
+  for (const PlacementConstraint& c : constraints_) {
+    if (c.kind != ConstraintKind::kSymmetryAxis) continue;
+    for (const std::string& item : c.items) {
+      if (std::find(out.begin(), out.end(), item) == out.end()) out.push_back(item);
+    }
+  }
+  return out;
+}
+
+std::vector<ConstraintViolation> validateConstraints(
+    const ConstraintSet& constraints, const std::vector<std::string>* itemNames) {
+  std::vector<ConstraintViolation> out;
+  auto flag = [&](const PlacementConstraint& c, std::string detail) {
+    out.push_back({c.describe(), std::move(detail)});
+  };
+  auto isItem = [&](const std::string& name) {
+    return !itemNames ||
+           std::find(itemNames->begin(), itemNames->end(), name) != itemNames->end();
+  };
+
+  std::map<std::string, const PlacementConstraint*> deviceGroup;  // device -> matching.
+  std::map<std::string, const PlacementConstraint*> itemRow;      // item -> same_row.
+  std::map<std::string, const PlacementConstraint*> itemMirror;   // item -> mirror_pair.
+
+  for (const PlacementConstraint& c : constraints.all()) {
+    switch (c.kind) {
+      case ConstraintKind::kMirrorPair: {
+        if (c.items.size() != 2) {
+          flag(c, "mirror pairs take exactly two items");
+          break;
+        }
+        if (c.items[0] == c.items[1]) flag(c, "an item cannot mirror itself");
+        for (const std::string& item : c.items) {
+          if (!isItem(item)) flag(c, "unknown item '" + item + "'");
+          auto [it, inserted] = itemMirror.try_emplace(item, &c);
+          if (!inserted && it->second != &c) {
+            flag(c, "item '" + item + "' already belongs to " + it->second->describe());
+          }
+        }
+        break;
+      }
+      case ConstraintKind::kCommonCentroid:
+      case ConstraintKind::kInterdigitate: {
+        if (c.group.empty()) flag(c, "matching constraints need a stack item name");
+        if (c.items.size() < 2) flag(c, "matching constraints need at least two devices");
+        if (c.kind == ConstraintKind::kCommonCentroid && c.items.size() != 2) {
+          flag(c, "common-centroid stacks support exactly two devices");
+        }
+        if (!c.group.empty() && !isItem(c.group)) {
+          flag(c, "unknown stack item '" + c.group + "'");
+        }
+        std::set<std::string> seen;
+        for (const std::string& dev : c.items) {
+          if (dev.empty()) flag(c, "empty device name");
+          if (!seen.insert(dev).second) flag(c, "duplicate device '" + dev + "'");
+          auto [it, inserted] = deviceGroup.try_emplace(dev, &c);
+          if (!inserted && it->second != &c) {
+            flag(c, "device '" + dev + "' already fused into " + it->second->describe());
+          }
+        }
+        break;
+      }
+      case ConstraintKind::kSameRow: {
+        if (c.items.empty()) {
+          flag(c, "a row needs at least one item");
+          break;
+        }
+        std::set<std::string> seen;
+        for (const std::string& item : c.items) {
+          if (!isItem(item)) flag(c, "unknown item '" + item + "'");
+          if (!seen.insert(item).second) flag(c, "duplicate item '" + item + "'");
+          auto [it, inserted] = itemRow.try_emplace(item, &c);
+          if (!inserted && it->second != &c) {
+            flag(c, "item '" + item + "' already placed by " + it->second->describe());
+          }
+        }
+        break;
+      }
+      case ConstraintKind::kSymmetryAxis: {
+        if (c.items.empty()) flag(c, "symmetry axis needs at least one item");
+        for (const std::string& item : c.items) {
+          if (!isItem(item)) flag(c, "unknown item '" + item + "'");
+        }
+        break;
+      }
+      case ConstraintKind::kProximity: {
+        if (c.items.size() != 2) flag(c, "proximity takes exactly two items");
+        if (c.weight <= 0.0) flag(c, "proximity weight must be positive");
+        for (const std::string& item : c.items) {
+          if (!isItem(item)) flag(c, "unknown item '" + item + "'");
+        }
+        break;
+      }
+    }
+  }
+
+  // A mirror pair must live in one row: the axis it mirrors about is its
+  // row's axis, which two different rows cannot share by construction.
+  for (const PlacementConstraint& c : constraints.all()) {
+    if (c.kind != ConstraintKind::kMirrorPair || c.items.size() != 2) continue;
+    auto a = itemRow.find(c.items[0]);
+    auto b = itemRow.find(c.items[1]);
+    if (a != itemRow.end() && b != itemRow.end() && a->second != b->second) {
+      flag(c, "mirror pair spans two rows (" + a->second->describe() + " vs " +
+                  b->second->describe() + ")");
+    }
+  }
+  return out;
+}
+
+void requireValidConstraints(const ConstraintSet& constraints,
+                             const std::vector<std::string>* itemNames) {
+  const std::vector<ConstraintViolation> violations =
+      validateConstraints(constraints, itemNames);
+  if (!violations.empty()) {
+    throw std::invalid_argument("invalid placement constraints:\n" +
+                                formatConstraintViolations(violations));
+  }
+}
+
+std::string formatConstraintViolations(const std::vector<ConstraintViolation>& violations) {
+  std::ostringstream out;
+  for (const ConstraintViolation& v : violations) {
+    out << "  " << v.constraint << ": " << v.detail << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lo::layout

@@ -1,0 +1,117 @@
+// First-class placement constraints.
+//
+// The 2000-era layout programs baked their matching knowledge (mirror
+// pairs, common-centroid stacks, row membership) into per-topology
+// generator code.  This layer lifts that knowledge out as data, the way
+// ALIGN (arXiv 2008.10682) treats symmetry and matching as extracted
+// constraints a generic placer satisfies: a topology *declares* its
+// matching intent as a ConstraintSet and the row placer (layout/row.hpp)
+// searches placements that honour it.
+//
+// Constraint vocabulary:
+//   * MirrorPair(a, b)        -- two placed items mirror about their row's
+//                                vertical symmetry axis (equal outlines,
+//                                equal distance on opposite sides).
+//   * CommonCentroid(S, devs) -- the devices fuse into one stack item `S`
+//                                drawn in the ABBA common-centroid pattern.
+//   * Interdigitate(S, devs)  -- the devices fuse into stack item `S`
+//                                drawn symmetrically interdigitated.
+//   * SameRow(items...)       -- the items share one diffusion row, in the
+//                                given left-to-right order (declared order
+//                                is the search's starting candidate).
+//   * SymmetryAxis(items...)  -- each item is centred on its row's
+//                                vertical symmetry axis.
+//   * Proximity(a, b, w)      -- soft wirelength hint: keep a and b close;
+//                                `w` scales the distance penalty.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lo::layout {
+
+enum class ConstraintKind {
+  kMirrorPair,
+  kCommonCentroid,
+  kInterdigitate,
+  kSameRow,
+  kSymmetryAxis,
+  kProximity,
+};
+
+[[nodiscard]] const char* constraintKindName(ConstraintKind kind);
+
+struct PlacementConstraint {
+  ConstraintKind kind = ConstraintKind::kSameRow;
+  /// Placed-item names (all kinds) or device names (matching kinds).
+  std::vector<std::string> items;
+  /// Matching kinds only: the stack item the devices fuse into.
+  std::string group;
+  /// Proximity only: distance penalty scale.
+  double weight = 1.0;
+
+  [[nodiscard]] static PlacementConstraint mirrorPair(std::string a, std::string b);
+  [[nodiscard]] static PlacementConstraint commonCentroid(std::string group,
+                                                          std::vector<std::string> devices);
+  [[nodiscard]] static PlacementConstraint interdigitate(std::string group,
+                                                         std::vector<std::string> devices);
+  [[nodiscard]] static PlacementConstraint sameRow(std::vector<std::string> items);
+  [[nodiscard]] static PlacementConstraint symmetryAxis(std::vector<std::string> items);
+  [[nodiscard]] static PlacementConstraint proximity(std::string a, std::string b,
+                                                     double weight = 1.0);
+
+  /// Human-readable one-liner, e.g. "mirror_pair(MP3C, MP4C)".
+  [[nodiscard]] std::string describe() const;
+};
+
+class ConstraintSet {
+ public:
+  void add(PlacementConstraint c) { constraints_.push_back(std::move(c)); }
+
+  [[nodiscard]] const std::vector<PlacementConstraint>& all() const { return constraints_; }
+  [[nodiscard]] bool empty() const { return constraints_.empty(); }
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+
+  /// Constraints of one kind, in declaration order.
+  [[nodiscard]] std::vector<const PlacementConstraint*> ofKind(ConstraintKind kind) const;
+
+  /// The matching constraint (common-centroid or interdigitation) whose
+  /// stack item is `group`; nullptr when the group is unconstrained.
+  [[nodiscard]] const PlacementConstraint* matchingFor(const std::string& group) const;
+
+  /// Mirror lock map: second pair member -> first.  The placer equalises
+  /// the locked member's shape alternative (fold tag) with its partner's,
+  /// the generalisation of the old hard-coded symmetrize() tables.
+  [[nodiscard]] std::map<std::string, std::string> mirrorLocks() const;
+
+  /// Item names mentioned by any SymmetryAxis constraint.
+  [[nodiscard]] std::vector<std::string> axisItems() const;
+
+ private:
+  std::vector<PlacementConstraint> constraints_;
+};
+
+struct ConstraintViolation {
+  std::string constraint;  ///< describe() of the offending constraint.
+  std::string detail;
+};
+
+/// Structural validation: arity, duplicate members, one matching group per
+/// device, one row / one mirror pair per item.  When `itemNames` is given,
+/// additionally checks that every referenced placed item exists (matching
+/// constraints reference their group; their device names live inside the
+/// stack and are not placed items).  Returns every violation found.
+[[nodiscard]] std::vector<ConstraintViolation> validateConstraints(
+    const ConstraintSet& constraints,
+    const std::vector<std::string>* itemNames = nullptr);
+
+/// Throws std::invalid_argument listing every violation; no-op when valid.
+void requireValidConstraints(const ConstraintSet& constraints,
+                             const std::vector<std::string>* itemNames = nullptr);
+
+/// Render violations for logs / exception messages.
+[[nodiscard]] std::string formatConstraintViolations(
+    const std::vector<ConstraintViolation>& violations);
+
+}  // namespace lo::layout

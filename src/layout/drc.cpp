@@ -1,5 +1,6 @@
 #include "layout/drc.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace lo::layout {
@@ -167,6 +168,99 @@ std::vector<DrcViolation> runDrc(const tech::Technology& t, const geom::ShapeLis
 
   checkActiveEnclosures(t, all, out);
   checkGates(t, all, out);
+  return out;
+}
+
+namespace {
+
+/// Do two placed leaves share a row?  Row nodes centre their children
+/// vertically, so same-row items always overlap in y while distinct rows
+/// are separated by at least the inter-row gap.
+bool sameBand(const geom::Rect& a, const geom::Rect& b) {
+  return a.y0 <= b.y1 && b.y0 <= a.y1;
+}
+
+}  // namespace
+
+std::vector<DrcViolation> auditSymmetry(const ConstraintSet& constraints,
+                                        const std::map<std::string, PlacedLeaf>& leaves,
+                                        geom::Coord tolerance) {
+  using geom::Coord;
+  using geom::Rect;
+  std::vector<DrcViolation> out;
+
+  /// 2*axis-x of each symmetric element (doubled to stay integral), with
+  /// the rect that defines its row membership.
+  struct AxisMark {
+    Coord axis2 = 0;
+    Rect rect;
+    std::string source;
+  };
+  std::vector<AxisMark> marks;
+
+  auto placed = [&](const PlacementConstraint& c,
+                    const std::string& name) -> const Rect* {
+    auto it = leaves.find(name);
+    if (it == leaves.end()) {
+      out.push_back({c.describe(), "item '" + name + "' is not placed",
+                     Rect{}});
+      return nullptr;
+    }
+    return &it->second.rect;
+  };
+
+  for (const PlacementConstraint& c : constraints.all()) {
+    if (c.kind == ConstraintKind::kMirrorPair && c.items.size() == 2) {
+      const Rect* a = placed(c, c.items[0]);
+      const Rect* b = placed(c, c.items[1]);
+      if (!a || !b) continue;
+      if (!sameBand(*a, *b)) {
+        out.push_back({"symmetry.mirror",
+                       c.describe() + ": items sit in different rows", a->merged(*b)});
+        continue;
+      }
+      if (std::abs(a->width() - b->width()) > tolerance ||
+          std::abs(a->y0 - b->y0) > tolerance || std::abs(a->y1 - b->y1) > tolerance) {
+        out.push_back({"symmetry.mirror",
+                       c.describe() + ": outlines differ beyond tolerance",
+                       a->merged(*b)});
+        continue;
+      }
+      // Both orderings of the pair about the common axis agree once the
+      // widths match; record the midpoint.
+      marks.push_back({a->x0 + b->x1, a->merged(*b), c.describe()});
+    } else if (c.kind == ConstraintKind::kSymmetryAxis) {
+      for (const std::string& name : c.items) {
+        const Rect* r = placed(c, name);
+        if (!r) continue;
+        marks.push_back({r->x0 + r->x1, *r, c.describe() + " item " + name});
+      }
+    }
+  }
+
+  // Every symmetric element in one row must agree on the axis.
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    for (std::size_t j = i + 1; j < marks.size(); ++j) {
+      if (!sameBand(marks[i].rect, marks[j].rect)) continue;
+      if (std::abs(marks[i].axis2 - marks[j].axis2) > 2 * tolerance) {
+        out.push_back({"symmetry.axis",
+                       marks[i].source + " and " + marks[j].source +
+                           " disagree on the symmetry axis by " +
+                           std::to_string(std::abs(marks[i].axis2 - marks[j].axis2) / 2) +
+                           " nm",
+                       marks[i].rect.merged(marks[j].rect)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DrcViolation> runDrc(const tech::Technology& t, const geom::ShapeList& shapes,
+                                 const ConstraintSet& constraints,
+                                 const std::map<std::string, PlacedLeaf>& leaves) {
+  std::vector<DrcViolation> out = runDrc(t, shapes);
+  const std::vector<DrcViolation> sym = auditSymmetry(constraints, leaves, t.rules.grid);
+  out.insert(out.end(), sym.begin(), sym.end());
   return out;
 }
 

@@ -6,10 +6,13 @@
 // via enclosures, and well / select enclosure of active.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "geom/geometry.hpp"
+#include "layout/constraints.hpp"
+#include "layout/slicing.hpp"
 #include "tech/technology.hpp"
 
 namespace lo::layout {
@@ -28,6 +31,21 @@ struct DrcViolation {
 /// Run all checks; returns every violation found (empty = clean).
 [[nodiscard]] std::vector<DrcViolation> runDrc(const tech::Technology& t,
                                                const geom::ShapeList& shapes);
+
+/// Symmetry audit over a placed floorplan: every MirrorPair must mirror
+/// about its row's vertical axis (equal outlines, same y extent) and every
+/// SymmetryAxis item must be centred on that axis, within `tolerance`
+/// (pass the layout grid).  Items sharing a row are found by overlapping
+/// y extents, so rows with tag-along devices still audit their matched
+/// core.  Violations use rules "symmetry.mirror" / "symmetry.axis".
+[[nodiscard]] std::vector<DrcViolation> auditSymmetry(
+    const ConstraintSet& constraints, const std::map<std::string, PlacedLeaf>& leaves,
+    geom::Coord tolerance);
+
+/// Geometric checks plus the symmetry audit of the declared constraints.
+[[nodiscard]] std::vector<DrcViolation> runDrc(
+    const tech::Technology& t, const geom::ShapeList& shapes,
+    const ConstraintSet& constraints, const std::map<std::string, PlacedLeaf>& leaves);
 
 /// Render a violation list for logs/tests.
 [[nodiscard]] std::string formatViolations(const std::vector<DrcViolation>& violations);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <stdexcept>
 
 #include "layout/mos_motif.hpp"
 #include "tech/units.hpp"
@@ -96,146 +96,192 @@ std::vector<ShapeOption> motifOptions(const tech::Technology& t, double w, doubl
   return opts;
 }
 
-StackSpec pairStackSpec(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
-                        const OtaLayoutOptions& opt, int fingersPerDevice) {
+StackPattern patternFor(const PlacementConstraint& matching) {
+  return matching.kind == ConstraintKind::kCommonCentroid ? StackPattern::kCommonCentroid
+                                                          : StackPattern::kInterdigitated;
+}
+
+const PlacementConstraint& matchingOrThrow(const ConstraintSet& constraints,
+                                           const std::string& group) {
+  const PlacementConstraint* c = constraints.matchingFor(group);
+  if (!c || c->items.size() != 2) {
+    throw std::invalid_argument("OTA layout needs a two-device matching constraint for '" +
+                                group + "'");
+  }
+  return *c;
+}
+
+/// The PAIR stack realises the input-pair matching constraint: device
+/// names and pattern come from the declaration, nets from the topology.
+StackSpec pairStackSpec(const FoldedCascodeOtaDesign& d, const OtaLayoutOptions& opt,
+                        const PlacementConstraint& matching, int fingersPerDevice) {
   StackSpec s;
-  s.name = "PAIR";
+  s.name = matching.group;
   s.type = tech::MosType::kPmos;
   s.unitWidth = d.inputPair.w / fingersPerDevice;
   s.drawnL = d.inputPair.l;
   s.sourceNet = "tail";
   s.dummyGateNet = "vdd";  // PMOS dummies held off at VDD.
   s.bulkNet = "tail";      // Floating well rides the tail node.
-  s.devices = {{"MP1", fingersPerDevice, "x1", "inp", d.tailCurrent / 2},
-               {"MP2", fingersPerDevice, "x2", "inn", d.tailCurrent / 2}};
-  s.pattern = opt.commonCentroidPair ? StackPattern::kCommonCentroid
-                                     : StackPattern::kInterdigitated;
+  s.devices = {{matching.items[0], fingersPerDevice, "x1", "inp", d.tailCurrent / 2},
+               {matching.items[1], fingersPerDevice, "x2", "inn", d.tailCurrent / 2}};
+  s.pattern = patternFor(matching);
   s.dummiesPerSide = opt.dummiesPerSide;
   s.emitWellAndSelect = false;
-  (void)t;
   return s;
 }
 
-StackSpec sinkStackSpec(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
-                        const OtaLayoutOptions& opt, int fingersPerDevice) {
+StackSpec sinkStackSpec(const FoldedCascodeOtaDesign& d, const OtaLayoutOptions& opt,
+                        const PlacementConstraint& matching, int fingersPerDevice) {
   StackSpec s;
-  s.name = "SINK";
+  s.name = matching.group;
   s.type = tech::MosType::kNmos;
   s.unitWidth = d.sink.w / fingersPerDevice;
   s.drawnL = d.sink.l;
   s.sourceNet = "gnd";
   s.dummyGateNet = "gnd";
-  s.devices = {{"MN5", fingersPerDevice, "x1", "vbn", d.sinkCurrent()},
-               {"MN6", fingersPerDevice, "x2", "vbn", d.sinkCurrent()}};
-  s.pattern = StackPattern::kInterdigitated;
+  s.devices = {{matching.items[0], fingersPerDevice, "x1", "vbn", d.sinkCurrent()},
+               {matching.items[1], fingersPerDevice, "x2", "vbn", d.sinkCurrent()}};
+  s.pattern = patternFor(matching);
   s.dummiesPerSide = opt.dummiesPerSide;
   s.emitWellAndSelect = false;
-  (void)t;
   return s;
 }
 
 std::vector<ShapeOption> stackOptions(const tech::Technology& t,
                                       const FoldedCascodeOtaDesign& d,
-                                      const OtaLayoutOptions& opt, bool isPair,
+                                      const OtaLayoutOptions& opt,
+                                      const ConstraintSet& constraints, bool isPair,
                                       int maxCandidates) {
   const double w = isPair ? d.inputPair.w : d.sink.w;
+  const PlacementConstraint& matching =
+      matchingOrThrow(constraints, isPair ? "PAIR" : "SINK");
   std::vector<ShapeOption> opts;
   for (int nf : foldCandidates(t, w, FoldStyle::kDrainInternal, maxCandidates)) {
-    const StackSpec spec = isPair ? pairStackSpec(t, d, opt, nf) : sinkStackSpec(t, d, opt, nf);
+    const StackSpec spec = isPair ? pairStackSpec(d, opt, matching, nf)
+                                  : sinkStackSpec(d, opt, matching, nf);
     const StackExtents e = stackExtents(t, spec);
     opts.push_back({e.width, e.height, nf});
   }
   return opts;
 }
 
-/// Build the slicing tree; `fixedTags` (when non-null) restricts every leaf
-/// to its already-chosen alternative (symmetry-enforcement second pass).
-SlicingTree buildTree(const tech::Technology& t, const FoldedCascodeOtaDesign& d,
-                      const OtaLayoutOptions& opt,
-                      const std::map<std::string, int>* fixedTags) {
-  const Coord rowGap = t.rules.activeSpacing;
-  auto restrict = [&](const std::string& name, std::vector<ShapeOption> opts) {
-    if (fixedTags) {
-      const int tag = fixedTags->at(name);
-      opts.erase(std::remove_if(opts.begin(), opts.end(),
-                                [&](const ShapeOption& o) { return o.tag != tag; }),
-                 opts.end());
-    }
-    return SlicingNode::leaf(name, std::move(opts));
+/// Declare the placeable items: motifs, the two matched stacks, and (when
+/// drawn) the bias legs as annex riders on their rows.
+std::vector<RowItem> buildItems(const tech::Technology& t,
+                                const FoldedCascodeOtaDesign& design,
+                                const OtaLayoutOptions& options,
+                                const ConstraintSet& constraints) {
+  std::vector<RowItem> items;
+  auto motifItem = [&](const MotifLeaf& m) {
+    const device::MosGeometry& geo = design.geometry(m.group);
+    RowItem it;
+    it.name = m.name;
+    it.kind = m.type == tech::MosType::kPmos ? RowKind::kPmos : RowKind::kNmos;
+    if (m.type == tech::MosType::kPmos) it.wellNet = m.nets.bulk;
+    it.options = motifOptions(t, geo.w, geo.l, options.foldStyle,
+                              otaGroupCurrent(design, m.group), options.maxFoldCandidates);
+    it.nets = {m.nets.drain, m.nets.gate, m.nets.source};
+    return it;
   };
-
-  auto groupGeom = [&](OtaGroup g) -> const device::MosGeometry& { return d.geometry(g); };
-  auto motifLeaf = [&](const MotifLeaf& m) {
-    const device::MosGeometry& geo = groupGeom(m.group);
-    return restrict(m.name, motifOptions(t, geo.w, geo.l, opt.foldStyle,
-                                         otaGroupCurrent(d, m.group), opt.maxFoldCandidates));
-  };
-
-  auto biasLeaf = [&](const BiasLeaf& b) {
-    const device::MosGeometry& geo = opt.biasGenerator->*(b.geo);
+  auto biasItem = [&](const BiasLeaf& b) {
+    const device::MosGeometry& geo = options.biasGenerator->*(b.geo);
     // Bias devices are small: a single fold is enough.
     const device::FoldPlan plan =
         device::planFoldsExact(t.rules, geo.w, 1, device::FoldStyle::kAlternating);
-    const MosMotifInfo info = motifShape(t, plan, geo.l, opt.biasGenerator->biasCurrent);
-    return restrict(b.name, {{info.width, info.height, 1}});
+    const MosMotifInfo info = motifShape(t, plan, geo.l, options.biasGenerator->biasCurrent);
+    RowItem it;
+    it.name = b.name;
+    it.kind = b.type == tech::MosType::kPmos ? RowKind::kPmos : RowKind::kNmos;
+    if (b.type == tech::MosType::kPmos) it.wellNet = b.nets.bulk;
+    it.annex = true;
+    it.options = {{info.width, info.height, 1}};
+    it.nets = {b.nets.drain, b.nets.gate, b.nets.source};
+    return it;
   };
 
-  std::vector<std::unique_ptr<SlicingNode>> top;
-  for (const MotifLeaf& m : kTopRow) top.push_back(motifLeaf(m));
-  if (opt.biasGenerator) {
-    for (const BiasLeaf& b : kBiasPmos) top.push_back(biasLeaf(b));
+  items.push_back(motifItem(kBottomRow[0]));
+  {
+    RowItem sink;
+    sink.name = "SINK";
+    sink.kind = RowKind::kNmos;
+    sink.options = stackOptions(t, design, options, constraints, false,
+                                options.maxFoldCandidates);
+    sink.nets = {"x1", "x2", "vbn", "gnd"};
+    items.push_back(std::move(sink));
   }
-
-  std::vector<std::unique_ptr<SlicingNode>> bottom;
-  bottom.push_back(motifLeaf(kBottomRow[0]));
-  bottom.push_back(restrict("SINK", stackOptions(t, d, opt, false, opt.maxFoldCandidates)));
-  bottom.push_back(motifLeaf(kBottomRow[1]));
-  if (opt.biasGenerator) {
-    for (const BiasLeaf& b : kBiasNmos) bottom.push_back(biasLeaf(b));
+  items.push_back(motifItem(kBottomRow[1]));
+  if (options.biasGenerator) {
+    for (const BiasLeaf& b : kBiasNmos) items.push_back(biasItem(b));
   }
-
-  auto pairLeaf = restrict("PAIR", stackOptions(t, d, opt, true, opt.maxFoldCandidates));
-
-  // Vertical gaps: generous spacing where N-wells of different nets meet,
-  // plus room for the routing channels' trunk tracks.
-  const Coord routingAllowance = 16000;
-  const Coord wellGap =
-      t.rules.nwellSpacing + 2 * t.rules.nwellOverActive + routingAllowance;
-  const Coord mixGap =
-      t.rules.activeToWell + t.rules.nwellOverActive + rowGap + routingAllowance;
-
-  std::vector<std::unique_ptr<SlicingNode>> pmosRows;
-  pmosRows.push_back(std::move(pairLeaf));
-  pmosRows.push_back(SlicingNode::row(std::move(top), rowGap));
-  auto pmosColumn = SlicingNode::column(std::move(pmosRows), wellGap);
-
-  std::vector<std::unique_ptr<SlicingNode>> rows;
-  rows.push_back(SlicingNode::row(std::move(bottom), rowGap));
-  rows.push_back(std::move(pmosColumn));
-  return SlicingTree(SlicingNode::column(std::move(rows), mixGap));
-}
-
-/// Symmetric-device equalisation: matched devices must get the same fold.
-std::map<std::string, int> symmetrize(const FloorplanResult& fp) {
-  std::map<std::string, int> tags;
-  for (const auto& [name, leaf] : fp.leaves) tags[name] = leaf.tag;
-  tags["MP4C"] = tags["MP3C"];
-  tags["MP4"] = tags["MP3"];
-  tags["MN2C"] = tags["MN1C"];
-  return tags;
+  {
+    RowItem pair;
+    pair.name = "PAIR";
+    pair.kind = RowKind::kPmos;
+    pair.wellNet = "tail";
+    pair.options = stackOptions(t, design, options, constraints, true,
+                                options.maxFoldCandidates);
+    pair.nets = {"x1", "inp", "x2", "inn", "tail"};
+    items.push_back(std::move(pair));
+  }
+  for (const MotifLeaf& m : kTopRow) items.push_back(motifItem(m));
+  if (options.biasGenerator) {
+    for (const BiasLeaf& b : kBiasPmos) items.push_back(biasItem(b));
+  }
+  return items;
 }
 
 }  // namespace
 
+ConstraintSet otaPlacementConstraints(const OtaLayoutOptions& options, bool includeBias) {
+  ConstraintSet cs;
+  // Matched groups fuse into stack items.
+  cs.add(options.commonCentroidPair
+             ? PlacementConstraint::commonCentroid("PAIR", {"MP1", "MP2"})
+             : PlacementConstraint::interdigitate("PAIR", {"MP1", "MP2"}));
+  cs.add(PlacementConstraint::interdigitate("SINK", {"MN5", "MN6"}));
+  // The cascode legs mirror about the core's vertical axis.
+  cs.add(PlacementConstraint::mirrorPair("MN1C", "MN2C"));
+  cs.add(PlacementConstraint::mirrorPair("MP3C", "MP4C"));
+  cs.add(PlacementConstraint::mirrorPair("MP3", "MP4"));
+  // Fig. 5's three diffusion rows, bottom to top; the bias legs ride the
+  // right ends of the outer rows.
+  std::vector<std::string> bottom = {"MN1C", "SINK", "MN2C"};
+  std::vector<std::string> top = {"MP3C", "MP3", "MP5", "MP4", "MP4C"};
+  if (includeBias) {
+    for (const BiasLeaf& b : kBiasNmos) bottom.push_back(b.name);
+    for (const BiasLeaf& b : kBiasPmos) top.push_back(b.name);
+  }
+  cs.add(PlacementConstraint::sameRow(std::move(bottom)));
+  cs.add(PlacementConstraint::sameRow({"PAIR"}));
+  cs.add(PlacementConstraint::sameRow(std::move(top)));
+  // The matched stacks and the tail sit on the symmetry axis, and the
+  // pair's drains want short wires down to the sink.
+  cs.add(PlacementConstraint::symmetryAxis({"PAIR", "SINK", "MP5"}));
+  cs.add(PlacementConstraint::proximity("PAIR", "SINK"));
+  return cs;
+}
+
 OtaLayoutResult generateOtaLayout(const tech::Technology& t,
                                   const FoldedCascodeOtaDesign& design,
                                   const OtaLayoutOptions& options, bool generateGeometry) {
-  // --- Pass 1: free area optimisation; pass 2: symmetry-locked. ---
-  const FloorplanResult fp1 = buildTree(t, design, options, nullptr).optimize(options.shape);
-  const std::map<std::string, int> tags = symmetrize(fp1);
-  const FloorplanResult fp = buildTree(t, design, options, &tags).optimize(options.shape);
+  // --- Constraint-driven row placement. ---
+  const ConstraintSet constraints =
+      otaPlacementConstraints(options, options.biasGenerator != nullptr);
+  const RowPlacer placer(t, buildItems(t, design, options, constraints), constraints);
+  RowPlacerOptions placerOptions;
+  placerOptions.shape = options.shape;
+  placerOptions.search = options.placerSearch;
+  placerOptions.seed = options.placerSeed;
+  placerOptions.candidates = options.placerCandidates;
+  placerOptions.threads = options.placerThreads;
+  placerOptions.wireCostNm = options.wireCostNm;
+  const RowPlacement placement = placer.place(placerOptions);
+  const FloorplanResult& fp = placement.floorplan;
+  const std::map<std::string, int>& tags = placement.tags;
 
   OtaLayoutResult result;
+  result.placement = placement;
   result.floorplan = fp;
   result.width = fp.width;
   result.height = fp.height;
@@ -255,8 +301,10 @@ OtaLayoutResult generateOtaLayout(const tech::Technology& t,
   motifPlan(OtaGroup::kPCascode, "MP3C");
   motifPlan(OtaGroup::kNCascode, "MN1C");
 
-  const StackSpec pairSpec = pairStackSpec(t, design, options, tags.at("PAIR"));
-  const StackSpec sinkSpec = sinkStackSpec(t, design, options, tags.at("SINK"));
+  const StackSpec pairSpec =
+      pairStackSpec(design, options, matchingOrThrow(constraints, "PAIR"), tags.at("PAIR"));
+  const StackSpec sinkSpec =
+      sinkStackSpec(design, options, matchingOrThrow(constraints, "SINK"), tags.at("SINK"));
   result.pairPlan = planStack(pairSpec);
   result.sinkPlan = planStack(sinkSpec);
   fillStackJunctions(t.rules, pairSpec, result.pairPlan);
@@ -285,12 +333,13 @@ OtaLayoutResult generateOtaLayout(const tech::Technology& t,
     assembly.place(child, geom::Orient::kR0, where.x0 - box.x0, where.y0 - box.y0);
   };
 
-  std::vector<Rect> pmosActives, nmosActives;
-  auto trackActive = [&](const Cell& child, const Rect& where, tech::MosType type) {
+  std::vector<RowActive> actives;
+  auto trackActive = [&](const Cell& child, const Rect& where, tech::MosType type,
+                         const std::string& wellNet) {
     const Rect box = child.bbox();
     const Rect act = child.shapes.bbox(tech::Layer::kActive)
                          .translated(where.x0 - box.x0, where.y0 - box.y0);
-    (type == tech::MosType::kPmos ? pmosActives : nmosActives).push_back(act);
+    actives.push_back({type, wellNet, act});
   };
 
   for (const MotifLeaf& m : kTopRow) {
@@ -307,7 +356,7 @@ OtaLayoutResult generateOtaLayout(const tech::Technology& t,
     spec.emitWellAndSelect = false;
     const Cell cell = generateMosMotif(t, spec);
     placeChild(cell, fp.leaves.at(m.name).rect);
-    trackActive(cell, fp.leaves.at(m.name).rect, m.type);
+    trackActive(cell, fp.leaves.at(m.name).rect, m.type, m.nets.bulk);
   }
   for (const MotifLeaf& m : kBottomRow) {
     MosMotifSpec spec;
@@ -323,15 +372,16 @@ OtaLayoutResult generateOtaLayout(const tech::Technology& t,
     spec.emitWellAndSelect = false;
     const Cell cell = generateMosMotif(t, spec);
     placeChild(cell, fp.leaves.at(m.name).rect);
-    trackActive(cell, fp.leaves.at(m.name).rect, m.type);
+    trackActive(cell, fp.leaves.at(m.name).rect, m.type, "");
   }
   {
     const Cell pairCell = generateStack(t, pairSpec);
     placeChild(pairCell, fp.leaves.at("PAIR").rect);
-    trackActive(pairCell, fp.leaves.at("PAIR").rect, tech::MosType::kPmos);
+    trackActive(pairCell, fp.leaves.at("PAIR").rect, tech::MosType::kPmos,
+                pairSpec.bulkNet);
     const Cell sinkCell = generateStack(t, sinkSpec);
     placeChild(sinkCell, fp.leaves.at("SINK").rect);
-    trackActive(sinkCell, fp.leaves.at("SINK").rect, tech::MosType::kNmos);
+    trackActive(sinkCell, fp.leaves.at("SINK").rect, tech::MosType::kNmos, "");
   }
   if (options.biasGenerator) {
     auto placeBias = [&](const BiasLeaf& b) {
@@ -349,75 +399,20 @@ OtaLayoutResult generateOtaLayout(const tech::Technology& t,
       spec.emitWellAndSelect = false;
       const Cell cell = generateMosMotif(t, spec);
       placeChild(cell, fp.leaves.at(b.name).rect);
-      trackActive(cell, fp.leaves.at(b.name).rect, b.type);
+      trackActive(cell, fp.leaves.at(b.name).rect, b.type, b.nets.bulk);
     };
     for (const BiasLeaf& b : kBiasNmos) placeBias(b);
     for (const BiasLeaf& b : kBiasPmos) placeBias(b);
   }
 
-  // --- Merged wells and selects per row ("exact well sizes"). ---
-  geom::ShapeList wellShapes;
-  {
-    // Top PMOS row shares one VDD well; the pair has its own floating well.
-    Rect topWell, pairWell;
-    bool haveTop = false, havePair = false;
-    const Coord pairTopY = fp.leaves.at("PAIR").rect.y1;
-    for (const Rect& act : pmosActives) {
-      // The pair row sits below the top row in the floorplan.
-      if (act.y0 >= pairTopY) {
-        topWell = haveTop ? topWell.merged(act) : act;
-        haveTop = true;
-      } else {
-        pairWell = havePair ? pairWell.merged(act) : act;
-        havePair = true;
-      }
-    }
-    if (haveTop) {
-      wellShapes.add(tech::Layer::kNWell, topWell.inflated(t.rules.nwellOverActive), "vdd");
-      wellShapes.add(tech::Layer::kPPlus, topWell.inflated(t.rules.selectOverActive));
-    }
-    if (havePair) {
-      wellShapes.add(tech::Layer::kNWell, pairWell.inflated(t.rules.nwellOverActive), "tail");
-      wellShapes.add(tech::Layer::kPPlus, pairWell.inflated(t.rules.selectOverActive));
-    }
-    Rect nmosAll;
-    bool haveN = false;
-    for (const Rect& act : nmosActives) {
-      nmosAll = haveN ? nmosAll.merged(act) : act;
-      haveN = true;
-    }
-    if (haveN) {
-      wellShapes.add(tech::Layer::kNPlus, nmosAll.inflated(t.rules.selectOverActive));
-    }
-  }
+  // --- Merged wells and selects per row ("exact well sizes"): the row
+  // discipline's well sharing, grouped by declared well net. ---
+  const geom::ShapeList wellShapes = mergedRowWells(t, actives);
 
-  // --- Routing channels: the bands between rows, plus above and below. ---
-  std::vector<Channel> channels;
-  {
-    // Row y-intervals from the placed leaves.
-    auto rowBand = [&](std::initializer_list<const char*> names) {
-      Coord lo = std::numeric_limits<Coord>::max(), hi = std::numeric_limits<Coord>::min();
-      for (const char* n : names) {
-        const Rect& rect = fp.leaves.at(n).rect;
-        lo = std::min(lo, rect.y0);
-        hi = std::max(hi, rect.y1);
-      }
-      return std::make_pair(lo, hi);
-    };
-    const auto bot = rowBand({"MN1C", "SINK", "MN2C"});
-    const auto mid = rowBand({"PAIR"});
-    const auto top = rowBand({"MP3C", "MP3", "MP5", "MP4", "MP4C"});
-    // Outer channels host every trunk that cannot sit between rows; with
-    // the bias generator present up to ~10 tracks stack up there.
-    const Coord margin = 26000;
-    // Inset every channel so trunks keep the metal1 spacing rule from the
-    // cell rows bounding them.
-    const Coord inset = t.rules.metal1Spacing;
-    channels.push_back({bot.first - margin, bot.first - inset});
-    channels.push_back({bot.second + inset, mid.first - inset});
-    channels.push_back({mid.second + inset, top.first - inset});
-    channels.push_back({top.second + inset, top.second + margin});
-  }
+  // --- Routing channels: the bands between rows, plus above and below.
+  // Outer channels host every trunk that cannot sit between rows; with
+  // the bias generator present up to ~10 tracks stack up there. ---
+  const std::vector<Channel> channels = rowChannels(t, placement, 26000);
 
   // --- Routing. ---
   const double iTail = design.tailCurrent;

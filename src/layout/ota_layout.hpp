@@ -1,6 +1,9 @@
-// Procedural layout program for the folded-cascode OTA (paper Figs. 4/5).
-//
-// Floorplan (matching Fig. 5):
+// Procedural layout program for the folded-cascode OTA (paper Figs. 4/5),
+// restructured as a constraint-driven pipeline: the topology *declares*
+// its matching intent (otaPlacementConstraints) and the generic RowPlacer
+// (layout/row.hpp) realises rows, symmetry and fold selection from those
+// constraints.  With the default declared search the placer compiles the
+// constraints into the historical Fig. 5 floorplan byte-for-byte:
 //   top row    : MP3C | MP3 | MP5 | MP4 | MP4C      (PMOS, shared VDD well)
 //   middle row : MP1/MP2 common-centroid stack with end dummies
 //                (own floating well tied to the tail node)
@@ -13,13 +16,16 @@
 //   * generation mode -- additionally emits the full mask geometry.
 #pragma once
 
+#include <cstdint>
 #include <map>
 
 #include "circuit/ota.hpp"
 #include "device/folding.hpp"
 #include "layout/cell.hpp"
+#include "layout/constraints.hpp"
 #include "layout/extract.hpp"
 #include "layout/router.hpp"
+#include "layout/row.hpp"
 #include "layout/slicing.hpp"
 #include "layout/stack.hpp"
 #include "tech/technology.hpp"
@@ -40,12 +46,28 @@ struct OtaLayoutOptions {
   ShapeConstraint shape = defaultShape();
   int maxFoldCandidates = 6;        ///< Fold alternatives offered per device.
 
+  /// Row-placer backend.  kDeclared reproduces the legacy floorplan
+  /// exactly; kSeeded searches constraint-satisfying alternatives.
+  RowSearch placerSearch = RowSearch::kDeclared;
+  std::uint64_t placerSeed = 1;
+  int placerCandidates = 96;
+  int placerThreads = 1;
+  double wireCostNm = 50.0;
+
   [[nodiscard]] static ShapeConstraint defaultShape() {
     ShapeConstraint c;
     c.aspectRatio = 1.0;
     return c;
   }
 };
+
+/// The OTA's declared matching intent: the input pair fuses into the PAIR
+/// stack (common-centroid or interdigitated per the options), MN5/MN6
+/// interdigitate into SINK, the cascodes mirror about the core axis, and
+/// the three diffusion rows of Fig. 5 are declared with the bias legs
+/// (when `includeBias`) riding their rows' right ends.
+[[nodiscard]] ConstraintSet otaPlacementConstraints(const OtaLayoutOptions& options,
+                                                    bool includeBias);
 
 /// Everything the sizing tool is told after a layout call (paper section 2:
 /// transistor layout style, routing and coupling parasitics, well sizes).
@@ -60,6 +82,7 @@ struct OtaLayoutResult {
   geom::Coord width = 0;
   geom::Coord height = 0;
   FloorplanResult floorplan;
+  RowPlacement placement;           ///< Row placer outcome (rows, score).
   RoutingResult routing;
   Cell cell;                        ///< Geometry; empty in parasitic mode.
 };

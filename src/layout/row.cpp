@@ -1,0 +1,523 @@
+#include "layout/row.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "layout/drc.hpp"
+
+namespace lo::layout {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+/// Vertical room reserved for routing-channel trunks between rows.
+constexpr Coord kRoutingAllowance = 16000;
+
+/// Column order, bottom to top: NMOS rows (substrate), then passives,
+/// then PMOS rows (wells) -- the diffusion-row discipline both legacy
+/// generators followed.
+int kindRank(RowKind kind) {
+  switch (kind) {
+    case RowKind::kNmos: return 0;
+    case RowKind::kPassive: return 1;
+    case RowKind::kPmos: return 2;
+  }
+  return 3;
+}
+
+/// One derived row: a SameRow constraint's members split into core and
+/// annex, or a singleton for an item no constraint pins (`pinned` false --
+/// the seeded search may hop it into a compatible declared row).
+struct RowSpec {
+  RowKind kind = RowKind::kNmos;
+  std::string wellNet;
+  Coord spacing = 0;
+  bool pinned = true;
+  std::vector<std::string> core;   ///< Declared left-to-right order.
+  std::vector<std::string> annex;  ///< Pinned at the right end.
+};
+
+using ItemIndex = std::map<std::string, const RowItem*>;
+
+ItemIndex indexItems(const std::vector<RowItem>& items) {
+  ItemIndex byName;
+  for (const RowItem& item : items) {
+    if (!byName.emplace(item.name, &item).second) {
+      throw std::invalid_argument("duplicate row item '" + item.name + "'");
+    }
+  }
+  return byName;
+}
+
+std::vector<RowSpec> deriveRows(const tech::Technology& t, const std::vector<RowItem>& items,
+                                const ConstraintSet& constraints) {
+  const ItemIndex byName = indexItems(items);
+  std::vector<RowSpec> rows;
+  std::set<std::string> rowed;
+  for (const PlacementConstraint* c : constraints.ofKind(ConstraintKind::kSameRow)) {
+    RowSpec row;
+    bool first = true;
+    for (const std::string& name : c->items) {
+      const auto it = byName.find(name);
+      if (it == byName.end()) {
+        throw std::invalid_argument(c->describe() + ": unknown item '" + name + "'");
+      }
+      const RowItem& item = *it->second;
+      if (first) {
+        row.kind = item.kind;
+        first = false;
+      } else if (item.kind != row.kind) {
+        throw std::invalid_argument(c->describe() + ": item '" + name + "' is " +
+                                    rowKindName(item.kind) + " in a " + rowKindName(row.kind) +
+                                    " row");
+      }
+      if (item.kind == RowKind::kPmos) {
+        if (row.wellNet.empty()) {
+          row.wellNet = item.wellNet;
+        } else if (!item.wellNet.empty() && item.wellNet != row.wellNet) {
+          throw std::invalid_argument(c->describe() + ": item '" + name +
+                                      "' ties its well to '" + item.wellNet +
+                                      "' but the row's well is '" + row.wellNet + "'");
+        }
+      }
+      (item.annex ? row.annex : row.core).push_back(name);
+      rowed.insert(name);
+    }
+    rows.push_back(std::move(row));
+  }
+  // Items no constraint places get singleton rows after the declared ones.
+  for (const RowItem& item : items) {
+    if (rowed.count(item.name)) continue;
+    RowSpec row;
+    row.kind = item.kind;
+    row.wellNet = item.wellNet;
+    row.pinned = false;
+    (item.annex ? row.annex : row.core).push_back(item.name);
+    rows.push_back(std::move(row));
+  }
+  for (RowSpec& row : rows) {
+    // Passive rows keep double clearance: poly serpentines and plate caps
+    // have no shared diffusion to abut.
+    row.spacing = t.rules.activeSpacing * (row.kind == RowKind::kPassive ? 2 : 1);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const RowSpec& a, const RowSpec& b) {
+    return kindRank(a.kind) < kindRank(b.kind);
+  });
+  return rows;
+}
+
+/// In-row core orders, parallel to the derived row list.
+struct Candidate {
+  std::vector<std::vector<std::string>> cores;
+};
+
+std::string candidateKey(const Candidate& cand) {
+  std::ostringstream out;
+  for (const std::vector<std::string>& core : cand.cores) {
+    for (const std::string& name : core) out << name << ',';
+    out << '|';
+  }
+  return out.str();
+}
+
+/// Compile the candidate's rows into a slicing tree.  Runs of adjacent
+/// PMOS rows share a sub-column separated by well-spacing gaps; every
+/// other adjacency is a well-clearance (mix) gap.  Single-member rows
+/// stay bare leaves -- row nodes with one child are shape-function
+/// no-ops, so either form packs identically.
+SlicingTree buildRowTree(const tech::Technology& t, const std::vector<RowSpec>& rows,
+                         const Candidate& cand, const ItemIndex& byName,
+                         const std::map<std::string, int>* fixedTags) {
+  auto leafFor = [&](const std::string& name) {
+    std::vector<ShapeOption> opts = byName.at(name)->options;
+    if (fixedTags) {
+      const int tag = fixedTags->at(name);
+      opts.erase(std::remove_if(opts.begin(), opts.end(),
+                                [&](const ShapeOption& o) { return o.tag != tag; }),
+                 opts.end());
+      if (opts.empty()) {
+        throw std::invalid_argument("item '" + name + "' has no shape alternative with tag " +
+                                    std::to_string(tag) +
+                                    " (mirror lock unsatisfiable; matched items must share "
+                                    "their fold menu)");
+      }
+    }
+    return SlicingNode::leaf(name, std::move(opts));
+  };
+
+  const Coord rowGap = t.rules.activeSpacing;
+  const Coord wellGap =
+      t.rules.nwellSpacing + 2 * t.rules.nwellOverActive + kRoutingAllowance;
+  const Coord mixGap =
+      t.rules.activeToWell + t.rules.nwellOverActive + rowGap + kRoutingAllowance;
+
+  std::vector<std::unique_ptr<SlicingNode>> rowNodes;
+  std::vector<RowKind> rowKinds;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> members = cand.cores[i];
+    members.insert(members.end(), rows[i].annex.begin(), rows[i].annex.end());
+    if (members.empty()) continue;  // Emptied by a hop; drop the row.
+    if (members.size() == 1) {
+      rowNodes.push_back(leafFor(members[0]));
+    } else {
+      std::vector<std::unique_ptr<SlicingNode>> children;
+      children.reserve(members.size());
+      for (const std::string& name : members) children.push_back(leafFor(name));
+      rowNodes.push_back(SlicingNode::row(std::move(children), rows[i].spacing));
+    }
+    rowKinds.push_back(rows[i].kind);
+  }
+  if (rowNodes.empty()) throw std::invalid_argument("row placement has no items");
+
+  std::vector<std::unique_ptr<SlicingNode>> groups;
+  for (std::size_t i = 0; i < rowNodes.size();) {
+    if (rowKinds[i] != RowKind::kPmos) {
+      groups.push_back(std::move(rowNodes[i]));
+      ++i;
+      continue;
+    }
+    std::vector<std::unique_ptr<SlicingNode>> run;
+    while (i < rowNodes.size() && rowKinds[i] == RowKind::kPmos) {
+      run.push_back(std::move(rowNodes[i++]));
+    }
+    groups.push_back(run.size() == 1 ? std::move(run[0])
+                                     : SlicingNode::column(std::move(run), wellGap));
+  }
+  if (groups.size() == 1) return SlicingTree(std::move(groups[0]));
+  return SlicingTree(SlicingNode::column(std::move(groups), mixGap));
+}
+
+/// HPWL over item centres per net (nets touching at least two items),
+/// plus the Proximity constraints' weighted manhattan penalties.
+double estimateWirelength(const std::vector<RowItem>& items, const ConstraintSet& constraints,
+                          const FloorplanResult& fp) {
+  struct Pt {
+    double x = 0.0, y = 0.0;
+  };
+  std::map<std::string, Pt> centers;
+  for (const RowItem& item : items) {
+    const auto it = fp.leaves.find(item.name);
+    if (it == fp.leaves.end()) continue;
+    const Rect& r = it->second.rect;
+    centers[item.name] = {(static_cast<double>(r.x0) + static_cast<double>(r.x1)) / 2.0,
+                          (static_cast<double>(r.y0) + static_cast<double>(r.y1)) / 2.0};
+  }
+
+  std::map<std::string, std::vector<Pt>> netPoints;
+  for (const RowItem& item : items) {
+    const auto c = centers.find(item.name);
+    if (c == centers.end()) continue;
+    const std::set<std::string> nets(item.nets.begin(), item.nets.end());
+    for (const std::string& net : nets) netPoints[net].push_back(c->second);
+  }
+
+  double total = 0.0;
+  for (const auto& [net, pts] : netPoints) {
+    if (pts.size() < 2) continue;
+    double x0 = pts[0].x, x1 = pts[0].x, y0 = pts[0].y, y1 = pts[0].y;
+    for (const Pt& p : pts) {
+      x0 = std::min(x0, p.x);
+      x1 = std::max(x1, p.x);
+      y0 = std::min(y0, p.y);
+      y1 = std::max(y1, p.y);
+    }
+    total += (x1 - x0) + (y1 - y0);
+  }
+  for (const PlacementConstraint* c : constraints.ofKind(ConstraintKind::kProximity)) {
+    if (c->items.size() != 2) continue;
+    const auto a = centers.find(c->items[0]);
+    const auto b = centers.find(c->items[1]);
+    if (a == centers.end() || b == centers.end()) continue;
+    total += c->weight *
+             (std::abs(a->second.x - b->second.x) + std::abs(a->second.y - b->second.y));
+  }
+  return total;
+}
+
+struct Eval {
+  FloorplanResult fp;
+  std::map<std::string, int> tags;
+  double wire = 0.0;
+  double score = 0.0;
+  std::string key;
+  bool valid = false;
+};
+
+/// Two-pass optimise: free packing picks every fold, the mirror locks
+/// copy each locked member's fold from its partner, and the second pass
+/// re-packs with every leaf pinned -- the generalisation of the legacy
+/// generators' hand-written symmetrize() tables.  With `audit` set the
+/// result must also clear the DRC symmetry audit (the seeded search's
+/// feasibility filter).
+Eval evaluateCandidate(const tech::Technology& t, const std::vector<RowSpec>& rows,
+                       const Candidate& cand, const ItemIndex& byName,
+                       const std::vector<RowItem>& items, const ConstraintSet& constraints,
+                       const RowPlacerOptions& options, bool audit) {
+  Eval e;
+  const FloorplanResult fp1 =
+      buildRowTree(t, rows, cand, byName, nullptr).optimize(options.shape);
+  for (const auto& [name, leaf] : fp1.leaves) e.tags[name] = leaf.tag;
+  for (const auto& [locked, source] : constraints.mirrorLocks()) {
+    const auto src = e.tags.find(source);
+    const auto dst = e.tags.find(locked);
+    if (src != e.tags.end() && dst != e.tags.end()) dst->second = src->second;
+  }
+  e.fp = buildRowTree(t, rows, cand, byName, &e.tags).optimize(options.shape);
+  if (audit && !auditSymmetry(constraints, e.fp.leaves, t.rules.grid).empty()) return e;
+  e.wire = estimateWirelength(items, constraints, e.fp);
+  e.score = e.fp.areaNm2() + options.wireCostNm * e.wire;
+  e.key = candidateKey(cand);
+  e.valid = true;
+  return e;
+}
+
+/// Explicit Fisher-Yates so candidate streams do not depend on the
+/// standard library's std::shuffle implementation.
+template <typename T>
+void shuffleInPlace(std::vector<T>& v, std::mt19937_64& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng() % i]);
+  }
+}
+
+/// One random candidate: unpinned singletons may hop into a compatible
+/// declared row, then every row's core is re-ordered under the symmetric
+/// template -- mirror pairs permute as units (first members left, second
+/// members mirrored right), SymmetryAxis items hold the centre, free
+/// items redistribute around them.
+Candidate genCandidate(std::mt19937_64& rng, const std::vector<RowSpec>& rows,
+                       const ConstraintSet& constraints) {
+  Candidate cand;
+  cand.cores.reserve(rows.size());
+  for (const RowSpec& row : rows) cand.cores.push_back(row.core);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].pinned || cand.cores[i].empty()) continue;
+    std::vector<std::size_t> compat;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (!rows[j].pinned || rows[j].kind != rows[i].kind) continue;
+      if (rows[i].kind == RowKind::kPmos && rows[j].wellNet != rows[i].wellNet) continue;
+      compat.push_back(j);
+    }
+    if (compat.empty()) continue;
+    const std::size_t pick = rng() % (compat.size() + 1);
+    if (pick < compat.size()) {
+      cand.cores[compat[pick]].push_back(cand.cores[i][0]);
+      cand.cores[i].clear();
+    }
+  }
+
+  const std::vector<std::string> axisNames = constraints.axisItems();
+  for (std::vector<std::string>& core : cand.cores) {
+    if (core.size() < 2) continue;
+    auto inCore = [&](const std::string& n) {
+      return std::find(core.begin(), core.end(), n) != core.end();
+    };
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::set<std::string> paired;
+    for (const PlacementConstraint* c : constraints.ofKind(ConstraintKind::kMirrorPair)) {
+      if (c->items.size() == 2 && inCore(c->items[0]) && inCore(c->items[1])) {
+        pairs.emplace_back(c->items[0], c->items[1]);
+        paired.insert(c->items[0]);
+        paired.insert(c->items[1]);
+      }
+    }
+    std::vector<std::string> axis, loose;
+    for (const std::string& n : core) {
+      if (paired.count(n)) continue;
+      if (std::find(axisNames.begin(), axisNames.end(), n) != axisNames.end()) {
+        axis.push_back(n);
+      } else {
+        loose.push_back(n);
+      }
+    }
+    if (pairs.empty() && axis.empty()) {
+      shuffleInPlace(core, rng);
+      continue;
+    }
+    shuffleInPlace(pairs, rng);
+    shuffleInPlace(loose, rng);
+    std::vector<std::string> left, right;
+    for (std::string& n : loose) ((rng() & 1) ? left : right).push_back(std::move(n));
+    std::vector<std::string> order;
+    order.reserve(core.size());
+    for (const auto& p : pairs) order.push_back(p.first);
+    order.insert(order.end(), left.begin(), left.end());
+    order.insert(order.end(), axis.begin(), axis.end());
+    order.insert(order.end(), right.begin(), right.end());
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) order.push_back(it->second);
+    core = std::move(order);
+  }
+  return cand;
+}
+
+}  // namespace
+
+const char* rowKindName(RowKind kind) {
+  switch (kind) {
+    case RowKind::kNmos: return "nmos";
+    case RowKind::kPmos: return "pmos";
+    case RowKind::kPassive: return "passive";
+  }
+  return "?";
+}
+
+RowPlacer::RowPlacer(const tech::Technology& t, std::vector<RowItem> items,
+                     ConstraintSet constraints)
+    : tech_(t), items_(std::move(items)), constraints_(std::move(constraints)) {
+  std::vector<std::string> names;
+  names.reserve(items_.size());
+  for (const RowItem& item : items_) {
+    if (item.options.empty()) {
+      throw std::invalid_argument("row item '" + item.name + "' offers no shape options");
+    }
+    names.push_back(item.name);
+  }
+  requireValidConstraints(constraints_, &names);
+  (void)deriveRows(tech_, items_, constraints_);  // Throws on malformed rows.
+}
+
+RowPlacement RowPlacer::place(const RowPlacerOptions& options) const {
+  const std::vector<RowSpec> rows = deriveRows(tech_, items_, constraints_);
+  const ItemIndex byName = indexItems(items_);
+
+  Candidate declared;
+  declared.cores.reserve(rows.size());
+  for (const RowSpec& row : rows) declared.cores.push_back(row.core);
+  Eval best = evaluateCandidate(tech_, rows, declared, byName, items_, constraints_, options,
+                                /*audit=*/false);
+  Candidate bestCand = declared;
+  int evaluated = 1;
+
+  if (options.search == RowSearch::kSeeded && options.candidates > 0) {
+    // Candidates are drawn sequentially from the seed, then evaluated in
+    // parallel; the winner is the (score, key) minimum, so the result is
+    // independent of the thread count and the evaluation order.
+    std::mt19937_64 rng(options.seed);
+    std::vector<Candidate> cands;
+    std::set<std::string> seen{candidateKey(declared)};
+    for (int i = 0; i < options.candidates; ++i) {
+      Candidate c = genCandidate(rng, rows, constraints_);
+      if (seen.insert(candidateKey(c)).second) cands.push_back(std::move(c));
+    }
+
+    std::vector<Eval> evals(cands.size());
+    auto evalStrided = [&](std::size_t first, std::size_t stride) {
+      for (std::size_t i = first; i < cands.size(); i += stride) {
+        try {
+          evals[i] = evaluateCandidate(tech_, rows, cands[i], byName, items_, constraints_,
+                                       options, /*audit=*/true);
+        } catch (const std::exception&) {
+          evals[i].valid = false;  // Infeasible arrangement.
+        }
+      }
+    };
+    const std::size_t threads =
+        std::min<std::size_t>(std::max(1, options.threads), std::max<std::size_t>(cands.size(), 1));
+    if (threads <= 1) {
+      evalStrided(0, 1);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t k = 0; k < threads; ++k) pool.emplace_back(evalStrided, k, threads);
+      for (std::thread& th : pool) th.join();
+    }
+    evaluated += static_cast<int>(cands.size());
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const Eval& e = evals[i];
+      if (!e.valid) continue;
+      if (e.score < best.score || (e.score == best.score && e.key < best.key)) {
+        best = e;
+        bestCand = cands[i];
+      }
+    }
+  }
+
+  RowPlacement placement;
+  placement.floorplan = std::move(best.fp);
+  placement.tags = std::move(best.tags);
+  placement.estimatedWirelengthNm = best.wire;
+  placement.scoreNm2 = best.score;
+  placement.candidatesEvaluated = evaluated;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RowAssignment a;
+    a.kind = rows[i].kind;
+    a.wellNet = rows[i].wellNet;
+    a.spacing = rows[i].spacing;
+    a.items = bestCand.cores[i];
+    a.items.insert(a.items.end(), rows[i].annex.begin(), rows[i].annex.end());
+    if (a.items.empty()) continue;
+    auto band = [&](bool coreOnly) {
+      RowBand b{std::numeric_limits<Coord>::max(), std::numeric_limits<Coord>::min()};
+      for (const std::string& name : a.items) {
+        if (coreOnly && byName.at(name)->annex) continue;
+        const Rect& r = placement.floorplan.leaves.at(name).rect;
+        b.lo = std::min(b.lo, r.y0);
+        b.hi = std::max(b.hi, r.y1);
+      }
+      return b;
+    };
+    a.band = band(/*coreOnly=*/true);
+    if (a.band.lo > a.band.hi) a.band = band(/*coreOnly=*/false);  // Annex-only row.
+    placement.rows.push_back(std::move(a));
+  }
+  return placement;
+}
+
+std::vector<Channel> rowChannels(const tech::Technology& t, const RowPlacement& placement,
+                                 geom::Coord margin) {
+  std::vector<Channel> channels;
+  if (placement.rows.empty()) return channels;
+  const Coord inset = t.rules.metal1Spacing;
+  const RowBand& bottom = placement.rows.front().band;
+  channels.push_back({bottom.lo - margin, bottom.lo - inset});
+  for (std::size_t i = 0; i + 1 < placement.rows.size(); ++i) {
+    channels.push_back(
+        {placement.rows[i].band.hi + inset, placement.rows[i + 1].band.lo - inset});
+  }
+  const RowBand& top = placement.rows.back().band;
+  channels.push_back({top.hi + inset, top.hi + margin});
+  return channels;
+}
+
+geom::ShapeList mergedRowWells(const tech::Technology& t,
+                               const std::vector<RowActive>& actives) {
+  geom::ShapeList out;
+  std::vector<std::pair<std::string, Rect>> pmosGroups;  // First-appearance order.
+  Rect nmosAll;
+  bool haveNmos = false;
+  for (const RowActive& a : actives) {
+    if (a.active.empty()) continue;
+    if (a.type == tech::MosType::kPmos) {
+      auto it = std::find_if(pmosGroups.begin(), pmosGroups.end(),
+                             [&](const auto& g) { return g.first == a.wellNet; });
+      if (it == pmosGroups.end()) {
+        pmosGroups.emplace_back(a.wellNet, a.active);
+      } else {
+        it->second = it->second.merged(a.active);
+      }
+    } else {
+      nmosAll = haveNmos ? nmosAll.merged(a.active) : a.active;
+      haveNmos = true;
+    }
+  }
+  for (const auto& [net, rect] : pmosGroups) {
+    out.add(tech::Layer::kNWell, rect.inflated(t.rules.nwellOverActive), net);
+    out.add(tech::Layer::kPPlus, rect.inflated(t.rules.selectOverActive));
+  }
+  if (haveNmos) {
+    out.add(tech::Layer::kNPlus, nmosAll.inflated(t.rules.selectOverActive));
+  }
+  return out;
+}
+
+}  // namespace lo::layout

@@ -47,12 +47,33 @@ std::vector<Unit> buildUnitsInterdigitated(const StackSpec& spec) {
   return seq;
 }
 
-std::vector<Unit> buildUnitsCommonCentroid(const StackSpec& spec) {
-  if (spec.devices.size() != 2 || spec.devices[0].fingers != spec.devices[1].fingers ||
-      spec.devices[0].fingers % 2 != 0) {
-    throw std::invalid_argument(
-        "common-centroid stacks need exactly 2 devices with equal even finger counts");
+/// The ABBA pattern only exists for a balanced pair; diagnose exactly what
+/// the caller got wrong, naming the stack and its devices.
+void requireCommonCentroidable(const StackSpec& spec) {
+  auto roster = [&] {
+    std::string out;
+    for (const StackDevice& d : spec.devices) {
+      if (!out.empty()) out += ", ";
+      out += d.name + " (nf=" + std::to_string(d.fingers) + ")";
+    }
+    return out;
+  };
+  if (spec.devices.size() != 2) {
+    throw std::invalid_argument("common-centroid stack '" + spec.name +
+                                "' needs exactly 2 devices, got " +
+                                std::to_string(spec.devices.size()) + ": " + roster());
   }
+  if (spec.devices[0].fingers != spec.devices[1].fingers) {
+    throw std::invalid_argument("common-centroid stack '" + spec.name +
+                                "' needs equal finger counts, got " + roster());
+  }
+  if (spec.devices[0].fingers % 2 != 0) {
+    throw std::invalid_argument("common-centroid stack '" + spec.name +
+                                "' needs even finger counts, got " + roster());
+  }
+}
+
+std::vector<Unit> buildUnitsCommonCentroid(const StackSpec& spec) {
   const int pairsEach = spec.devices[0].fingers / 2;
   std::vector<Unit> left, right;
   for (int i = 0; i < pairsEach; ++i) {
@@ -76,6 +97,7 @@ StackPlan planStack(const StackSpec& spec) {
   if (gateNets.size() > 2) {
     throw std::invalid_argument("planStack: at most two distinct gate nets supported");
   }
+  if (spec.pattern == StackPattern::kCommonCentroid) requireCommonCentroidable(spec);
 
   const std::vector<Unit> units = spec.pattern == StackPattern::kCommonCentroid
                                       ? buildUnitsCommonCentroid(spec)

@@ -1,7 +1,7 @@
 #include "layout/two_stage_layout.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <stdexcept>
 
 #include "layout/mos_motif.hpp"
 #include "tech/units.hpp"
@@ -41,36 +41,52 @@ std::vector<ShapeOption> motifOptions(const tech::Technology& t, double w, doubl
   return opts;
 }
 
+const PlacementConstraint& matchingOrThrow(const ConstraintSet& constraints,
+                                           const std::string& group) {
+  const PlacementConstraint* c = constraints.matchingFor(group);
+  if (!c || c->items.size() != 2) {
+    throw std::invalid_argument(
+        "two-stage layout needs a two-device matching constraint for '" + group + "'");
+  }
+  return *c;
+}
+
+/// Stack realising the input-pair matching constraint: device names and
+/// pattern come from the declaration, nets from the topology.
 StackSpec pairSpec(const TwoStageOtaDesign& d, const TwoStageLayoutOptions& opt,
-                   int fingers) {
+                   const PlacementConstraint& matching, int fingers) {
   StackSpec s;
-  s.name = "PAIR";
+  s.name = matching.group;
   s.type = tech::MosType::kNmos;
   s.unitWidth = d.inputPair.w / fingers;
   s.drawnL = d.inputPair.l;
   s.sourceNet = "tail";
   s.dummyGateNet = "gnd";
-  s.devices = {{"MN1", fingers, "d1", "inn", d.tailCurrent / 2},
-               {"MN2", fingers, "o1", "inp", d.tailCurrent / 2}};
-  s.pattern = StackPattern::kCommonCentroid;
+  s.devices = {{matching.items[0], fingers, "d1", "inn", d.tailCurrent / 2},
+               {matching.items[1], fingers, "o1", "inp", d.tailCurrent / 2}};
+  s.pattern = matching.kind == ConstraintKind::kCommonCentroid
+                  ? StackPattern::kCommonCentroid
+                  : StackPattern::kInterdigitated;
   s.dummiesPerSide = opt.dummiesPerSide;
   s.emitWellAndSelect = false;
   return s;
 }
 
 StackSpec mirrorSpec(const TwoStageOtaDesign& d, const TwoStageLayoutOptions& opt,
-                     int fingers) {
+                     const PlacementConstraint& matching, int fingers) {
   StackSpec s;
-  s.name = "MIRROR";
+  s.name = matching.group;
   s.type = tech::MosType::kPmos;
   s.unitWidth = d.mirror.w / fingers;
   s.drawnL = d.mirror.l;
   s.sourceNet = "vdd";
   s.dummyGateNet = "vdd";
   s.bulkNet = "vdd";
-  s.devices = {{"MP3", fingers, "d1", "d1", d.tailCurrent / 2},
-               {"MP4", fingers, "o1", "d1", d.tailCurrent / 2}};
-  s.pattern = StackPattern::kCommonCentroid;
+  s.devices = {{matching.items[0], fingers, "d1", "d1", d.tailCurrent / 2},
+               {matching.items[1], fingers, "o1", "d1", d.tailCurrent / 2}};
+  s.pattern = matching.kind == ConstraintKind::kCommonCentroid
+                  ? StackPattern::kCommonCentroid
+                  : StackPattern::kInterdigitated;
   s.dummiesPerSide = opt.dummiesPerSide;
   s.emitWellAndSelect = false;
   return s;
@@ -92,12 +108,24 @@ const MotifLeaf kDriver{"MP6", TwoStageGroup::kDriver, tech::MosType::kPmos,
 
 }  // namespace
 
+ConstraintSet twoStagePlacementConstraints() {
+  ConstraintSet cs;
+  cs.add(PlacementConstraint::commonCentroid("PAIR", {"MN1", "MN2"}));
+  cs.add(PlacementConstraint::commonCentroid("MIRROR", {"MP3", "MP4"}));
+  // Three rows, bottom to top: diffusion, passives, diffusion-in-well.
+  cs.add(PlacementConstraint::sameRow({"MN5", "PAIR", "MN7"}));
+  cs.add(PlacementConstraint::sameRow({"CC", "RZ"}));
+  cs.add(PlacementConstraint::sameRow({"MIRROR", "MP6"}));
+  // The Miller compensation network stays tightly coupled.
+  cs.add(PlacementConstraint::proximity("CC", "RZ"));
+  return cs;
+}
+
 TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
                                             const TwoStageOtaDesign& design,
                                             const TwoStageLayoutOptions& options,
                                             bool generateGeometry) {
   TwoStageLayoutResult result;
-  const Coord rowGap = t.rules.activeSpacing;
 
   // --- Pre-build the passives (single shape each). ---
   CapacitorSpec ccSpec;
@@ -115,66 +143,71 @@ TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
   rzSpec.netB = "rzm";
   const Cell rzCell = generateResistor(t, rzSpec, &result.rzInfo);
 
-  // --- Slicing tree with symmetric second pass. ---
-  auto buildTree = [&](const std::map<std::string, int>* fixed) {
-    auto restrict = [&](const std::string& name, std::vector<ShapeOption> opts) {
-      if (fixed) {
-        const int tag = fixed->at(name);
-        opts.erase(std::remove_if(opts.begin(), opts.end(),
-                                  [&](const ShapeOption& o) { return o.tag != tag; }),
-                   opts.end());
-      }
-      return SlicingNode::leaf(name, std::move(opts));
-    };
-    auto motifLeaf = [&](const MotifLeaf& m) {
-      const device::MosGeometry& geo = design.geometry(m.group);
-      return restrict(m.name,
-                      motifOptions(t, geo.w, geo.l, options.foldStyle,
-                                   twoStageGroupCurrent(design, m.group),
-                                   options.maxFoldCandidates));
-    };
-    auto stackLeaf = [&](const char* name, bool isPair) {
-      const double w = isPair ? design.inputPair.w : design.mirror.w;
-      std::vector<ShapeOption> opts;
-      for (int nf : foldCandidates(t, w, FoldStyle::kDrainInternal,
-                                   options.maxFoldCandidates)) {
-        const StackSpec s = isPair ? pairSpec(design, options, nf)
-                                   : mirrorSpec(design, options, nf);
-        const StackExtents e = stackExtents(t, s);
-        opts.push_back({e.width, e.height, nf});
-      }
-      return restrict(name, std::move(opts));
-    };
+  // --- Constraint-driven row placement. ---
+  const ConstraintSet constraints = twoStagePlacementConstraints();
+  const PlacementConstraint& pairMatch = matchingOrThrow(constraints, "PAIR");
+  const PlacementConstraint& mirrorMatch = matchingOrThrow(constraints, "MIRROR");
 
-    std::vector<std::unique_ptr<SlicingNode>> bottom;
-    bottom.push_back(motifLeaf(kTail));
-    bottom.push_back(stackLeaf("PAIR", true));
-    bottom.push_back(motifLeaf(kSink2));
-
-    std::vector<std::unique_ptr<SlicingNode>> mid;
-    const Rect ccBox = ccCell.bbox();
-    const Rect rzBox = rzCell.bbox();
-    mid.push_back(restrict("CC", {{ccBox.width(), ccBox.height(), 0}}));
-    mid.push_back(restrict("RZ", {{rzBox.width(), rzBox.height(), 0}}));
-
-    std::vector<std::unique_ptr<SlicingNode>> top;
-    top.push_back(stackLeaf("MIRROR", false));
-    top.push_back(motifLeaf(kDriver));
-
-    const Coord routingAllowance = 16000;
-    const Coord mixGap =
-        t.rules.activeToWell + t.rules.nwellOverActive + rowGap + routingAllowance;
-    std::vector<std::unique_ptr<SlicingNode>> rows;
-    rows.push_back(SlicingNode::row(std::move(bottom), rowGap));
-    rows.push_back(SlicingNode::row(std::move(mid), rowGap * 2));
-    rows.push_back(SlicingNode::row(std::move(top), rowGap));
-    return SlicingTree(SlicingNode::column(std::move(rows), mixGap));
+  std::vector<RowItem> items;
+  auto motifItem = [&](const MotifLeaf& m) {
+    const device::MosGeometry& geo = design.geometry(m.group);
+    RowItem it;
+    it.name = m.name;
+    it.kind = m.type == tech::MosType::kPmos ? RowKind::kPmos : RowKind::kNmos;
+    if (m.type == tech::MosType::kPmos) it.wellNet = m.bulk;
+    it.options = motifOptions(t, geo.w, geo.l, options.foldStyle,
+                              twoStageGroupCurrent(design, m.group),
+                              options.maxFoldCandidates);
+    it.nets = {m.drain, m.gate, m.source};
+    return it;
   };
+  auto stackItem = [&](const PlacementConstraint& matching, bool isPair) {
+    const double w = isPair ? design.inputPair.w : design.mirror.w;
+    RowItem it;
+    it.name = matching.group;
+    it.kind = isPair ? RowKind::kNmos : RowKind::kPmos;
+    if (!isPair) it.wellNet = "vdd";
+    for (int nf :
+         foldCandidates(t, w, FoldStyle::kDrainInternal, options.maxFoldCandidates)) {
+      const StackSpec s = isPair ? pairSpec(design, options, matching, nf)
+                                 : mirrorSpec(design, options, matching, nf);
+      const StackExtents e = stackExtents(t, s);
+      it.options.push_back({e.width, e.height, nf});
+    }
+    it.nets = isPair ? std::vector<std::string>{"d1", "inn", "o1", "inp", "tail"}
+                     : std::vector<std::string>{"d1", "o1", "vdd"};
+    return it;
+  };
+  auto passiveItem = [&](const char* name, const Cell& cell,
+                         std::vector<std::string> nets) {
+    const Rect box = cell.bbox();
+    RowItem it;
+    it.name = name;
+    it.kind = RowKind::kPassive;
+    it.options = {{box.width(), box.height(), 0}};
+    it.nets = std::move(nets);
+    return it;
+  };
+  items.push_back(motifItem(kTail));
+  items.push_back(stackItem(pairMatch, true));
+  items.push_back(motifItem(kSink2));
+  items.push_back(passiveItem("CC", ccCell, {"rzm", "out"}));
+  items.push_back(passiveItem("RZ", rzCell, {"o1", "rzm"}));
+  items.push_back(stackItem(mirrorMatch, false));
+  items.push_back(motifItem(kDriver));
 
-  const FloorplanResult fp1 = buildTree(nullptr).optimize(options.shape);
-  std::map<std::string, int> tags;
-  for (const auto& [name, leaf] : fp1.leaves) tags[name] = leaf.tag;
-  const FloorplanResult fp = buildTree(&tags).optimize(options.shape);
+  const RowPlacer placer(t, std::move(items), constraints);
+  RowPlacerOptions placerOptions;
+  placerOptions.shape = options.shape;
+  placerOptions.search = options.placerSearch;
+  placerOptions.seed = options.placerSeed;
+  placerOptions.candidates = options.placerCandidates;
+  placerOptions.threads = options.placerThreads;
+  placerOptions.wireCostNm = options.wireCostNm;
+  const RowPlacement placement = placer.place(placerOptions);
+  const FloorplanResult& fp = placement.floorplan;
+  const std::map<std::string, int>& tags = placement.tags;
+  result.placement = placement;
   result.floorplan = fp;
   result.width = fp.width;
   result.height = fp.height;
@@ -193,8 +226,8 @@ TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
   motifPlan(kSink2);
   motifPlan(kDriver);
 
-  const StackSpec pair = pairSpec(design, options, tags.at("PAIR"));
-  const StackSpec mirror = mirrorSpec(design, options, tags.at("MIRROR"));
+  const StackSpec pair = pairSpec(design, options, pairMatch, tags.at("PAIR"));
+  const StackSpec mirror = mirrorSpec(design, options, mirrorMatch, tags.at("MIRROR"));
   result.pairPlan = planStack(pair);
   StackPlan mirrorPlan = planStack(mirror);
   fillStackJunctions(t.rules, pair, result.pairPlan);
@@ -218,15 +251,15 @@ TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
   // --- Assemble. ---
   Cell assembly;
   assembly.name = "TWO_STAGE";
-  std::vector<Rect> pmosActives, nmosActives;
-  auto placeChild = [&](const Cell& child, const Rect& where,
-                        std::vector<Rect>* actives) {
+  std::vector<RowActive> actives;
+  auto placeChild = [&](const Cell& child, const Rect& where, tech::MosType type,
+                        const char* wellNet) {
     const Rect box = child.bbox();
     const Coord dx = where.x0 - box.x0, dy = where.y0 - box.y0;
     assembly.place(child, geom::Orient::kR0, dx, dy);
-    if (actives) {
+    if (wellNet) {
       const Rect act = child.shapes.bbox(tech::Layer::kActive).translated(dx, dy);
-      if (!act.empty()) actives->push_back(act);
+      if (!act.empty()) actives.push_back({type, wellNet, act});
     }
   };
   auto placeMotif = [&](const MotifLeaf& m) {
@@ -242,61 +275,23 @@ TwoStageLayoutResult generateTwoStageLayout(const tech::Technology& t,
     spec.bulkNet = m.bulk;
     spec.emitWellAndSelect = false;
     const Cell cell = generateMosMotif(t, spec);
-    placeChild(cell, fp.leaves.at(m.name).rect,
-               m.type == tech::MosType::kPmos ? &pmosActives : &nmosActives);
+    placeChild(cell, fp.leaves.at(m.name).rect, m.type,
+               m.type == tech::MosType::kPmos ? m.bulk : "");
   };
   placeMotif(kTail);
   placeMotif(kSink2);
   placeMotif(kDriver);
-  placeChild(generateStack(t, pair), fp.leaves.at("PAIR").rect, &nmosActives);
-  placeChild(generateStack(t, mirror), fp.leaves.at("MIRROR").rect, &pmosActives);
-  placeChild(ccCell, fp.leaves.at("CC").rect, nullptr);
-  placeChild(rzCell, fp.leaves.at("RZ").rect, nullptr);
+  placeChild(generateStack(t, pair), fp.leaves.at("PAIR").rect, tech::MosType::kNmos, "");
+  placeChild(generateStack(t, mirror), fp.leaves.at("MIRROR").rect, tech::MosType::kPmos,
+             "vdd");
+  placeChild(ccCell, fp.leaves.at("CC").rect, tech::MosType::kNmos, nullptr);
+  placeChild(rzCell, fp.leaves.at("RZ").rect, tech::MosType::kNmos, nullptr);
 
   // Wells / selects per row (all PMOS here sit in a VDD well).
-  geom::ShapeList wellShapes;
-  {
-    Rect pAll, nAll;
-    bool haveP = false, haveN = false;
-    for (const Rect& r : pmosActives) {
-      pAll = haveP ? pAll.merged(r) : r;
-      haveP = true;
-    }
-    for (const Rect& r : nmosActives) {
-      nAll = haveN ? nAll.merged(r) : r;
-      haveN = true;
-    }
-    if (haveP) {
-      wellShapes.add(tech::Layer::kNWell, pAll.inflated(t.rules.nwellOverActive), "vdd");
-      wellShapes.add(tech::Layer::kPPlus, pAll.inflated(t.rules.selectOverActive));
-    }
-    if (haveN) {
-      wellShapes.add(tech::Layer::kNPlus, nAll.inflated(t.rules.selectOverActive));
-    }
-  }
+  const geom::ShapeList wellShapes = mergedRowWells(t, actives);
 
   // Routing channels around the three rows.
-  std::vector<Channel> channels;
-  {
-    auto band = [&](std::initializer_list<const char*> names) {
-      Coord lo = std::numeric_limits<Coord>::max(), hi = std::numeric_limits<Coord>::min();
-      for (const char* n : names) {
-        const Rect& r = fp.leaves.at(n).rect;
-        lo = std::min(lo, r.y0);
-        hi = std::max(hi, r.y1);
-      }
-      return std::make_pair(lo, hi);
-    };
-    const auto bot = band({"MN5", "PAIR", "MN7"});
-    const auto mid = band({"CC", "RZ"});
-    const auto top = band({"MIRROR", "MP6"});
-    const Coord inset = t.rules.metal1Spacing;
-    const Coord margin = 16000;
-    channels.push_back({bot.first - margin, bot.first - inset});
-    channels.push_back({bot.second + inset, mid.first - inset});
-    channels.push_back({mid.second + inset, top.first - inset});
-    channels.push_back({top.second + inset, top.second + margin});
-  }
+  const std::vector<Channel> channels = rowChannels(t, placement, 16000);
 
   const std::vector<NetRequest> nets = {
       {"tail", design.tailCurrent}, {"d1", design.tailCurrent / 2},

@@ -1,21 +1,25 @@
 // Procedural layout program for the two-stage Miller OTA -- the second
 // "CAIRO program" in the library, demonstrating that new topologies plug
-// into the same parasitic-calculation / generation machinery.
-//
-// Floorplan:
+// into the same constraint/row placement pipeline: the topology declares
+// its matching intent (twoStagePlacementConstraints) and the RowPlacer
+// realises the rows.  The declared backend reproduces the historical
+// floorplan byte-for-byte:
 //   top row    : MP3-MP4 mirror stack (PMOS, shared VDD well) | MP6 motif
 //   middle row : CC plate capacitor | RZ poly serpentine
 //   bottom row : MN5 (tail) | MN1/MN2 common-centroid stack | MN7
 #pragma once
 
+#include <cstdint>
 #include <map>
 
 #include "circuit/two_stage.hpp"
 #include "device/folding.hpp"
 #include "layout/cell.hpp"
+#include "layout/constraints.hpp"
 #include "layout/extract.hpp"
 #include "layout/passives.hpp"
 #include "layout/router.hpp"
+#include "layout/row.hpp"
 #include "layout/slicing.hpp"
 #include "layout/stack.hpp"
 #include "tech/technology.hpp"
@@ -28,12 +32,25 @@ struct TwoStageLayoutOptions {
   ShapeConstraint shape = defaultShape();
   int maxFoldCandidates = 6;
 
+  /// Row-placer backend (see OtaLayoutOptions).
+  RowSearch placerSearch = RowSearch::kDeclared;
+  std::uint64_t placerSeed = 1;
+  int placerCandidates = 96;
+  int placerThreads = 1;
+  double wireCostNm = 50.0;
+
   [[nodiscard]] static ShapeConstraint defaultShape() {
     ShapeConstraint c;
     c.aspectRatio = 1.0;
     return c;
   }
 };
+
+/// The two-stage OTA's declared matching intent: the input pair and the
+/// current mirror each fuse common-centroid into a stack, the three
+/// diffusion/passive rows are declared bottom to top, and the Miller
+/// compensation network (CC, RZ) stays tightly coupled.
+[[nodiscard]] ConstraintSet twoStagePlacementConstraints();
 
 struct TwoStageLayoutResult {
   std::map<circuit::TwoStageGroup, device::FoldPlan> foldPlans;
@@ -45,6 +62,7 @@ struct TwoStageLayoutResult {
   geom::Coord width = 0;
   geom::Coord height = 0;
   FloorplanResult floorplan;
+  RowPlacement placement;  ///< Row placer outcome (rows, score).
   RoutingResult routing;
   Cell cell;  ///< Geometry; empty in parasitic mode.
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/circuit.hpp"
 #include "layout/drc.hpp"
 
 namespace lo::layout {
@@ -119,6 +120,74 @@ TEST(OtaLayout, AlternatingAblationRaisesDrainCap) {
   const auto& di = ri.junctions.at(circuit::OtaGroup::kNCascode);
   const auto& da = ra.junctions.at(circuit::OtaGroup::kNCascode);
   EXPECT_GE(da.ad / da.w, di.ad / di.w * 0.999);
+}
+
+TEST(OtaLayout, PlacementReportsConstraintDerivedRows) {
+  const OtaLayoutResult r =
+      generateOtaLayout(kTech, testDesign(), OtaLayoutOptions{}, false);
+  // Fig. 5's three diffusion rows, bottom to top: NMOS core, the pair's
+  // floating-well stack, the VDD PMOS row.
+  ASSERT_EQ(r.placement.rows.size(), 3u);
+  EXPECT_EQ(r.placement.rows[0].kind, RowKind::kNmos);
+  EXPECT_EQ(r.placement.rows[0].items,
+            (std::vector<std::string>{"MN1C", "SINK", "MN2C"}));
+  EXPECT_EQ(r.placement.rows[1].kind, RowKind::kPmos);
+  EXPECT_EQ(r.placement.rows[1].wellNet, "tail");
+  EXPECT_EQ(r.placement.rows[1].items, (std::vector<std::string>{"PAIR"}));
+  EXPECT_EQ(r.placement.rows[2].kind, RowKind::kPmos);
+  EXPECT_EQ(r.placement.rows[2].wellNet, "vdd");
+  EXPECT_EQ(r.placement.rows[2].items,
+            (std::vector<std::string>{"MP3C", "MP3", "MP5", "MP4", "MP4C"}));
+  EXPECT_EQ(r.placement.floorplan.width, r.floorplan.width);
+  EXPECT_GT(r.placement.scoreNm2, r.placement.floorplan.areaNm2());
+}
+
+TEST(OtaLayout, DeclaredPlacementPassesSymmetryAudit) {
+  const OtaLayoutOptions options;
+  const OtaLayoutResult r = generateOtaLayout(kTech, testDesign(), options, false);
+  const ConstraintSet constraints = otaPlacementConstraints(options, /*includeBias=*/false);
+  const auto violations = auditSymmetry(constraints, r.floorplan.leaves, kTech.rules.grid);
+  EXPECT_TRUE(violations.empty()) << formatViolations(violations);
+}
+
+TEST(OtaLayout, SeededPlacerKeepsSymmetryAndNeverLoses) {
+  OtaLayoutOptions seeded;
+  seeded.placerSearch = RowSearch::kSeeded;
+  seeded.placerSeed = 11;
+  seeded.placerCandidates = 24;
+  const OtaLayoutResult rd =
+      generateOtaLayout(kTech, testDesign(), OtaLayoutOptions{}, false);
+  const OtaLayoutResult rs = generateOtaLayout(kTech, testDesign(), seeded, false);
+  EXPECT_LE(rs.placement.scoreNm2, rd.placement.scoreNm2);
+  const auto& fp = rs.floorplan;
+  EXPECT_EQ(fp.leaves.at("MP3C").rect.width(), fp.leaves.at("MP4C").rect.width());
+  const ConstraintSet constraints = otaPlacementConstraints(seeded, false);
+  EXPECT_TRUE(auditSymmetry(constraints, fp.leaves, kTech.rules.grid).empty());
+}
+
+// Satellite requirement: the mirrored placement is electrically matched --
+// the two symmetric cascode nets see the same routed wire resistance, so
+// the annotated circuit carries equal RPAR_ elements on both sides.
+TEST(OtaLayout, MirroredPlacementMatchesWireResistances) {
+  const OtaLayoutResult r =
+      generateOtaLayout(kTech, testDesign(), OtaLayoutOptions{}, /*generateGeometry=*/true);
+  const double resX1 = r.parasitics.nets.at("x1").routingRes;
+  const double resX2 = r.parasitics.nets.at("x2").routingRes;
+  ASSERT_GT(resX1, 0.0);
+  EXPECT_NEAR(resX1, resX2, 0.02 * resX1);
+
+  circuit::Circuit c;
+  (void)c.node("x1");
+  (void)c.node("x2");
+  annotateCircuit(c, r.parasitics, /*minSeriesRes=*/1e-6);
+  double rparX1 = -1.0, rparX2 = -1.0;
+  for (const auto& res : c.resistors) {
+    if (res.name == "RPAR_x1") rparX1 = res.ohms;
+    if (res.name == "RPAR_x2") rparX2 = res.ohms;
+  }
+  ASSERT_GT(rparX1, 0.0);
+  ASSERT_GT(rparX2, 0.0);
+  EXPECT_NEAR(rparX1, rparX2, 0.02 * rparX1);
 }
 
 TEST(OtaLayout, GeneratedLayoutHasNoShorts) {

@@ -139,6 +139,37 @@ TEST(StackPlanning, RejectsBadConfigs) {
   EXPECT_THROW((void)planStack(s), std::invalid_argument);
 }
 
+TEST(StackPlanning, CommonCentroidErrorsNameTheOffendingDevices) {
+  auto messageOf = [](const StackSpec& s) -> std::string {
+    try {
+      (void)planStack(s);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return {};
+  };
+
+  StackSpec odd = pairSpec(3);
+  const std::string oddMsg = messageOf(odd);
+  EXPECT_NE(oddMsg.find("'pair'"), std::string::npos) << oddMsg;
+  EXPECT_NE(oddMsg.find("even"), std::string::npos) << oddMsg;
+  EXPECT_NE(oddMsg.find("MA (nf=3)"), std::string::npos) << oddMsg;
+  EXPECT_NE(oddMsg.find("MB (nf=3)"), std::string::npos) << oddMsg;
+
+  StackSpec unequal = pairSpec(4);
+  unequal.devices[1].fingers = 6;
+  const std::string unequalMsg = messageOf(unequal);
+  EXPECT_NE(unequalMsg.find("equal finger counts"), std::string::npos) << unequalMsg;
+  EXPECT_NE(unequalMsg.find("MA (nf=4)"), std::string::npos) << unequalMsg;
+  EXPECT_NE(unequalMsg.find("MB (nf=6)"), std::string::npos) << unequalMsg;
+
+  StackSpec crowd = mirrorSpec();
+  crowd.pattern = StackPattern::kCommonCentroid;
+  const std::string crowdMsg = messageOf(crowd);
+  EXPECT_NE(crowdMsg.find("exactly 2 devices, got 3"), std::string::npos) << crowdMsg;
+  EXPECT_NE(crowdMsg.find("M3 (nf=12)"), std::string::npos) << crowdMsg;
+}
+
 TEST(StackJunctions, SharedSourceStripsSplitBetweenNeighbours) {
   StackSpec s = pairSpec(4);
   StackPlan plan = planStack(s);

@@ -1,0 +1,62 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "service/cache.hpp"
+
+namespace lo::cluster {
+
+namespace {
+
+std::uint64_t hashOf(const std::string& text) {
+  return service::ResultCache::fnv1a(text);
+}
+
+}  // namespace
+
+ShardRing::ShardRing(int shards, int vnodesPerShard) : shards_(shards) {
+  if (shards < 1) throw std::invalid_argument("ShardRing needs >= 1 shard");
+  if (vnodesPerShard < 1) {
+    throw std::invalid_argument("ShardRing needs >= 1 vnode per shard");
+  }
+  points_.reserve(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(vnodesPerShard));
+  for (int shard = 0; shard < shards; ++shard) {
+    for (int vnode = 0; vnode < vnodesPerShard; ++vnode) {
+      const std::string label =
+          "shard-" + std::to_string(shard) + "#" + std::to_string(vnode);
+      points_.emplace_back(hashOf(label), shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t ShardRing::startIndexFor(const std::string& key) const {
+  const std::uint64_t h = hashOf(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+}
+
+int ShardRing::ownerOf(const std::string& key) const {
+  return points_[startIndexFor(key)].second;
+}
+
+int ShardRing::routeOf(const std::string& key,
+                       const std::vector<bool>& alive) const {
+  if (alive.size() != static_cast<std::size_t>(shards_)) {
+    throw std::invalid_argument("alive mask size != shard count");
+  }
+  const std::size_t start = startIndexFor(key);
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    const int shard = points_[(start + step) % points_.size()].second;
+    if (alive[static_cast<std::size_t>(shard)]) return shard;
+  }
+  return -1;
+}
+
+}  // namespace lo::cluster

@@ -1,0 +1,52 @@
+// Consistent-hash ring over result-cache keys: the routing core of the
+// losynthd cluster.
+//
+// Each shard owns many pseudo-random points ("virtual nodes") on a 64-bit
+// ring; a job routes to the shard owning the first point clockwise of its
+// cache key's hash.  Two properties make this the right router for a
+// content-addressed cache:
+//
+//  * stability -- identical jobs always land on the same shard, so that
+//    shard's in-memory LRU and single-flight coalescing see every
+//    duplicate of a key (the cluster-level analogue of the scheduler's
+//    coalescing guarantee);
+//  * minimal disruption -- when a shard dies, only *its* key ranges move
+//    (to the next live shard clockwise); every other key keeps its owner,
+//    so the surviving shards' caches stay hot.
+//
+// Keys are the ResultCache's fixed-width hex strings; they are re-hashed
+// with FNV-1a here because the cache key itself is already the output of
+// FNV-1a over structured text and its low bits are not uniformly
+// distributed over job families that share a long canonical prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lo::cluster {
+
+class ShardRing {
+ public:
+  /// `shards` >= 1; `vnodesPerShard` trades balance for lookup table size.
+  explicit ShardRing(int shards, int vnodesPerShard = 64);
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// The shard owning `key`, ignoring liveness (the "home" shard).
+  [[nodiscard]] int ownerOf(const std::string& key) const;
+
+  /// The first *live* shard clockwise of `key`; -1 when every shard is
+  /// dead.  `alive` must have shards() entries.
+  [[nodiscard]] int routeOf(const std::string& key,
+                            const std::vector<bool>& alive) const;
+
+ private:
+  [[nodiscard]] std::size_t startIndexFor(const std::string& key) const;
+
+  int shards_ = 0;
+  /// (point hash, shard) sorted by hash: the ring, flattened.
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace lo::cluster

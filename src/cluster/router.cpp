@@ -1,0 +1,722 @@
+#include "cluster/router.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+
+namespace lo::cluster {
+
+namespace {
+
+using service::Json;
+
+Json errorJson(const std::string& why) {
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", why);
+  return out;
+}
+
+Json structuredErrorJson(const std::string& code, const std::string& message) {
+  Json error = Json::object();
+  error.set("code", code);
+  error.set("message", message);
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", std::move(error));
+  return out;
+}
+
+std::string shardLabel(int shard) { return "shard" + std::to_string(shard); }
+
+/// Error text of a shard response, whichever shape (string or structured
+/// object) the shard used.
+std::string errorTextOf(const Json& response, const std::string& fallback) {
+  const Json* error = response.find("error");
+  if (error == nullptr) return fallback;
+  if (error->isObject()) return error->at("message").asString(fallback);
+  return error->asString(fallback);
+}
+
+/// A sweep outcome standing in for a job the cluster could not place.
+Json failedOutcome(const std::string& why) {
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("state", "failed");
+  out.set("error", why);
+  return out;
+}
+
+/// Recursively add src's numeric leaves into dst, creating objects as
+/// needed.  This is how per-shard stats sections become cluster totals.
+void sumInto(Json& dst, const Json& src) {
+  for (const auto& [key, value] : src.members()) {
+    if (value.type() == Json::Type::kNumber) {
+      const Json* prior = dst.find(key);
+      dst.set(key, (prior != nullptr ? prior->asDouble() : 0.0) + value.asDouble());
+    } else if (value.isObject()) {
+      Json child = Json::object();
+      if (const Json* prior = dst.find(key); prior != nullptr && prior->isObject()) {
+        child = *prior;
+      }
+      sumInto(child, value);
+      dst.set(key, std::move(child));
+    }
+  }
+}
+
+}  // namespace
+
+ClusterRouter::ClusterRouter(RouterOptions options)
+    : options_(std::move(options)),
+      techPrint_(service::ResultCache::techFingerprint(options_.technology)),
+      ring_(options_.shards, options_.vnodesPerShard) {
+  if (options_.workerArgv.empty()) {
+    throw std::invalid_argument("ClusterRouter needs a worker argv");
+  }
+  shards_.resize(static_cast<std::size_t>(options_.shards));
+  if (!options_.cacheDir.empty()) {
+    std::filesystem::create_directories(options_.cacheDir);
+  }
+  for (int s = 0; s < options_.shards; ++s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    shard.process = std::make_unique<ShardProcess>();
+    shard.argv = options_.workerArgv;
+    if (!options_.journalRoot.empty()) {
+      const std::string dir = options_.journalRoot + "/" + shardLabel(s);
+      std::filesystem::create_directories(dir);
+      shard.argv.push_back("--journal");
+      shard.argv.push_back(dir);
+    }
+    if (!options_.cacheDir.empty()) {
+      shard.argv.push_back("--cache-dir");
+      shard.argv.push_back(options_.cacheDir);
+    }
+    spawnShard(s);
+  }
+}
+
+ClusterRouter::~ClusterRouter() {
+  // terminate() closes the shard's stdin; a healthy daemon drains its
+  // serve loop and exits cleanly, journal intact for the next boot.
+  for (Shard& shard : shards_) {
+    if (shard.process) shard.process->terminate(2.0);
+  }
+}
+
+void ClusterRouter::spawnShard(int shard) {
+  Shard& st = shards_[static_cast<std::size_t>(shard)];
+  st.alive = false;
+  st.process->spawn(st.argv);
+  // The boot health check doubles as the harvest point for the journal
+  // replay evidence this boot produced (surfaced in cluster health).
+  std::string line;
+  const double bootTimeout = std::max(30.0, options_.requestTimeoutSeconds);
+  if (!st.process->writeLine(R"({"op":"health"})") ||
+      st.process->readLine(line, bootTimeout) != ReadStatus::kOk) {
+    st.process->kill9();
+    throw std::runtime_error(shardLabel(shard) + " failed its boot health check");
+  }
+  try {
+    const Json health = Json::parse(line);
+    const Json& journal = health.at("health").at("journal");
+    st.lastReplayedRecords = journal.at("replayed_records").asUint64();
+    st.lastRecoveredJobs = journal.at("recovered_jobs").asUint64();
+  } catch (const service::JsonParseError&) {
+    st.process->kill9();
+    throw std::runtime_error(shardLabel(shard) + " answered garbage at boot");
+  }
+  st.alive = true;
+}
+
+void ClusterRouter::markDead(int shard) {
+  Shard& st = shards_[static_cast<std::size_t>(shard)];
+  if (st.alive) ++st.transportErrors;
+  st.alive = false;
+  // A wedged child must actually be gone before a respawn re-opens its
+  // journal; kill9 is a no-op when the child already exited.
+  st.process->kill9();
+}
+
+bool ClusterRouter::reviveShard(int shard) {
+  Shard& st = shards_[static_cast<std::size_t>(shard)];
+  if (st.alive) return true;
+  if (!options_.restartDeadShards) return false;
+  if (st.restarts >= options_.maxRestartsPerShard) return false;
+  ++st.restarts;
+  try {
+    spawnShard(shard);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<bool> ClusterRouter::aliveMask() const {
+  std::vector<bool> mask;
+  mask.reserve(shards_.size());
+  for (const Shard& shard : shards_) mask.push_back(shard.alive);
+  return mask;
+}
+
+int ClusterRouter::routeLive(const std::string& key) {
+  const int home = ring_.ownerOf(key);
+  // Prefer healing the home shard over scattering its keys: a revived
+  // shard replays its journal and keeps serving its own ranges.
+  if (!shards_[static_cast<std::size_t>(home)].alive) (void)reviveShard(home);
+  const int target = ring_.routeOf(key, aliveMask());
+  if (target < 0) {
+    throw RouterError{"no_live_shards",
+                      "every shard is down and none could be restarted"};
+  }
+  if (target != home) ++rerouted_;
+  return target;
+}
+
+std::optional<std::string> ClusterRouter::forwardRaw(int shard,
+                                                     const std::string& line) {
+  Shard& st = shards_[static_cast<std::size_t>(shard)];
+  if (!st.alive) return std::nullopt;
+  if (!st.process->writeLine(line)) {
+    markDead(shard);
+    return std::nullopt;
+  }
+  std::string response;
+  if (st.process->readLine(response, options_.requestTimeoutSeconds) !=
+      ReadStatus::kOk) {
+    markDead(shard);
+    return std::nullopt;
+  }
+  return response;
+}
+
+std::pair<int, Json> ClusterRouter::forwardRouted(const std::string& key,
+                                                  const std::string& line) {
+  // Every failed attempt consumes a shard life (restart budget or the
+  // shard itself), so this loop terminates: either some attempt lands on
+  // a live shard or routeLive runs out and throws no_live_shards.
+  const int maxAttempts =
+      shardCount() * (std::max(0, options_.maxRestartsPerShard) + 2);
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    const int shard = routeLive(key);
+    if (std::optional<std::string> response = forwardRaw(shard, line)) {
+      ++shards_[static_cast<std::size_t>(shard)].routedJobs;
+      return {shard, Json::parse(*response)};
+    }
+  }
+  throw RouterError{"no_live_shards", "request retries exhausted the cluster"};
+}
+
+std::uint64_t ClusterRouter::mapNewJob(int shard, std::uint64_t localId) {
+  const std::uint64_t routerId = nextJobId_++;
+  jobRoute_[routerId] = {shard, localId};
+  return routerId;
+}
+
+std::string ClusterRouter::routingKeyFor(const Json& entry) const {
+  const service::JobRequest job = service::parseJobRequest(entry);
+  if (!job.bypassCache) {
+    return service::ResultCache::keyFor(job.options, job.specs, job.corner,
+                                        techPrint_);
+  }
+  // no_cache jobs have no cache identity to co-locate; spread them by
+  // request text so repeated bypass runs at least balance.
+  return "raw:" + entry.dump();
+}
+
+std::string ClusterRouter::handleLine(const std::string& line) {
+  Json response;
+  try {
+    if (line.size() > service::kMaxRequestLineBytes) {
+      response = errorJson("request line too long (" +
+                           std::to_string(line.size()) + " bytes, limit " +
+                           std::to_string(service::kMaxRequestLineBytes) + ")");
+    } else {
+      response = handle(Json::parse(line), line);
+    }
+  } catch (const RouterError& e) {
+    response = structuredErrorJson(e.code, e.message);
+  } catch (const std::exception& e) {
+    response = errorJson(e.what());
+  }
+  return response.dump();
+}
+
+Json ClusterRouter::handle(const Json& request, const std::string& rawLine) {
+  if (!request.isObject()) return errorJson("request must be a JSON object");
+  const std::string op = request.at("op").asString();
+  if (op == "synthesize") return handleSynthesize(request, rawLine);
+  if (op == "sweep") return handleSweep(request);
+  if (op == "wait" || op == "cancel") return handleWaitOrCancel(request, op);
+  if (op == "explore") return handleExplore(rawLine);
+  if (op == "explore_result") return handleExploreResult(request);
+  if (op == "stats") return handleStats();
+  if (op == "health") return handleHealth();
+  if (op == "topologies") return forwardToAnyShard(rawLine);
+  if (op == "shutdown") return handleShutdown();
+
+  Json knownOps = Json::array();
+  for (const char* name : {"synthesize", "sweep", "wait", "cancel", "explore",
+                           "explore_result", "stats", "health", "topologies",
+                           "shutdown"}) {
+    knownOps.push(name);
+  }
+  Json error = Json::object();
+  error.set("code", "unknown_op");
+  error.set("message", "unknown op \"" + op + "\"");
+  error.set("known_ops", std::move(knownOps));
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", std::move(error));
+  return out;
+}
+
+Json ClusterRouter::handleSynthesize(const Json& request,
+                                     const std::string& rawLine) {
+  const std::string key = routingKeyFor(request);
+  auto [shard, response] = forwardRouted(key, rawLine);
+  // Shard-local job ids collide across shards; re-issue from the router's
+  // id space so wait/cancel can find their way back.
+  if (response.at("ok").asBool()) {
+    if (const Json* id = response.find("id")) {
+      response.set("id", mapNewJob(shard, id->asUint64()));
+    }
+  }
+  response.set("shard", shard);
+  return response;
+}
+
+Json ClusterRouter::handleWaitOrCancel(const Json& request,
+                                       const std::string& op) {
+  const std::uint64_t routerId = request.at("id").asUint64();
+  const auto route = jobRoute_.find(routerId);
+  if (route == jobRoute_.end()) {
+    return errorJson("\"" + op + "\" needs a known job \"id\"");
+  }
+  const auto [shard, localId] = route->second;
+  Json forward = request;
+  forward.set("id", localId);
+  const std::string line = forward.dump();
+
+  std::optional<std::string> raw;
+  if (shards_[static_cast<std::size_t>(shard)].alive || reviveShard(shard)) {
+    raw = forwardRaw(shard, line);
+  }
+  if (!raw && reviveShard(shard)) {
+    // The shard died holding this job; its journal replay re-enqueued the
+    // job under the same local id, so the identical wait/cancel works.
+    raw = forwardRaw(shard, line);
+  }
+  if (!raw) {
+    throw RouterError{"shard_down", shardLabel(shard) + " is down; job " +
+                                        std::to_string(routerId) +
+                                        " is unavailable until it restarts"};
+  }
+  Json response = Json::parse(*raw);
+  if (response.find("id") != nullptr) response.set("id", routerId);
+  response.set("shard", shard);
+  return response;
+}
+
+Json ClusterRouter::handleSweep(const Json& request) {
+  const Json* jobs = request.find("jobs");
+  if (jobs == nullptr || !jobs->isArray()) {
+    return errorJson("\"sweep\" needs a \"jobs\" array");
+  }
+  const std::vector<Json>& entries = jobs->items();
+  const bool trace = request.at("trace").asBool();
+  const bool summary = request.at("summary").asBool();
+
+  // Key derivation (parse + canonicalise + hash, a few us per entry) is
+  // the router's largest serial per-job cost, and it is embarrassingly
+  // parallel: fan it over a small thread pool so a wide sweep's routing
+  // overhead shrinks with the cores available instead of growing with the
+  // batch.  A bad entry's parse error is captured and rethrown after the
+  // join, same surface as the serial loop had.
+  std::vector<std::string> keys(entries.size());
+  {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t nThreads =
+        std::min({hw, entries.size() / 64 + 1, std::size_t{8}});
+    if (nThreads <= 1) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        keys[i] = routingKeyFor(entries[i]);
+      }
+    } else {
+      std::vector<std::thread> workers;
+      std::vector<std::exception_ptr> errors(nThreads);
+      for (std::size_t t = 0; t < nThreads; ++t) {
+        workers.emplace_back([&, t] {
+          try {
+            for (std::size_t i = t; i < entries.size(); i += nThreads) {
+              keys[i] = routingKeyFor(entries[i]);
+            }
+          } catch (...) {
+            errors[t] = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      for (const std::exception_ptr& error : errors) {
+        if (error) std::rethrow_exception(error);
+      }
+    }
+  }
+
+  // Partition by routed shard; routeLive revives dead home shards up
+  // front so the partition is against the healthiest cluster available.
+  std::vector<std::vector<std::size_t>> byShard(shards_.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    byShard[static_cast<std::size_t>(routeLive(keys[i]))].push_back(i);
+  }
+
+  struct SubSweep {
+    int shard = -1;
+    std::vector<std::size_t> indices;
+    std::string requestLine;
+    std::optional<std::string> responseLine;
+    // Parsed in the I/O thread, so N sub-responses decode concurrently;
+    // empty with responseLine set means the shard answered garbage, which
+    // the recovery pass treats exactly like a dead pipe.
+    std::optional<Json> response;
+  };
+  std::vector<SubSweep> subs;
+  for (int s = 0; s < shardCount(); ++s) {
+    std::vector<std::size_t>& indices = byShard[static_cast<std::size_t>(s)];
+    if (indices.empty()) continue;
+    SubSweep sub;
+    sub.shard = s;
+    sub.indices = std::move(indices);
+    Json subRequest = Json::object();
+    subRequest.set("op", "sweep");
+    if (trace) subRequest.set("trace", true);
+    if (summary) subRequest.set("summary", true);
+    Json subJobs = Json::array();
+    for (std::size_t i : sub.indices) subJobs.push(entries[i]);
+    subRequest.set("jobs", std::move(subJobs));
+    sub.requestLine = subRequest.dump();
+    subs.push_back(std::move(sub));
+  }
+
+  // Happy-path fan-out: one I/O thread per shard, so N shards compute --
+  // and, just as important, serialise/parse -- their sub-sweeps
+  // concurrently.  Threads touch only their own shard's pipe and their
+  // own SubSweep; all router state mutation happens after the join.
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(subs.size());
+    for (SubSweep& sub : subs) {
+      workers.emplace_back([this, &sub] {
+        ShardProcess& process = *shards_[static_cast<std::size_t>(sub.shard)].process;
+        if (!process.writeLine(sub.requestLine)) return;
+        // One sub-sweep is many jobs behind one response; scale the
+        // wedge deadline with the batch.
+        const double timeout =
+            options_.requestTimeoutSeconds <= 0
+                ? 0
+                : options_.requestTimeoutSeconds *
+                      static_cast<double>(sub.indices.size());
+        std::string line;
+        if (process.readLine(line, timeout) == ReadStatus::kOk) {
+          sub.responseLine = std::move(line);
+          try {
+            sub.response = Json::parse(*sub.responseLine);
+          } catch (const std::exception&) {
+            // Leave response empty: garbage on the pipe is shard failure.
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Recovery pass, sequential: a failed sub-sweep first retries on its
+  // revived owner (journal replay turns the resend into coalesces and
+  // cache hits, not double runs); if the shard stays down, its entries
+  // re-route one by one to the survivors.
+  std::vector<Json> placed(entries.size());
+  for (SubSweep& sub : subs) {
+    if (!sub.response) {
+      markDead(sub.shard);
+      if (reviveShard(sub.shard)) {
+        sub.responseLine = forwardRaw(sub.shard, sub.requestLine);
+        if (sub.responseLine) {
+          try {
+            sub.response = Json::parse(*sub.responseLine);
+          } catch (const std::exception&) {
+          }
+        }
+      }
+    }
+
+    bool delivered = false;
+    if (sub.response) {
+      const Json& response = *sub.response;
+      const Json* outcomes = response.find("outcomes");
+      if (response.at("ok").asBool() && outcomes != nullptr &&
+          outcomes->isArray() &&
+          outcomes->items().size() == sub.indices.size()) {
+        shards_[static_cast<std::size_t>(sub.shard)].routedJobs +=
+            sub.indices.size();
+        for (std::size_t j = 0; j < sub.indices.size(); ++j) {
+          Json outcome = outcomes->items()[j];
+          if (const Json* id = outcome.find("id")) {
+            outcome.set("id", mapNewJob(sub.shard, id->asUint64()));
+          }
+          outcome.set("shard", sub.shard);
+          placed[sub.indices[j]] = std::move(outcome);
+        }
+        delivered = true;
+      } else {
+        const std::string why = errorTextOf(response, "sweep failed");
+        for (std::size_t idx : sub.indices) placed[idx] = failedOutcome(why);
+        delivered = true;
+      }
+    }
+    if (delivered) continue;
+
+    for (std::size_t idx : sub.indices) {
+      try {
+        Json one = Json::object();
+        one.set("op", "sweep");
+        if (trace) one.set("trace", true);
+        if (summary) one.set("summary", true);
+        Json oneJobs = Json::array();
+        oneJobs.push(entries[idx]);
+        one.set("jobs", std::move(oneJobs));
+        auto [shard, response] = forwardRouted(keys[idx], one.dump());
+        const Json* outcomes = response.find("outcomes");
+        if (response.at("ok").asBool() && outcomes != nullptr &&
+            outcomes->isArray() && outcomes->items().size() == 1) {
+          Json outcome = outcomes->items().front();
+          if (const Json* id = outcome.find("id")) {
+            outcome.set("id", mapNewJob(shard, id->asUint64()));
+          }
+          outcome.set("shard", shard);
+          placed[idx] = std::move(outcome);
+        } else {
+          placed[idx] = failedOutcome(errorTextOf(response, "sweep failed"));
+        }
+      } catch (const RouterError& e) {
+        placed[idx] = failedOutcome(e.code + ": " + e.message);
+      }
+    }
+  }
+
+  Json outcomes = Json::array();
+  for (Json& outcome : placed) outcomes.push(std::move(outcome));
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("outcomes", std::move(outcomes));
+  return out;
+}
+
+Json ClusterRouter::handleExplore(const std::string& rawLine) {
+  // Explorations are not content-addressed; balance them by request text.
+  auto [shard, response] = forwardRouted("raw:" + rawLine, rawLine);
+  if (response.at("ok").asBool()) {
+    if (const Json* id = response.find("explore_id")) {
+      const std::uint64_t routerId = nextExploreId_++;
+      exploreRoute_[routerId] = {shard, id->asUint64()};
+      response.set("explore_id", routerId);
+    }
+  }
+  response.set("shard", shard);
+  return response;
+}
+
+Json ClusterRouter::handleExploreResult(const Json& request) {
+  const std::uint64_t routerId = request.at("explore_id").asUint64();
+  const auto route = exploreRoute_.find(routerId);
+  if (route == exploreRoute_.end()) {
+    return errorJson("\"explore_result\" needs a known \"explore_id\"");
+  }
+  const auto [shard, localId] = route->second;
+  if (!shards_[static_cast<std::size_t>(shard)].alive && !reviveShard(shard)) {
+    throw RouterError{"shard_down",
+                      shardLabel(shard) + " is down; exploration " +
+                          std::to_string(routerId) + " is unavailable"};
+  }
+  Json forward = request;
+  forward.set("explore_id", localId);
+  std::optional<std::string> raw = forwardRaw(shard, forward.dump());
+  if (!raw) {
+    // Explorations live in shard memory, not the journal: a crash loses
+    // them, and the honest answer is an error, not a silent re-run.
+    throw RouterError{"shard_down", shardLabel(shard) + " died holding " +
+                                        "exploration " +
+                                        std::to_string(routerId)};
+  }
+  Json response = Json::parse(*raw);
+  if (response.find("explore_id") != nullptr) {
+    response.set("explore_id", routerId);
+  }
+  response.set("shard", shard);
+  return response;
+}
+
+Json ClusterRouter::forwardToAnyShard(const std::string& rawLine) {
+  auto [shard, response] = forwardRouted("any", rawLine);
+  response.set("shard", shard);
+  return response;
+}
+
+Json ClusterRouter::handleStats() {
+  Json cluster = Json::object();
+  Json perShard = Json::object();
+  for (int s = 0; s < shardCount(); ++s) {
+    Shard& st = shards_[static_cast<std::size_t>(s)];
+    std::optional<std::string> raw;
+    if (st.alive || reviveShard(s)) raw = forwardRaw(s, R"({"op":"stats"})");
+    if (!raw) {
+      Json down = Json::object();
+      down.set("down", true);
+      perShard.set(shardLabel(s), std::move(down));
+      continue;
+    }
+    const Json response = Json::parse(*raw);
+    const Json& stats = response.at("stats");
+    // Cluster totals sum the scheduler-shaped sections; registered extras
+    // (e.g. "explorations") stay per-shard only -- their insides are not
+    // meaningfully additive.
+    for (const char* section : {"jobs", "stages", "cache", "queue"}) {
+      if (const Json* body = stats.find(section); body && body->isObject()) {
+        Json total = Json::object();
+        if (const Json* prior = cluster.find(section)) total = *prior;
+        sumInto(total, *body);
+        cluster.set(section, std::move(total));
+      }
+    }
+    perShard.set(shardLabel(s), stats);
+  }
+
+  Json router = Json::object();
+  router.set("shards", static_cast<std::uint64_t>(shardCount()));
+  std::uint64_t aliveCount = 0;
+  std::uint64_t routedJobs = 0;
+  std::uint64_t transportErrors = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.alive) ++aliveCount;
+    routedJobs += shard.routedJobs;
+    transportErrors += shard.transportErrors;
+  }
+  router.set("alive", aliveCount);
+  router.set("routed_jobs", routedJobs);
+  router.set("rerouted", rerouted_);
+  router.set("restarts", restarts());
+  router.set("transport_errors", transportErrors);
+
+  Json stats = Json::object();
+  stats.set("cluster", std::move(cluster));
+  stats.set("router", std::move(router));
+  stats.set("shards", std::move(perShard));
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("stats", std::move(stats));
+  return out;
+}
+
+Json ClusterRouter::handleHealth() {
+  // Health is observability, not surgery: it reports dead shards rather
+  // than reviving them (the next routed job does the healing).
+  Json perShard = Json::object();
+  std::uint64_t aliveCount = 0;
+  for (int s = 0; s < shardCount(); ++s) {
+    Shard& st = shards_[static_cast<std::size_t>(s)];
+    std::optional<std::string> raw;
+    if (st.alive) raw = forwardRaw(s, R"({"op":"health"})");
+    Json entry = Json::object();
+    entry.set("alive", st.alive);
+    entry.set("pid", static_cast<std::int64_t>(st.process->pid()));
+    entry.set("restarts", static_cast<std::uint64_t>(st.restarts));
+    entry.set("routed_jobs", st.routedJobs);
+    entry.set("transport_errors", st.transportErrors);
+    entry.set("replayed_records", st.lastReplayedRecords);
+    entry.set("recovered_jobs", st.lastRecoveredJobs);
+    if (raw) {
+      const Json response = Json::parse(*raw);
+      entry.set("health", response.at("health"));
+    }
+    if (st.alive) ++aliveCount;
+    perShard.set(shardLabel(s), std::move(entry));
+  }
+
+  Json cluster = Json::object();
+  cluster.set("shards", static_cast<std::uint64_t>(shardCount()));
+  cluster.set("alive", aliveCount);
+  cluster.set("all_alive",
+              aliveCount == static_cast<std::uint64_t>(shardCount()));
+  cluster.set("restarts", restarts());
+  cluster.set("rerouted", rerouted_);
+
+  Json health = Json::object();
+  health.set("cluster", std::move(cluster));
+  health.set("shards", std::move(perShard));
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("health", std::move(health));
+  return out;
+}
+
+Json ClusterRouter::handleShutdown() {
+  shutdown_ = true;
+  std::uint64_t stopped = 0;
+  for (int s = 0; s < shardCount(); ++s) {
+    Shard& st = shards_[static_cast<std::size_t>(s)];
+    if (st.alive) {
+      // Polite first: the shard acks and drains; terminate() then closes
+      // its stdin and escalates only if it lingers.
+      (void)forwardRaw(s, R"({"op":"shutdown"})");
+      ++stopped;
+    }
+    st.process->terminate(2.0);
+    st.alive = false;
+  }
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("shutting_down", true);
+  out.set("shards_stopped", stopped);
+  return out;
+}
+
+void ClusterRouter::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    out << handleLine(line) << "\n" << std::flush;
+    if (shutdown_) break;
+  }
+}
+
+pid_t ClusterRouter::shardPid(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)].process->pid();
+}
+
+void ClusterRouter::killShard(int shard) {
+  // Signal only, no fd surgery: this is called from fault-injection
+  // threads while the router may be mid-request on the same shard, and
+  // the EOF path is exactly the failure the router is built to absorb.
+  const pid_t pid = shards_[static_cast<std::size_t>(shard)].process->pid();
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+std::uint64_t ClusterRouter::restarts() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<std::uint64_t>(shard.restarts);
+  }
+  return total;
+}
+
+}  // namespace lo::cluster

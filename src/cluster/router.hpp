@@ -1,0 +1,183 @@
+// ClusterRouter: the shard-routing front-end of the losynthd cluster.
+//
+// Speaks the same line-JSON protocol as a single losynthd and fans the
+// work out over N worker daemons (ShardProcess children), so a client
+// cannot tell the difference between one daemon and a cluster -- except
+// for the added "shard" attribution in responses and the per-shard
+// sections in stats/health.
+//
+// Routing.  synthesize/sweep jobs route by consistent-hashing the job's
+// content-addressed ResultCache key (ring.hpp) -- the router derives the
+// exact key the shard's scheduler will (service::parseJobRequest +
+// ResultCache::keyFor over the same technology), so every duplicate of a
+// design point lands on the same shard and that shard's in-memory cache
+// and single-flight coalescing absorb it.  no_cache jobs and explorations
+// hash their raw request text instead.  Sweeps are partitioned into
+// per-shard sub-sweeps dispatched concurrently (one I/O thread per shard)
+// and the outcomes are reassembled in request order.
+//
+// Failure model.  A dead shard announces itself as EOF on its pipe; a
+// wedged one as a request timeout (after which the shard is killed,
+// because a line protocol that skipped one response would mis-pair every
+// later one).  Either way the router marks the shard down, respawns it on
+// the same --journal directory -- the reboot replays the write-ahead log,
+// so every job the dead shard had acknowledged is re-enqueued under its
+// original id -- and retries the failed request.  While a shard stays
+// down (restart budget exhausted), its key ranges re-route to the next
+// live shard on the ring, which peer-fills from the shared on-disk cache
+// store rather than recomputing anything a dead shard already finished.
+// Exactly-once therefore holds at the cache-key level across kills: an
+// acknowledged job is either in a journal (and will re-run into the
+// shared store at most once) or already in the store.
+//
+// Job ids.  Shard-local ids would collide across shards, so the router
+// issues its own id space for synthesize/sweep acks and maps them back on
+// wait/cancel; explorations get the same treatment.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "cluster/ring.hpp"
+#include "service/json.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::cluster {
+
+struct RouterOptions {
+  /// Worker command: losynthd binary plus pass-through flags (--threads,
+  /// --queue-depth, --tech, ...).  --journal / --cache-dir are appended
+  /// per shard from journalRoot / cacheDir.
+  std::vector<std::string> workerArgv;
+  int shards = 2;
+  int vnodesPerShard = 64;
+  /// Per-shard write-ahead journal at <journalRoot>/shard<i> ("" = off).
+  /// Each shard recovers independently: a restart replays only its own log.
+  std::string journalRoot;
+  /// Shared on-disk result store handed to every shard ("" = off).  This
+  /// is the peer-fill channel: a miss on shard A consults the store before
+  /// computing, so results computed on other shards are never recomputed.
+  std::string cacheDir;
+  /// Must match the workers' --tech, or the router's keys (and therefore
+  /// its routing) would diverge from the shards' cache keys.
+  tech::Technology technology = tech::Technology::generic060();
+  /// Per-request ceiling before a shard is declared wedged and recycled.
+  double requestTimeoutSeconds = 300.0;
+  /// Respawn dead shards (journal replay) instead of only re-routing.
+  bool restartDeadShards = true;
+  int maxRestartsPerShard = 16;
+};
+
+class ClusterRouter {
+ public:
+  /// Spawns and health-checks every shard; throws if any fails to boot.
+  explicit ClusterRouter(RouterOptions options);
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Handle one request line; always returns a single-line JSON response.
+  /// Not thread-safe: serialise calls (the serve loop is single-threaded).
+  [[nodiscard]] std::string handleLine(const std::string& line);
+
+  [[nodiscard]] bool shutdownRequested() const { return shutdown_; }
+
+  /// Serve line-by-line until EOF or shutdown; flushes after every line.
+  void serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] int shardCount() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] pid_t shardPid(int shard) const;
+  /// SIGKILL a shard from outside the protocol -- the soak/test fault
+  /// site.  The router notices on the next request routed to it.
+  void killShard(int shard);
+
+  /// Total successful shard restarts so far (soak invariant input).
+  [[nodiscard]] std::uint64_t restarts() const;
+  /// Total requests that had to leave their home shard.
+  [[nodiscard]] std::uint64_t rerouted() const { return rerouted_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<ShardProcess> process;
+    std::vector<std::string> argv;
+    bool alive = false;
+    int restarts = 0;
+    std::uint64_t routedJobs = 0;
+    std::uint64_t transportErrors = 0;
+    /// Journal replay figures reported by the shard's health op at its
+    /// most recent (re)boot -- the cluster-visible recovery evidence.
+    std::uint64_t lastReplayedRecords = 0;
+    std::uint64_t lastRecoveredJobs = 0;
+  };
+
+  /// Thrown internally for cluster-level failures; becomes a structured
+  /// {"error":{"code":...}} response.
+  struct RouterError {
+    std::string code;
+    std::string message;
+  };
+
+  [[nodiscard]] service::Json handle(const service::Json& request,
+                                     const std::string& rawLine);
+  [[nodiscard]] service::Json handleSynthesize(const service::Json& request,
+                                               const std::string& rawLine);
+  [[nodiscard]] service::Json handleSweep(const service::Json& request);
+  [[nodiscard]] service::Json handleWaitOrCancel(const service::Json& request,
+                                                 const std::string& op);
+  [[nodiscard]] service::Json handleExplore(const std::string& rawLine);
+  [[nodiscard]] service::Json handleExploreResult(const service::Json& request);
+  [[nodiscard]] service::Json handleStats();
+  [[nodiscard]] service::Json handleHealth();
+  [[nodiscard]] service::Json handleShutdown();
+  [[nodiscard]] service::Json forwardToAnyShard(const std::string& rawLine);
+
+  /// The routing key for one synthesize/sweep entry: the job's cache key,
+  /// or a hash key over the entry text for no_cache jobs.
+  [[nodiscard]] std::string routingKeyFor(const service::Json& entry) const;
+
+  /// Pick the live shard for `key`, reviving its home shard first if that
+  /// is down.  Throws RouterError{"no_live_shards"} when the whole
+  /// cluster is dead.  Counts a reroute when the answer is not home.
+  [[nodiscard]] int routeLive(const std::string& key);
+
+  /// One request/response over a shard's pipe.  nullopt marks the shard
+  /// dead (EOF, broken pipe, or timeout -> kill).
+  [[nodiscard]] std::optional<std::string> forwardRaw(int shard,
+                                                      const std::string& line);
+  /// forwardRaw with revive-and-retry until the route is exhausted.
+  /// Returns the serving shard and its parsed response.
+  [[nodiscard]] std::pair<int, service::Json> forwardRouted(
+      const std::string& key, const std::string& line);
+
+  void markDead(int shard);
+  /// Respawn a dead shard (journal replay) within the restart budget;
+  /// true when the shard is alive afterwards.
+  [[nodiscard]] bool reviveShard(int shard);
+  void spawnShard(int shard);  ///< Throws on spawn/health-check failure.
+
+  [[nodiscard]] std::vector<bool> aliveMask() const;
+  [[nodiscard]] std::uint64_t mapNewJob(int shard, std::uint64_t localId);
+
+  RouterOptions options_;
+  std::string techPrint_;
+  ShardRing ring_;
+  std::vector<Shard> shards_;
+  bool shutdown_ = false;
+
+  std::uint64_t nextJobId_ = 1;
+  std::uint64_t nextExploreId_ = 1;
+  /// Router id -> (shard, shard-local id).
+  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> jobRoute_;
+  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> exploreRoute_;
+  std::uint64_t rerouted_ = 0;
+};
+
+}  // namespace lo::cluster

@@ -1,0 +1,287 @@
+#include "cluster/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <random>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "service/serialize.hpp"
+#include "tech/technology.hpp"
+#include "testkit/generators.hpp"
+
+namespace lo::cluster {
+
+namespace {
+
+using service::Json;
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Json submitRequest(const testkit::CorpusPoint& point, bool async, bool summary) {
+  Json req = Json::object();
+  req.set("op", "synthesize");
+  if (async) req.set("async", true);
+  if (summary) req.set("summary", true);
+  req.set("label", point.label);
+  req.set("topology", point.options.topology);
+  req.set("case", core::sizingCaseName(point.options.sizingCase));
+  req.set("spec", service::toJson(point.specs));
+  req.set("corner", tech::cornerName(point.corner));
+  return req;
+}
+
+/// Everything the client threads share, all guarded by one mutex: the
+/// router itself is single-threaded by contract, so the soak's concurrency
+/// lives in the *shards*, not in the router's front door.
+struct Shared {
+  explicit Shared(ClusterRouter& r) : router(r) {}
+
+  ClusterRouter& router;
+  std::mutex mutex;
+  std::vector<std::uint64_t> pendingIds;
+  std::map<std::string, std::uint64_t> terminalStates;
+  std::vector<std::string> violations;
+  /// High-water marks for the monotonicity probe.
+  std::uint64_t lastSubmitted = 0;
+  std::uint64_t lastCompleted = 0;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> transportErrors{0};
+  std::atomic<std::uint64_t> trackedJobs{0};
+};
+
+}  // namespace
+
+Json ClusterSoakReport::toJson() const {
+  Json out = Json::object();
+  out.set("ok", ok());
+  out.set("requests", requests);
+  out.set("rejected", rejected);
+  out.set("transport_errors", transportErrors);
+  out.set("tracked_jobs", trackedJobs);
+  out.set("elapsed_seconds", elapsedSeconds);
+  out.set("killed_shard", killedShard);
+  out.set("restarts", restarts);
+  out.set("rerouted", rerouted);
+  out.set("resubmitted_hits", resubmittedHits);
+
+  Json states = Json::object();
+  for (const auto& [state, count] : terminalStates) states.set(state, count);
+  out.set("terminal_states", std::move(states));
+
+  Json issues = Json::array();
+  for (const std::string& v : violations) issues.push(v);
+  out.set("violations", std::move(issues));
+  return out;
+}
+
+ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
+  ClusterSoakReport report;
+  const auto start = Clock::now();
+
+  testkit::CorpusOptions corpusOptions;
+  corpusOptions.size = options.poolSize;
+  const std::vector<testkit::CorpusPoint> pool =
+      testkit::generateCorpus(options.seed, corpusOptions);
+
+  ClusterRouter router(options.router);
+  Shared shared(router);
+
+  // One handleLine under the lock; parse failures are transport errors
+  // (the router must never emit a half line or garbage).
+  auto call = [&shared](const std::string& line,
+                        std::unique_lock<std::mutex>& lock) -> Json {
+    const std::string response = shared.router.handleLine(line);
+    shared.requests.fetch_add(1, std::memory_order_relaxed);
+    try {
+      return Json::parse(response);
+    } catch (const service::JsonParseError&) {
+      shared.transportErrors.fetch_add(1, std::memory_order_relaxed);
+      (void)lock;
+      return Json();
+    }
+  };
+
+  auto recordTerminal = [&shared](const Json& response) {
+    const std::string state = response.at("state").asString("unknown");
+    ++shared.terminalStates[state];
+  };
+
+  const bool checkMonotonic = !options.killOneShard;
+  auto clientLoop = [&](int clientIndex) {
+    std::mt19937 rng(static_cast<std::uint32_t>(options.seed * 7919 +
+                                                static_cast<std::uint64_t>(clientIndex)));
+    int sent = 0;
+    while (secondsSince(start) < options.durationSeconds &&
+           (options.maxRequestsPerClient == 0 ||
+            sent < options.maxRequestsPerClient)) {
+      const int roll = static_cast<int>(rng() % 100);
+      const testkit::CorpusPoint& point =
+          pool[rng() % static_cast<std::uint32_t>(pool.size())];
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      if (roll < 60) {
+        const Json response =
+            call(submitRequest(point, /*async=*/true, /*summary=*/false).dump(),
+                 lock);
+        if (response.at("ok").asBool()) {
+          shared.pendingIds.push_back(response.at("id").asUint64());
+          shared.trackedJobs.fetch_add(1, std::memory_order_relaxed);
+        } else if (!response.isNull()) {
+          shared.rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (roll < 85 && !shared.pendingIds.empty()) {
+        const std::uint64_t id = shared.pendingIds.back();
+        shared.pendingIds.pop_back();
+        Json wait = Json::object();
+        wait.set("op", "wait");
+        wait.set("id", id);
+        wait.set("summary", true);
+        const Json response = call(wait.dump(), lock);
+        if (response.at("ok").asBool()) {
+          recordTerminal(response);
+        } else if (!response.isNull()) {
+          shared.rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (roll < 95) {
+        const Json response =
+            call(submitRequest(point, /*async=*/false, /*summary=*/true).dump(),
+                 lock);
+        if (response.at("ok").asBool()) {
+          recordTerminal(response);
+        } else if (!response.isNull()) {
+          shared.rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        const Json response = call(R"({"op":"stats"})", lock);
+        if (response.at("ok").asBool() && checkMonotonic) {
+          const Json& jobs = response.at("stats").at("cluster").at("jobs");
+          const std::uint64_t submitted = jobs.at("submitted").asUint64();
+          const std::uint64_t completed = jobs.at("completed").asUint64();
+          if (submitted < shared.lastSubmitted ||
+              completed < shared.lastCompleted) {
+            shared.violations.push_back(
+                "cluster stats went backwards: submitted " +
+                std::to_string(shared.lastSubmitted) + " -> " +
+                std::to_string(submitted) + ", completed " +
+                std::to_string(shared.lastCompleted) + " -> " +
+                std::to_string(completed));
+          }
+          shared.lastSubmitted = std::max(shared.lastSubmitted, submitted);
+          shared.lastCompleted = std::max(shared.lastCompleted, completed);
+        }
+      }
+      ++sent;
+    }
+  };
+
+  std::thread killer;
+  if (options.killOneShard && router.shardCount() > 0) {
+    report.killedShard = static_cast<int>(options.seed) %
+                         router.shardCount();
+    killer = std::thread([&router, &options, &report, start] {
+      const double at = options.durationSeconds * options.killAtFraction;
+      while (secondsSince(start) < at) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      // Pure SIGKILL from outside the protocol: the router finds out the
+      // hard way, via EOF on the next request it routes there.
+      router.killShard(report.killedShard);
+    });
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back(clientLoop, c);
+  }
+  for (std::thread& client : clients) client.join();
+  if (killer.joinable()) killer.join();
+
+  // Drain: every ack the clients collected must reach a terminal state.
+  {
+    const auto drainStart = Clock::now();
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    while (!shared.pendingIds.empty()) {
+      if (secondsSince(drainStart) > options.drainTimeoutSeconds) {
+        shared.violations.push_back(
+            "drain timed out with " +
+            std::to_string(shared.pendingIds.size()) + " job(s) outstanding");
+        break;
+      }
+      const std::uint64_t id = shared.pendingIds.back();
+      shared.pendingIds.pop_back();
+      Json wait = Json::object();
+      wait.set("op", "wait");
+      wait.set("id", id);
+      wait.set("summary", true);
+      const Json response = call(wait.dump(), lock);
+      if (response.at("ok").asBool()) {
+        recordTerminal(response);
+      } else {
+        shared.violations.push_back("job " + std::to_string(id) +
+                                    " was lost: " + response.dump());
+      }
+    }
+  }
+
+  // Exactly-once at the cache-key level: whatever the cluster ran -- or a
+  // dead shard owed and a reboot replayed -- each pool point is now in the
+  // cache, so a fresh synchronous pass must be all hits and no reruns.
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    for (const testkit::CorpusPoint& point : pool) {
+      const Json response =
+          call(submitRequest(point, /*async=*/false, /*summary=*/true).dump(),
+               lock);
+      if (response.at("ok").asBool() && response.at("cache_hit").asBool()) {
+        ++report.resubmittedHits;
+      } else {
+        shared.violations.push_back("pool point \"" + point.label +
+                                    "\" was not a cache hit after the soak: " +
+                                    response.dump());
+      }
+    }
+
+    const Json health = call(R"({"op":"health"})", lock);
+    if (!health.at("ok").asBool() ||
+        !health.at("health").at("cluster").at("all_alive").asBool()) {
+      shared.violations.push_back("cluster is not fully alive after the soak: " +
+                                  health.dump());
+    }
+  }
+
+  if (options.killOneShard && router.restarts() == 0) {
+    shared.violations.push_back(
+        "a shard was SIGKILLed but the router never restarted anything");
+  }
+  if (const std::uint64_t t = shared.transportErrors.load()) {
+    shared.violations.push_back(std::to_string(t) +
+                                " unparseable response(s) from the router");
+  }
+  if (const std::uint64_t r = shared.rejected.load()) {
+    shared.violations.push_back(
+        std::to_string(r) +
+        " request(s) answered {\"ok\":false}: shard failure leaked through");
+  }
+
+  report.requests = shared.requests.load();
+  report.rejected = shared.rejected.load();
+  report.transportErrors = shared.transportErrors.load();
+  report.trackedJobs = shared.trackedJobs.load();
+  report.terminalStates = std::move(shared.terminalStates);
+  report.restarts = router.restarts();
+  report.rerouted = router.rerouted();
+  report.violations = std::move(shared.violations);
+  report.elapsedSeconds = secondsSince(start);
+  return report;
+}
+
+}  // namespace lo::cluster

@@ -1,0 +1,79 @@
+// Concurrent soak of a real losynthd cluster behind a ClusterRouter.
+//
+// Unlike testkit's in-process soak, this one exercises the full process
+// boundary: the router forks N genuine losynthd shards and the client
+// threads speak the line protocol through ClusterRouter::handleLine --
+// async submissions over a small pool of distinct design points, waits
+// on earlier acks, sync summary synthesizes and stats probes.  With
+// killOneShard set, a fault thread SIGKILLs one shard partway through
+// the run and the soak's whole point is that nobody upstairs notices.
+//
+// Invariants checked at the end (violations are human-readable strings;
+// an empty list is a pass):
+//
+//   * every response parses -- a half-written line from the router is a
+//     transport error, and there must be none;
+//   * no lost jobs -- every async ack reaches a definite terminal state
+//     through wait, within drainTimeoutSeconds;
+//   * no protocol-level rejections -- shard death must be absorbed by
+//     restart + journal replay + re-route, never surfaced as an error;
+//   * exactly-once at the cache-key level -- after the drain, every pool
+//     point resubmitted synchronously answers cache_hit:true (the
+//     established recovery proxy: whatever the dead shard owed was
+//     finished exactly once, by replay or by a peer, and is addressable
+//     in the cache);
+//   * kill evidence -- with killOneShard, the router logged >= 1 restart
+//     and every shard is alive again at the end;
+//   * stats monotonicity -- cluster job counters never decrease across
+//     the run's stats probes (skipped when a kill is armed: a restarted
+//     shard's counters legitimately reset to zero).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "service/json.hpp"
+
+namespace lo::cluster {
+
+struct ClusterSoakOptions {
+  std::uint64_t seed = 1;
+  int clients = 4;
+  double durationSeconds = 5.0;
+  /// Per-client request cap; 0 = duration-limited only.
+  int maxRequestsPerClient = 0;
+  /// Distinct design points the clients draw from; small, so duplicates
+  /// land on the same shard and its cache/coalescing engage.
+  int poolSize = 12;
+  double drainTimeoutSeconds = 60.0;
+  /// SIGKILL one shard at killAtFraction of the soak duration.
+  bool killOneShard = false;
+  double killAtFraction = 0.4;
+  /// Shard layout, worker argv, journalRoot/cacheDir and restart policy.
+  RouterOptions router;
+};
+
+struct ClusterSoakReport {
+  std::uint64_t requests = 0;         ///< Protocol lines sent by clients.
+  std::uint64_t rejected = 0;         ///< {"ok":false} responses.
+  std::uint64_t transportErrors = 0;  ///< Unparseable responses.
+  std::uint64_t trackedJobs = 0;      ///< Async acks the clients collected.
+  std::map<std::string, std::uint64_t> terminalStates;  ///< Over tracked jobs.
+  int killedShard = -1;               ///< Which shard the fault thread shot.
+  std::uint64_t restarts = 0;         ///< Router restart count at the end.
+  std::uint64_t rerouted = 0;         ///< Requests served off their home shard.
+  std::uint64_t resubmittedHits = 0;  ///< Pool points answering cache_hit:true.
+  std::vector<std::string> violations;
+  double elapsedSeconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Full report as JSON (what lostress --router-bin prints).
+  [[nodiscard]] service::Json toJson() const;
+};
+
+[[nodiscard]] ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options);
+
+}  // namespace lo::cluster

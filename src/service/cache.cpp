@@ -1,5 +1,6 @@
 #include "service/cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -39,6 +40,24 @@ bool writeDurably(const std::filesystem::path& path, const std::string& text) {
 #endif
   ok = std::fclose(f) == 0 && ok;
   return ok;
+}
+
+/// Per-writer unique temp path for `path`.  Multiple daemons share one
+/// store directory (the cluster's peer-fill contract), so the staging file
+/// must be unique per process *and* per in-process writer: two writers
+/// racing the same fixed ".tmp" name would interleave into a corrupt file
+/// and publish it with a rename.  pid + a process-wide counter keeps every
+/// staging write private until its atomic rename.
+std::filesystem::path uniqueTmpPath(const std::filesystem::path& path) {
+  static std::atomic<std::uint64_t> counter{0};
+#ifndef _WIN32
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path.string() + "." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) +
+         ".tmp";
 }
 
 }  // namespace
@@ -157,7 +176,7 @@ void ResultCache::insert(const std::string& key, const core::EngineResult& resul
     // Durable write, then rename: fsync before publishing so a crash
     // between rename and writeback cannot surface a half file, and a
     // concurrent reader only ever sees complete entries.
-    const std::filesystem::path tmp = path.string() + ".tmp";
+    const std::filesystem::path tmp = uniqueTmpPath(path);
     bool ok = writeDurably(tmp, text);
     std::error_code ec;
     if (ok) {

@@ -34,6 +34,32 @@ Json structuredError(const std::string& code, const std::string& message,
 
 }  // namespace
 
+JobRequest parseJobRequest(const Json& request) {
+  JobRequest job;
+  job.label = request.at("label").asString();
+  if (const Json* topology = request.find("topology")) {
+    job.options.topology = topology->asString();
+  }
+  if (const Json* sizingCase = request.find("case")) {
+    job.options.sizingCase = sizingCaseFromJson(*sizingCase);
+  }
+  if (const Json* model = request.find("model")) {
+    job.options.modelName = model->asString();
+  }
+  if (const Json* bias = request.find("bias")) {
+    job.options.includeBiasGenerator = bias->asBool();
+  }
+  if (const Json* spec = request.find("spec")) specsFromJson(*spec, job.specs);
+  if (const Json* corner = request.find("corner")) {
+    job.corner = cornerFromName(corner->asString());
+  }
+  job.priority = request.at("priority").asInt();
+  job.deadlineSeconds = request.at("deadline_seconds").asDouble();
+  job.maxRetries = request.at("max_retries").asInt();
+  job.bypassCache = request.at("no_cache").asBool();
+  return job;
+}
+
 std::string ServiceProtocol::handleLine(const std::string& line) {
   Json response;
   try {
@@ -104,7 +130,8 @@ Json ServiceProtocol::handle(const Json& request) {
   if (op == "wait") {
     const std::uint64_t id = request.at("id").asUint64();
     if (id == 0) return errorResponse("\"wait\" needs a numeric \"id\"");
-    return outcomeJson(scheduler_.wait(id), request.at("trace").asBool());
+    return outcomeJson(scheduler_.wait(id), request.at("trace").asBool(),
+                       request.at("summary").asBool());
   }
   if (op == "cancel") {
     const std::uint64_t id = request.at("id").asUint64();
@@ -134,39 +161,27 @@ Json ServiceProtocol::handle(const Json& request) {
   }
   const auto extra = extraOps_.find(op);
   if (extra != extraOps_.end()) return extra->second(request);
-  std::string known =
-      "synthesize, sweep, wait, cancel, stats, health, topologies, shutdown";
-  for (const auto& [name, handler] : extraOps_) known += ", " + name;
-  return errorResponse("unknown op \"" + op + "\" (" + known + ")");
+  // Machine-readable like the admission rejections: routers and clients
+  // can distinguish "this daemon does not speak the op" from a failure.
+  Json knownOps = Json::array();
+  for (const char* builtin :
+       {"synthesize", "sweep", "wait", "cancel", "stats", "health",
+        "topologies", "shutdown"}) {
+    knownOps.push(builtin);
+  }
+  for (const auto& [name, handler] : extraOps_) knownOps.push(name);
+  Json err = Json::object();
+  err.set("code", "unknown_op");
+  err.set("message", "unknown op \"" + op + "\"");
+  err.set("known_ops", std::move(knownOps));
+  Json out = Json::object();
+  out.set("ok", false);
+  out.set("error", std::move(err));
+  return out;
 }
 
-JobRequest ServiceProtocol::parseJob(const Json& request) const {
-  JobRequest job;
-  job.label = request.at("label").asString();
-  if (const Json* topology = request.find("topology")) {
-    job.options.topology = topology->asString();
-  }
-  if (const Json* sizingCase = request.find("case")) {
-    job.options.sizingCase = sizingCaseFromJson(*sizingCase);
-  }
-  if (const Json* model = request.find("model")) {
-    job.options.modelName = model->asString();
-  }
-  if (const Json* bias = request.find("bias")) {
-    job.options.includeBiasGenerator = bias->asBool();
-  }
-  if (const Json* spec = request.find("spec")) specsFromJson(*spec, job.specs);
-  if (const Json* corner = request.find("corner")) {
-    job.corner = cornerFromName(corner->asString());
-  }
-  job.priority = request.at("priority").asInt();
-  job.deadlineSeconds = request.at("deadline_seconds").asDouble();
-  job.maxRetries = request.at("max_retries").asInt();
-  job.bypassCache = request.at("no_cache").asBool();
-  return job;
-}
-
-Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) const {
+Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace,
+                                  bool summary) const {
   Json out = Json::object();
   out.set("ok", true);
   out.set("id", status.id);
@@ -177,8 +192,9 @@ Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) co
   if (status.recovered) out.set("recovered", true);
   out.set("attempts", status.attempts);
   if (status.retries > 0) out.set("retries", status.retries);
+  if (!status.cacheKey.empty()) out.set("cache_key", status.cacheKey);
   if (status.state == JobState::kDone) {
-    out.set("result", toJson(status.result));
+    if (!summary) out.set("result", toJson(status.result));
   } else if (!status.error.empty()) {
     out.set("error", status.error);
   }
@@ -191,16 +207,19 @@ Json ServiceProtocol::outcomeJson(const JobStatus& status, bool includeTrace) co
 }
 
 Json ServiceProtocol::handleSynthesize(const Json& request) {
-  const JobRequest job = parseJob(request);
+  const JobRequest job = parseJobRequest(request);
   const std::uint64_t id = scheduler_.submit(job);
   if (request.at("async").asBool()) {
     Json out = Json::object();
     out.set("ok", true);
     out.set("id", id);
     out.set("state", "queued");
+    const std::string key = scheduler_.cacheKeyFor(job);
+    if (!key.empty()) out.set("cache_key", key);
     return out;
   }
-  return outcomeJson(scheduler_.wait(id), request.at("trace").asBool());
+  return outcomeJson(scheduler_.wait(id), request.at("trace").asBool(),
+                     request.at("summary").asBool());
 }
 
 Json ServiceProtocol::handleSweep(const Json& request) {
@@ -210,12 +229,15 @@ Json ServiceProtocol::handleSweep(const Json& request) {
   }
   std::vector<JobRequest> jobs;
   jobs.reserve(jobsField->items().size());
-  for (const Json& entry : jobsField->items()) jobs.push_back(parseJob(entry));
+  for (const Json& entry : jobsField->items()) {
+    jobs.push_back(parseJobRequest(entry));
+  }
   const std::vector<JobStatus> statuses = scheduler_.runBatch(jobs);
   const bool includeTrace = request.at("trace").asBool();
+  const bool summary = request.at("summary").asBool();
   Json outcomes = Json::array();
   for (const JobStatus& status : statuses) {
-    outcomes.push(outcomeJson(status, includeTrace));
+    outcomes.push(outcomeJson(status, includeTrace, summary));
   }
   Json out = Json::object();
   out.set("ok", true);

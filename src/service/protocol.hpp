@@ -18,12 +18,19 @@
 // explore / explore_result ops this way (explore/service_ops.hpp).
 //
 // Every response carries "ok"; failures put a human-readable reason in
-// "error" and never kill the daemon: malformed JSON, unknown ops and
-// over-long lines (kMaxRequestLineBytes) all answer {"ok":false,...}.
+// "error" and never kill the daemon: malformed JSON and over-long lines
+// (kMaxRequestLineBytes) answer {"ok":false,...}.
 // Admission rejections answer with a *structured* error object instead of
 // a bare string -- {"error":{"code":"overloaded"|"circuit_open"|
 // "queue_full","message":...,"queue_depth":N,"retry_after_ms":N}} -- so
-// clients can back off programmatically.
+// clients can back off programmatically.  An unknown op answers the same
+// way: {"error":{"code":"unknown_op","message":...,"known_ops":[...]}}.
+//
+// Synthesize / sweep acks carry the job's content-addressed result-cache
+// key ("cache_key", absent for no_cache jobs), so routers and smokes can
+// address results -- and shard them -- without re-deriving FNV-1a hashes
+// client-side.  {"summary":true} omits the (large) "result" body from
+// done outcomes; the result stays addressable through the cache key.
 // See README.md for a request / response example and DESIGN.md for the
 // full schema.
 #pragma once
@@ -40,6 +47,13 @@ namespace lo::service {
 /// Requests longer than this are rejected with a structured error before
 /// parsing, so a hostile or broken client cannot balloon daemon memory.
 inline constexpr std::size_t kMaxRequestLineBytes = 1 << 20;
+
+/// Parse the shared job fields of a synthesize/sweep entry (topology,
+/// case, model, bias, spec, corner, priority, deadline_seconds,
+/// max_retries, no_cache).  This is the protocol's lenient schema, not the
+/// journal's full-fidelity one (serialize.hpp); it is exposed so the
+/// cluster router derives exactly the cache key the shard will.
+[[nodiscard]] JobRequest parseJobRequest(const Json& request);
 
 class ServiceProtocol {
  public:
@@ -81,9 +95,8 @@ class ServiceProtocol {
   [[nodiscard]] Json handleSweep(const Json& request);
   [[nodiscard]] Json handleStats() const;
   [[nodiscard]] Json handleHealth() const;
-  /// Parse the shared job fields of a synthesize/sweep entry.
-  [[nodiscard]] JobRequest parseJob(const Json& request) const;
-  [[nodiscard]] Json outcomeJson(const JobStatus& status, bool includeTrace) const;
+  [[nodiscard]] Json outcomeJson(const JobStatus& status, bool includeTrace,
+                                 bool summary) const;
 
   JobScheduler& scheduler_;
   bool shutdown_ = false;

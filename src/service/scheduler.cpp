@@ -586,11 +586,18 @@ void JobScheduler::breakerOnFinishLocked(const RecordPtr& rec, JobState state) {
   // Cancelled / expired / shed jobs are no evidence about the topology.
 }
 
+std::string JobScheduler::cacheKeyFor(const JobRequest& request) const {
+  if (request.bypassCache) return {};
+  return ResultCache::keyFor(request.options, request.specs, request.corner,
+                             techPrint_);
+}
+
 JobStatus JobScheduler::snapshotLocked(const JobRecord& rec) const {
   JobStatus status;
   status.id = rec.id;
   status.label = rec.request.label;
   status.state = rec.state;
+  status.cacheKey = rec.cacheKey;
   status.cacheHit = rec.cacheHit;
   status.coalesced = rec.coalesced;
   status.attempts = rec.attempts;

@@ -150,6 +150,10 @@ struct JobStatus {
   std::uint64_t id = 0;
   std::string label;
   JobState state = JobState::kQueued;
+  /// Content-addressed result-cache key ("" for bypass-cache jobs); the
+  /// protocol surfaces it so clients and routers address results -- and
+  /// shard work -- without re-deriving the canonical hash.
+  std::string cacheKey;
   bool cacheHit = false;   ///< Served from the cache (or a coalesced leader).
   bool coalesced = false;  ///< Waited on an identical in-flight job.
   int attempts = 0;        ///< Engine runs performed (0 for pure hits).
@@ -247,6 +251,10 @@ class JobScheduler {
   /// Convenience batch driver: submit everything, wait for everything,
   /// return statuses in request order.
   [[nodiscard]] std::vector<JobStatus> runBatch(const std::vector<JobRequest>& requests);
+
+  /// The cache key submit() would assign to `request` ("" when it bypasses
+  /// the cache): ResultCache::keyFor against this scheduler's technology.
+  [[nodiscard]] std::string cacheKeyFor(const JobRequest& request) const;
 
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   [[nodiscard]] CacheStats cacheStats() const { return cache_.stats(); }

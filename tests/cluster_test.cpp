@@ -1,0 +1,325 @@
+// Tests for the lo_cluster layer: the consistent-hash ring's balance and
+// stability properties, ShardProcess's POSIX lifecycle (spawn, round
+// trip, EOF on death, timeout on wedge), and -- when a losynthd binary is
+// available (LOSYNTHD_BIN, or the build-time default) -- a real
+// multi-process ClusterRouter end to end: duplicate co-location, sweep
+// partitioning, aggregated stats, structured errors and kill-one-shard
+// revival.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/process.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "service/json.hpp"
+
+namespace lo::cluster {
+namespace {
+
+using service::Json;
+
+// ---------------------------------------------------------------- ring --
+
+TEST(ShardRingTest, SpreadsKeysAcrossEveryShard) {
+  const int shards = 4;
+  ShardRing ring(shards);
+  std::map<int, int> perShard;
+  const int keys = 2000;
+  for (int i = 0; i < keys; ++i) {
+    const int owner = ring.ownerOf("key-" + std::to_string(i));
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, shards);
+    ++perShard[owner];
+  }
+  // 64 vnodes per shard keeps the split well away from degenerate; demand
+  // every shard owns at least 5% of a uniform key population.
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_GT(perShard[s], keys / 20) << "shard " << s << " owns almost nothing";
+  }
+}
+
+TEST(ShardRingTest, RoutingIsStableAndDeterministic) {
+  ShardRing ring(3);
+  const std::vector<bool> allAlive(3, true);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "job-" + std::to_string(i);
+    EXPECT_EQ(ring.ownerOf(key), ring.ownerOf(key));
+    // With everyone alive the route IS the owner.
+    EXPECT_EQ(ring.routeOf(key, allAlive), ring.ownerOf(key));
+  }
+}
+
+TEST(ShardRingTest, DeadShardMovesOnlyItsOwnKeys) {
+  ShardRing ring(4);
+  std::vector<bool> alive(4, true);
+  alive[2] = false;
+  int moved = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const int home = ring.ownerOf(key);
+    const int route = ring.routeOf(key, alive);
+    ASSERT_GE(route, 0);
+    ASSERT_NE(route, 2);
+    if (home == 2) {
+      ++moved;
+    } else {
+      // The failure of shard 2 must be invisible to everyone else's keys.
+      EXPECT_EQ(route, home);
+    }
+  }
+  EXPECT_GT(moved, 0) << "shard 2 owned no keys at all";
+}
+
+TEST(ShardRingTest, AllDeadRoutesNowhereAndBadArgsThrow) {
+  ShardRing ring(2);
+  EXPECT_EQ(ring.routeOf("k", {false, false}), -1);
+  EXPECT_THROW(ShardRing(0), std::invalid_argument);
+  EXPECT_THROW(ShardRing(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)ring.routeOf("k", {true}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- process --
+
+TEST(ShardProcessTest, EchoRoundTripThenCleanTerminate) {
+  ShardProcess child;
+  child.spawn({"sh", "-c", "while read line; do echo \"ack $line\"; done"});
+  ASSERT_TRUE(child.running());
+  ASSERT_TRUE(child.writeLine("hello"));
+  std::string line;
+  ASSERT_EQ(child.readLine(line, 10.0), ReadStatus::kOk);
+  EXPECT_EQ(line, "ack hello");
+  ASSERT_TRUE(child.writeLine("again"));
+  ASSERT_EQ(child.readLine(line, 10.0), ReadStatus::kOk);
+  EXPECT_EQ(line, "ack again");
+  // terminate closes the child's stdin; the read loop ends and it exits.
+  child.terminate(5.0);
+  EXPECT_FALSE(child.running());
+}
+
+TEST(ShardProcessTest, DeathSurfacesAsEofNotAHang) {
+  ShardProcess child;
+  child.spawn({"sh", "-c", "read one; echo got; exit 0"});
+  ASSERT_TRUE(child.writeLine("x"));
+  std::string line;
+  ASSERT_EQ(child.readLine(line, 10.0), ReadStatus::kOk);
+  EXPECT_EQ(line, "got");
+  // The child has exited; the next read must be an EOF, promptly.
+  EXPECT_EQ(child.readLine(line, 10.0), ReadStatus::kEof);
+}
+
+TEST(ShardProcessTest, WedgedChildTimesOutAndKill9Reaps) {
+  ShardProcess child;
+  child.spawn({"sh", "-c", "sleep 30"});
+  std::string line;
+  EXPECT_EQ(child.readLine(line, 0.2), ReadStatus::kTimeout);
+  child.kill9();
+  EXPECT_FALSE(child.running());
+  EXPECT_FALSE(child.writeLine("dead"));
+}
+
+TEST(ShardProcessTest, ExecFailureIsAnImmediateEof) {
+  ShardProcess child;
+  child.spawn({"/nonexistent/definitely-not-a-binary"});
+  std::string line;
+  EXPECT_EQ(child.readLine(line, 10.0), ReadStatus::kEof);
+}
+
+// -------------------------------------------------------------- router --
+
+#ifndef LOSYNTHD_BIN_PATH
+#define LOSYNTHD_BIN_PATH ""
+#endif
+
+std::string losynthdBin() {
+  if (const char* env = std::getenv("LOSYNTHD_BIN")) return env;
+  return LOSYNTHD_BIN_PATH;
+}
+
+class ClusterRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bin_ = losynthdBin();
+    if (bin_.empty() || !std::filesystem::exists(bin_)) {
+      GTEST_SKIP() << "losynthd binary not available (set LOSYNTHD_BIN)";
+    }
+    scratch_ = std::filesystem::path(::testing::TempDir()) /
+               ("cluster_router_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(scratch_);
+  }
+
+  void TearDown() override {
+    if (!scratch_.empty()) std::filesystem::remove_all(scratch_);
+  }
+
+  RouterOptions makeOptions(int shards) const {
+    RouterOptions options;
+    options.workerArgv = {bin_, "--threads", "1"};
+    options.shards = shards;
+    options.journalRoot = (scratch_ / "journals").string();
+    options.cacheDir = (scratch_ / "cache").string();
+    options.requestTimeoutSeconds = 120.0;
+    return options;
+  }
+
+  static Json call(ClusterRouter& router, const std::string& line) {
+    return Json::parse(router.handleLine(line));
+  }
+
+  static std::string synthLine(int gbwMHz) {
+    return R"({"op":"synthesize","case":1,"summary":true,"spec":{"gbw":)" +
+           std::to_string(gbwMHz) + R"(e6}})";
+  }
+
+  std::string bin_;
+  std::filesystem::path scratch_;
+};
+
+TEST_F(ClusterRouterTest, DuplicatesLandOnTheSameShardAndHitItsCache) {
+  ClusterRouter router(makeOptions(2));
+  const Json first = call(router, synthLine(61));
+  ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+  EXPECT_EQ(first.at("state").asString(), "done");
+  EXPECT_FALSE(first.at("cache_hit").asBool());
+  ASSERT_FALSE(first.at("cache_key").asString().empty());
+  // summary:true drops the heavy body but the result stays addressable.
+  EXPECT_EQ(first.find("result"), nullptr);
+
+  const Json second = call(router, synthLine(61));
+  ASSERT_TRUE(second.at("ok").asBool()) << second.dump();
+  EXPECT_TRUE(second.at("cache_hit").asBool());
+  EXPECT_EQ(second.at("shard").asInt(-1), first.at("shard").asInt(-2));
+  EXPECT_EQ(second.at("cache_key").asString(), first.at("cache_key").asString());
+}
+
+TEST_F(ClusterRouterTest, SweepPartitionsAcrossShardsAndKeepsRequestOrder) {
+  ClusterRouter router(makeOptions(2));
+  Json jobs = Json::array();
+  std::vector<std::string> labels;
+  for (int gbw : {62, 63, 64, 62, 63, 64}) {
+    Json job = Json::object();
+    job.set("case", 1);
+    job.set("label", "g" + std::to_string(gbw));
+    labels.push_back("g" + std::to_string(gbw));
+    Json spec = Json::object();
+    spec.set("gbw", static_cast<double>(gbw) * 1e6);
+    job.set("spec", std::move(spec));
+    jobs.push(std::move(job));
+  }
+  Json request = Json::object();
+  request.set("op", "sweep");
+  request.set("summary", true);
+  request.set("jobs", std::move(jobs));
+
+  const Json response = call(router, request.dump());
+  ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+  const auto& outcomes = response.at("outcomes").items();
+  ASSERT_EQ(outcomes.size(), 6u);
+  std::set<std::uint64_t> ids;
+  std::map<std::string, int> keyShard;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Json& outcome = outcomes[i];
+    ASSERT_TRUE(outcome.at("ok").asBool()) << outcome.dump();
+    // Outcomes come back in request order: the label still matches.
+    EXPECT_EQ(outcome.at("label").asString(), labels[i]);
+    ids.insert(outcome.at("id").asUint64());
+    const std::string key = outcome.at("cache_key").asString();
+    ASSERT_FALSE(key.empty());
+    const int shard = outcome.at("shard").asInt(-1);
+    const auto prior = keyShard.find(key);
+    if (prior != keyShard.end()) {
+      // A duplicated design point must have been computed on one shard.
+      EXPECT_EQ(prior->second, shard);
+    } else {
+      keyShard[key] = shard;
+    }
+  }
+  // Router ids are globally unique even though shards number independently.
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(keyShard.size(), 3u);
+}
+
+TEST_F(ClusterRouterTest, AsyncAckThenWaitCrossesTheIdMap) {
+  ClusterRouter router(makeOptions(2));
+  const Json ack = call(
+      router,
+      R"({"op":"synthesize","async":true,"case":1,"spec":{"gbw":65e6}})");
+  ASSERT_TRUE(ack.at("ok").asBool()) << ack.dump();
+  const std::uint64_t id = ack.at("id").asUint64();
+  ASSERT_GT(id, 0u);
+  ASSERT_FALSE(ack.at("cache_key").asString().empty());
+
+  Json wait = Json::object();
+  wait.set("op", "wait");
+  wait.set("id", id);
+  wait.set("summary", true);
+  const Json done = call(router, wait.dump());
+  ASSERT_TRUE(done.at("ok").asBool()) << done.dump();
+  EXPECT_EQ(done.at("id").asUint64(), id);
+  EXPECT_EQ(done.at("state").asString(), "done");
+  EXPECT_EQ(done.at("shard").asInt(-1), ack.at("shard").asInt(-2));
+
+  const Json unknown = call(router, R"({"op":"wait","id":999999})");
+  EXPECT_FALSE(unknown.at("ok").asBool());
+}
+
+TEST_F(ClusterRouterTest, UnknownOpAnswersTheStructuredShape) {
+  ClusterRouter router(makeOptions(1));
+  const Json response = call(router, R"({"op":"zap"})");
+  ASSERT_FALSE(response.at("ok").asBool());
+  const Json& error = response.at("error");
+  ASSERT_TRUE(error.isObject()) << response.dump();
+  EXPECT_EQ(error.at("code").asString(), "unknown_op");
+  EXPECT_NE(error.at("message").asString().find("zap"), std::string::npos);
+  bool sawSweep = false;
+  for (const Json& op : error.at("known_ops").items()) {
+    if (op.asString() == "sweep") sawSweep = true;
+  }
+  EXPECT_TRUE(sawSweep);
+}
+
+TEST_F(ClusterRouterTest, StatsAggregateClusterTotalsAndPerShardSections) {
+  ClusterRouter router(makeOptions(2));
+  ASSERT_TRUE(call(router, synthLine(66)).at("ok").asBool());
+  ASSERT_TRUE(call(router, synthLine(67)).at("ok").asBool());
+
+  const Json response = call(router, R"({"op":"stats"})");
+  ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+  const Json& stats = response.at("stats");
+  EXPECT_GE(stats.at("cluster").at("jobs").at("submitted").asUint64(), 2u);
+  EXPECT_NE(stats.at("shards").find("shard0"), nullptr);
+  EXPECT_NE(stats.at("shards").find("shard1"), nullptr);
+  EXPECT_EQ(stats.at("router").at("shards").asUint64(), 2u);
+  EXPECT_EQ(stats.at("router").at("transport_errors").asUint64(), 0u);
+}
+
+TEST_F(ClusterRouterTest, KilledShardIsRevivedOnTheNextRequestItOwns) {
+  ClusterRouter router(makeOptions(2));
+  const Json first = call(router, synthLine(68));
+  ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+  const int shard = first.at("shard").asInt(-1);
+  ASSERT_GE(shard, 0);
+
+  router.killShard(shard);
+  // The kill is asynchronous only in the narrow sense that the router has
+  // not looked yet; the resend below forces it to look.
+  const Json second = call(router, synthLine(68));
+  ASSERT_TRUE(second.at("ok").asBool()) << second.dump();
+  EXPECT_TRUE(second.at("cache_hit").asBool())
+      << "the dead shard's result was lost: " << second.dump();
+  EXPECT_EQ(router.restarts(), 1u);
+
+  const Json health = call(router, R"({"op":"health"})");
+  ASSERT_TRUE(health.at("ok").asBool());
+  EXPECT_TRUE(health.at("health").at("cluster").at("all_alive").asBool())
+      << health.dump();
+}
+
+}  // namespace
+}  // namespace lo::cluster

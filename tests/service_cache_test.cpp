@@ -7,6 +7,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "service/serialize.hpp"
 
@@ -268,6 +270,53 @@ TEST_F(DiskCacheTest, ClearDropsMemoryButDiskSurvives) {
   const auto loaded = cache.lookup("cafecafecafecafe");
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(cache.stats().diskHits, 1u);
+}
+
+// Two daemons share one store directory in the cluster (peer-fill), so
+// concurrent writers racing the same keys must never corrupt an entry:
+// staging files are pid/counter-uniquified before the atomic rename.
+// With a fixed ".tmp" staging name this test's interleaved writes produce
+// diskCorrupt hits on the fresh reader.
+TEST_F(DiskCacheTest, TwoWritersOnOneStoreNeverPublishTornEntries) {
+  constexpr int kKeys = 24;
+  constexpr int kRounds = 40;
+  const auto keyName = [](int k) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016x", 0x1000 + k);
+    return std::string(buf);
+  };
+
+  // Two independent caches (as two daemons would have) hammer the same
+  // key set from two threads each.
+  ResultCache a(diskOptions());
+  ResultCache b(diskOptions());
+  std::vector<std::thread> writers;
+  for (ResultCache* cache : {&a, &b}) {
+    for (int t = 0; t < 2; ++t) {
+      writers.emplace_back([cache, t, keyName] {
+        for (int round = 0; round < kRounds; ++round) {
+          for (int k = 0; k < kKeys; ++k) {
+            cache->insert(keyName(k), makeResult(k + t));
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(a.stats().diskWriteFailures, 0u);
+  EXPECT_EQ(b.stats().diskWriteFailures, 0u);
+
+  // A fresh reader must find every key complete and parseable -- whichever
+  // writer won each rename -- and no staging wreckage may linger.
+  ResultCache reader(diskOptions());
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(reader.lookup(keyName(k)).has_value()) << keyName(k);
+  }
+  EXPECT_EQ(reader.stats().diskCorrupt, 0u);
+  EXPECT_EQ(reader.stats().diskHits, static_cast<std::uint64_t>(kKeys));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
 }
 
 }  // namespace

@@ -140,9 +140,23 @@ class ProtocolTest : public ::testing::Test {
 TEST_F(ProtocolTest, MalformedAndUnknownRequestsFailGracefully) {
   EXPECT_FALSE(respond("{ nope").at("ok").asBool(true));
   EXPECT_FALSE(respond("[1,2,3]").at("ok").asBool(true));
+  // Unknown ops answer with the structured error object, like admission
+  // rejections: code, message naming the op, and the op inventory.
   const Json unknown = respond(R"({"op":"frobnicate"})");
   EXPECT_FALSE(unknown.at("ok").asBool(true));
-  EXPECT_NE(unknown.at("error").asString().find("frobnicate"), std::string::npos);
+  const Json& error = unknown.at("error");
+  ASSERT_TRUE(error.isObject()) << unknown.dump();
+  EXPECT_EQ(error.at("code").asString(), "unknown_op");
+  EXPECT_NE(error.at("message").asString().find("frobnicate"), std::string::npos);
+  ASSERT_TRUE(error.at("known_ops").isArray());
+  bool sawSynthesize = false;
+  bool sawShutdown = false;
+  for (const Json& name : error.at("known_ops").items()) {
+    sawSynthesize = sawSynthesize || name.asString() == "synthesize";
+    sawShutdown = sawShutdown || name.asString() == "shutdown";
+  }
+  EXPECT_TRUE(sawSynthesize);
+  EXPECT_TRUE(sawShutdown);
 }
 
 TEST_F(ProtocolTest, SynthesizeRunsEndToEndAndDuplicateHitsCache) {
@@ -270,7 +284,15 @@ TEST_F(ProtocolTest, GarbageAndTruncatedLinesAnswerStructuredErrors) {
   for (const char* line : kGarbage) {
     const Json out = respond(line);
     EXPECT_FALSE(out.at("ok").asBool(true)) << line;
-    EXPECT_FALSE(out.at("error").asString().empty()) << line;
+    // Parse/type failures answer a string reason; an absent/garbage "op"
+    // reaches the structured unknown_op object.  Either way the error is
+    // populated.
+    const Json& error = out.at("error");
+    if (error.isObject()) {
+      EXPECT_FALSE(error.at("message").asString().empty()) << line;
+    } else {
+      EXPECT_FALSE(error.asString().empty()) << line;
+    }
   }
   // The protocol object is still fully functional afterwards.
   EXPECT_TRUE(respond(R"({"op":"topologies"})").at("ok").asBool());
@@ -429,6 +451,54 @@ TEST(ProtocolHealth, HealthOpCoversQueueBreakersAndJournal) {
   EXPECT_FALSE(journal.at("torn_tail_recovered").asBool(true));
 }
 
+TEST_F(ProtocolTest, AcksCarryCacheKeyAndSummaryOmitsResultBody) {
+  const std::string request =
+      R"({"op":"synthesize","case":"case1","label":"keyed"})";
+  const Json first = respond(request);
+  ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+  const std::string key = first.at("cache_key").asString();
+  ASSERT_EQ(key.size(), 16u);  // Fixed-width hex of the FNV-1a hash.
+  EXPECT_EQ(key, scheduler_.cacheKeyFor(parseJobRequest(Json::parse(request))));
+
+  // The async ack carries the key before the job has run: that is what
+  // lets a router shard by key without waiting for the outcome.
+  const Json ack = respond(R"({"op":"synthesize","case":"case1","async":true})");
+  ASSERT_TRUE(ack.at("ok").asBool());
+  EXPECT_EQ(ack.at("cache_key").asString(), key);
+
+  const Json waited = respond("{\"op\":\"wait\",\"id\":" +
+                              std::to_string(ack.at("id").asUint64()) +
+                              ",\"summary\":true}");
+  ASSERT_TRUE(waited.at("ok").asBool());
+  EXPECT_EQ(waited.at("state").asString(), "done");
+  EXPECT_TRUE(waited.at("cache_hit").asBool());
+  EXPECT_EQ(waited.at("cache_key").asString(), key);
+  EXPECT_EQ(waited.find("result"), nullptr);  // summary drops the body.
+
+  // no_cache jobs have no key to report.
+  const Json bypass = respond(
+      R"({"op":"synthesize","case":"case1","no_cache":true,"summary":true})");
+  ASSERT_TRUE(bypass.at("ok").asBool());
+  EXPECT_EQ(bypass.find("cache_key"), nullptr);
+  EXPECT_EQ(bypass.find("result"), nullptr);
+}
+
+TEST_F(ProtocolTest, SweepSummaryOutcomesCarryDistinctCacheKeys) {
+  const Json out = respond(
+      R"({"op":"sweep","summary":true,"jobs":[)"
+      R"({"case":"case1"},{"case":"case1","spec":{"gbw":45e6}}]})");
+  ASSERT_TRUE(out.at("ok").asBool()) << out.dump();
+  const auto& outcomes = out.at("outcomes").items();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const Json& outcome : outcomes) {
+    ASSERT_TRUE(outcome.at("ok").asBool());
+    EXPECT_EQ(outcome.at("cache_key").asString().size(), 16u);
+    EXPECT_EQ(outcome.find("result"), nullptr);
+  }
+  EXPECT_NE(outcomes[0].at("cache_key").asString(),
+            outcomes[1].at("cache_key").asString());
+}
+
 // ---------------------------------------------------------------------------
 // Extension seam
 // ---------------------------------------------------------------------------
@@ -455,7 +525,13 @@ TEST_F(ProtocolTest, RegisteredOpDispatchesAndFailuresStayStructured) {
 
   // Unknown-op errors advertise extension ops alongside the builtins.
   const Json unknown = respond(R"({"op":"nope"})");
-  EXPECT_NE(unknown.at("error").asString().find("echo"), std::string::npos);
+  ASSERT_TRUE(unknown.at("error").isObject());
+  EXPECT_EQ(unknown.at("error").at("code").asString(), "unknown_op");
+  bool sawEcho = false;
+  for (const Json& name : unknown.at("error").at("known_ops").items()) {
+    sawEcho = sawEcho || name.asString() == "echo";
+  }
+  EXPECT_TRUE(sawEcho);
 }
 
 TEST_F(ProtocolTest, RegisterOpRejectsBuiltinsDuplicatesAndNullHandlers) {

@@ -1,0 +1,134 @@
+// lorouter: shard-routing front-end over a cluster of losynthd workers.
+//
+// Speaks exactly the losynthd line protocol on stdin/stdout and fans the
+// work out over N losynthd child processes (one --journal directory per
+// shard, one shared --cache-dir).  synthesize/sweep jobs route by
+// consistent-hashing their result-cache key, so duplicates of a design
+// point always land on the same shard and its cache/coalescing absorb
+// them; stats/health aggregate per-shard sections plus cluster totals.
+// A shard that dies (EOF) or wedges (timeout) is killed, respawned on its
+// journal -- the replay re-enqueues everything it had acknowledged -- and
+// the failed request is retried; while a shard stays down its key ranges
+// re-route to the next live shard, which peer-fills from the shared disk
+// store instead of recomputing.
+//
+//   $ printf '%s\n' '{"op":"synthesize","topology":"two_stage"}' '{"op":"stats"}' |
+//       lorouter --worker ./losynthd --shards 4 --journal-root /tmp/lr
+//                --cache-dir /tmp/lr/cache
+//
+// Flags:
+//   --worker PATH        losynthd binary to spawn (default: "losynthd",
+//                        resolved through PATH)
+//   --shards N           worker daemons (default 2)
+//   --vnodes N           ring virtual nodes per shard (default 64)
+//   --journal-root PATH  per-shard write-ahead journals at PATH/shard<i>;
+//                        required for crash recovery (default: off)
+//   --cache-dir PATH     shared on-disk result store for every shard --
+//                        the peer-fill channel (default: off)
+//   --threads N          forwarded to each worker (per-shard pool size)
+//   --queue-depth N      forwarded to each worker
+//   --cache-capacity N   forwarded to each worker (in-memory LRU entries)
+//   --request-timeout T  seconds before a silent shard is declared wedged
+//                        and recycled, e.g. 30s (default 300s)
+//   --no-restart         never respawn dead shards; only re-route
+//   --max-restarts N     restart budget per shard (default 16)
+//   --tech PATH          technology file, used for the router's routing
+//                        keys AND forwarded to each worker (default:
+//                        built-in generic060)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/router.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--worker PATH] [--shards N] [--vnodes N]\n"
+               "          [--journal-root PATH] [--cache-dir PATH]\n"
+               "          [--threads N] [--queue-depth N] [--cache-capacity N]\n"
+               "          [--request-timeout T] [--no-restart]\n"
+               "          [--max-restarts N] [--tech PATH]\n",
+               argv0);
+}
+
+/// "30s", "2.5s" or a bare number of seconds.
+double parseDuration(const std::string& text) {
+  std::string digits = text;
+  if (!digits.empty() && digits.back() == 's') digits.pop_back();
+  char* end = nullptr;
+  const double v = std::strtod(digits.c_str(), &end);
+  if (end == digits.c_str() || *end != '\0' || v < 0.0) {
+    std::fprintf(stderr, "lorouter: bad duration \"%s\"\n", text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lo;
+
+  cluster::RouterOptions options;
+  std::string worker = "losynthd";
+  std::vector<std::string> workerFlags;
+  std::string techPath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--worker") worker = value();
+    else if (arg == "--shards") options.shards = std::stoi(value());
+    else if (arg == "--vnodes") options.vnodesPerShard = std::stoi(value());
+    else if (arg == "--journal-root") options.journalRoot = value();
+    else if (arg == "--cache-dir") options.cacheDir = value();
+    else if (arg == "--threads" || arg == "--queue-depth" ||
+             arg == "--cache-capacity") {
+      workerFlags.push_back(arg);
+      workerFlags.push_back(value());
+    } else if (arg == "--request-timeout") {
+      options.requestTimeoutSeconds = parseDuration(value());
+    } else if (arg == "--no-restart") options.restartDeadShards = false;
+    else if (arg == "--max-restarts") options.maxRestartsPerShard = std::stoi(value());
+    else if (arg == "--tech") techPath = value();
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    if (!techPath.empty()) {
+      options.technology = tech::Technology::fromFile(techPath);
+      workerFlags.push_back("--tech");
+      workerFlags.push_back(techPath);
+    }
+    options.workerArgv.push_back(worker);
+    for (std::string& flag : workerFlags) {
+      options.workerArgv.push_back(std::move(flag));
+    }
+
+    cluster::ClusterRouter router(std::move(options));
+    std::fprintf(stderr, "lorouter: %d shard(s) up behind %s\n",
+                 router.shardCount(), worker.c_str());
+    router.serve(std::cin, std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lorouter: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

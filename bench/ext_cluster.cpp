@@ -212,16 +212,17 @@ int runSnapshot() {
   std::filesystem::remove_all(scratch);
 
   // The speedup gate is bounded by the machine: N shards can only compute
-  // concurrently on N cores, so demand the full 2x where the hardware can
-  // deliver it and degrade to "the router must not cost throughput" on
-  // boxes narrower than the cluster (there the only parallel resource is
-  // journal group-commit).  Both the measured and required numbers land in
-  // the JSON so the trajectory is comparable across hosts.
+  // concurrently on N cores.  Demand the full 2x on any box with 4+ cores
+  // (multi-core CI included -- even narrower than the cluster, four cores
+  // leave enough parallel slack for 2x over one shard) and degrade only on
+  // genuinely narrow boxes, where journal group-commit is the sole
+  // parallel resource.  Both the measured and required numbers land in the
+  // JSON so the trajectory is comparable across hosts.
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const double requiredSpeedup =
-      cores >= static_cast<unsigned>(gShards) ? 2.0
-      : cores >= 2                            ? 1.5
-                                              : 1.0;
+      cores >= static_cast<unsigned>(gShards) || cores >= 4 ? 2.0
+      : cores >= 2                                          ? 1.75
+                                                            : 1.0;
 
   std::printf("\n=== ext_cluster: %d duplicate-heavy jobs over %d pool points ===\n",
               gJobs, gPool);

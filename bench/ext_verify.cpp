@@ -1,0 +1,207 @@
+// Post-layout verification tier snapshot: run the full engine with the
+// kPostLayoutVerify stage enabled on both topologies, print the per-spec
+// pre/post-layout deltas, and write BENCH_verify.json (deltas, the
+// verification stage's wall time and its fraction of the whole run) under
+// examples/out/ -- the verification entry of the perf trajectory.
+//
+// Acceptance: the report must run on both topologies, THD must come back
+// finite and non-negative on both sides, and the tier's overhead must stay
+// under 90% of the run (it re-simulates two netlists plus three extra
+// testbenches each, so it is expensive -- but it must never dwarf the
+// synthesis it verifies).
+//
+// CI runs a short-budget pass: ext_verify --verify-sweep-points=15
+// --benchmark_filter=none.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "layout/writers.hpp"
+#include "sim/fft.hpp"
+
+namespace {
+
+using namespace lo;
+
+int gSweepPoints = 41;  // DC sweep resolution; CI passes a smaller one.
+
+/// One engine-with-verification run on one topology.
+struct Sample {
+  std::string topology;
+  bool ran = false;
+  bool pass = false;
+  double totalMs = 0.0;   ///< Sum of all staged wall time.
+  double verifyMs = 0.0;  ///< kPostLayoutVerify stage wall time.
+  double overhead = 0.0;  ///< verifyMs / totalMs.
+  verify::VerificationReport report;
+};
+
+Sample runTopology(const std::string& topology) {
+  const tech::Technology t = tech::Technology::generic060();
+  core::EngineOptions options;
+  options.topology = topology;
+  // Case 2 skips the parasitic feedback loop: the snapshot times the
+  // verification tier, not convergence.
+  options.sizingCase = core::SizingCase::kCase2;
+  options.postLayoutVerify.enabled = true;
+  options.postLayoutVerify.sweepPoints = gSweepPoints;
+
+  std::map<core::EngineStage, double> stageSeconds;
+  options.hooks.onStage = [&stageSeconds](core::EngineStage stage, double s) {
+    stageSeconds[stage] += s;
+  };
+
+  sizing::OtaSpecs specs;
+  if (topology == core::kTwoStageTopologyName) specs.gbw = 30e6;
+
+  const core::SynthesisEngine engine(t, options);
+  const core::EngineResult result = engine.run(specs);
+
+  Sample s;
+  s.topology = topology;
+  s.ran = result.verification.ran;
+  s.pass = result.verification.pass;
+  s.report = result.verification;
+  for (const auto& [stage, seconds] : stageSeconds) s.totalMs += seconds * 1e3;
+  s.verifyMs = stageSeconds[core::EngineStage::kPostLayoutVerify] * 1e3;
+  s.overhead = s.totalMs > 0.0 ? s.verifyMs / s.totalMs : 0.0;
+  return s;
+}
+
+std::string toJson(const std::vector<Sample>& samples) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "{\n  \"bench\": \"ext_verify\",\n  \"sweep_points\": " << gSweepPoints
+      << ",\n  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"topology\": \"" << s.topology << "\", \"ran\": "
+        << (s.ran ? "true" : "false") << ", \"pass\": "
+        << (s.pass ? "true" : "false") << ",\n     \"total_wall_ms\": " << s.totalMs
+        << ", \"verify_wall_ms\": " << s.verifyMs
+        << ", \"overhead_fraction\": " << s.overhead << ",\n     \"deltas\": [\n";
+    for (std::size_t k = 0; k < s.report.deltas.size(); ++k) {
+      const verify::SpecDelta& d = s.report.deltas[k];
+      out << "       {\"name\": \"" << d.name << "\", \"pre\": " << d.preLayout
+          << ", \"post\": " << d.postLayout << ", \"delta\": " << d.delta()
+          << ", \"constrained\": " << (d.constrained ? "true" : "false")
+          << ", \"pass\": " << (d.pass ? "true" : "false") << '}'
+          << (k + 1 < s.report.deltas.size() ? "," : "") << '\n';
+    }
+    out << "     ]}" << (i + 1 < samples.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int runSnapshot() {
+  std::vector<Sample> samples;
+  samples.push_back(runTopology(std::string(core::kFoldedCascodeOtaTopologyName)));
+  samples.push_back(runTopology(std::string(core::kTwoStageTopologyName)));
+
+  std::printf("\n=== ext_verify: post-layout verification snapshot (%d sweep points) ===\n",
+              gSweepPoints);
+  for (const Sample& s : samples) {
+    std::printf("%-20s ran=%d pass=%d total=%.1f ms verify=%.1f ms (%.0f%%)\n",
+                s.topology.c_str(), s.ran ? 1 : 0, s.pass ? 1 : 0, s.totalMs,
+                s.verifyMs, s.overhead * 100.0);
+    std::printf("  %-18s %14s %14s %12s %s\n", "spec", "pre-layout", "post-layout",
+                "delta", "verdict");
+    for (const verify::SpecDelta& d : s.report.deltas) {
+      std::printf("  %-18s %14.6g %14.6g %12.3g %s\n", d.name.c_str(), d.preLayout,
+                  d.postLayout, d.delta(),
+                  d.constrained ? (d.pass ? "pass" : "FAIL") : "-");
+    }
+  }
+
+  const std::string path = layout::outputPath("BENCH_verify.json");
+  layout::writeFile(path, toJson(samples));
+  std::printf("wrote %s\n", path.c_str());
+
+  int failures = 0;
+  for (const Sample& s : samples) {
+    if (!s.ran) {
+      std::printf("ACCEPTANCE FAIL: %s verification report never ran\n",
+                  s.topology.c_str());
+      ++failures;
+    }
+    const double thdPre = s.report.preExtended.thdPercent;
+    const double thdPost = s.report.postExtended.thdPercent;
+    if (!std::isfinite(thdPre) || !std::isfinite(thdPost) || thdPre < 0.0 ||
+        thdPost < 0.0) {
+      std::printf("ACCEPTANCE FAIL: %s THD not finite/non-negative (pre=%g post=%g)\n",
+                  s.topology.c_str(), thdPre, thdPost);
+      ++failures;
+    }
+    if (s.overhead >= 0.9) {
+      std::printf("ACCEPTANCE FAIL: %s verification overhead %.0f%% >= 90%%\n",
+                  s.topology.c_str(), s.overhead * 100.0);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("acceptance: verification ran on both topologies, finite THD, "
+                "bounded overhead\n");
+  }
+  return failures;
+}
+
+void BM_FftRadix2_1024(benchmark::State& state) {
+  std::vector<std::complex<double>> base(1024);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = {std::sin(0.1 * static_cast<double>(i)), 0.0};
+  }
+  for (auto _ : state) {
+    auto data = base;
+    sim::fftRadix2(data);
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_FftRadix2_1024)->Unit(benchmark::kMicrosecond);
+
+void BM_ThdPureTone_256(benchmark::State& state) {
+  std::vector<double> samples(256);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = std::sin(2.0 * M_PI * 4.0 * static_cast<double>(i) / 256.0);
+  }
+  for (auto _ : state) {
+    const double thd = sim::thdPercent(samples, 4, 5);
+    benchmark::DoNotOptimize(thd);
+  }
+}
+BENCHMARK(BM_ThdPureTone_256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees (and rejects) it.
+  int outArgc = 0;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--verify-sweep-points=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      gSweepPoints = std::atoi(argv[i] + std::strlen(kFlag));
+      if (gSweepPoints < 3) {
+        std::fprintf(stderr, "bad --verify-sweep-points\n");
+        return 2;
+      }
+      continue;
+    }
+    argv[outArgc++] = argv[i];
+  }
+  argc = outArgc;
+
+  const int failures = runSnapshot();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return failures == 0 ? 0 : 1;
+}

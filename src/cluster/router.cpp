@@ -267,20 +267,22 @@ Json ClusterRouter::handle(const Json& request, const std::string& rawLine) {
   if (op == "topologies") return forwardToAnyShard(rawLine);
   if (op == "shutdown") return handleShutdown();
 
-  Json knownOps = Json::array();
-  for (const char* name : {"synthesize", "sweep", "wait", "cancel", "explore",
-                           "explore_result", "stats", "health", "topologies",
-                           "shutdown"}) {
-    knownOps.push(name);
+  // Any other op is forwarded verbatim: shards grow ops through
+  // ServiceProtocol::registerOp (e.g. "verify") without a router release.
+  // Ops that parse as a job request route by cache key so they land on the
+  // shard holding that job's cached result; anything else spreads by
+  // request text.  A genuinely unknown op comes back as the shard's own
+  // structured unknown_op error, which lists what the daemon really
+  // speaks.
+  std::string key;
+  try {
+    key = routingKeyFor(request);
+  } catch (const std::exception&) {
+    key = "raw:" + rawLine;
   }
-  Json error = Json::object();
-  error.set("code", "unknown_op");
-  error.set("message", "unknown op \"" + op + "\"");
-  error.set("known_ops", std::move(knownOps));
-  Json out = Json::object();
-  out.set("ok", false);
-  out.set("error", std::move(error));
-  return out;
+  auto [shard, response] = forwardRouted(key, rawLine);
+  response.set("shard", shard);
+  return response;
 }
 
 Json ClusterRouter::handleSynthesize(const Json& request,

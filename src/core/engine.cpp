@@ -169,6 +169,22 @@ EngineResult SynthesisEngine::run(Topology& topology,
   timed(EngineStage::kVerification,
         [&] { result.measured = topology.verify(options_.verifyOptions); });
   result.predicted = topology.predicted();
+
+  // Post-layout verification tier: re-simulate schematic vs extracted
+  // netlists and judge the per-spec deltas.  The extracted-netlist core
+  // measurement is reused from the verification stage above, so the extra
+  // cost is the schematic re-measurement plus the extended sweeps.
+  if (options_.postLayoutVerify.enabled) {
+    checkCancel();
+    timed(EngineStage::kPostLayoutVerify, [&] {
+      const verify::VerificationSetup setup = topology.verificationSetup();
+      if (setup.supported) {
+        result.verification = verify::runVerification(
+            tech_, *model_, setup, specs, options_.verifyOptions,
+            options_.postLayoutVerify, &result.measured);
+      }
+    });
+  }
   return result;
 }
 

@@ -28,11 +28,12 @@ namespace lo::core {
 
 /// The pipeline stages the engine reports to EngineHooks::onStage.
 enum class EngineStage {
-  kSizing,           ///< A size() pass (design-plan run).
-  kParasiticLayout,  ///< A parasitic-calculation-mode layout call.
-  kGeneration,       ///< Generation-mode layout (full mask geometry).
-  kExtraction,       ///< Extracted geometry applied back onto the design.
-  kVerification,     ///< Verification-by-simulation.
+  kSizing,            ///< A size() pass (design-plan run).
+  kParasiticLayout,   ///< A parasitic-calculation-mode layout call.
+  kGeneration,        ///< Generation-mode layout (full mask geometry).
+  kExtraction,        ///< Extracted geometry applied back onto the design.
+  kVerification,      ///< Verification-by-simulation.
+  kPostLayoutVerify,  ///< Pre- vs post-layout spec comparison (lo_verify).
 };
 
 [[nodiscard]] constexpr const char* engineStageName(EngineStage s) {
@@ -42,6 +43,7 @@ enum class EngineStage {
     case EngineStage::kGeneration: return "generation";
     case EngineStage::kExtraction: return "extraction";
     case EngineStage::kVerification: return "verification";
+    case EngineStage::kPostLayoutVerify: return "post_layout_verify";
   }
   return "?";
 }
@@ -108,6 +110,12 @@ struct EngineOptions {
   /// parasitics count as "unchanged".
   double convergenceTol = 0.02;
   sizing::VerifyOptions verifyOptions;
+  /// The post-layout verification tier (off by default).  When enabled the
+  /// engine runs a final kPostLayoutVerify stage that re-simulates the
+  /// schematic and extracted netlists and judges the pre/post deltas; the
+  /// knobs join the cache key only when the stage is on, so existing
+  /// configurations keep their keys.
+  verify::VerificationOptions postLayoutVerify;
   /// Cancellation / stage-timing hooks (not part of a job's identity: the
   /// service-layer cache key deliberately ignores them).
   EngineHooks hooks;
@@ -177,6 +185,9 @@ struct EngineResult {
   ConvergenceReport convergence;  ///< Watchdog verdict over `iterations`.
   sizing::OtaPerformance predicted;  ///< Synthesised values (Table 1 plain).
   sizing::OtaPerformance measured;   ///< Extracted-netlist simulation (brackets).
+  /// Pre- vs post-layout spec comparison; ran=false (and absent from the
+  /// serialised result) unless EngineOptions::postLayoutVerify.enabled.
+  verify::VerificationReport verification;
   /// Generation-mode cell bounding box [um]; 0 when the topology draws no
   /// geometry.  The slicing-tree result, surfaced so layout area can serve
   /// as an optimisation objective without adapter access.

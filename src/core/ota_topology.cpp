@@ -70,4 +70,30 @@ sizing::OtaPerformance FoldedCascodeOtaTopology::verify(
       .verify(extracted_, &layout_.parasitics);
 }
 
+verify::VerificationSetup FoldedCascodeOtaTopology::verificationSetup() {
+  verify::VerificationSetup s;
+  s.supported = true;
+  // The instantiators capture design copies so the setup stays valid even
+  // if the adapter is resized afterwards.
+  if (biasEnabled_) {
+    s.preLayout = [d = sizing_.design, b = bias_](circuit::Circuit& c) {
+      circuit::instantiateOtaWithBias(c, d, b);
+    };
+    s.postLayout = [d = extracted_, b = bias_](circuit::Circuit& c) {
+      circuit::instantiateOtaWithBias(c, d, b);
+    };
+  } else {
+    s.preLayout = [d = sizing_.design](circuit::Circuit& c) {
+      circuit::instantiateOta(c, d);
+    };
+    s.postLayout = [d = extracted_](circuit::Circuit& c) {
+      circuit::instantiateOta(c, d);
+    };
+  }
+  s.parasitics = &layout_.parasitics;
+  s.inputCm = extracted_.inputCm;
+  s.vdd = extracted_.vdd;
+  return s;
+}
+
 }  // namespace lo::core

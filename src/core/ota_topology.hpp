@@ -31,6 +31,7 @@ class FoldedCascodeOtaTopology final : public Topology {
   void applyExtracted() override;
   [[nodiscard]] sizing::OtaPerformance verify(
       const sizing::VerifyOptions& options) override;
+  [[nodiscard]] verify::VerificationSetup verificationSetup() override;
 
   [[nodiscard]] sizing::OtaPerformance predicted() const override {
     return sizing_.predicted;

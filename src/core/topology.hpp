@@ -29,6 +29,7 @@
 #include "sizing/ota_spec.hpp"
 #include "sizing/verify.hpp"
 #include "tech/technology.hpp"
+#include "verify/verify.hpp"
 
 namespace lo::core {
 
@@ -80,6 +81,13 @@ class Topology {
   /// parasitic report.
   [[nodiscard]] virtual sizing::OtaPerformance verify(
       const sizing::VerifyOptions& options) = 0;
+
+  /// Hand the post-layout verification tier its inputs: instantiators for
+  /// the schematic-level and extracted netlists plus the generation-mode
+  /// parasitic report.  Valid after applyExtracted(); topologies without
+  /// a simulatable netlist keep the default (supported = false) and the
+  /// engine skips the stage.
+  [[nodiscard]] virtual verify::VerificationSetup verificationSetup() { return {}; }
 
   /// Performance predicted by the last sizing pass.
   [[nodiscard]] virtual sizing::OtaPerformance predicted() const = 0;

@@ -51,4 +51,19 @@ sizing::OtaPerformance TwoStageTopology::verify(const sizing::VerifyOptions& opt
                                 options);
 }
 
+verify::VerificationSetup TwoStageTopology::verificationSetup() {
+  verify::VerificationSetup s;
+  s.supported = true;
+  s.preLayout = [d = sizing_.design](circuit::Circuit& c) {
+    circuit::instantiateTwoStage(c, d);
+  };
+  s.postLayout = [d = extracted_](circuit::Circuit& c) {
+    circuit::instantiateTwoStage(c, d);
+  };
+  s.parasitics = &layout_.parasitics;
+  s.inputCm = extracted_.inputCm;
+  s.vdd = extracted_.vdd;
+  return s;
+}
+
 }  // namespace lo::core

@@ -11,7 +11,7 @@ Explorer::Explorer(service::JobScheduler& scheduler, ExploreSpace space,
     : scheduler_(scheduler),
       space_(std::move(space)),
       options_(std::move(options)),
-      archive_(options_.objectives) {}
+      archive_(options_.objectives, options_.requirePostLayout) {}
 
 ExploreProgress Explorer::progress() const {
   const std::lock_guard<std::mutex> lock(progressMutex_);
@@ -51,6 +51,11 @@ PointEval Explorer::makeEval(const std::vector<double>& coords,
     eval.feasible = eval.converged &&
                     m.gbwHz >= specs.gbw * (1.0 - tol) &&
                     m.phaseMarginDeg >= specs.phaseMarginDeg * (1.0 - tol);
+    const verify::VerificationReport& report = status.result.verification;
+    eval.postLayoutPass = report.ran && report.pass;
+    if (options_.requirePostLayout) {
+      eval.feasible = eval.feasible && eval.postLayoutPass;
+    }
   }
   return eval;
 }
@@ -75,6 +80,7 @@ bool Explorer::evaluateBatch(const std::vector<std::vector<double>>& coords) {
     service::JobRequest req;
     req.label = "explore:" + coordKey(c);
     req.options = space_.engineOptions;
+    if (options_.requirePostLayout) req.options.postLayoutVerify.enabled = true;
     req.specs = specsAt(space_, c);
     req.corner = space_.corner;
     req.priority = options_.priority;

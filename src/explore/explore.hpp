@@ -37,6 +37,10 @@ struct ExploreOptions {
   /// is feasible when measured GBW and phase margin reach (1 - tol) of the
   /// specs it was synthesised for.
   double specTolerance = 0.02;
+  /// Run the post-layout verification tier on every candidate and only
+  /// admit points to the front whose extracted netlist passed it.  Costs
+  /// extra simulations per point; off by default.
+  bool requirePostLayout = false;
   int priority = 0;            ///< Forwarded to every submitted job.
   double deadlineSeconds = 0;  ///< Per-job deadline; 0 = none.
 };

@@ -21,8 +21,9 @@ std::vector<Objective> allObjectives() {
   return {Objective::kPowerMw, Objective::kAreaUm2, Objective::kNoiseUv};
 }
 
-ParetoArchive::ParetoArchive(std::vector<Objective> objectives)
-    : objectives_(std::move(objectives)) {
+ParetoArchive::ParetoArchive(std::vector<Objective> objectives,
+                             bool requirePostLayout)
+    : objectives_(std::move(objectives)), requirePostLayout_(requirePostLayout) {
   if (objectives_.empty()) {
     throw std::invalid_argument("ParetoArchive needs at least one objective");
   }
@@ -48,6 +49,7 @@ bool ParetoArchive::dominates(const PointEval& a, const PointEval& b,
 
 bool ParetoArchive::insert(const PointEval& p) {
   if (!p.feasible) return false;
+  if (requirePostLayout_ && !p.postLayoutPass) return false;
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const PointEval& q : points_) {
     if (weaklyDominates(q, p, objectives_)) return false;

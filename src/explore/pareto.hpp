@@ -43,6 +43,7 @@ struct PointEval {
   bool ok = false;             ///< Synthesis job reached "done".
   bool converged = false;      ///< Parasitic loop reached a fixed point.
   bool feasible = false;       ///< ok && converged && performance meets specs.
+  bool postLayoutPass = false; ///< Post-layout verification ran and passed.
   bool cacheHit = false;       ///< Served from the result cache.
   std::string error;           ///< Failure text when !ok.
 
@@ -66,7 +67,11 @@ struct PointEval {
 
 class ParetoArchive {
  public:
-  explicit ParetoArchive(std::vector<Objective> objectives = allObjectives());
+  /// `requirePostLayout` additionally rejects points whose post-layout
+  /// verification tier did not run or did not pass, so the front only ever
+  /// contains designs the extracted netlist re-confirmed.
+  explicit ParetoArchive(std::vector<Objective> objectives = allObjectives(),
+                         bool requirePostLayout = false);
 
   /// a is no worse than b on every selected objective.
   [[nodiscard]] static bool weaklyDominates(const PointEval& a, const PointEval& b,
@@ -96,6 +101,7 @@ class ParetoArchive {
 
  private:
   std::vector<Objective> objectives_;
+  bool requirePostLayout_ = false;
   mutable std::mutex mutex_;
   std::vector<PointEval> points_;  ///< Kept sorted by key.
 };

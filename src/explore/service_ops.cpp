@@ -74,6 +74,9 @@ ExploreOptions optionsFromJson(const Json& request) {
   if (const Json* tolerance = request.find("tolerance")) {
     options.specTolerance = tolerance->asDouble();
   }
+  if (const Json* rpl = request.find("require_post_layout")) {
+    options.requirePostLayout = rpl->asBool();
+  }
   if (const Json* objectives = request.find("objectives")) {
     if (!objectives->isArray() || objectives->items().empty()) {
       throw std::invalid_argument("\"objectives\" must be a non-empty array");

@@ -114,6 +114,22 @@ std::string ResultCache::canonicalText(const core::EngineOptions& options,
       << num(specs.phaseMarginDeg) << "," << num(specs.cload) << ","
       << num(specs.inputCmLow) << "," << num(specs.inputCmHigh) << ","
       << num(specs.outputLow) << "," << num(specs.outputHigh);
+  // Gated segments: configurations that never touch the extended spec axes
+  // or the post-layout tier keep their pre-existing keys (so warm caches
+  // stay warm across the upgrade), while any non-default use gets its own
+  // key space.
+  if (specs.thdMaxPercent != 0.0 || specs.psrrMinDb != 0.0 ||
+      specs.offsetMaxMv != 0.0) {
+    out << "|xspec=" << num(specs.thdMaxPercent) << ","
+        << num(specs.psrrMinDb) << "," << num(specs.offsetMaxMv);
+  }
+  const ::lo::verify::VerificationOptions& pv = options.postLayoutVerify;
+  if (pv.enabled) {
+    out << "|plv=" << num(pv.relTolerance) << "," << num(pv.thdFundamentalHz)
+        << "," << num(pv.thdAmplitudeV) << "," << pv.thdSettleCycles << ","
+        << pv.thdCycles << "," << pv.thdSamplesPerCycle << "," << pv.harmonics
+        << "," << pv.sweepPoints << "," << num(pv.trackingTolerance);
+  }
   out << "|corner=" << tech::cornerName(corner) << "|tech=" << techPrint;
   return out.str();
 }

@@ -50,6 +50,32 @@ JobRequest parseJobRequest(const Json& request) {
     job.options.includeBiasGenerator = bias->asBool();
   }
   if (const Json* spec = request.find("spec")) specsFromJson(*spec, job.specs);
+  if (const Json* plv = request.find("post_layout_verify")) {
+    // Accepts a bare bool for the common case and an object for tuning:
+    // {"post_layout_verify": true} or
+    // {"post_layout_verify": {"enabled": true, "rel_tolerance": 0.05, ...}}.
+    verify::VerificationOptions& pv = job.options.postLayoutVerify;
+    if (plv->isObject()) {
+      pv.enabled = plv->at("enabled").asBool(true);
+      if (const Json* f = plv->find("rel_tolerance")) pv.relTolerance = f->asDouble();
+      if (const Json* f = plv->find("thd_fundamental_hz")) {
+        pv.thdFundamentalHz = f->asDouble();
+      }
+      if (const Json* f = plv->find("thd_amplitude_v")) pv.thdAmplitudeV = f->asDouble();
+      if (const Json* f = plv->find("thd_settle_cycles")) pv.thdSettleCycles = f->asInt();
+      if (const Json* f = plv->find("thd_cycles")) pv.thdCycles = f->asInt();
+      if (const Json* f = plv->find("thd_samples_per_cycle")) {
+        pv.thdSamplesPerCycle = f->asInt();
+      }
+      if (const Json* f = plv->find("harmonics")) pv.harmonics = f->asInt();
+      if (const Json* f = plv->find("sweep_points")) pv.sweepPoints = f->asInt();
+      if (const Json* f = plv->find("tracking_tolerance")) {
+        pv.trackingTolerance = f->asDouble();
+      }
+    } else {
+      pv.enabled = plv->asBool();
+    }
+  }
   if (const Json* corner = request.find("corner")) {
     job.corner = cornerFromName(corner->asString());
   }

@@ -43,6 +43,10 @@ constexpr SpecField kSpecFields[] = {
     {"input_cm_high", &sizing::OtaSpecs::inputCmHigh},
     {"output_low", &sizing::OtaSpecs::outputLow},
     {"output_high", &sizing::OtaSpecs::outputHigh},
+    // Extended spec surface judged by the post-layout verification tier.
+    {"thd_max_percent", &sizing::OtaSpecs::thdMaxPercent},
+    {"psrr_min_db", &sizing::OtaSpecs::psrrMinDb},
+    {"offset_max_mv", &sizing::OtaSpecs::offsetMaxMv},
 };
 
 }  // namespace
@@ -94,7 +98,78 @@ core::ConvergenceReport convergenceFromJson(const Json& j) {
   return report;
 }
 
+struct ExtendedField {
+  const char* name;
+  double verify::ExtendedMeasures::* member;
+};
+
+constexpr ExtendedField kExtendedFields[] = {
+    {"thd_percent", &verify::ExtendedMeasures::thdPercent},
+    {"psrr_db", &verify::ExtendedMeasures::psrrDb},
+    {"output_swing_low", &verify::ExtendedMeasures::outputSwingLow},
+    {"output_swing_high", &verify::ExtendedMeasures::outputSwingHigh},
+    {"icmr_low", &verify::ExtendedMeasures::icmrLow},
+    {"icmr_high", &verify::ExtendedMeasures::icmrHigh},
+    {"offset_mv", &verify::ExtendedMeasures::offsetMv},
+};
+
+Json toJson(const verify::ExtendedMeasures& m) {
+  Json j = Json::object();
+  for (const ExtendedField& f : kExtendedFields) j.set(f.name, m.*(f.member));
+  return j;
+}
+
+verify::ExtendedMeasures extendedFromJson(const Json& j) {
+  verify::ExtendedMeasures m;
+  for (const ExtendedField& f : kExtendedFields) m.*(f.member) = j.at(f.name).asDouble();
+  return m;
+}
+
 }  // namespace
+
+Json toJson(const verify::VerificationReport& report) {
+  Json j = Json::object();
+  j.set("ran", report.ran);
+  j.set("pass", report.pass);
+  j.set("pre_layout", toJson(report.preLayout));
+  j.set("post_layout", toJson(report.postLayout));
+  j.set("pre_extended", toJson(report.preExtended));
+  j.set("post_extended", toJson(report.postExtended));
+  Json deltas = Json::array();
+  for (const verify::SpecDelta& d : report.deltas) {
+    Json row = Json::object();
+    row.set("name", d.name);
+    row.set("pre_layout", d.preLayout);
+    row.set("post_layout", d.postLayout);
+    row.set("limit", d.limit);
+    row.set("constrained", d.constrained);
+    row.set("pass", d.pass);
+    deltas.push(std::move(row));
+  }
+  j.set("deltas", std::move(deltas));
+  return j;
+}
+
+verify::VerificationReport verificationFromJson(const Json& j) {
+  verify::VerificationReport report;
+  report.ran = j.at("ran").asBool();
+  report.pass = j.at("pass").asBool();
+  report.preLayout = performanceFromJson(j.at("pre_layout"));
+  report.postLayout = performanceFromJson(j.at("post_layout"));
+  report.preExtended = extendedFromJson(j.at("pre_extended"));
+  report.postExtended = extendedFromJson(j.at("post_extended"));
+  for (const Json& row : j.at("deltas").items()) {
+    verify::SpecDelta d;
+    d.name = row.at("name").asString();
+    d.preLayout = row.at("pre_layout").asDouble();
+    d.postLayout = row.at("post_layout").asDouble();
+    d.limit = row.at("limit").asDouble();
+    d.constrained = row.at("constrained").asBool();
+    d.pass = row.at("pass").asBool();
+    report.deltas.push_back(std::move(d));
+  }
+  return report;
+}
 
 Json toJson(const core::EngineResult& result) {
   Json j = Json::object();
@@ -120,6 +195,11 @@ Json toJson(const core::EngineResult& result) {
   j.set("layout_height_um", result.layoutHeightUm);
   j.set("predicted", toJson(result.predicted));
   j.set("measured", toJson(result.measured));
+  // Only present when the post-layout tier ran: results from existing
+  // configurations keep their exact bytes (differential-oracle contract).
+  if (result.verification.ran) {
+    j.set("verification", toJson(result.verification));
+  }
   return j;
 }
 
@@ -143,6 +223,9 @@ core::EngineResult resultFromJson(const Json& j) {
   result.layoutHeightUm = j.at("layout_height_um").asDouble();
   result.predicted = performanceFromJson(j.at("predicted"));
   result.measured = performanceFromJson(j.at("measured"));
+  if (const Json* verification = j.find("verification")) {
+    result.verification = verificationFromJson(*verification);
+  }
   return result;
 }
 
@@ -212,6 +295,23 @@ Json toJson(const JobRequest& request) {
   verify.set("tran_stop", v.tranStop);
   verify.set("step_amplitude", v.stepAmplitude);
   j.set("verify", std::move(verify));
+  // Gated on enabled so journals written by verification-free configs keep
+  // their exact bytes.
+  if (o.postLayoutVerify.enabled) {
+    const ::lo::verify::VerificationOptions& pv = o.postLayoutVerify;
+    Json plv = Json::object();
+    plv.set("enabled", true);
+    plv.set("rel_tolerance", pv.relTolerance);
+    plv.set("thd_fundamental_hz", pv.thdFundamentalHz);
+    plv.set("thd_amplitude_v", pv.thdAmplitudeV);
+    plv.set("thd_settle_cycles", pv.thdSettleCycles);
+    plv.set("thd_cycles", pv.thdCycles);
+    plv.set("thd_samples_per_cycle", pv.thdSamplesPerCycle);
+    plv.set("harmonics", pv.harmonics);
+    plv.set("sweep_points", pv.sweepPoints);
+    plv.set("tracking_tolerance", pv.trackingTolerance);
+    j.set("post_layout_verify", std::move(plv));
+  }
   j.set("spec", toJson(request.specs));
   j.set("corner", tech::cornerName(request.corner));
   j.set("priority", request.priority);
@@ -239,6 +339,19 @@ JobRequest jobRequestFromJson(const Json& j) {
   v.tranStep = verify.at("tran_step").asDouble();
   v.tranStop = verify.at("tran_stop").asDouble();
   v.stepAmplitude = verify.at("step_amplitude").asDouble();
+  if (const Json* plv = j.find("post_layout_verify")) {
+    ::lo::verify::VerificationOptions& pv = o.postLayoutVerify;
+    pv.enabled = plv->at("enabled").asBool();
+    pv.relTolerance = plv->at("rel_tolerance").asDouble();
+    pv.thdFundamentalHz = plv->at("thd_fundamental_hz").asDouble();
+    pv.thdAmplitudeV = plv->at("thd_amplitude_v").asDouble();
+    pv.thdSettleCycles = plv->at("thd_settle_cycles").asInt();
+    pv.thdCycles = plv->at("thd_cycles").asInt();
+    pv.thdSamplesPerCycle = plv->at("thd_samples_per_cycle").asInt();
+    pv.harmonics = plv->at("harmonics").asInt();
+    pv.sweepPoints = plv->at("sweep_points").asInt();
+    pv.trackingTolerance = plv->at("tracking_tolerance").asDouble();
+  }
   specsFromJson(j.at("spec"), request.specs);
   request.corner = cornerFromName(j.at("corner").asString());
   request.priority = j.at("priority").asInt();

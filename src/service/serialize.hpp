@@ -22,6 +22,13 @@ namespace lo::service {
 [[nodiscard]] Json toJson(const core::EngineResult& result);
 [[nodiscard]] core::EngineResult resultFromJson(const Json& j);
 
+/// Post-layout verification report round trip.  toJson(EngineResult) only
+/// emits the "verification" member when the report actually ran, so
+/// results from configurations that never enabled the tier stay
+/// byte-identical to what they serialised before the tier existed.
+[[nodiscard]] Json toJson(const verify::VerificationReport& report);
+[[nodiscard]] verify::VerificationReport verificationFromJson(const Json& j);
+
 /// Full-fidelity JobRequest round trip for the write-ahead job journal:
 /// every field that influences the job's result or its scheduling (label,
 /// topology, case, model, engine knobs, verify options, specs, corner,

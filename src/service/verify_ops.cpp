@@ -1,0 +1,41 @@
+#include "service/verify_ops.hpp"
+
+#include "service/serialize.hpp"
+
+namespace lo::service {
+
+void installVerifyOps(ServiceProtocol& protocol, JobScheduler& scheduler) {
+  protocol.registerOp("verify", [&scheduler](const Json& request) {
+    JobRequest job = parseJobRequest(request);
+    // The op's whole point is the post-layout tier; any tuning from the
+    // request's "post_layout_verify" object is kept, only the switch is
+    // forced.
+    job.options.postLayoutVerify.enabled = true;
+    const std::uint64_t id = scheduler.submit(job);
+    const JobStatus status = scheduler.wait(id);
+
+    Json out = Json::object();
+    out.set("ok", true);
+    out.set("id", status.id);
+    if (!status.label.empty()) out.set("label", status.label);
+    out.set("state", jobStateName(status.state));
+    out.set("cache_hit", status.cacheHit);
+    if (!status.cacheKey.empty()) out.set("cache_key", status.cacheKey);
+    if (status.state == JobState::kDone) {
+      const verify::VerificationReport& report = status.result.verification;
+      out.set("post_layout_ran", report.ran);
+      if (report.ran) {
+        out.set("post_layout_pass", report.pass);
+        out.set("verification", toJson(report));
+      }
+      if (!request.at("summary").asBool()) {
+        out.set("result", toJson(status.result));
+      }
+    } else if (!status.error.empty()) {
+      out.set("error", status.error);
+    }
+    return out;
+  });
+}
+
+}  // namespace lo::service

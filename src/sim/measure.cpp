@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace lo::sim {
 
@@ -122,13 +123,47 @@ std::string tranToCsv(const std::vector<TranPoint>& tran, circuit::NodeId node) 
 SlewRates slewRates(const std::vector<TranPoint>& tran, circuit::NodeId node,
                     double tStart, double tStop) {
   SlewRates out;
+  if (tran.size() < 2 || tStop <= tStart) return out;
+  bool sawInterval = false;
   for (std::size_t i = 0; i + 1 < tran.size(); ++i) {
     const double t0 = tran[i].time, t1 = tran[i + 1].time;
     if (t0 < tStart || t1 > tStop || t1 <= t0) continue;
     const double dv = tran[i + 1].nodeV[node] - tran[i].nodeV[node];
     const double slope = dv / (t1 - t0);
+    if (!std::isfinite(slope)) continue;
+    sawInterval = true;
     out.rising = std::max(out.rising, slope);
     out.falling = std::max(out.falling, -slope);
+  }
+  if (!sawInterval) {
+    // Degenerate window: the step is coarser than [tStart, tStop], so no
+    // interval lies entirely inside it.  Fall back to intervals merely
+    // overlapping the window -- a coarse transient then reports the
+    // bounding slope instead of a silent 0/0.
+    for (std::size_t i = 0; i + 1 < tran.size(); ++i) {
+      const double t0 = tran[i].time, t1 = tran[i + 1].time;
+      if (t1 <= t0 || t1 < tStart || t0 > tStop) continue;
+      const double dv = tran[i + 1].nodeV[node] - tran[i].nodeV[node];
+      const double slope = dv / (t1 - t0);
+      if (!std::isfinite(slope)) continue;
+      out.rising = std::max(out.rising, slope);
+      out.falling = std::max(out.falling, -slope);
+    }
+  }
+  return out;
+}
+
+std::vector<double> tailSamples(const std::vector<TranPoint>& tran,
+                                circuit::NodeId node, std::size_t count) {
+  if (tran.size() < count) {
+    throw std::invalid_argument("tailSamples: transient has " +
+                                std::to_string(tran.size()) + " points, need " +
+                                std::to_string(count));
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = tran.size() - count; i < tran.size(); ++i) {
+    out.push_back(tran[i].nodeV[node]);
   }
   return out;
 }

@@ -60,4 +60,10 @@ struct SlewRates {
 [[nodiscard]] SlewRates slewRates(const std::vector<TranPoint>& tran, circuit::NodeId node,
                                   double tStart = 0.0, double tStop = 1e12);
 
+/// The last `count` samples of a node's transient waveform, oldest first
+/// (the steady-state slice the THD measurement hands to the FFT).  Throws
+/// std::invalid_argument when the transient is shorter than `count`.
+[[nodiscard]] std::vector<double> tailSamples(const std::vector<TranPoint>& tran,
+                                              circuit::NodeId node, std::size_t count);
+
 }  // namespace lo::sim

@@ -350,6 +350,49 @@ std::vector<AcPoint> Simulator::ac(const DcSolution& op, double fStart, double f
   return out;
 }
 
+std::vector<AcPoint> Simulator::acFrom(const DcSolution& op,
+                                       const std::string& sourceName, double fStart,
+                                       double fStop, int pointsPerDecade) const {
+  std::size_t srcIndex = circuit_.vsources.size();
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    if (circuit_.vsources[i].name == sourceName) {
+      srcIndex = i;
+      break;
+    }
+  }
+  if (srcIndex == circuit_.vsources.size()) {
+    throw SimulationError("acFrom: no V source named " + sourceName);
+  }
+
+  const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  const std::size_t nUnknowns = unknownCount();
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  std::vector<AcPoint> out;
+  out.reserve(freqs.size());
+  DenseMatrix<Cplx> a(nUnknowns);
+  std::vector<Cplx> rhs(nUnknowns);
+  for (double f : freqs) {
+    // Assemble with every source silenced, then drive the selected branch
+    // equation with the unit excitation (the same seam the noise analysis
+    // uses for its forward solve).
+    assembleAc(circuit_, op.mosOps, 2.0 * M_PI * f, options_.gminFloor, false, a, rhs);
+    rhs[nNodes + srcIndex] = Cplx{1.0, 0.0};
+    if (!luSolve(a, rhs)) {
+      throw SimulationError("acFrom solve failed at f=" + std::to_string(f));
+    }
+    AcPoint p;
+    p.freq = f;
+    p.nodeV.assign(circuit_.nodeCount(), Cplx{});
+    for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = rhs[n - 1];
+    p.vsourceI.resize(circuit_.vsources.size());
+    for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+      p.vsourceI[i] = rhs[nNodes + i];
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Noise (adjoint method).
 // ---------------------------------------------------------------------------

@@ -87,6 +87,17 @@ class Simulator {
   [[nodiscard]] std::vector<AcPoint> ac(const DcSolution& op, double fStart, double fStop,
                                         int pointsPerDecade) const;
 
+  /// AC analysis with the excitation moved onto one named V source: every
+  /// source's own acMag/acPhase is ignored and a unit (1 V, 0 deg)
+  /// excitation drives `sourceName`'s branch instead.  Numerically
+  /// identical to ac() on a copy of the circuit whose only non-zero acMag
+  /// is 1.0 on that source -- supply-rejection measurements (PSRR) without
+  /// mutating the netlist.  Throws SimulationError on an unknown source.
+  [[nodiscard]] std::vector<AcPoint> acFrom(const DcSolution& op,
+                                            const std::string& sourceName,
+                                            double fStart, double fStop,
+                                            int pointsPerDecade) const;
+
   /// Small-signal noise at node `out`, input-referred to V source
   /// `inputVsrc` (adjoint network method: one extra solve per frequency).
   [[nodiscard]] std::vector<NoisePoint> noise(const DcSolution& op, circuit::NodeId out,

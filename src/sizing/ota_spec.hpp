@@ -23,6 +23,11 @@ struct OtaSpecs {
   double inputCmHigh = 1.84;
   double outputLow = 0.51;       ///< Output voltage range [V].
   double outputHigh = 2.31;
+  // Extended spec surface judged by the post-layout verification tier.
+  // 0 means "unconstrained" (the measurement is still reported).
+  double thdMaxPercent = 0.0;    ///< Max THD at the verify tone [%].
+  double psrrMinDb = 0.0;        ///< Min low-frequency supply rejection [dB].
+  double offsetMaxMv = 0.0;      ///< Max |input-referred offset| [mV].
 
   [[nodiscard]] double inputCmMid() const { return 0.5 * (inputCmLow + inputCmHigh); }
 };

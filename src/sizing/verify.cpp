@@ -174,15 +174,16 @@ OtaPerformance measureAmplifier(const tech::Technology& t, const device::MosMode
     p.cmrrDb = sim::toDb(adm / std::max(acm, 1e-12));
   }
 
-  // --- Supply rejection: unit AC on the VDD source. ---
+  // --- Supply rejection: unit AC excitation moved onto the VDD branch
+  // (Simulator::acFrom), bit-identical to re-running ac() with acMag=1.0
+  // on the supply but without mutating the netlist. ---
   {
-    Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 0.0, 0.0);
-    if (circuit::VSource* vddSrc = c.findVSource("VDD")) vddSrc->acMag = 1.0;
+    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 0.0, 0.0);
     sim::SimOptions simOpt;
     simOpt.tempK = t.temperature;
     sim::Simulator sim(c, t, model, simOpt);
     const sim::DcSolution op = sim.dcOperatingPoint();
-    const auto ac = sim.ac(op, fLow, 10.0 * fLow, 4);
+    const auto ac = sim.acFrom(op, "VDD", fLow, 10.0 * fLow, 4);
     const double avdd = sim::dcGain(sim::curveAt(ac, *c.findNode("out")));
     const double adm = std::pow(10.0, p.dcGainDb / 20.0);
     p.psrrDb = sim::toDb(adm / std::max(avdd, 1e-12));

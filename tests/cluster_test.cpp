@@ -284,6 +284,27 @@ TEST_F(ClusterRouterTest, UnknownOpAnswersTheStructuredShape) {
   EXPECT_TRUE(sawSweep);
 }
 
+TEST_F(ClusterRouterTest, RegisteredOpsForwardToShardsWithoutRouterChanges) {
+  // The router predates the "verify" op and has no handler for it; the
+  // forwarding tail must land it on a shard, whose own registered handler
+  // answers -- growing the protocol needs no router release.
+  ClusterRouter router(makeOptions(1));
+  const Json response = call(
+      router, R"({"op":"verify","label":"fv","case":"case1","summary":true})");
+  ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+  EXPECT_EQ(response.at("state").asString(), "done");
+  EXPECT_TRUE(response.at("post_layout_ran").asBool());
+  EXPECT_TRUE(response.at("verification").isObject());
+  EXPECT_GE(response.at("shard").asInt(-1), 0);
+
+  // Shard-side failures come back as the shard's own error, stamped with
+  // the shard that answered.
+  const Json bad =
+      call(router, R"({"op":"verify","label":"bad","spec":{"nope":1}})");
+  EXPECT_FALSE(bad.at("ok").asBool());
+  EXPECT_GE(bad.at("shard").asInt(-1), 0);
+}
+
 TEST_F(ClusterRouterTest, StatsAggregateClusterTotalsAndPerShardSections) {
   ClusterRouter router(makeOptions(2));
   ASSERT_TRUE(call(router, synthLine(66)).at("ok").asBool());

@@ -80,6 +80,20 @@ TEST(Pareto, FrontWeaklyDominatesQuery) {
       front, makePoint("q", 0.5, 10.0, 5.0), archive.objectives()));
 }
 
+TEST(Pareto, RequirePostLayoutRejectsUnverifiedPoints) {
+  ParetoArchive archive(allObjectives(), /*requirePostLayout=*/true);
+  // Feasible but never re-confirmed post-layout: rejected.
+  EXPECT_FALSE(archive.insert(makePoint("a", 1.0, 10.0, 5.0)));
+  EXPECT_EQ(archive.size(), 0u);
+  PointEval verified = makePoint("b", 2.0, 12.0, 6.0);
+  verified.postLayoutPass = true;
+  EXPECT_TRUE(archive.insert(verified));
+  EXPECT_EQ(archive.size(), 1u);
+  // The default archive keeps accepting unverified feasible points.
+  ParetoArchive relaxed;
+  EXPECT_TRUE(relaxed.insert(makePoint("a", 1.0, 10.0, 5.0)));
+}
+
 TEST(Pareto, ObjectiveNamesRoundTrip) {
   for (const Objective o : allObjectives()) {
     EXPECT_EQ(objectiveFromName(objectiveName(o)), o);
@@ -347,6 +361,11 @@ TEST(ExploreOps, SpaceAndOptionsParseFromJson) {
   ASSERT_EQ(options.objectives.size(), 2u);
   EXPECT_EQ(options.objectives[0], Objective::kPowerMw);
   EXPECT_EQ(options.objectives[1], Objective::kNoiseUv);
+  EXPECT_FALSE(options.requirePostLayout);  // Off unless requested.
+
+  const ExploreOptions withPlv = optionsFromJson(Json::parse(
+      R"({"budget": 4, "require_post_layout": true})"));
+  EXPECT_TRUE(withPlv.requirePostLayout);
 }
 
 TEST(ExploreOps, ParsersRejectBadRequests) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <stdexcept>
 
 namespace lo::sim {
 namespace {
@@ -88,6 +89,67 @@ TEST(Measure, SlewRatesOfTriangleWave) {
   const SlewRates srLate = slewRates(tran, 1, 1.5e-6, 3e-6);
   EXPECT_NEAR(srLate.rising, 0.0, 1e-9);
   EXPECT_NEAR(srLate.falling, 1e6, 1e3);
+}
+
+TEST(Measure, SlewRatesDegenerateTransients) {
+  // Empty and single-sample transients report zero instead of reading
+  // past the end.
+  const std::vector<TranPoint> empty;
+  EXPECT_DOUBLE_EQ(slewRates(empty, 0).rising, 0.0);
+  std::vector<TranPoint> one(1);
+  one[0].time = 0.0;
+  one[0].nodeV = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(slewRates(one, 1).rising, 0.0);
+  EXPECT_DOUBLE_EQ(slewRates(one, 1).falling, 0.0);
+}
+
+TEST(Measure, SlewRatesInvertedWindowIsZero) {
+  std::vector<TranPoint> tran(3);
+  for (int i = 0; i < 3; ++i) {
+    tran[static_cast<std::size_t>(i)].time = i * 1e-6;
+    tran[static_cast<std::size_t>(i)].nodeV = {0.0, static_cast<double>(i)};
+  }
+  const SlewRates sr = slewRates(tran, 1, 2e-6, 1e-6);  // tStop < tStart.
+  EXPECT_DOUBLE_EQ(sr.rising, 0.0);
+  EXPECT_DOUBLE_EQ(sr.falling, 0.0);
+}
+
+TEST(Measure, SlewRatesConstantWaveformIsZero) {
+  std::vector<TranPoint> tran(10);
+  for (int i = 0; i < 10; ++i) {
+    tran[static_cast<std::size_t>(i)].time = i * 1e-7;
+    tran[static_cast<std::size_t>(i)].nodeV = {0.0, 1.5};
+  }
+  const SlewRates sr = slewRates(tran, 1);
+  EXPECT_DOUBLE_EQ(sr.rising, 0.0);
+  EXPECT_DOUBLE_EQ(sr.falling, 0.0);
+}
+
+TEST(Measure, SlewRatesWindowNarrowerThanStepFallsBack) {
+  // 1 us steps, ramp at 1 V/us; a 0.2 us window between samples contains
+  // no whole interval -- the fallback reports the overlapping interval's
+  // slope instead of a silent zero.
+  std::vector<TranPoint> tran(5);
+  for (int i = 0; i < 5; ++i) {
+    tran[static_cast<std::size_t>(i)].time = i * 1e-6;
+    tran[static_cast<std::size_t>(i)].nodeV = {0.0, static_cast<double>(i)};
+  }
+  const SlewRates sr = slewRates(tran, 1, 1.4e-6, 1.6e-6);
+  EXPECT_NEAR(sr.rising, 1e6, 1.0);
+  EXPECT_DOUBLE_EQ(sr.falling, 0.0);
+}
+
+TEST(Measure, TailSamplesReturnsNewestOldestFirst) {
+  std::vector<TranPoint> tran(6);
+  for (int i = 0; i < 6; ++i) {
+    tran[static_cast<std::size_t>(i)].time = i * 1e-9;
+    tran[static_cast<std::size_t>(i)].nodeV = {0.0, 10.0 + i};
+  }
+  const std::vector<double> tail = tailSamples(tran, 1, 4);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_DOUBLE_EQ(tail[0], 12.0);
+  EXPECT_DOUBLE_EQ(tail[3], 15.0);
+  EXPECT_THROW(tailSamples(tran, 1, 7), std::invalid_argument);
 }
 
 TEST(Measure, CurveExtractionFromAcPoints) {

@@ -8,8 +8,10 @@
 #include <mutex>
 #include <sstream>
 
+#include "service/cache.hpp"
 #include "service/json.hpp"
 #include "service/serialize.hpp"
+#include "service/verify_ops.hpp"
 
 namespace lo::service {
 namespace {
@@ -558,6 +560,122 @@ TEST_F(ProtocolTest, RegisteredStatsSectionAppearsInStats) {
   const Json out = respond(R"({"op":"stats"})");
   ASSERT_TRUE(out.at("ok").asBool());
   EXPECT_EQ(out.at("stats").at("custom_section").at("answer").asInt(), 42);
+}
+
+// ---------------------------------------------------------------------------
+// Post-layout verification tier surface
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, SpecFieldNamesIncludeExtendedAxes) {
+  const std::vector<std::string>& names = specFieldNames();
+  for (const char* name : {"thd_max_percent", "psrr_min_db", "offset_max_mv"}) {
+    bool found = false;
+    for (const std::string& n : names) found = found || n == name;
+    EXPECT_TRUE(found) << name;
+  }
+  sizing::OtaSpecs specs;
+  setSpecField(specs, "psrr_min_db", 60.0);
+  EXPECT_DOUBLE_EQ(specs.psrrMinDb, 60.0);
+  EXPECT_DOUBLE_EQ(specField(specs, "psrr_min_db"), 60.0);
+  setSpecField(specs, "thd_max_percent", 0.5);
+  setSpecField(specs, "offset_max_mv", 2.0);
+  EXPECT_DOUBLE_EQ(specs.thdMaxPercent, 0.5);
+  EXPECT_DOUBLE_EQ(specs.offsetMaxMv, 2.0);
+}
+
+TEST(Serialize, JobRequestJournalRoundTripWithPostLayoutVerify) {
+  JobRequest request;
+  request.label = "plv-journal";
+  request.options.postLayoutVerify.enabled = true;
+  request.options.postLayoutVerify.relTolerance = 0.05;
+  request.options.postLayoutVerify.thdFundamentalHz = 2e6;
+  request.options.postLayoutVerify.thdCycles = 8;
+  request.options.postLayoutVerify.sweepPoints = 21;
+  request.specs.psrrMinDb = 55.0;
+
+  const std::string dump = toJson(request).dump();
+  const JobRequest back = jobRequestFromJson(Json::parse(dump));
+  EXPECT_TRUE(back.options.postLayoutVerify.enabled);
+  EXPECT_DOUBLE_EQ(back.options.postLayoutVerify.relTolerance, 0.05);
+  EXPECT_DOUBLE_EQ(back.options.postLayoutVerify.thdFundamentalHz, 2e6);
+  EXPECT_EQ(back.options.postLayoutVerify.thdCycles, 8);
+  EXPECT_EQ(back.options.postLayoutVerify.sweepPoints, 21);
+  EXPECT_DOUBLE_EQ(back.specs.psrrMinDb, 55.0);
+  // Replayed jobs must recompute the original's cache key exactly.
+  EXPECT_EQ(toJson(back).dump(), dump);
+
+  // Verification-free requests keep their pre-tier bytes: no
+  // post_layout_verify member at all.
+  const JobRequest plain;
+  EXPECT_EQ(toJson(plain).dump().find("post_layout_verify"), std::string::npos);
+}
+
+TEST(CacheKey, PostLayoutSegmentsAreGated) {
+  const core::EngineOptions plainOptions;
+  const sizing::OtaSpecs plainSpecs;
+  const std::string base = ResultCache::canonicalText(
+      plainOptions, plainSpecs, tech::ProcessCorner::kTypical, "t");
+  // Default configurations carry neither gated segment.
+  EXPECT_EQ(base.find("|plv="), std::string::npos);
+  EXPECT_EQ(base.find("|xspec="), std::string::npos);
+
+  core::EngineOptions verifyOptions = plainOptions;
+  verifyOptions.postLayoutVerify.enabled = true;
+  const std::string withPlv = ResultCache::canonicalText(
+      verifyOptions, plainSpecs, tech::ProcessCorner::kTypical, "t");
+  EXPECT_NE(withPlv.find("|plv="), std::string::npos);
+  EXPECT_NE(withPlv, base);
+
+  sizing::OtaSpecs extendedSpecs = plainSpecs;
+  extendedSpecs.thdMaxPercent = 0.5;
+  const std::string withXspec = ResultCache::canonicalText(
+      plainOptions, extendedSpecs, tech::ProcessCorner::kTypical, "t");
+  EXPECT_NE(withXspec.find("|xspec="), std::string::npos);
+  EXPECT_NE(withXspec, base);
+  EXPECT_NE(withXspec, withPlv);
+}
+
+TEST_F(ProtocolTest, SynthesizeParsesPostLayoutVerifyBoolAndObject) {
+  // Bare bool turns the tier on with defaults.
+  const Json boolForm = respond(
+      R"({"op":"synthesize","case":"case1","label":"plv-b","post_layout_verify":true})");
+  ASSERT_TRUE(boolForm.at("ok").asBool()) << boolForm.dump();
+  ASSERT_EQ(boolForm.at("state").asString(), "done");
+  EXPECT_TRUE(boolForm.at("result").at("verification").at("ran").asBool());
+
+  // Object form tunes the knobs; a different key space than the bool form.
+  const Json objForm = respond(
+      R"({"op":"synthesize","case":"case1","label":"plv-o","post_layout_verify":{"sweep_points":15}})");
+  ASSERT_TRUE(objForm.at("ok").asBool()) << objForm.dump();
+  EXPECT_TRUE(objForm.at("result").at("verification").at("ran").asBool());
+  EXPECT_NE(objForm.at("cache_key").asString(), boolForm.at("cache_key").asString());
+
+  // Without the field the tier stays off and the result carries no report.
+  const Json off = respond(R"({"op":"synthesize","case":"case1","label":"plv-off"})");
+  ASSERT_TRUE(off.at("ok").asBool());
+  EXPECT_EQ(off.at("result").find("verification"), nullptr);
+  EXPECT_NE(off.at("cache_key").asString(), boolForm.at("cache_key").asString());
+}
+
+TEST_F(ProtocolTest, VerifyOpRunsEndToEnd) {
+  installVerifyOps(protocol_, scheduler_);
+  const Json out = respond(
+      R"({"op":"verify","label":"vop","case":"case1","summary":true})");
+  ASSERT_TRUE(out.at("ok").asBool()) << out.dump();
+  EXPECT_EQ(out.at("state").asString(), "done");
+  EXPECT_TRUE(out.at("post_layout_ran").asBool());
+  // The verdict and the structured report ride on the response even in
+  // summary mode; the full result body is omitted.
+  ASSERT_NE(out.find("post_layout_pass"), nullptr);
+  ASSERT_TRUE(out.at("verification").isObject());
+  EXPECT_FALSE(out.at("verification").at("deltas").items().empty());
+  EXPECT_EQ(out.find("result"), nullptr);
+
+  // The op shares the synthesize cache: an identical verify request hits.
+  const Json again = respond(
+      R"({"op":"verify","label":"vop","case":"case1","summary":true})");
+  EXPECT_TRUE(again.at("cache_hit").asBool());
+  EXPECT_EQ(again.at("verification").dump(), out.at("verification").dump());
 }
 
 }  // namespace

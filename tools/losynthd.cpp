@@ -42,6 +42,7 @@
 #include "explore/manager.hpp"
 #include "explore/service_ops.hpp"
 #include "service/protocol.hpp"
+#include "service/verify_ops.hpp"
 #include "tech/technology.hpp"
 
 namespace {
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
     service::ServiceProtocol protocol(scheduler);
     explore::ExploreManager explorations(scheduler);
     explore::installExploreOps(protocol, explorations);
+    service::installVerifyOps(protocol, scheduler);
     protocol.serve(std::cin, std::cout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "losynthd: fatal: %s\n", e.what());

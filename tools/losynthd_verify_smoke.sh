@@ -1,0 +1,43 @@
+#!/bin/sh
+# losynthd verify-op smoke test (also run by CI): one "verify" request
+# must run the post-layout verification tier end to end and answer with
+# the verdict fields, and a duplicate must be served from the cache with
+# the identical report.
+set -eu
+
+BIN="$1"
+
+REQ='{"op":"verify","label":"vsmoke","case":"case1","summary":true}'
+OUT=$(printf '%s\n%s\n' "$REQ" "$REQ" | "$BIN" --threads 1)
+
+printf '%s\n' "$OUT"
+
+[ "$(printf '%s\n' "$OUT" | wc -l)" -eq 2 ] || {
+  echo "FAIL: expected 2 response lines" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"ok":true' || {
+  echo "FAIL: verify request did not succeed" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"state":"done"' || {
+  echo "FAIL: verify job did not finish" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"post_layout_ran":true' || {
+  echo "FAIL: post-layout verification tier did not run" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"post_layout_pass":' || {
+  echo "FAIL: response carries no post-layout verdict" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 1p | grep -q '"deltas":' || {
+  echo "FAIL: response carries no per-spec delta rows" >&2
+  exit 1
+}
+printf '%s\n' "$OUT" | sed -n 2p | grep -q '"cache_hit":true' || {
+  echo "FAIL: duplicate verify was not served from the cache" >&2
+  exit 1
+}
+echo "losynthd verify smoke OK"

@@ -88,20 +88,22 @@ EngineResult SynthesisEngine::run(Topology& topology,
   const auto checkCancel = [&hooks] {
     if (hooks.cancelRequested && hooks.cancelRequested()) throw JobCancelled();
   };
-  const auto timed = [&hooks](EngineStage stage, auto&& body) {
+  EngineResult result;
+
+  // Every stage execution is timed and recorded on the result (the hot-path
+  // trajectory bench/ext_sim and the perf logs read), whether or not an
+  // onStage hook is listening.
+  const auto timed = [&hooks, &result](EngineStage stage, auto&& body) {
     if (hooks.onStageStart) hooks.onStageStart(stage);
-    if (!hooks.onStage) {
-      body();
-      return;
-    }
     const auto start = std::chrono::steady_clock::now();
     body();
-    hooks.onStage(stage, std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count());
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    result.stageSeconds.emplace_back(stage, seconds);
+    if (hooks.onStage) hooks.onStage(stage, seconds);
   };
 
-  EngineResult result;
   result.criticalNets = topology.criticalNets();
 
   // A malformed matching declaration fails every layout call identically;

@@ -20,6 +20,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/topology.hpp"
@@ -193,6 +194,11 @@ struct EngineResult {
   /// as an optimisation objective without adapter access.
   double layoutWidthUm = 0.0;
   double layoutHeightUm = 0.0;
+  /// Wall-clock seconds per pipeline stage, in execution order (a stage
+  /// that runs repeatedly, e.g. kSizing in the parasitic loop, appears once
+  /// per execution).  Pure instrumentation: excluded from the serialised
+  /// result and every cache key.
+  std::vector<std::pair<EngineStage, double>> stageSeconds;
 
   [[nodiscard]] double layoutAreaUm2() const { return layoutWidthUm * layoutHeightUm; }
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "tech/units.hpp"
 
@@ -39,6 +40,48 @@ double MosModel::currentNormalized(const tech::MosModelCard& card, const MosGeom
   return -forwardCurrent(card, geo, vgs - vds, -vds, vbs - vds, tempK);
 }
 
+void MosModel::forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                                   const double* vgs, const double* vds, const double* vbs,
+                                   double* idOut, std::size_t n, double tempK) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    idOut[i] = forwardCurrent(card, geo, vgs[i], vds[i], vbs[i], tempK);
+  }
+}
+
+void MosModel::currentNormalizedBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                                      const double* vgs, const double* vds, const double* vbs,
+                                      double* idOut, std::size_t n, double tempK) const {
+  // Derivative stencils are 7 points, so the common case stays on the stack.
+  constexpr std::size_t kStack = 8;
+  double sg[kStack], sd[kStack], sb[kStack];
+  std::vector<double> heap;
+  double* fg = sg;
+  double* fd = sd;
+  double* fb = sb;
+  if (n > kStack) {
+    heap.resize(3 * n);
+    fg = heap.data();
+    fd = fg + n;
+    fb = fd + n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (vds[i] >= 0.0) {
+      fg[i] = vgs[i];
+      fd[i] = vds[i];
+      fb[i] = vbs[i];
+    } else {
+      // Source/drain symmetry, exactly as the scalar currentNormalized.
+      fg[i] = vgs[i] - vds[i];
+      fd[i] = -vds[i];
+      fb[i] = vbs[i] - vds[i];
+    }
+  }
+  forwardCurrentBatch(card, geo, fg, fd, fb, idOut, n, tempK);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (vds[i] < 0.0) idOut[i] = -idOut[i];
+  }
+}
+
 double MosModel::drainCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
                               double vgs, double vds, double vbs, double tempK) const {
   const double p = card.polarity();
@@ -55,18 +98,22 @@ MosOpPoint MosModel::evaluate(const tech::MosModelCard& card, const MosGeometry&
   op.vds = vds;
   op.vbs = vbs;
 
-  const double idN = currentNormalized(card, geo, nvgs, nvds, nvbs, tempK);
-  op.id = p * idN;
+  // Value plus central-difference stencil in one batch: one pass through
+  // the model with the card invariants hoisted, instead of seven scalar
+  // calls.  Each point is bit-identical to the scalar evaluation.
+  const double h = 1e-6;
+  const double vg7[7] = {nvgs, nvgs + h, nvgs - h, nvgs, nvgs, nvgs, nvgs};
+  const double vd7[7] = {nvds, nvds, nvds, nvds + h, nvds - h, nvds, nvds};
+  const double vb7[7] = {nvbs, nvbs, nvbs, nvbs, nvbs, nvbs + h, nvbs - h};
+  double id7[7];
+  currentNormalizedBatch(card, geo, vg7, vd7, vb7, id7, 7, tempK);
+  op.id = p * id7[0];
 
   // Conductances by central differences on the normalised current; the
   // magnitudes are polarity independent.
-  const double h = 1e-6;
-  auto cur = [&](double g, double d, double b) {
-    return currentNormalized(card, geo, g, d, b, tempK);
-  };
-  op.gm = (cur(nvgs + h, nvds, nvbs) - cur(nvgs - h, nvds, nvbs)) / (2 * h);
-  op.gds = (cur(nvgs, nvds + h, nvbs) - cur(nvgs, nvds - h, nvbs)) / (2 * h);
-  op.gmb = (cur(nvgs, nvds, nvbs + h) - cur(nvgs, nvds, nvbs - h)) / (2 * h);
+  op.gm = (id7[1] - id7[2]) / (2 * h);
+  op.gds = (id7[3] - id7[4]) / (2 * h);
+  op.gmb = (id7[5] - id7[6]) / (2 * h);
   // Numerical noise floor: clamp tiny negatives from differencing.
   op.gm = std::max(op.gm, 0.0);
   op.gds = std::max(op.gds, 1e-15);
@@ -177,6 +224,31 @@ double Level1Model::forwardCurrent(const tech::MosModelCard& card, const MosGeom
   return beta * (q - 0.5 * vdse) * vdse * (1.0 + vds / va);
 }
 
+void Level1Model::forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                                      const double* vgs, const double* vds, const double* vbs,
+                                      double* idOut, std::size_t n, double tempK) const {
+  // Every bias-independent term of forwardCurrent hoisted out of the loop;
+  // the per-point operation order is unchanged, so each result is
+  // bit-identical to the scalar path.
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  const double nvt = card.slopeFactor * vt;
+  const double vtoT = card.vtoAt(tempK);
+  const double sqrtPhi = std::sqrt(card.phi);
+  const double kpT = card.kpAt(tempK);
+  const double leff = card.leff(geo.l);
+  const double va = card.earlyPerMeter * leff;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phiEff = std::max(card.phi - vbs[i], 0.05);
+    const double vth = vtoT + card.gamma * (std::sqrt(phiEff) - sqrtPhi);
+    const double veff = vgs[i] - vth;
+    const double q = softplus(veff, nvt);
+    const double beta = kpT / (1.0 + card.theta * q) * geo.w / leff;
+    const double ratio = vds[i] / std::max(q, 1e-9);
+    const double vdse = vds[i] / std::pow(1.0 + std::pow(ratio, 6.0), 1.0 / 6.0);
+    idOut[i] = beta * (q - 0.5 * vdse) * vdse * (1.0 + vds[i] / va);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // EKV.
 // ---------------------------------------------------------------------------
@@ -242,6 +314,37 @@ double EkvModel::forwardCurrent(const tech::MosModelCard& card, const MosGeometr
   const double va = card.earlyPerMeter * leff;
   id *= 1.0 + softplus(vds - vdsat, 2.0 * vt) / va;
   return id;
+}
+
+void EkvModel::forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                                   const double* vgs, const double* vds, const double* vbs,
+                                   double* idOut, std::size_t n, double tempK) const {
+  // Same hoisting contract as the Level-1 batch: invariants out, per-point
+  // operation order preserved bit-for-bit.
+  const double vt = kBoltzmann * tempK / kElectronCharge;
+  const double dvto = card.vto - card.vtoAt(tempK);
+  const double kpT = card.kpAt(tempK);
+  const double leff = card.leff(geo.l);
+  const double va = card.earlyPerMeter * leff;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vg = vgs[i] - vbs[i] + dvto;
+    const double vs = -vbs[i];
+    const double vd = vds[i] - vbs[i];
+
+    const double vp = pinchOff(card, vg);
+    const double nf = slopeFactorAt(card, vp);
+    const double drive = std::max(vp - vs, 0.0);
+    const double beta = kpT / (1.0 + card.theta * drive) * geo.w / leff;
+    const double ispec = 2.0 * nf * beta * vt * vt;
+
+    const double iff = ekvF((vp - vs) / vt);
+    const double irr = ekvF((vp - vd) / vt);
+    double id = ispec * (iff - irr);
+
+    const double vdsat = vt * (2.0 * std::sqrt(iff) + 4.0);
+    id *= 1.0 + softplus(vds[i] - vdsat, 2.0 * vt) / va;
+    idOut[i] = id;
+  }
 }
 
 }  // namespace lo::device

@@ -13,6 +13,7 @@
 // by using the same transistor models implemented in the latter."
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string_view>
 
@@ -36,6 +37,15 @@ class MosModel {
   [[nodiscard]] double currentNormalized(const tech::MosModelCard& card,
                                          const MosGeometry& geo, double vgs, double vds,
                                          double vbs, double tempK) const;
+
+  /// Batched currentNormalized over `n` bias points of one device: applies
+  /// the source/drain symmetry per point, then evaluates the whole block
+  /// through forwardCurrentBatch so bias-independent card terms are hoisted
+  /// out of the inner loop.  Each output is bit-identical to the scalar
+  /// call; evaluate()'s derivative stencil runs through this path.
+  void currentNormalizedBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                              const double* vgs, const double* vds, const double* vbs,
+                              double* idOut, std::size_t n, double tempK) const;
 
   /// Drain terminal current with real polarity: pass actual terminal
   /// voltages; PMOS returns negative current in normal operation.  [A]
@@ -70,6 +80,15 @@ class MosModel {
                                               double vds, double vbs,
                                               double tempK) const = 0;
 
+  /// Forward-mode current over `n` bias points (all vds >= 0).  The base
+  /// implementation loops forwardCurrent; models override it with a
+  /// branch-light loop that hoists every bias-independent term while
+  /// keeping the per-point operation order identical to the scalar path
+  /// (the batch-vs-scalar property test locks this down bit-for-bit).
+  virtual void forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                                   const double* vgs, const double* vds, const double* vbs,
+                                   double* idOut, std::size_t n, double tempK) const;
+
   /// Saturation voltage of the normalised device at this bias [V].
   [[nodiscard]] virtual double saturationVoltage(const tech::MosModelCard& card,
                                                  double vgs, double vbs,
@@ -86,6 +105,9 @@ class Level1Model final : public MosModel {
   [[nodiscard]] double forwardCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
                                       double vgs, double vds, double vbs,
                                       double tempK) const override;
+  void forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                           const double* vgs, const double* vds, const double* vbs,
+                           double* idOut, std::size_t n, double tempK) const override;
   [[nodiscard]] double saturationVoltage(const tech::MosModelCard& card, double vgs,
                                          double vbs, double tempK) const override;
 };
@@ -105,6 +127,9 @@ class EkvModel final : public MosModel {
   [[nodiscard]] double forwardCurrent(const tech::MosModelCard& card, const MosGeometry& geo,
                                       double vgs, double vds, double vbs,
                                       double tempK) const override;
+  void forwardCurrentBatch(const tech::MosModelCard& card, const MosGeometry& geo,
+                           const double* vgs, const double* vds, const double* vbs,
+                           double* idOut, std::size_t n, double tempK) const override;
   [[nodiscard]] double saturationVoltage(const tech::MosModelCard& card, double vgs,
                                          double vbs, double tempK) const override;
 };

@@ -44,11 +44,54 @@ std::vector<double> logGrid(double fStart, double fStop, int pointsPerDecade) {
   return freqs;
 }
 
+/// One reactive entry of the AC system: the fast solve path replays these
+/// per frequency as `a(r, c) += j * w * value` over a frequency-independent
+/// skeleton, in the exact program order assembleAc stamps them.  That
+/// replay is bit-identical to a full re-stamp: capacitor stamps add a pure
+/// imaginary to the accumulating entry, and the +0.0 real additions they
+/// carry along in assembleAc are IEEE no-ops (no skeleton entry's real
+/// part can be -0.0: every entry starts at +0.0 and addition never turns
+/// +0.0 negative).
+struct CapStampOp {
+  std::size_t r = 0;
+  std::size_t c = 0;
+  double value = 0.0;  ///< Signed capacitance [F].
+};
+
 }  // namespace
+
+/// Per-instance scratch arena.  kFast solves run entirely inside these
+/// buffers, so steady-state Newton iterations and AC frequency points
+/// perform no heap allocation; kReference deliberately keeps the original
+/// per-call allocation shape instead.
+struct Simulator::Workspace {
+  // DC / transient Newton buffers.
+  DenseMatrix<double> a;
+  std::vector<double> rhs;
+  std::vector<double> xNew;
+  // AC skeleton: frequency-independent stamps plus the reactive replay
+  // list and the excite-mode source vector.
+  DenseMatrix<Cplx> acBase;
+  std::vector<CapStampOp> capOps;
+  std::vector<Cplx> acSourceRhs;
+  // Per-frequency realised matrix, factorization pivots and RHS.
+  DenseMatrix<Cplx> acA;
+  DenseMatrix<Cplx> acAdj;
+  std::vector<Cplx> acRhs;
+  std::vector<std::size_t> perm;
+  std::vector<std::size_t> permAdj;
+};
 
 Simulator::Simulator(const circuit::Circuit& circuit, const tech::Technology& technology,
                      const device::MosModel& model, SimOptions options)
     : circuit_(circuit), tech_(technology), model_(model), options_(options) {}
+
+Simulator::~Simulator() = default;
+
+Simulator::Workspace& Simulator::ws() const {
+  if (!ws_) ws_ = std::make_unique<Workspace>();
+  return *ws_;
+}
 
 std::size_t Simulator::unknownCount() const {
   return static_cast<std::size_t>(circuit_.nodeCount() - 1) + circuit_.vsources.size() +
@@ -81,8 +124,16 @@ bool Simulator::newtonSolve(std::vector<double>& x, double gmin, double srcScale
                             int maxIters, int* itersOut) const {
   const std::size_t nUnknowns = unknownCount();
   const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
-  DenseMatrix<double> a(nUnknowns);
-  std::vector<double> rhs(nUnknowns);
+  // kFast iterates inside the workspace arena; kReference keeps the
+  // original buffers-per-call shape.  Both run the same arithmetic on the
+  // same values, so the solutions are bit-identical.
+  const bool fast = options_.solver == SolverMode::kFast;
+  DenseMatrix<double> aLocal;
+  std::vector<double> rhsLocal;
+  DenseMatrix<double>& a = fast ? ws().a : aLocal;
+  std::vector<double>& rhs = fast ? ws().rhs : rhsLocal;
+  if (a.size() != nUnknowns) a = DenseMatrix<double>(nUnknowns);
+  rhs.resize(nUnknowns);
 
   auto idx = [](NodeId n) -> std::ptrdiff_t { return n - 1; };  // Ground maps to -1.
   auto v = [&](NodeId n) { return n == circuit::kGround ? 0.0 : x[n - 1]; };
@@ -146,7 +197,13 @@ bool Simulator::newtonSolve(std::vector<double>& x, double gmin, double srcScale
       if (s >= 0) rhs[s] += ieq;
     }
 
-    std::vector<double> xNew = rhs;
+    std::vector<double> xNewLocal;
+    std::vector<double>& xNew = fast ? ws().xNew : xNewLocal;
+    if (fast) {
+      xNew.assign(rhs.begin(), rhs.end());
+    } else {
+      xNewLocal = rhs;
+    }
     if (!luSolve(a, xNew)) return false;
 
     double maxDelta = 0.0;
@@ -158,6 +215,7 @@ bool Simulator::newtonSolve(std::vector<double>& x, double gmin, double srcScale
       maxDelta = std::max(maxDelta, std::abs(delta) /
                                         (options_.absTolV + options_.relTol * std::abs(x[i])));
     }
+    ++stats_.newtonIterations;
     if (itersOut) ++*itersOut;
     if (maxDelta < 1.0 && iter > 0) return true;
   }
@@ -202,6 +260,46 @@ DcSolution Simulator::dcOperatingPoint() const {
   return finalizeSolution(x, iters);
 }
 
+void Simulator::packContinuation(const DcSolution& sol, std::vector<double>& x) const {
+  // Only node voltages and V-source branch currents carry over; dependent
+  // source branch entries keep whatever the previous Newton left (the
+  // continuation seeding the DC sweep has always used).
+  for (int n = 1; n < circuit_.nodeCount(); ++n) x[n - 1] = sol.nodeVoltages[n];
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  for (std::size_t k = 0; k < circuit_.vsources.size(); ++k) {
+    x[nNodes + k] = sol.vsourceCurrents[k];
+  }
+}
+
+Simulator::WarmStart Simulator::warmStartFrom(const DcSolution& seed) const {
+  if (seed.nodeVoltages.size() != static_cast<std::size_t>(circuit_.nodeCount()) ||
+      seed.vsourceCurrents.size() != circuit_.vsources.size()) {
+    throw std::invalid_argument("warmStartFrom: solution does not match circuit layout");
+  }
+  WarmStart warm;
+  warm.x_.assign(unknownCount(), 0.0);
+  packContinuation(seed, warm.x_);
+  warm.valid_ = true;
+  return warm;
+}
+
+DcSolution Simulator::dcOperatingPoint(WarmStart& warm) const {
+  if (warm.valid_ && warm.x_.size() == unknownCount()) {
+    // One Newton run at the final gmin, straight from the seed.
+    int iters = 0;
+    if (newtonSolve(warm.x_, options_.gminFloor, 1.0, options_.maxNewtonIters, &iters)) {
+      ++stats_.warmStartHits;
+      return finalizeSolution(warm.x_, iters);
+    }
+  }
+  ++stats_.warmStartMisses;
+  DcSolution sol = dcOperatingPoint();  // Throws when the cold ladder fails too.
+  if (warm.x_.size() != unknownCount()) warm.x_.assign(unknownCount(), 0.0);
+  packContinuation(sol, warm.x_);
+  warm.valid_ = true;
+  return sol;
+}
+
 std::vector<Simulator::SweepPoint> Simulator::dcSweep(const std::string& vsrcName,
                                                       double start, double stop,
                                                       int points) const {
@@ -210,32 +308,17 @@ std::vector<Simulator::SweepPoint> Simulator::dcSweep(const std::string& vsrcNam
   circuit::VSource* src = copy.findVSource(vsrcName);
   if (!src) throw SimulationError("dcSweep: no V source named " + vsrcName);
 
+  // Each point continues from its neighbour through the warm-start seam;
+  // the first point (and any point the warm Newton refuses) runs the full
+  // cold ladder inside dcOperatingPoint(WarmStart&).
   Simulator sub(copy, tech_, model_, options_);
   std::vector<SweepPoint> out;
-  std::vector<double> x(sub.unknownCount(), 0.0);
-  bool seeded = false;
+  out.reserve(points);
+  WarmStart warm;
   for (int i = 0; i < points; ++i) {
     const double value = start + (stop - start) * i / (points - 1);
     src->wave = circuit::Waveform::makeDc(value);
-    int iters = 0;
-    bool ok = false;
-    if (seeded) {
-      // Continuation from the previous sweep point.
-      ok = sub.newtonSolve(x, options_.gminFloor, 1.0, options_.maxNewtonIters, &iters);
-    }
-    if (!ok) {
-      DcSolution sol = sub.dcOperatingPoint();
-      out.push_back({value, std::move(sol)});
-      // Rebuild the raw unknown vector for continuation.
-      for (int n = 1; n < copy.nodeCount(); ++n) x[n - 1] = out.back().solution.nodeVoltages[n];
-      const std::size_t nNodes = static_cast<std::size_t>(copy.nodeCount() - 1);
-      for (std::size_t k = 0; k < copy.vsources.size(); ++k) {
-        x[nNodes + k] = out.back().solution.vsourceCurrents[k];
-      }
-      seeded = true;
-      continue;
-    }
-    out.push_back({value, sub.finalizeSolution(x, iters)});
+    out.push_back({value, sub.dcOperatingPoint(warm)});
   }
   return out;
 }
@@ -323,11 +406,195 @@ void assembleAc(const circuit::Circuit& ckt, const std::vector<device::MosOpPoin
   }
 }
 
+/// Frequency-independent half of assembleAc: every stamp except the
+/// capacitive ones lands in `base` (their imaginary parts are all +0.0);
+/// the capacitive stamps are recorded in `capOps` in assembleAc's program
+/// order for per-frequency replay; `sourceRhs` is the excite-mode RHS,
+/// which carries no frequency dependence either.  realizeAcMatrix(base,
+/// capOps, w) then reproduces assembleAc's matrix bit for bit.
+void buildAcSkeleton(const circuit::Circuit& ckt, const std::vector<device::MosOpPoint>& ops,
+                     double gmin, DenseMatrix<Cplx>& base, std::vector<CapStampOp>& capOps,
+                     std::vector<Cplx>& sourceRhs) {
+  const std::size_t nNodes = static_cast<std::size_t>(ckt.nodeCount() - 1);
+  base.clear();
+  capOps.clear();
+  std::fill(sourceRhs.begin(), sourceRhs.end(), Cplx{});
+  auto idx = [](NodeId n) -> std::ptrdiff_t { return n - 1; };
+
+  for (std::size_t i = 0; i < nNodes; ++i) base.stamp(i, i, Cplx{gmin, 0});
+
+  auto stampAdmittance = [&](NodeId p, NodeId q, Cplx y) {
+    base.stamp(idx(p), idx(p), y);
+    base.stamp(idx(q), idx(q), y);
+    base.stamp(idx(p), idx(q), -y);
+    base.stamp(idx(q), idx(p), -y);
+  };
+  auto recordCap = [&](NodeId p, NodeId q, double c) {
+    auto rec = [&](std::ptrdiff_t r, std::ptrdiff_t col, double v) {
+      if (r < 0 || col < 0) return;  // Ground, as DenseMatrix::stamp skips it.
+      capOps.push_back({static_cast<std::size_t>(r), static_cast<std::size_t>(col), v});
+    };
+    rec(idx(p), idx(p), c);
+    rec(idx(q), idx(q), c);
+    rec(idx(p), idx(q), -c);
+    rec(idx(q), idx(p), -c);
+  };
+
+  for (const circuit::Resistor& r : ckt.resistors) {
+    stampAdmittance(r.a, r.b, Cplx{1.0 / r.ohms, 0});
+  }
+  for (const circuit::Capacitor& c : ckt.capacitors) {
+    recordCap(c.a, c.b, c.farads);
+  }
+
+  for (std::size_t i = 0; i < ckt.mosfets.size(); ++i) {
+    const circuit::Mos& m = ckt.mosfets[i];
+    const device::MosOpPoint& op = ops[i];
+    const auto d = idx(m.drain), g = idx(m.gate), s = idx(m.source), b = idx(m.bulk);
+    base.stamp(d, g, Cplx{op.gm, 0});
+    base.stamp(d, s, Cplx{-op.gm, 0});
+    base.stamp(s, g, Cplx{-op.gm, 0});
+    base.stamp(s, s, Cplx{op.gm, 0});
+    base.stamp(d, b, Cplx{op.gmb, 0});
+    base.stamp(d, s, Cplx{-op.gmb, 0});
+    base.stamp(s, b, Cplx{-op.gmb, 0});
+    base.stamp(s, s, Cplx{op.gmb, 0});
+    stampAdmittance(m.drain, m.source, Cplx{op.gds, 0});
+    recordCap(m.gate, m.source, op.cgs);
+    recordCap(m.gate, m.drain, op.cgd);
+    recordCap(m.gate, m.bulk, op.cgb);
+    recordCap(m.drain, m.bulk, op.cdb);
+    recordCap(m.source, m.bulk, op.csb);
+  }
+
+  std::size_t branch = nNodes;
+  for (const circuit::VSource& s : ckt.vsources) {
+    base.stamp(idx(s.pos), branch, Cplx{1, 0});
+    base.stamp(idx(s.neg), branch, Cplx{-1, 0});
+    base.stamp(branch, idx(s.pos), Cplx{1, 0});
+    base.stamp(branch, idx(s.neg), Cplx{-1, 0});
+    if (s.acMag != 0.0) {
+      sourceRhs[branch] = std::polar(s.acMag, s.acPhase * M_PI / 180.0);
+    }
+    ++branch;
+  }
+  for (const circuit::Vcvs& e : ckt.vcvs) {
+    base.stamp(idx(e.pos), branch, Cplx{1, 0});
+    base.stamp(idx(e.neg), branch, Cplx{-1, 0});
+    base.stamp(branch, idx(e.pos), Cplx{1, 0});
+    base.stamp(branch, idx(e.neg), Cplx{-1, 0});
+    base.stamp(branch, idx(e.cp), Cplx{-e.gain, 0});
+    base.stamp(branch, idx(e.cn), Cplx{e.gain, 0});
+    ++branch;
+  }
+  for (const circuit::ISource& s : ckt.isources) {
+    if (s.acMag == 0.0) continue;
+    if (idx(s.pos) >= 0) sourceRhs[idx(s.pos)] -= Cplx{s.acMag, 0};
+    if (idx(s.neg) >= 0) sourceRhs[idx(s.neg)] += Cplx{s.acMag, 0};
+  }
+}
+
+/// Realise the AC matrix at angular frequency w: copy the skeleton and
+/// replay the recorded capacitive stamps.  w * (-c) == -(w * c) exactly in
+/// IEEE arithmetic, so signed replay values reproduce assembleAc's
+/// negated-admittance stamps bit for bit.
+void realizeAcMatrix(const DenseMatrix<Cplx>& base, const std::vector<CapStampOp>& capOps,
+                     double w, DenseMatrix<Cplx>& a) {
+  a = base;
+  for (const CapStampOp& op : capOps) {
+    a.at(op.r, op.c) += Cplx{0.0, w * op.value};
+  }
+}
+
 }  // namespace
+
+AcPoint Simulator::extractAcPoint(double freq, const std::vector<Cplx>& sol) const {
+  AcPoint p;
+  p.freq = freq;
+  p.nodeV.assign(circuit_.nodeCount(), Cplx{});
+  for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = sol[n - 1];
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  p.vsourceI.resize(circuit_.vsources.size());
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    p.vsourceI[i] = sol[nNodes + i];
+  }
+  return p;
+}
+
+std::size_t Simulator::vsourceIndexOrThrow(const std::string& name,
+                                           const char* context) const {
+  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
+    if (circuit_.vsources[i].name == name) return i;
+  }
+  throw SimulationError(std::string(context) + ": no V source named " + name);
+}
+
+std::vector<std::vector<AcPoint>> Simulator::acSolveGridFast(
+    const DcSolution& op, const std::vector<AcExcitation>& excitations,
+    const std::vector<double>& freqs, const std::string& failPrefix) const {
+  const std::size_t nUnknowns = unknownCount();
+  const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
+  Workspace& w = ws();
+  if (w.acBase.size() != nUnknowns) w.acBase = DenseMatrix<Cplx>(nUnknowns);
+  w.acSourceRhs.resize(nUnknowns);
+  w.acRhs.resize(nUnknowns);
+  buildAcSkeleton(circuit_, op.mosOps, options_.gminFloor, w.acBase, w.capOps,
+                  w.acSourceRhs);
+
+  // Resolve excitation targets once (the public callers validated names).
+  std::vector<std::size_t> branchOf(excitations.size(), 0);
+  for (std::size_t e = 0; e < excitations.size(); ++e) {
+    const AcExcitation& ex = excitations[e];
+    if (ex.kind == AcExcitation::Kind::kVsourceBranch) {
+      branchOf[e] = nNodes + vsourceIndexOrThrow(ex.vsource, "acBatch");
+    } else if (ex.kind == AcExcitation::Kind::kCurrentInjection) {
+      if (ex.pos >= circuit_.nodeCount() || ex.neg >= circuit_.nodeCount()) {
+        throw SimulationError("acBatch: injection node out of range");
+      }
+    }
+  }
+
+  std::vector<std::vector<AcPoint>> out(excitations.size());
+  for (auto& curve : out) curve.reserve(freqs.size());
+  for (double f : freqs) {
+    // One factorization per frequency; every excitation reuses it.
+    realizeAcMatrix(w.acBase, w.capOps, 2.0 * M_PI * f, w.acA);
+    if (!luFactorize(w.acA, w.perm)) {
+      throw SimulationError(failPrefix + std::to_string(f));
+    }
+    ++stats_.luFactorizations;
+    for (std::size_t e = 0; e < excitations.size(); ++e) {
+      const AcExcitation& ex = excitations[e];
+      switch (ex.kind) {
+        case AcExcitation::Kind::kCircuitSources:
+          w.acRhs.assign(w.acSourceRhs.begin(), w.acSourceRhs.end());
+          break;
+        case AcExcitation::Kind::kVsourceBranch:
+          std::fill(w.acRhs.begin(), w.acRhs.end(), Cplx{});
+          w.acRhs[branchOf[e]] = Cplx{1.0, 0.0};
+          break;
+        case AcExcitation::Kind::kCurrentInjection:
+          std::fill(w.acRhs.begin(), w.acRhs.end(), Cplx{});
+          if (ex.pos != circuit::kGround) w.acRhs[ex.pos - 1] -= Cplx{1.0, 0};
+          if (ex.neg != circuit::kGround) w.acRhs[ex.neg - 1] += Cplx{1.0, 0};
+          break;
+      }
+      luSolveFactored(w.acA, w.perm, w.acRhs);
+      ++stats_.luSolves;
+      ++stats_.acPoints;
+      out[e].push_back(extractAcPoint(f, w.acRhs));
+    }
+  }
+  return out;
+}
 
 std::vector<AcPoint> Simulator::ac(const DcSolution& op, double fStart, double fStop,
                                    int pointsPerDecade) const {
   const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  if (options_.solver == SolverMode::kFast) {
+    return std::move(acSolveGridFast(op, {AcExcitation::circuitSources()}, freqs,
+                                     "AC solve failed at f=")[0]);
+  }
   const std::size_t nUnknowns = unknownCount();
   std::vector<AcPoint> out;
   out.reserve(freqs.size());
@@ -336,16 +603,8 @@ std::vector<AcPoint> Simulator::ac(const DcSolution& op, double fStart, double f
   for (double f : freqs) {
     assembleAc(circuit_, op.mosOps, 2.0 * M_PI * f, options_.gminFloor, true, a, rhs);
     if (!luSolve(a, rhs)) throw SimulationError("AC solve failed at f=" + std::to_string(f));
-    AcPoint p;
-    p.freq = f;
-    p.nodeV.assign(circuit_.nodeCount(), Cplx{});
-    for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = rhs[n - 1];
-    const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
-    p.vsourceI.resize(circuit_.vsources.size());
-    for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
-      p.vsourceI[i] = rhs[nNodes + i];
-    }
-    out.push_back(std::move(p));
+    ++stats_.acPoints;
+    out.push_back(extractAcPoint(f, rhs));
   }
   return out;
 }
@@ -353,18 +612,12 @@ std::vector<AcPoint> Simulator::ac(const DcSolution& op, double fStart, double f
 std::vector<AcPoint> Simulator::acFrom(const DcSolution& op,
                                        const std::string& sourceName, double fStart,
                                        double fStop, int pointsPerDecade) const {
-  std::size_t srcIndex = circuit_.vsources.size();
-  for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
-    if (circuit_.vsources[i].name == sourceName) {
-      srcIndex = i;
-      break;
-    }
-  }
-  if (srcIndex == circuit_.vsources.size()) {
-    throw SimulationError("acFrom: no V source named " + sourceName);
-  }
-
+  const std::size_t srcIndex = vsourceIndexOrThrow(sourceName, "acFrom");
   const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  if (options_.solver == SolverMode::kFast) {
+    return std::move(acSolveGridFast(op, {AcExcitation::unitVsource(sourceName)}, freqs,
+                                     "acFrom solve failed at f=")[0]);
+  }
   const std::size_t nUnknowns = unknownCount();
   const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
   std::vector<AcPoint> out;
@@ -380,15 +633,59 @@ std::vector<AcPoint> Simulator::acFrom(const DcSolution& op,
     if (!luSolve(a, rhs)) {
       throw SimulationError("acFrom solve failed at f=" + std::to_string(f));
     }
-    AcPoint p;
-    p.freq = f;
-    p.nodeV.assign(circuit_.nodeCount(), Cplx{});
-    for (int n = 1; n < circuit_.nodeCount(); ++n) p.nodeV[n] = rhs[n - 1];
-    p.vsourceI.resize(circuit_.vsources.size());
-    for (std::size_t i = 0; i < circuit_.vsources.size(); ++i) {
-      p.vsourceI[i] = rhs[nNodes + i];
+    ++stats_.acPoints;
+    out.push_back(extractAcPoint(f, rhs));
+  }
+  return out;
+}
+
+std::vector<std::vector<AcPoint>> Simulator::acBatch(
+    const DcSolution& op, const std::vector<AcExcitation>& excitations, double fStart,
+    double fStop, int pointsPerDecade) const {
+  for (const AcExcitation& ex : excitations) {
+    if (ex.kind == AcExcitation::Kind::kVsourceBranch) {
+      (void)vsourceIndexOrThrow(ex.vsource, "acBatch");
     }
-    out.push_back(std::move(p));
+  }
+  const std::vector<double> freqs = logGrid(fStart, fStop, pointsPerDecade);
+  if (options_.solver == SolverMode::kFast) {
+    return acSolveGridFast(op, excitations, freqs, "acBatch solve failed at f=");
+  }
+  // Reference mode decomposes the batch into the one-shot primitives it
+  // replaces; the fast path above is bit-identical to this.
+  const std::size_t nUnknowns = unknownCount();
+  std::vector<std::vector<AcPoint>> out;
+  out.reserve(excitations.size());
+  for (const AcExcitation& ex : excitations) {
+    switch (ex.kind) {
+      case AcExcitation::Kind::kCircuitSources:
+        out.push_back(ac(op, fStart, fStop, pointsPerDecade));
+        break;
+      case AcExcitation::Kind::kVsourceBranch:
+        out.push_back(acFrom(op, ex.vsource, fStart, fStop, pointsPerDecade));
+        break;
+      case AcExcitation::Kind::kCurrentInjection: {
+        if (ex.pos >= circuit_.nodeCount() || ex.neg >= circuit_.nodeCount()) {
+          throw SimulationError("acBatch: injection node out of range");
+        }
+        std::vector<AcPoint> curve;
+        curve.reserve(freqs.size());
+        DenseMatrix<Cplx> a(nUnknowns);
+        std::vector<Cplx> rhs(nUnknowns);
+        for (double f : freqs) {
+          assembleAc(circuit_, op.mosOps, 2.0 * M_PI * f, options_.gminFloor, false, a, rhs);
+          if (ex.pos != circuit::kGround) rhs[ex.pos - 1] -= Cplx{1.0, 0};
+          if (ex.neg != circuit::kGround) rhs[ex.neg - 1] += Cplx{1.0, 0};
+          if (!luSolve(a, rhs)) {
+            throw SimulationError("acBatch solve failed at f=" + std::to_string(f));
+          }
+          ++stats_.acPoints;
+          curve.push_back(extractAcPoint(f, rhs));
+        }
+        out.push_back(std::move(curve));
+        break;
+      }
+    }
   }
   return out;
 }
@@ -416,30 +713,77 @@ std::vector<NoisePoint> Simulator::noise(const DcSolution& op, circuit::NodeId o
   const std::size_t nNodes = static_cast<std::size_t>(circuit_.nodeCount() - 1);
   const double kT4 = 4.0 * kBoltzmann * options_.tempK;
 
+  const bool fast = options_.solver == SolverMode::kFast;
   std::vector<NoisePoint> result;
   result.reserve(freqs.size());
-  DenseMatrix<Cplx> a(nUnknowns);
-  std::vector<Cplx> work(nUnknowns);
+  DenseMatrix<Cplx> aLocal;
+  std::vector<Cplx> workLocal;
+  DenseMatrix<Cplx>& a = fast ? ws().acA : aLocal;
+  std::vector<Cplx>& work = fast ? ws().acRhs : workLocal;
+  if (a.size() != nUnknowns) a = DenseMatrix<Cplx>(nUnknowns);
+  work.resize(nUnknowns);
+  if (fast) {
+    // Assemble once; each frequency point re-realises only the reactive
+    // entries.  The adjoint still needs its own factorization (pivoting on
+    // the transposed matrix differs), but the assembly is shared and the
+    // transpose starts from the realised copy.
+    Workspace& w = ws();
+    if (w.acBase.size() != nUnknowns) w.acBase = DenseMatrix<Cplx>(nUnknowns);
+    w.acSourceRhs.resize(nUnknowns);
+    buildAcSkeleton(circuit_, op.mosOps, options_.gminFloor, w.acBase, w.capOps,
+                    w.acSourceRhs);
+  }
 
   for (double f : freqs) {
     const double w = 2.0 * M_PI * f;
 
-    // Forward gain: unit excitation on the designated input source only.
-    assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
-    work[nNodes + inputIndex] = Cplx{1.0, 0.0};
-    if (!luSolve(a, work)) throw SimulationError("noise: forward solve failed");
-    const Cplx gain = out == circuit::kGround ? Cplx{} : work[out - 1];
+    Cplx gain;
+    if (fast) {
+      Workspace& wk = ws();
+      realizeAcMatrix(wk.acBase, wk.capOps, w, a);
+      wk.acAdj = a;  // Keep the realised matrix for the adjoint transpose.
+      std::fill(work.begin(), work.end(), Cplx{});
+      work[nNodes + inputIndex] = Cplx{1.0, 0.0};
+      if (!luFactorize(a, wk.perm)) throw SimulationError("noise: forward solve failed");
+      ++stats_.luFactorizations;
+      luSolveFactored(a, wk.perm, work);
+      ++stats_.luSolves;
+      gain = out == circuit::kGround ? Cplx{} : work[out - 1];
 
-    // Adjoint: solve Y^T z = e_out; |z_p - z_q|^2 is the squared transfer
-    // from a unit current injected between (p, q) to the output voltage.
-    assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
-    // Transpose in place.
-    for (std::size_t r = 0; r < nUnknowns; ++r) {
-      for (std::size_t c = r + 1; c < nUnknowns; ++c) std::swap(a.at(r, c), a.at(c, r));
+      // Adjoint: solve Y^T z = e_out; |z_p - z_q|^2 is the squared
+      // transfer from a unit current injected between (p, q) to the
+      // output voltage.
+      for (std::size_t r = 0; r < nUnknowns; ++r) {
+        for (std::size_t c = r + 1; c < nUnknowns; ++c) {
+          std::swap(wk.acAdj.at(r, c), wk.acAdj.at(c, r));
+        }
+      }
+      std::fill(work.begin(), work.end(), Cplx{});
+      if (out != circuit::kGround) work[out - 1] = Cplx{1.0, 0.0};
+      if (!luFactorize(wk.acAdj, wk.permAdj)) {
+        throw SimulationError("noise: adjoint solve failed");
+      }
+      ++stats_.luFactorizations;
+      luSolveFactored(wk.acAdj, wk.permAdj, work);
+      ++stats_.luSolves;
+    } else {
+      // Forward gain: unit excitation on the designated input source only.
+      assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
+      work[nNodes + inputIndex] = Cplx{1.0, 0.0};
+      if (!luSolve(a, work)) throw SimulationError("noise: forward solve failed");
+      gain = out == circuit::kGround ? Cplx{} : work[out - 1];
+
+      // Adjoint: solve Y^T z = e_out; |z_p - z_q|^2 is the squared transfer
+      // from a unit current injected between (p, q) to the output voltage.
+      assembleAc(circuit_, op.mosOps, w, options_.gminFloor, false, a, work);
+      // Transpose in place.
+      for (std::size_t r = 0; r < nUnknowns; ++r) {
+        for (std::size_t c = r + 1; c < nUnknowns; ++c) std::swap(a.at(r, c), a.at(c, r));
+      }
+      std::fill(work.begin(), work.end(), Cplx{});
+      if (out != circuit::kGround) work[out - 1] = Cplx{1.0, 0.0};
+      if (!luSolve(a, work)) throw SimulationError("noise: adjoint solve failed");
     }
-    std::fill(work.begin(), work.end(), Cplx{});
-    if (out != circuit::kGround) work[out - 1] = Cplx{1.0, 0.0};
-    if (!luSolve(a, work)) throw SimulationError("noise: adjoint solve failed");
 
     auto z = [&](NodeId n) { return n == circuit::kGround ? Cplx{} : work[n - 1]; };
     double psd = 0.0;
@@ -612,7 +956,14 @@ std::vector<TranPoint> Simulator::transient(double tStop, double dt) const {
         if (idx(cb.b) >= 0) rhs[idx(cb.b)] -= ieq;
       }
 
-      std::vector<double> xNew = rhs;
+      std::vector<double> xNewLocal;
+      std::vector<double>& xNew =
+          options_.solver == SolverMode::kFast ? ws().xNew : xNewLocal;
+      if (options_.solver == SolverMode::kFast) {
+        xNew.assign(rhs.begin(), rhs.end());
+      } else {
+        xNewLocal = rhs;
+      }
       if (!luSolve(a, xNew)) throw SimulationError("transient: singular matrix");
       double maxDelta = 0.0;
       for (std::size_t i = 0; i < nUnknowns; ++i) {

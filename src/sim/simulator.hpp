@@ -8,6 +8,7 @@
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,21 @@
 
 namespace lo::sim {
 
+/// Solve-path selector.  Both modes produce bit-identical results (the
+/// golden solver tests prove it); they differ only in how much work and
+/// memory traffic they spend getting there.
+enum class SolverMode {
+  /// LU factor reuse across the AC excitation block, skeleton re-stamping
+  /// of only the reactive matrix entries per frequency, and a
+  /// simulator-owned workspace so the Newton loop allocates nothing.
+  kFast,
+  /// The pre-optimization path: one-shot LU per solve, full re-assembly
+  /// per frequency, fresh buffers per call.  Kept alive verbatim as the
+  /// golden baseline the fast path is benchmarked and bit-compared
+  /// against.
+  kReference,
+};
+
 struct SimOptions {
   double gminFloor = 1e-12;   ///< Final gmin left on every node [S].
   double absTolV = 1e-9;      ///< Newton voltage-update tolerance [V].
@@ -24,6 +40,48 @@ struct SimOptions {
   int maxNewtonIters = 150;
   double maxStepV = 0.3;      ///< Per-iteration voltage damping limit [V].
   double tempK = 300.15;
+  SolverMode solver = SolverMode::kFast;
+};
+
+/// Cumulative hot-path counters, per Simulator instance.  Instrumentation
+/// only -- never part of any analysis result.
+struct SimStats {
+  long newtonIterations = 0;  ///< Newton steps across every DC solve.
+  long luFactorizations = 0;  ///< Complex factorizations (fast AC/noise path).
+  long luSolves = 0;          ///< Triangular solves against reused factors.
+  long acPoints = 0;          ///< (frequency, excitation) pairs solved.
+  long warmStartHits = 0;     ///< Warm operating points solved from the seed.
+  long warmStartMisses = 0;   ///< Warm attempts that fell back to the cold ladder.
+};
+
+/// One excitation of the shared AC small-signal system.  The system matrix
+/// is excitation-independent, so a batch of these shares each frequency
+/// point's factorization (Simulator::acBatch).
+struct AcExcitation {
+  enum class Kind {
+    kCircuitSources,    ///< The circuit's own acMag/acPhase fields (ac()).
+    kVsourceBranch,     ///< Unit (1 V, 0 deg) drive on one V-source branch (acFrom()).
+    kCurrentInjection,  ///< Unit AC current from `pos` into `neg` (output-impedance probe).
+  };
+  Kind kind = Kind::kCircuitSources;
+  std::string vsource;                      ///< kVsourceBranch: the driven source.
+  circuit::NodeId pos = circuit::kGround;   ///< kCurrentInjection terminals.
+  circuit::NodeId neg = circuit::kGround;
+
+  [[nodiscard]] static AcExcitation circuitSources() { return {}; }
+  [[nodiscard]] static AcExcitation unitVsource(std::string name) {
+    AcExcitation e;
+    e.kind = Kind::kVsourceBranch;
+    e.vsource = std::move(name);
+    return e;
+  }
+  [[nodiscard]] static AcExcitation unitCurrent(circuit::NodeId pos, circuit::NodeId neg) {
+    AcExcitation e;
+    e.kind = Kind::kCurrentInjection;
+    e.pos = pos;
+    e.neg = neg;
+    return e;
+  }
 };
 
 /// DC operating point: node voltages, source branch currents, and the full
@@ -67,12 +125,53 @@ class SimulationError : public std::runtime_error {
 class Simulator {
  public:
   /// The circuit, technology and model must outlive the simulator.
+  /// A Simulator owns per-instance scratch buffers: share one instance
+  /// across threads only with external synchronisation (the codebase
+  /// convention is one local Simulator per worker).
   Simulator(const circuit::Circuit& circuit, const tech::Technology& technology,
             const device::MosModel& model, SimOptions options = {});
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// DC operating point with gmin stepping and, on failure, source stepping.
   /// Throws SimulationError when no continuation converges.
   [[nodiscard]] DcSolution dcOperatingPoint() const;
+
+  /// Carry-over Newton state for warm-started operating points.  Opaque:
+  /// obtain one default-constructed (invalid, first solve runs cold) or
+  /// from warmStartFrom(), and pass it to successive dcOperatingPoint()
+  /// calls over the same circuit -- or over equal-layout neighbours, as a
+  /// DC sweep or a Monte Carlo trial sequence produces.
+  class WarmStart {
+   public:
+    WarmStart() = default;
+    [[nodiscard]] bool valid() const { return valid_; }
+    void reset() {
+      x_.clear();
+      valid_ = false;
+    }
+
+   private:
+    friend class Simulator;
+    std::vector<double> x_;
+    bool valid_ = false;
+  };
+
+  /// Seed carry-over state from a converged solution of this circuit (or
+  /// one with the identical unknown layout).  Node voltages and V-source
+  /// branch currents are carried; dependent-source branch currents start
+  /// at zero, exactly as the DC sweep continuation has always seeded
+  /// them.  Throws std::invalid_argument on a layout mismatch.
+  [[nodiscard]] WarmStart warmStartFrom(const DcSolution& seed) const;
+
+  /// Warm-started operating point: when `warm` holds usable state, run
+  /// Newton directly from it at the final gmin; otherwise -- or when that
+  /// refuses to converge -- fall back to the full cold continuation
+  /// ladder.  On return `warm` carries this solution, ready for the next
+  /// neighbouring point.  Throws SimulationError only if the cold path
+  /// fails too.
+  [[nodiscard]] DcSolution dcOperatingPoint(WarmStart& warm) const;
 
   /// Sweep the DC value of V source `vsrcName` and solve at each point
   /// (continuation from the previous point).
@@ -98,6 +197,15 @@ class Simulator {
                                             double fStart, double fStop,
                                             int pointsPerDecade) const;
 
+  /// Solve a whole excitation block over one frequency grid: the system
+  /// matrix does not depend on the excitation, so in the fast solver mode
+  /// every frequency point is factored once and each excitation costs only
+  /// a pair of triangular solves.  Returns one curve per excitation, in
+  /// order; each is bit-identical to the equivalent ac()/acFrom() call.
+  [[nodiscard]] std::vector<std::vector<AcPoint>> acBatch(
+      const DcSolution& op, const std::vector<AcExcitation>& excitations,
+      double fStart, double fStop, int pointsPerDecade) const;
+
   /// Small-signal noise at node `out`, input-referred to V source
   /// `inputVsrc` (adjoint network method: one extra solve per frequency).
   [[nodiscard]] std::vector<NoisePoint> noise(const DcSolution& op, circuit::NodeId out,
@@ -109,19 +217,34 @@ class Simulator {
 
   [[nodiscard]] const SimOptions& options() const { return options_; }
 
+  /// Hot-path counters accumulated since construction (instrumentation
+  /// for bench/ext_sim; results never depend on them).
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+
  private:
   struct Workspace;
+  [[nodiscard]] Workspace& ws() const;
   [[nodiscard]] bool newtonSolve(std::vector<double>& x, double gmin, double srcScale,
                                  int maxIters, int* itersOut) const;
   [[nodiscard]] DcSolution finalizeSolution(const std::vector<double>& x, int iters) const;
   [[nodiscard]] device::MosOpPoint evalMos(const circuit::Mos& mos,
                                            const std::vector<double>& x) const;
   [[nodiscard]] std::size_t unknownCount() const;
+  void packContinuation(const DcSolution& sol, std::vector<double>& x) const;
+  [[nodiscard]] AcPoint extractAcPoint(double freq,
+                                       const std::vector<std::complex<double>>& sol) const;
+  [[nodiscard]] std::size_t vsourceIndexOrThrow(const std::string& name,
+                                                const char* context) const;
+  [[nodiscard]] std::vector<std::vector<AcPoint>> acSolveGridFast(
+      const DcSolution& op, const std::vector<AcExcitation>& excitations,
+      const std::vector<double>& freqs, const std::string& failPrefix) const;
 
   const circuit::Circuit& circuit_;
   const tech::Technology& tech_;
   const device::MosModel& model_;
   SimOptions options_;
+  mutable std::unique_ptr<Workspace> ws_;
+  mutable SimStats stats_;
 };
 
 /// Trapezoidal integration of a tabulated PSD over [f0, f1] on the log grid

@@ -21,9 +21,19 @@ MonteCarloResult runMonteCarlo(const tech::Technology& t, const device::MosModel
 
   MonteCarloResult result;
   result.samples = options.samples;
+  // One working circuit and one Simulator for the whole trial sequence: the
+  // simulator reads the circuit afresh on every solve, so rewriting the
+  // per-trial mismatch fields in place avoids a netlist copy per sample,
+  // and neighbouring trials are close enough that each operating point
+  // warm-starts from the previous one (cold-ladder fallback on the rare
+  // divergent draw).
+  circuit::Circuit work = base;
+  sim::Simulator sim(work, t, model);
+  sim::Simulator::WarmStart warm;
+  const auto inp = *work.findNode("inp");
+  const auto out = *work.findNode("out");
   for (int sample = 0; sample < options.samples; ++sample) {
-    circuit::Circuit c = base;
-    for (circuit::Mos& m : c.mosfets) {
+    for (circuit::Mos& m : work.mosfets) {
       const double area = m.geo.w * m.geo.l;
       const double sigmaVt = options.avt / std::sqrt(std::max(area, 1e-15));
       const double sigmaBeta = options.abeta / std::sqrt(std::max(area, 1e-15));
@@ -31,10 +41,7 @@ MonteCarloResult runMonteCarlo(const tech::Technology& t, const device::MosModel
       m.kpScale = 1.0 + sigmaBeta * gauss(rng);
     }
     try {
-      sim::Simulator sim(c, t, model);
-      const sim::DcSolution op = sim.dcOperatingPoint();
-      const auto inp = *c.findNode("inp");
-      const auto out = *c.findNode("out");
+      const sim::DcSolution op = sim.dcOperatingPoint(warm);
       result.offsetsMv.push_back((op.voltage(inp) - op.voltage(out)) * 1e3);
       const auto ac = sim.ac(op, 10.0, 100.0, 3);
       result.gainsDb.push_back(sim::toDb(sim::dcGain(sim::curveAt(ac, out))));

@@ -112,11 +112,20 @@ OtaPerformance measureAmplifier(const tech::Technology& t, const device::MosMode
   OtaPerformance p;
   const double fLow = options.fStart;
 
-  // --- Differential open-loop AC + noise (one circuit, one op). ---
+  sim::SimOptions simOpt;
+  simOpt.tempK = t.temperature;
+  simOpt.solver =
+      options.referenceSolver ? sim::SolverMode::kReference : sim::SolverMode::kFast;
+
+  // --- One AC testbench, one operating point, every small-signal figure.
+  // The excitations (differential, common-mode, supply, output probe) are
+  // moved onto branches at solve time (acFrom / acBatch) instead of baked
+  // into four acMag-variant copies of the same netlist, so the whole
+  // small-signal suite shares a single DC solve -- and, in the fast solver
+  // mode, the low-band excitation block shares each frequency point's
+  // factorization. ---
   {
-    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 1.0, 0.0, 0.0);
-    sim::SimOptions simOpt;
-    simOpt.tempK = t.temperature;
+    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 0.0, 0.0);
     sim::Simulator sim(c, t, model, simOpt);
     const sim::DcSolution op = sim.dcOperatingPoint();
     const NodeId out = *c.findNode("out");
@@ -132,7 +141,7 @@ OtaPerformance measureAmplifier(const tech::Technology& t, const device::MosMode
       }
     }
 
-    const auto ac = sim.ac(op, fLow, options.fStop, options.pointsPerDecade);
+    const auto ac = sim.acFrom(op, "VDIFF", fLow, options.fStop, options.pointsPerDecade);
     const sim::AcCurve adm = sim::curveAt(ac, out);
     const double a0 = sim::dcGain(adm);
     p.dcGainDb = sim::toDb(a0);
@@ -159,52 +168,29 @@ OtaPerformance measureAmplifier(const tech::Technology& t, const device::MosMode
     };
     p.thermalNoiseDensityNv = std::sqrt(spot(kThermalSpotHz)) * 1e9;
     p.flickerNoiseUv = std::sqrt(spot(kFlickerSpotHz)) * 1e6;
-  }
 
-  // --- Common-mode gain for CMRR. ---
-  {
-    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 1.0, 0.0);
-    sim::SimOptions simOpt;
-    simOpt.tempK = t.temperature;
-    sim::Simulator sim(c, t, model, simOpt);
-    const sim::DcSolution op = sim.dcOperatingPoint();
-    const auto ac = sim.ac(op, fLow, 10.0 * fLow, 4);
-    const double acm = sim::dcGain(sim::curveAt(ac, *c.findNode("out")));
-    const double adm = std::pow(10.0, p.dcGainDb / 20.0);
-    p.cmrrDb = sim::toDb(adm / std::max(acm, 1e-12));
-  }
-
-  // --- Supply rejection: unit AC excitation moved onto the VDD branch
-  // (Simulator::acFrom), bit-identical to re-running ac() with acMag=1.0
-  // on the supply but without mutating the netlist. ---
-  {
-    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 0.0, 0.0);
-    sim::SimOptions simOpt;
-    simOpt.tempK = t.temperature;
-    sim::Simulator sim(c, t, model, simOpt);
-    const sim::DcSolution op = sim.dcOperatingPoint();
-    const auto ac = sim.acFrom(op, "VDD", fLow, 10.0 * fLow, 4);
-    const double avdd = sim::dcGain(sim::curveAt(ac, *c.findNode("out")));
-    const double adm = std::pow(10.0, p.dcGainDb / 20.0);
-    p.psrrDb = sim::toDb(adm / std::max(avdd, 1e-12));
-  }
-
-  // --- Output resistance via a unit AC current probe. ---
-  {
-    const Circuit c = buildAmpAcTestbench(instantiate, inputCm, parasitics, 0.0, 0.0, 1.0);
-    sim::SimOptions simOpt;
-    simOpt.tempK = t.temperature;
-    sim::Simulator sim(c, t, model, simOpt);
-    const sim::DcSolution op = sim.dcOperatingPoint();
-    const auto ac = sim.ac(op, fLow, 10.0 * fLow, 4);
-    p.outputResistanceMOhm = std::abs(ac.front().at(*c.findNode("out"))) / 1e6;
+    // --- CMRR / PSRR / output resistance: one excitation block over the
+    // shared low-frequency grid.  Common-mode gain drives the VCM branch,
+    // supply rejection the VDD branch, output resistance a unit AC current
+    // into "out" -- each curve bit-identical to the standalone
+    // ac()/acFrom() measurement it replaces. ---
+    const auto lowBand =
+        sim.acBatch(op,
+                    {sim::AcExcitation::unitVsource("VCM"),
+                     sim::AcExcitation::unitVsource("VDD"),
+                     sim::AcExcitation::unitCurrent(circuit::kGround, out)},
+                    fLow, 10.0 * fLow, 4);
+    const double admDc = std::pow(10.0, p.dcGainDb / 20.0);
+    const double acm = sim::dcGain(sim::curveAt(lowBand[0], out));
+    p.cmrrDb = sim::toDb(admDc / std::max(acm, 1e-12));
+    const double avdd = sim::dcGain(sim::curveAt(lowBand[1], out));
+    p.psrrDb = sim::toDb(admDc / std::max(avdd, 1e-12));
+    p.outputResistanceMOhm = std::abs(lowBand[2].front().at(out)) / 1e6;
   }
 
   // --- Slew rate: hard unity feedback, +/- step. ---
   {
     const Circuit c = buildSlewTestbench(instantiate, inputCm, parasitics, options);
-    sim::SimOptions simOpt;
-    simOpt.tempK = t.temperature;
     sim::Simulator sim(c, t, model, simOpt);
     const auto tran = sim.transient(options.tranStop, options.tranStep);
     const NodeId out = *c.findNode("out");

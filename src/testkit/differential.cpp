@@ -123,6 +123,27 @@ DifferentialDriver standardDriver(service::JobScheduler& scheduler) {
     return out;
   });
 
+  driver.registerPath("engine_reference_solver", [&scheduler](const CorpusPoint& point) {
+    // The same direct engine run forced onto the simulator's
+    // pre-optimization reference solve path: any bitwise divergence from
+    // engine_direct means the fast solver broke the bit-identity contract.
+    PathOutcome out;
+    try {
+      const tech::Technology jobTech =
+          scheduler.baseTechnology().atCorner(point.corner);
+      core::EngineOptions options = point.options;
+      options.verifyOptions.referenceSolver = true;
+      options.postLayoutVerify.referenceSolver = true;
+      const core::SynthesisEngine engine(jobTech, options);
+      out.result = engine.run(point.specs);
+      out.canonical = service::toJson(out.result).dump();
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    return out;
+  });
+
   driver.registerPath("scheduler", [&scheduler](const CorpusPoint& point) {
     const std::uint64_t id = scheduler.submit(point.toJobRequest());
     return outcomeFromStatus(scheduler.wait(id));

@@ -39,8 +39,8 @@ TEST_F(DifferentialTest, FiftyPointCorpusAgreesByteForByteAcrossAllPaths) {
 
   DifferentialDriver driver = standardDriver(scheduler);
   ASSERT_EQ(driver.pathNames(),
-            (std::vector<std::string>{"engine_direct", "scheduler",
-                                      "cache_warm", "explore_cell"}));
+            (std::vector<std::string>{"engine_direct", "engine_reference_solver",
+                                      "scheduler", "cache_warm", "explore_cell"}));
 
   const std::vector<CorpusPoint> corpus = generateCorpus(1);
   ASSERT_GE(corpus.size(), 50u);

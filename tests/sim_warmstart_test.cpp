@@ -1,0 +1,291 @@
+// Warm-start correctness: the carried Newton state (Simulator::WarmStart)
+// must be a pure speed lever.  Where the old sweep continuation guaranteed
+// a result, the warm API reproduces it byte for byte; where a seed is
+// hostile, the cold ladder fallback makes the result indistinguishable from
+// a cold solve.  Suite names deliberately contain "SimWarmStart" -- CI runs
+// them under --repeat until-fail to shake out state leaking between solves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "device/folding.hpp"
+#include "sim/simulator.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::Waveform;
+
+const tech::Technology kTech = tech::Technology::generic060();
+
+[[nodiscard]] std::uint64_t bitsOf(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+#define EXPECT_BIT_EQ(a, b) \
+  EXPECT_EQ(bitsOf(a), bitsOf(b)) << #a " = " << (a) << " vs " #b " = " << (b)
+
+/// FNV-1a over the solution doubles, for cross-thread digest comparison.
+[[nodiscard]] std::uint64_t digestOf(const DcSolution& sol) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](double v) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &v, sizeof(double));
+    for (unsigned char byte : bytes) {
+      h ^= byte;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (double v : sol.nodeVoltages) mix(v);
+  for (double v : sol.vsourceCurrents) mix(v);
+  return h;
+}
+
+void expectSolutionBitEqual(const DcSolution& a, const DcSolution& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.nodeVoltages.size(), b.nodeVoltages.size());
+  for (std::size_t i = 0; i < a.nodeVoltages.size(); ++i) {
+    EXPECT_BIT_EQ(a.nodeVoltages[i], b.nodeVoltages[i]);
+  }
+  ASSERT_EQ(a.vsourceCurrents.size(), b.vsourceCurrents.size());
+  for (std::size_t i = 0; i < a.vsourceCurrents.size(); ++i) {
+    EXPECT_BIT_EQ(a.vsourceCurrents[i], b.vsourceCurrents[i]);
+  }
+  EXPECT_EQ(digestOf(a), digestOf(b));
+}
+
+/// CMOS inverter: nonlinear enough that a cold solve needs the gmin
+/// ladder, with a supply source whose branch current the continuation must
+/// carry between points.
+[[nodiscard]] Circuit makeInverter() {
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out"), vdd = c.node("vdd");
+  device::MosGeometry gn, gp;
+  gn.w = 10e-6;
+  gn.l = 0.6e-6;
+  device::applyUnfoldedGeometry(kTech.rules, gn);
+  gp = gn;
+  gp.w = 25e-6;
+  device::applyUnfoldedGeometry(kTech.rules, gp);
+  c.addVSource("VDD", vdd, circuit::kGround, Waveform::makeDc(3.3));
+  c.addVSource("VIN", in, circuit::kGround, Waveform::makeDc(0.0));
+  c.addMos("MN", out, in, circuit::kGround, circuit::kGround, tech::MosType::kNmos, gn);
+  c.addMos("MP", out, in, vdd, vdd, tech::MosType::kPmos, gp);
+  return c;
+}
+
+TEST(SimWarmStart, ManualWarmChainReproducesDcSweepByteForByte) {
+  // dcSweep is now a thin client of the warm-start API; composing the same
+  // loop by hand through the public surface must give identical bytes.
+  const Circuit c = makeInverter();
+  const auto model = device::MosModel::create("ekv");
+  Simulator sweeper(c, kTech, *model);
+  const auto sweep = sweeper.dcSweep("VIN", 0.0, 3.3, 23);
+
+  Circuit manual = c;
+  circuit::VSource* src = manual.findVSource("VIN");
+  ASSERT_NE(src, nullptr);
+  Simulator sim(manual, kTech, *model);
+  Simulator::WarmStart warm;
+  EXPECT_FALSE(warm.valid());
+  ASSERT_EQ(sweep.size(), 23u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    src->wave = Waveform::makeDc(sweep[i].value);
+    const DcSolution sol = sim.dcOperatingPoint(warm);
+    EXPECT_TRUE(warm.valid());
+    expectSolutionBitEqual(sol, sweep[i].solution);
+  }
+  // The chain must actually have run warm: one cold first point, then hits
+  // (a miss in the middle would also be legal, but on this smooth curve it
+  // would mean the carried state -- including the V-source branch
+  // currents -- regressed).
+  EXPECT_EQ(sim.stats().warmStartMisses, 1);
+  EXPECT_EQ(sim.stats().warmStartHits, 22);
+}
+
+TEST(SimWarmStart, VsourceCurrentCarryOverSurvivesTheApiSeam) {
+  // Regression for the dcSweep refactor: the old continuation packed node
+  // voltages AND V-source branch currents into the next point's start
+  // vector.  A warm chain seeded from a converged solution via
+  // warmStartFrom must behave identically to continuing the internal
+  // state -- if the branch-current carry-over were dropped, the warm
+  // Newton would start from a zero supply current and converge along a
+  // different iterate path.
+  Circuit c = makeInverter();
+  circuit::VSource* src = c.findVSource("VIN");
+  const auto model = device::MosModel::create("level1");
+
+  Simulator sim(c, kTech, *model);
+  Simulator::WarmStart chained;
+  src->wave = Waveform::makeDc(1.2);
+  const DcSolution first = sim.dcOperatingPoint(chained);
+  src->wave = Waveform::makeDc(1.3);
+  const DcSolution viaChain = sim.dcOperatingPoint(chained);
+  ASSERT_GE(sim.stats().warmStartHits, 1);
+
+  // Same two points, but the second warm state is reconstructed from the
+  // first solution through the public seeding API.
+  Simulator sim2(c, kTech, *model);
+  src->wave = Waveform::makeDc(1.2);
+  Simulator::WarmStart seeded = sim2.warmStartFrom(first);
+  EXPECT_TRUE(seeded.valid());
+  src->wave = Waveform::makeDc(1.3);
+  const DcSolution viaSeed = sim2.dcOperatingPoint(seeded);
+  expectSolutionBitEqual(viaChain, viaSeed);
+  EXPECT_EQ(sim2.stats().warmStartHits, 1);
+}
+
+TEST(SimWarmStart, HostileSeedFallsBackToColdAndMatchesItByteForByte) {
+  // A garbage seed (rails at +/-50 V) must not poison the result: the warm
+  // Newton may reject it, the cold ladder answers, and the answer is
+  // byte-identical to a plain cold solve.
+  const Circuit c = makeInverter();
+  const auto model = device::MosModel::create("ekv");
+  Simulator sim(c, kTech, *model);
+  const DcSolution cold = sim.dcOperatingPoint();
+
+  DcSolution garbage = cold;
+  for (std::size_t i = 1; i < garbage.nodeVoltages.size(); ++i) {
+    garbage.nodeVoltages[i] = (i % 2 == 0) ? 50.0 : -50.0;
+  }
+  for (double& i : garbage.vsourceCurrents) i = 10.0;
+
+  Simulator sim2(c, kTech, *model);
+  Simulator::WarmStart warm = sim2.warmStartFrom(garbage);
+  const DcSolution rescued = sim2.dcOperatingPoint(warm);
+  expectSolutionBitEqual(rescued, cold);
+  EXPECT_EQ(sim2.stats().warmStartHits, 0);
+  EXPECT_EQ(sim2.stats().warmStartMisses, 1);
+  // And the state left behind is the good solution: the next point runs warm.
+  const DcSolution again = sim2.dcOperatingPoint(warm);
+  EXPECT_EQ(sim2.stats().warmStartHits, 1);
+  EXPECT_TRUE(again.converged);
+}
+
+TEST(SimWarmStart, SeedingFromMismatchedLayoutThrows) {
+  const Circuit c = makeInverter();
+  const auto model = device::MosModel::create("level1");
+  Simulator sim(c, kTech, *model);
+
+  DcSolution wrong = sim.dcOperatingPoint();
+  wrong.nodeVoltages.push_back(0.0);
+  EXPECT_THROW((void)sim.warmStartFrom(wrong), std::invalid_argument);
+
+  DcSolution wrongCurrents = sim.dcOperatingPoint();
+  wrongCurrents.vsourceCurrents.clear();
+  EXPECT_THROW((void)sim.warmStartFrom(wrongCurrents), std::invalid_argument);
+}
+
+TEST(SimWarmStart, ForeignWarmStateIsIgnoredNotTrusted) {
+  // A WarmStart built against a different circuit (different unknown
+  // count) must be treated as cold -- counted as a miss, never read.
+  Circuit small;
+  const auto n = small.node("n");
+  small.addVSource("V1", n, circuit::kGround, Waveform::makeDc(1.0));
+  small.addResistor("R1", n, circuit::kGround, 1e3);
+  const auto model = device::MosModel::create("level1");
+  Simulator simSmall(small, kTech, *model);
+  Simulator::WarmStart foreign = simSmall.warmStartFrom(simSmall.dcOperatingPoint());
+
+  const Circuit c = makeInverter();
+  Simulator sim(c, kTech, *model);
+  const DcSolution cold = sim.dcOperatingPoint();
+  const DcSolution viaForeign = sim.dcOperatingPoint(foreign);
+  expectSolutionBitEqual(viaForeign, cold);
+  EXPECT_EQ(sim.stats().warmStartHits, 0);
+  EXPECT_EQ(sim.stats().warmStartMisses, 1);
+}
+
+TEST(SimWarmStart, NonMonotoneZigzagChainConvergesAndTracksCold) {
+  // Hostile sweep order: big jumps in both directions.  Warm iterates are
+  // allowed to differ from cold ones (different Newton start), but every
+  // point must converge and land on the same solution to solver tolerance.
+  Circuit c = makeInverter();
+  circuit::VSource* src = c.findVSource("VIN");
+  const auto model = device::MosModel::create("ekv");
+  Simulator sim(c, kTech, *model);
+  Simulator::WarmStart warm;
+
+  const double zigzag[] = {0.0, 3.3, 0.4, 2.9, 1.1, 2.2, 0.05, 3.25, 1.65};
+  for (const double v : zigzag) {
+    src->wave = Waveform::makeDc(v);
+    const DcSolution hot = sim.dcOperatingPoint(warm);
+    EXPECT_TRUE(hot.converged);
+
+    Simulator coldSim(c, kTech, *model);
+    const DcSolution cold = coldSim.dcOperatingPoint();
+    ASSERT_EQ(hot.nodeVoltages.size(), cold.nodeVoltages.size());
+    for (std::size_t i = 0; i < hot.nodeVoltages.size(); ++i) {
+      EXPECT_NEAR(hot.nodeVoltages[i], cold.nodeVoltages[i], 1e-6) << "vin=" << v;
+    }
+  }
+  EXPECT_EQ(sim.stats().warmStartHits + sim.stats().warmStartMisses,
+            static_cast<long>(std::size(zigzag)));
+}
+
+TEST(SimWarmStart, ResetForgetsTheCarriedState) {
+  Circuit c = makeInverter();
+  const auto model = device::MosModel::create("level1");
+  Simulator sim(c, kTech, *model);
+  Simulator::WarmStart warm;
+  (void)sim.dcOperatingPoint(warm);
+  ASSERT_TRUE(warm.valid());
+  warm.reset();
+  EXPECT_FALSE(warm.valid());
+  (void)sim.dcOperatingPoint(warm);
+  EXPECT_EQ(sim.stats().warmStartMisses, 2);  // Both solves ran cold.
+}
+
+TEST(SimWarmStartConcurrency, ParallelWarmChainsAreDeterministicPerThread) {
+  // One shared (const) template circuit; each thread owns its mutable
+  // copy, Simulator and WarmStart, as the codebase convention requires.
+  // Every thread must produce exactly the same bytes -- any cross-thread
+  // digest difference means simulator state escaped its instance.
+  const Circuit base = makeInverter();
+  const auto model = device::MosModel::create("ekv");
+  constexpr int kThreads = 4;
+  constexpr int kPoints = 12;
+
+  std::vector<std::uint64_t> digests(kThreads, 0);
+  std::vector<long> hits(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int tIdx = 0; tIdx < kThreads; ++tIdx) {
+      workers.emplace_back([&base, &model, &digests, &hits, tIdx] {
+        Circuit mine = base;
+        circuit::VSource* src = mine.findVSource("VIN");
+        Simulator sim(mine, kTech, *model);
+        Simulator::WarmStart warm;
+        std::uint64_t h = 14695981039346656037ULL;
+        for (int i = 0; i < kPoints; ++i) {
+          src->wave = Waveform::makeDc(3.3 * i / (kPoints - 1));
+          const DcSolution sol = sim.dcOperatingPoint(warm);
+          const std::uint64_t d = digestOf(sol);
+          h ^= d;
+          h *= 1099511628211ULL;
+        }
+        digests[tIdx] = h;
+        hits[tIdx] = sim.stats().warmStartHits;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int tIdx = 1; tIdx < kThreads; ++tIdx) {
+    EXPECT_EQ(digests[tIdx], digests[0]) << "thread " << tIdx;
+    EXPECT_EQ(hits[tIdx], hits[0]);
+  }
+  EXPECT_GT(hits[0], 0);
+}
+
+}  // namespace
+}  // namespace lo::sim

@@ -179,6 +179,97 @@ PeerFill measurePeerFill(const std::string& cacheDir, const std::string& line) {
   return p;
 }
 
+/// Seconds from SIGKILLing the shard that owns a batch of in-flight jobs
+/// to every job answering through one multiplexed wait: death detection,
+/// respawn, journal replay, and the answers themselves.  The store is
+/// warm, so this isolates the recovery machinery from synthesis cost.
+double measureFailoverSeconds(const std::string& cacheDir) {
+  cluster::ClusterRouter router(routerOptions(2, cacheDir, "failover"));
+  Json ids = Json::array();
+  int victim = -1;
+  for (int i = 0; i < gPool; ++i) {
+    Json job = poolEntry(i);
+    job.set("op", "synthesize");
+    job.set("async", true);
+    job.set("summary", true);
+    const Json ack = Json::parse(router.handleLine(job.dump()));
+    if (!ack.at("ok").asBool()) {
+      std::fprintf(stderr, "ext_cluster: failover submission failed\n");
+      std::exit(1);
+    }
+    if (i == 0) victim = ack.at("shard").asInt(-1);
+    ids.push(ack.at("id").asUint64());
+  }
+  router.killShard(victim);
+  Json wait = Json::object();
+  wait.set("op", "wait");
+  wait.set("summary", true);
+  wait.set("ids", std::move(ids));
+  const auto start = std::chrono::steady_clock::now();
+  const Json done = Json::parse(router.handleLine(wait.dump()));
+  const double seconds = secondsSince(start);
+  if (!done.at("ok").asBool() ||
+      done.at("outcomes").items().size() != static_cast<std::size_t>(gPool)) {
+    std::fprintf(stderr, "ext_cluster: multiplexed wait failed after the kill\n");
+    std::exit(1);
+  }
+  for (const Json& outcome : done.at("outcomes").items()) {
+    if (!outcome.at("ok").asBool()) {
+      std::fprintf(stderr, "ext_cluster: a job was lost across the failover\n");
+      std::exit(1);
+    }
+  }
+  return seconds;
+}
+
+/// Seconds for "drain" to take the shard owning in-flight work out of the
+/// ring: waiting out its jobs, re-pinning, and shutting the worker down.
+/// Afterwards every id must still resolve -- the zero-loss gate.
+double measureDrainSeconds(const std::string& cacheDir) {
+  cluster::ClusterRouter router(routerOptions(3, cacheDir, "drainbench"));
+  Json ids = Json::array();
+  int victim = -1;
+  for (int i = 0; i < gPool; ++i) {
+    Json job = poolEntry(i);
+    job.set("op", "synthesize");
+    job.set("async", true);
+    job.set("summary", true);
+    const Json ack = Json::parse(router.handleLine(job.dump()));
+    if (!ack.at("ok").asBool()) {
+      std::fprintf(stderr, "ext_cluster: drain submission failed\n");
+      std::exit(1);
+    }
+    if (i == 0) victim = ack.at("shard").asInt(-1);
+    ids.push(ack.at("id").asUint64());
+  }
+  Json drain = Json::object();
+  drain.set("op", "drain");
+  drain.set("shard", victim);
+  const auto start = std::chrono::steady_clock::now();
+  const Json drained = Json::parse(router.handleLine(drain.dump()));
+  const double seconds = secondsSince(start);
+  if (!drained.at("ok").asBool()) {
+    std::fprintf(stderr, "ext_cluster: drain under load failed\n");
+    std::exit(1);
+  }
+  Json wait = Json::object();
+  wait.set("op", "wait");
+  wait.set("summary", true);
+  wait.set("ids", std::move(ids));
+  const Json done = Json::parse(router.handleLine(wait.dump()));
+  if (!done.at("ok").asBool()) {
+    std::fprintf(stderr, "ext_cluster: wait failed after the drain\n");
+    std::exit(1);
+  }
+  for (const Json& outcome : done.at("outcomes").items()) {
+    if (!outcome.at("ok").asBool()) {
+      std::fprintf(stderr, "ext_cluster: a job was lost across the drain\n");
+      std::exit(1);
+    }
+  }
+  return seconds;
+}
+
 int runSnapshot() {
   if (gLosynthd.empty() || !std::filesystem::exists(gLosynthd)) {
     std::printf("ext_cluster: SKIP cluster phases (no losynthd; pass "
@@ -209,6 +300,8 @@ int runSnapshot() {
   const double speedup = many.jobsPerSecond / one.jobsPerSecond;
   const double routingMicros = measureRoutingMicros();
   const PeerFill peer = measurePeerFill(store, line);
+  const double failoverSeconds = measureFailoverSeconds(store);
+  const double drainSeconds = measureDrainSeconds(store);
   std::filesystem::remove_all(scratch);
 
   // The speedup gate is bounded by the machine: N shards can only compute
@@ -236,6 +329,10 @@ int runSnapshot() {
               static_cast<unsigned long long>(peer.hits),
               static_cast<unsigned long long>(peer.diskHits),
               static_cast<unsigned long long>(peer.misses));
+  std::printf("failover recovery: %.3f s (kill -9 to all %d jobs answered)\n",
+              failoverSeconds, gPool);
+  std::printf("drain under load: %.3f s (shard out of the ring, zero loss)\n",
+              drainSeconds);
 
   std::ostringstream out;
   out.precision(6);
@@ -252,7 +349,8 @@ int runSnapshot() {
       << ",\n  \"routing_us_per_job\": " << routingMicros
       << ",\n  \"peer_fill\": {\"hits\": " << peer.hits
       << ", \"disk_hits\": " << peer.diskHits << ", \"misses\": " << peer.misses
-      << "}\n}\n";
+      << "},\n  \"failover_recovery_s\": " << failoverSeconds
+      << ",\n  \"drain_s\": " << drainSeconds << "\n}\n";
   const std::string path = layout::outputPath("BENCH_cluster.json");
   layout::writeFile(path, out.str());
   std::printf("wrote %s\n", path.c_str());

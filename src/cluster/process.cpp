@@ -169,6 +169,39 @@ ReadStatus ShardProcess::readLine(std::string& line, double timeoutSeconds) {
   }
 }
 
+ReadStatus ShardProcess::pollLine(std::string& line) {
+  if (out_ < 0) return ReadStatus::kNotRunning;
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return ReadStatus::kOk;
+    }
+    if (sawEof_) return ReadStatus::kEof;
+
+    struct pollfd pfd {};
+    pfd.fd = out_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 0);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sawEof_ = true;
+      return ReadStatus::kEof;
+    }
+    if (ready == 0) return ReadStatus::kTimeout;
+
+    char chunk[4096];
+    const ssize_t n = ::read(out_, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    sawEof_ = true;  // n == 0 (EOF) or a hard read error.
+  }
+}
+
 void ShardProcess::kill9() {
   if (pid_ < 0 || reaped_) return;
   ::kill(pid_, SIGKILL);

@@ -55,6 +55,17 @@ class ShardProcess {
   /// wedged past the deadline.
   [[nodiscard]] ReadStatus readLine(std::string& line, double timeoutSeconds);
 
+  /// Non-blocking readLine: drain whatever the pipe holds right now and
+  /// return kOk if that completed a line, kTimeout if a (partial or no)
+  /// line is still pending, kEof when the child died.  The multiplexed
+  /// cross-shard wait drives many shards' pipes from one poll(2) loop
+  /// with this.
+  [[nodiscard]] ReadStatus pollLine(std::string& line);
+
+  /// The parent-side read fd, for poll(2)ing several shards at once; -1
+  /// when not running.
+  [[nodiscard]] int readFd() const { return out_; }
+
   /// SIGKILL, then reap.  Used by the fault-injection side (soak, tests)
   /// to simulate a crashed shard from outside.
   void kill9();

@@ -15,7 +15,8 @@ std::uint64_t hashOf(const std::string& text) {
 
 }  // namespace
 
-ShardRing::ShardRing(int shards, int vnodesPerShard) : shards_(shards) {
+ShardRing::ShardRing(int shards, int vnodesPerShard)
+    : shards_(shards), vnodesPerShard_(vnodesPerShard) {
   if (shards < 1) throw std::invalid_argument("ShardRing needs >= 1 shard");
   if (vnodesPerShard < 1) {
     throw std::invalid_argument("ShardRing needs >= 1 vnode per shard");
@@ -30,6 +31,19 @@ ShardRing::ShardRing(int shards, int vnodesPerShard) : shards_(shards) {
     }
   }
   std::sort(points_.begin(), points_.end());
+}
+
+int ShardRing::addShard() {
+  const int shard = shards_++;
+  for (int vnode = 0; vnode < vnodesPerShard_; ++vnode) {
+    const std::string label =
+        "shard-" + std::to_string(shard) + "#" + std::to_string(vnode);
+    points_.emplace_back(hashOf(label), shard);
+  }
+  // Re-sorting keeps the label->point mapping identical to a ring built
+  // with this count up front: add is order-independent and deterministic.
+  std::sort(points_.begin(), points_.end());
+  return shard;
 }
 
 std::size_t ShardRing::startIndexFor(const std::string& key) const {

@@ -41,10 +41,17 @@ class ShardRing {
   [[nodiscard]] int routeOf(const std::string& key,
                             const std::vector<bool>& alive) const;
 
+  /// Grow the ring by one shard (elastic membership's `add`): the new
+  /// shard's vnodes slot between the existing points, so only the key
+  /// ranges they capture change owner -- every other key keeps its shard
+  /// and therefore its warm cache.  Returns the new shard's index.
+  int addShard();
+
  private:
   [[nodiscard]] std::size_t startIndexFor(const std::string& key) const;
 
   int shards_ = 0;
+  int vnodesPerShard_ = 0;
   /// (point hash, shard) sorted by hash: the ring, flattened.
   std::vector<std::pair<std::uint64_t, int>> points_;
 };

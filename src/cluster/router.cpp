@@ -1,11 +1,16 @@
 #include "cluster/router.hpp"
 
+#include <poll.h>
 #include <signal.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
 #include <exception>
 #include <filesystem>
 #include <istream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
@@ -77,12 +82,48 @@ void sumInto(Json& dst, const Json& src) {
   }
 }
 
+/// The shard forgot this exploration (it finished before a crash, so the
+/// journal replay had nothing to restart) -- failover's re-run is the
+/// answer.
+bool unknownExploration(const Json& response) {
+  if (response.at("ok").asBool()) return false;
+  return errorTextOf(response, "").find("unknown exploration id") !=
+         std::string::npos;
+}
+
+/// Same story for jobs: a reboot replays only unfinished work, so a job
+/// that settled before the crash answers "unknown job id" afterwards.
+/// Failover resubmits it and the shared store answers from cache.
+bool unknownJob(const Json& response) {
+  if (response.at("ok").asBool()) return false;
+  return errorTextOf(response, "").find("unknown job id") != std::string::npos;
+}
+
+/// An async resubmission of a synthesize-shaped request: the failover
+/// path's "run it again over there" line (a cache hit or coalesce on the
+/// inheritor, never a second engine run of a finished job).
+std::string asyncResubmitLine(const Json& jobShaped) {
+  Json resubmit = jobShaped;
+  resubmit.set("op", "synthesize");
+  resubmit.set("async", true);
+  return resubmit.dump();
+}
+
+/// True when a wait/synthesize response reports a settled job.
+bool terminalState(const Json& response) {
+  if (!response.at("ok").asBool()) return false;
+  if (response.find("cancelled") != nullptr) return true;
+  const std::string state = response.at("state").asString();
+  return !state.empty() && state != "queued" && state != "running";
+}
+
 }  // namespace
 
 ClusterRouter::ClusterRouter(RouterOptions options)
     : options_(std::move(options)),
       techPrint_(service::ResultCache::techFingerprint(options_.technology)),
-      ring_(options_.shards, options_.vnodesPerShard) {
+      ring_(options_.shards, options_.vnodesPerShard),
+      backoffRng_(options_.backoffJitterSeed) {
   if (options_.workerArgv.empty()) {
     throw std::invalid_argument("ClusterRouter needs a worker argv");
   }
@@ -93,17 +134,7 @@ ClusterRouter::ClusterRouter(RouterOptions options)
   for (int s = 0; s < options_.shards; ++s) {
     Shard& shard = shards_[static_cast<std::size_t>(s)];
     shard.process = std::make_unique<ShardProcess>();
-    shard.argv = options_.workerArgv;
-    if (!options_.journalRoot.empty()) {
-      const std::string dir = options_.journalRoot + "/" + shardLabel(s);
-      std::filesystem::create_directories(dir);
-      shard.argv.push_back("--journal");
-      shard.argv.push_back(dir);
-    }
-    if (!options_.cacheDir.empty()) {
-      shard.argv.push_back("--cache-dir");
-      shard.argv.push_back(options_.cacheDir);
-    }
+    shard.argv = buildShardArgv(s);
     spawnShard(s);
   }
 }
@@ -114,6 +145,27 @@ ClusterRouter::~ClusterRouter() {
   for (Shard& shard : shards_) {
     if (shard.process) shard.process->terminate(2.0);
   }
+}
+
+std::vector<std::string> ClusterRouter::buildShardArgv(int shard) const {
+  std::vector<std::string> argv = options_.workerArgv;
+  if (!options_.journalRoot.empty()) {
+    const std::string dir = options_.journalRoot + "/" + shardLabel(shard);
+    std::filesystem::create_directories(dir);
+    argv.push_back("--journal");
+    argv.push_back(dir);
+  }
+  if (!options_.cacheDir.empty()) {
+    argv.push_back("--cache-dir");
+    argv.push_back(options_.cacheDir);
+  }
+  return argv;
+}
+
+double ClusterRouter::nowSeconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 void ClusterRouter::spawnShard(int shard) {
@@ -139,22 +191,48 @@ void ClusterRouter::spawnShard(int shard) {
     throw std::runtime_error(shardLabel(shard) + " answered garbage at boot");
   }
   st.alive = true;
+  st.lastReviveAt = nowSeconds();
 }
 
-void ClusterRouter::markDead(int shard) {
+void ClusterRouter::markDead(int shard, const std::string& reason) {
   Shard& st = shards_[static_cast<std::size_t>(shard)];
-  if (st.alive) ++st.transportErrors;
+  if (st.alive) {
+    ++st.transportErrors;
+    const double now = nowSeconds();
+    // A shard that stayed healthy for a while earned a clean slate: only
+    // rapid-fire deaths escalate the backoff exponent.
+    if (now - st.lastReviveAt > options_.restartBackoffMaxSeconds) {
+      st.backoffStreak = 0;
+    }
+    st.lastRestartReason = reason;
+    st.restartHistory.push_back(reason);
+    if (st.restartHistory.size() > 8) {
+      st.restartHistory.erase(st.restartHistory.begin());
+    }
+    double delay = 0.0;
+    if (st.backoffStreak > 0) {
+      delay = std::min(options_.restartBackoffMaxSeconds,
+                       options_.restartBackoffBaseSeconds *
+                           std::pow(2.0, st.backoffStreak - 1));
+      std::uniform_real_distribution<double> jitter(0.75, 1.25);
+      delay *= jitter(backoffRng_);
+    }
+    st.nextRestartAt = now + delay;
+    ++st.backoffStreak;
+  }
   st.alive = false;
   // A wedged child must actually be gone before a respawn re-opens its
   // journal; kill9 is a no-op when the child already exited.
   st.process->kill9();
 }
 
-bool ClusterRouter::reviveShard(int shard) {
+bool ClusterRouter::reviveShard(int shard, bool ignoreBackoff) {
   Shard& st = shards_[static_cast<std::size_t>(shard)];
   if (st.alive) return true;
+  if (!st.member) return false;
   if (!options_.restartDeadShards) return false;
   if (st.restarts >= options_.maxRestartsPerShard) return false;
+  if (!ignoreBackoff && nowSeconds() < st.nextRestartAt) return false;
   ++st.restarts;
   try {
     spawnShard(shard);
@@ -164,19 +242,37 @@ bool ClusterRouter::reviveShard(int shard) {
   return true;
 }
 
-std::vector<bool> ClusterRouter::aliveMask() const {
+std::vector<bool> ClusterRouter::routableMask() const {
   std::vector<bool> mask;
   mask.reserve(shards_.size());
-  for (const Shard& shard : shards_) mask.push_back(shard.alive);
+  for (const Shard& shard : shards_) mask.push_back(shard.alive && shard.member);
   return mask;
+}
+
+int ClusterRouter::memberCount() const {
+  int count = 0;
+  for (const Shard& shard : shards_) count += shard.member ? 1 : 0;
+  return count;
 }
 
 int ClusterRouter::routeLive(const std::string& key) {
   const int home = ring_.ownerOf(key);
+  Shard& homeShard = shards_[static_cast<std::size_t>(home)];
   // Prefer healing the home shard over scattering its keys: a revived
   // shard replays its journal and keeps serving its own ranges.
-  if (!shards_[static_cast<std::size_t>(home)].alive) (void)reviveShard(home);
-  const int target = ring_.routeOf(key, aliveMask());
+  if (homeShard.member && !homeShard.alive) (void)reviveShard(home);
+  int target = ring_.routeOf(key, routableMask());
+  if (target < 0) {
+    // Nothing routable: backoff hygiene yields to availability.  Force-
+    // revive members in index order until one comes back.
+    for (int s = 0; s < shardCount(); ++s) {
+      if (shards_[static_cast<std::size_t>(s)].member &&
+          reviveShard(s, /*ignoreBackoff=*/true)) {
+        break;
+      }
+    }
+    target = ring_.routeOf(key, routableMask());
+  }
   if (target < 0) {
     throw RouterError{"no_live_shards",
                       "every shard is down and none could be restarted"};
@@ -190,13 +286,16 @@ std::optional<std::string> ClusterRouter::forwardRaw(int shard,
   Shard& st = shards_[static_cast<std::size_t>(shard)];
   if (!st.alive) return std::nullopt;
   if (!st.process->writeLine(line)) {
-    markDead(shard);
+    markDead(shard, "write failed (pipe closed)");
     return std::nullopt;
   }
   std::string response;
-  if (st.process->readLine(response, options_.requestTimeoutSeconds) !=
-      ReadStatus::kOk) {
-    markDead(shard);
+  const ReadStatus status =
+      st.process->readLine(response, options_.requestTimeoutSeconds);
+  if (status != ReadStatus::kOk) {
+    markDead(shard, status == ReadStatus::kTimeout
+                        ? "request timeout (wedged)"
+                        : "eof (process died)");
     return std::nullopt;
   }
   return response;
@@ -219,10 +318,23 @@ std::pair<int, Json> ClusterRouter::forwardRouted(const std::string& key,
   throw RouterError{"no_live_shards", "request retries exhausted the cluster"};
 }
 
-std::uint64_t ClusterRouter::mapNewJob(int shard, std::uint64_t localId) {
+std::uint64_t ClusterRouter::mapNewJob(int shard, std::uint64_t localId,
+                                       std::string key,
+                                       std::string resubmitLine,
+                                       bool terminal) {
   const std::uint64_t routerId = nextJobId_++;
-  jobRoute_[routerId] = {shard, localId};
+  JobRoute route;
+  route.shard = shard;
+  route.localId = localId;
+  route.key = std::move(key);
+  route.resubmitLine = std::move(resubmitLine);
+  route.terminal = terminal;
+  jobRoute_[routerId] = std::move(route);
   return routerId;
+}
+
+void ClusterRouter::noteTerminal(JobRoute& route, const Json& response) {
+  if (terminalState(response)) route.terminal = true;
 }
 
 std::string ClusterRouter::routingKeyFor(const Json& entry) const {
@@ -262,6 +374,8 @@ Json ClusterRouter::handle(const Json& request, const std::string& rawLine) {
   if (op == "wait" || op == "cancel") return handleWaitOrCancel(request, op);
   if (op == "explore") return handleExplore(rawLine);
   if (op == "explore_result") return handleExploreResult(request);
+  if (op == "drain") return handleDrain(request);
+  if (op == "add") return handleAdd(request);
   if (op == "stats") return handleStats();
   if (op == "health") return handleHealth();
   if (op == "topologies") return forwardToAnyShard(rawLine);
@@ -293,43 +407,281 @@ Json ClusterRouter::handleSynthesize(const Json& request,
   // id space so wait/cancel can find their way back.
   if (response.at("ok").asBool()) {
     if (const Json* id = response.find("id")) {
-      response.set("id", mapNewJob(shard, id->asUint64()));
+      response.set("id", mapNewJob(shard, id->asUint64(), key,
+                                   asyncResubmitLine(request),
+                                   terminalState(response)));
     }
   }
   response.set("shard", shard);
   return response;
 }
 
+int ClusterRouter::failoverJob(std::uint64_t routerId, JobRoute& route) {
+  if (route.resubmitLine.empty() || route.key.empty()) {
+    throw RouterError{"shard_down",
+                      shardLabel(route.shard) + " is down; job " +
+                          std::to_string(routerId) + " cannot be re-pinned"};
+  }
+  // The resubmission is exactly-once-safe: either the dead shard journaled
+  // the job (its eventual replay coalesces on the shared store) or its
+  // result is already in the store, so the inheritor answers from cache.
+  auto [shard, response] = forwardRouted(route.key, route.resubmitLine);
+  const Json* id = response.find("id");
+  if (!response.at("ok").asBool() || id == nullptr) {
+    throw RouterError{"failover_failed",
+                      "job " + std::to_string(routerId) +
+                          " could not be re-pinned: " +
+                          errorTextOf(response, "resubmission rejected")};
+  }
+  route.shard = shard;
+  route.localId = id->asUint64();
+  route.terminal = false;
+  ++jobFailovers_;
+  return shard;
+}
+
 Json ClusterRouter::handleWaitOrCancel(const Json& request,
                                        const std::string& op) {
+  if (op == "wait" && request.find("ids") != nullptr) {
+    return handleMultiWait(request);
+  }
   const std::uint64_t routerId = request.at("id").asUint64();
   const auto route = jobRoute_.find(routerId);
   if (route == jobRoute_.end()) {
     return errorJson("\"" + op + "\" needs a known job \"id\"");
   }
-  const auto [shard, localId] = route->second;
-  Json forward = request;
-  forward.set("id", localId);
-  const std::string line = forward.dump();
+  JobRoute& jr = route->second;
 
   std::optional<std::string> raw;
-  if (shards_[static_cast<std::size_t>(shard)].alive || reviveShard(shard)) {
-    raw = forwardRaw(shard, line);
-  }
-  if (!raw && reviveShard(shard)) {
-    // The shard died holding this job; its journal replay re-enqueued the
-    // job under the same local id, so the identical wait/cancel works.
-    raw = forwardRaw(shard, line);
+  int servingShard = jr.shard;
+  if (shards_[static_cast<std::size_t>(jr.shard)].member) {
+    Json forward = request;
+    forward.set("id", jr.localId);
+    const std::string line = forward.dump();
+    if (shards_[static_cast<std::size_t>(jr.shard)].alive ||
+        reviveShard(jr.shard)) {
+      raw = forwardRaw(jr.shard, line);
+    }
+    if (!raw && reviveShard(jr.shard)) {
+      // The shard died holding this job; its journal replay re-enqueued
+      // the job under the same local id, so the identical wait/cancel
+      // works.
+      raw = forwardRaw(jr.shard, line);
+    }
+    if (raw) {
+      // A reboot replays only unfinished jobs; one that settled before
+      // the crash is forgotten and must resolve through failover (a cache
+      // hit on the inheritor), not surface as an error.
+      try {
+        if (unknownJob(Json::parse(*raw))) raw.reset();
+      } catch (const std::exception&) {
+        raw.reset();  // Garbage response: treat like a dead shard.
+      }
+    }
   }
   if (!raw) {
-    throw RouterError{"shard_down", shardLabel(shard) + " is down; job " +
-                                        std::to_string(routerId) +
-                                        " is unavailable until it restarts"};
+    // Drained, past the restart budget, or in backoff: re-pin the job to
+    // the shard that inherited its key range and resolve there.  A cancel
+    // of an already-finished job resolves as cancelled:false, exactly as
+    // it would have on the original shard.
+    servingShard = failoverJob(routerId, jr);
+    Json forward = request;
+    forward.set("id", jr.localId);
+    raw = forwardRaw(servingShard, forward.dump());
+    if (!raw) {
+      throw RouterError{"shard_down",
+                        shardLabel(servingShard) + " failed while resolving " +
+                            "re-pinned job " + std::to_string(routerId)};
+    }
   }
   Json response = Json::parse(*raw);
+  noteTerminal(jr, response);
   if (response.find("id") != nullptr) response.set("id", routerId);
-  response.set("shard", shard);
+  response.set("shard", servingShard);
   return response;
+}
+
+Json ClusterRouter::handleMultiWait(const Json& request) {
+  const Json* ids = request.find("ids");
+  if (ids == nullptr || !ids->isArray() || ids->items().empty()) {
+    return errorJson("\"wait\" needs a non-empty \"ids\" array");
+  }
+
+  struct Slot {
+    std::uint64_t routerId = 0;
+    Json outcome;
+    bool done = false;
+  };
+  std::vector<Slot> slots(ids->items().size());
+  // Per-shard FIFO of slot indices: the daemon answers a pipelined stream
+  // of waits in order, so pairing responses back is a queue pop.
+  std::map<int, std::deque<std::size_t>> pendingByShard;
+
+  // Resolve every id's serving shard up front (revive or re-pin as the
+  // single-id path would), then pipeline the wait lines per shard.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].routerId = ids->items()[i].asUint64();
+    const auto route = jobRoute_.find(slots[i].routerId);
+    if (route == jobRoute_.end()) {
+      slots[i].outcome = errorJson("\"wait\" needs a known job \"id\"");
+      slots[i].done = true;
+      continue;
+    }
+    JobRoute& jr = route->second;
+    Shard& st = shards_[static_cast<std::size_t>(jr.shard)];
+    if (!(st.member && (st.alive || reviveShard(jr.shard)))) {
+      try {
+        (void)failoverJob(slots[i].routerId, jr);
+      } catch (const RouterError& e) {
+        slots[i].outcome = structuredErrorJson(e.code, e.message);
+        slots[i].done = true;
+        continue;
+      }
+    }
+    pendingByShard[jr.shard].push_back(i);
+  }
+
+  // Slots that cannot resolve over their pipelined stream (their shard
+  // died, wedged, or forgot the job after a reboot) are *deferred*, not
+  // failed over inline: a failover resubmits through other shards' pipes,
+  // and doing that while those pipes still carry unanswered pipelined
+  // waits would mis-pair every later response.  Deferred slots resolve
+  // through the single-id path after the poll loop has fully drained.
+  std::vector<std::size_t> deferred;
+  const auto deferShard = [&](int shard, const std::string& reason) {
+    markDead(shard, reason);
+    auto queue = pendingByShard.find(shard);
+    if (queue == pendingByShard.end()) return;
+    for (const std::size_t idx : queue->second) {
+      if (!slots[idx].done) deferred.push_back(idx);
+    }
+    pendingByShard.erase(queue);
+  };
+
+  // Pipeline the wait lines; a failed write defers that whole shard.
+  std::vector<int> writeFailed;
+  for (auto& [shard, queue] : pendingByShard) {
+    Shard& st = shards_[static_cast<std::size_t>(shard)];
+    for (const std::size_t idx : queue) {
+      Json forward = Json::object();
+      forward.set("op", "wait");
+      forward.set("id", jobRoute_.at(slots[idx].routerId).localId);
+      if (!st.process->writeLine(forward.dump())) {
+        writeFailed.push_back(shard);
+        break;
+      }
+    }
+  }
+  for (const int shard : writeFailed) {
+    deferShard(shard, "write failed (pipe closed)");
+  }
+
+  // Per-shard deadline: one request timeout per outstanding wait (a job
+  // may legitimately still be running).  A shard past its deadline is
+  // wedged by the single-request rules and gets recycled; healthy shards'
+  // responses keep flowing regardless, because one poll(2) loop serves
+  // every pipe.
+  std::map<int, double> deadline;
+  if (options_.requestTimeoutSeconds > 0) {
+    for (const auto& [shard, queue] : pendingByShard) {
+      deadline[shard] = nowSeconds() + options_.requestTimeoutSeconds *
+                                           static_cast<double>(queue.size());
+    }
+  }
+
+  while (!pendingByShard.empty()) {
+    std::vector<struct pollfd> fds;
+    std::vector<int> fdShards;
+    for (const auto& [shard, queue] : pendingByShard) {
+      struct pollfd pfd {};
+      pfd.fd = shards_[static_cast<std::size_t>(shard)].process->readFd();
+      pfd.events = POLLIN;
+      fds.push_back(pfd);
+      fdShards.push_back(shard);
+    }
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+
+    std::vector<std::pair<int, std::string>> failed;
+    for (const int shard : fdShards) {
+      Shard& st = shards_[static_cast<std::size_t>(shard)];
+      auto queue = pendingByShard.find(shard);
+      while (queue != pendingByShard.end() && !queue->second.empty()) {
+        std::string line;
+        const ReadStatus status = st.process->pollLine(line);
+        if (status == ReadStatus::kTimeout) break;
+        if (status != ReadStatus::kOk) {
+          failed.emplace_back(shard, "eof (process died)");
+          break;
+        }
+        const std::size_t idx = queue->second.front();
+        queue->second.pop_front();
+        Json response;
+        try {
+          response = Json::parse(line);
+        } catch (const std::exception&) {
+          failed.emplace_back(shard, "garbage on the pipe");
+          // The unpaired response poisons the stream; put the slot back so
+          // the deferred pass resolves it.
+          queue->second.push_front(idx);
+          break;
+        }
+        if (unknownJob(response)) {
+          // A rebooted shard forgot this settled job; the deferred pass
+          // re-pins it (cache hit on the inheritor).
+          deferred.push_back(idx);
+          continue;
+        }
+        JobRoute& jr = jobRoute_.at(slots[idx].routerId);
+        noteTerminal(jr, response);
+        if (response.find("id") != nullptr) {
+          response.set("id", slots[idx].routerId);
+        }
+        response.set("shard", shard);
+        ++st.routedJobs;
+        slots[idx].outcome = std::move(response);
+        slots[idx].done = true;
+      }
+      if (queue != pendingByShard.end() && queue->second.empty()) {
+        pendingByShard.erase(queue);
+      }
+    }
+    for (const auto& [shard, reason] : failed) deferShard(shard, reason);
+
+    if (!deadline.empty()) {
+      const double now = nowSeconds();
+      std::vector<int> wedged;
+      for (const auto& [shard, queue] : pendingByShard) {
+        if (now > deadline[shard]) wedged.push_back(shard);
+      }
+      for (const int shard : wedged) {
+        deferShard(shard, "request timeout (wedged)");
+      }
+    }
+  }
+
+  // Every pipelined stream has drained (answered in full or dead), so
+  // failover resubmissions can no longer mis-pair a response.
+  for (const std::size_t idx : deferred) {
+    if (slots[idx].done) continue;
+    Json single = Json::object();
+    single.set("op", "wait");
+    single.set("id", slots[idx].routerId);
+    try {
+      slots[idx].outcome = handleWaitOrCancel(single, "wait");
+    } catch (const RouterError& e) {
+      slots[idx].outcome = structuredErrorJson(e.code, e.message);
+    } catch (const std::exception& e) {
+      slots[idx].outcome = errorJson(e.what());
+    }
+    slots[idx].done = true;
+  }
+
+  Json outcomes = Json::array();
+  for (Slot& slot : slots) outcomes.push(std::move(slot.outcome));
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("outcomes", std::move(outcomes));
+  return out;
 }
 
 Json ClusterRouter::handleSweep(const Json& request) {
@@ -451,7 +803,7 @@ Json ClusterRouter::handleSweep(const Json& request) {
   std::vector<Json> placed(entries.size());
   for (SubSweep& sub : subs) {
     if (!sub.response) {
-      markDead(sub.shard);
+      markDead(sub.shard, "sub-sweep failed (died or wedged)");
       if (reviveShard(sub.shard)) {
         sub.responseLine = forwardRaw(sub.shard, sub.requestLine);
         if (sub.responseLine) {
@@ -475,7 +827,11 @@ Json ClusterRouter::handleSweep(const Json& request) {
         for (std::size_t j = 0; j < sub.indices.size(); ++j) {
           Json outcome = outcomes->items()[j];
           if (const Json* id = outcome.find("id")) {
-            outcome.set("id", mapNewJob(sub.shard, id->asUint64()));
+            outcome.set("id",
+                        mapNewJob(sub.shard, id->asUint64(),
+                                  keys[sub.indices[j]],
+                                  asyncResubmitLine(entries[sub.indices[j]]),
+                                  terminalState(outcome)));
           }
           outcome.set("shard", sub.shard);
           placed[sub.indices[j]] = std::move(outcome);
@@ -504,7 +860,9 @@ Json ClusterRouter::handleSweep(const Json& request) {
             outcomes->isArray() && outcomes->items().size() == 1) {
           Json outcome = outcomes->items().front();
           if (const Json* id = outcome.find("id")) {
-            outcome.set("id", mapNewJob(shard, id->asUint64()));
+            outcome.set("id", mapNewJob(shard, id->asUint64(), keys[idx],
+                                        asyncResubmitLine(entries[idx]),
+                                        terminalState(outcome)));
           }
           outcome.set("shard", shard);
           placed[idx] = std::move(outcome);
@@ -531,7 +889,11 @@ Json ClusterRouter::handleExplore(const std::string& rawLine) {
   if (response.at("ok").asBool()) {
     if (const Json* id = response.find("explore_id")) {
       const std::uint64_t routerId = nextExploreId_++;
-      exploreRoute_[routerId] = {shard, id->asUint64()};
+      ExploreRoute route;
+      route.shard = shard;
+      route.localId = id->asUint64();
+      route.rawLine = rawLine;
+      exploreRoute_[routerId] = std::move(route);
       response.set("explore_id", routerId);
     }
   }
@@ -545,28 +907,221 @@ Json ClusterRouter::handleExploreResult(const Json& request) {
   if (route == exploreRoute_.end()) {
     return errorJson("\"explore_result\" needs a known \"explore_id\"");
   }
-  const auto [shard, localId] = route->second;
-  if (!shards_[static_cast<std::size_t>(shard)].alive && !reviveShard(shard)) {
-    throw RouterError{"shard_down",
-                      shardLabel(shard) + " is down; exploration " +
-                          std::to_string(routerId) + " is unavailable"};
+  ExploreRoute& er = route->second;
+
+  std::optional<std::string> raw;
+  int servingShard = er.shard;
+  if (shards_[static_cast<std::size_t>(er.shard)].member) {
+    Json forward = request;
+    forward.set("explore_id", er.localId);
+    const std::string line = forward.dump();
+    if (shards_[static_cast<std::size_t>(er.shard)].alive ||
+        reviveShard(er.shard)) {
+      raw = forwardRaw(er.shard, line);
+    }
+    if (!raw && reviveShard(er.shard)) {
+      // The shard died holding the session; its explore journal replay
+      // restarted it under the same local id, so the identical
+      // explore_result resumes on the reboot (cached evaluations replay
+      // as hits -- a fast-forward, not a recompute).
+      raw = forwardRaw(er.shard, line);
+    }
+    if (raw) {
+      // A revived shard that finished the session *before* dying had
+      // nothing pending to replay and has forgotten the id; the failover
+      // re-run below reproduces the same front from cache.
+      try {
+        if (!unknownExploration(Json::parse(*raw))) {
+          Json response = Json::parse(*raw);
+          if (response.find("explore_id") != nullptr) {
+            response.set("explore_id", routerId);
+          }
+          response.set("shard", servingShard);
+          return response;
+        }
+      } catch (const std::exception&) {
+        // Garbage response: treat like a dead shard below.
+      }
+      raw.reset();
+    }
   }
+
+  // Past the restart budget, drained, or forgotten: re-pin the session to
+  // a survivor.  Determinism per (space, options) plus the shared store
+  // make the survivor's front byte-identical to the lost shard's.
+  Json resubmit = Json::parse(er.rawLine);
+  resubmit.set("async", true);
+  auto [newShard, response] = forwardRouted("raw:" + er.rawLine, resubmit.dump());
+  const Json* id = response.find("explore_id");
+  if (!response.at("ok").asBool() || id == nullptr) {
+    throw RouterError{"failover_failed",
+                      "exploration " + std::to_string(routerId) +
+                          " could not be re-pinned: " +
+                          errorTextOf(response, "resubmission rejected")};
+  }
+  er.shard = newShard;
+  er.localId = id->asUint64();
+  ++exploreFailovers_;
+  servingShard = newShard;
+
   Json forward = request;
-  forward.set("explore_id", localId);
-  std::optional<std::string> raw = forwardRaw(shard, forward.dump());
+  forward.set("explore_id", er.localId);
+  raw = forwardRaw(servingShard, forward.dump());
   if (!raw) {
-    // Explorations live in shard memory, not the journal: a crash loses
-    // them, and the honest answer is an error, not a silent re-run.
-    throw RouterError{"shard_down", shardLabel(shard) + " died holding " +
-                                        "exploration " +
-                                        std::to_string(routerId)};
+    throw RouterError{"shard_down",
+                      shardLabel(servingShard) + " failed while resuming " +
+                          "exploration " + std::to_string(routerId)};
   }
-  Json response = Json::parse(*raw);
-  if (response.find("explore_id") != nullptr) {
-    response.set("explore_id", routerId);
+  Json out = Json::parse(*raw);
+  if (out.find("explore_id") != nullptr) out.set("explore_id", routerId);
+  out.set("shard", servingShard);
+  return out;
+}
+
+Json ClusterRouter::handleDrain(const Json& request) {
+  const Json* shardField = request.find("shard");
+  if (shardField == nullptr) {
+    return errorJson("\"drain\" needs a \"shard\" index");
   }
-  response.set("shard", shard);
-  return response;
+  const int victim = shardField->asInt(-1);
+  if (victim < 0 || victim >= shardCount()) {
+    return errorJson("\"drain\": no such shard " + std::to_string(victim));
+  }
+  Shard& st = shards_[static_cast<std::size_t>(victim)];
+  if (!st.member) {
+    return errorJson(shardLabel(victim) + " is already drained");
+  }
+  if (memberCount() <= 1) {
+    return errorJson("cannot drain the last member shard");
+  }
+
+  // Prefer a live victim for the graceful path (waiting out its jobs);
+  // everything below still works without one via lazy failover.  Revive
+  // before leaving the ring -- reviveShard refuses non-members.
+  const bool victimUp = st.alive || reviveShard(victim, /*ignoreBackoff=*/true);
+  // Out of the ring first: from here no new key routes to the victim.
+  st.member = false;
+
+  // Wait out the victim's in-flight jobs.  Each settles into the shared
+  // store (so later wait/cancel from clients resolves anywhere as a cache
+  // hit); a job the victim cannot settle re-pins to its inheritor now.
+  std::uint64_t jobsSettled = 0;
+  std::uint64_t jobsMoved = 0;
+  for (auto& [routerId, jr] : jobRoute_) {
+    if (jr.shard != victim || jr.terminal) continue;
+    if (victimUp && st.alive) {
+      Json wait = Json::object();
+      wait.set("op", "wait");
+      wait.set("id", jr.localId);
+      if (const std::optional<std::string> rawResp =
+              forwardRaw(victim, wait.dump())) {
+        try {
+          noteTerminal(jr, Json::parse(*rawResp));
+        } catch (const std::exception&) {
+        }
+        if (jr.terminal) {
+          ++jobsSettled;
+          continue;
+        }
+      }
+    }
+    try {
+      (void)failoverJob(routerId, jr);
+      ++jobsMoved;
+    } catch (const RouterError&) {
+      // Left pinned; the client's next wait retries the failover.
+    }
+  }
+
+  // Hand the victim's explore sessions to their inheritors: resubmit each
+  // stored request (the same payload the session journal holds) onto the
+  // ring.  The re-run fast-forwards through the shared cache, so no
+  // explore budget is lost.
+  std::uint64_t sessionsMoved = 0;
+  for (auto& [routerId, er] : exploreRoute_) {
+    if (er.shard != victim) continue;
+    try {
+      Json resubmit = Json::parse(er.rawLine);
+      resubmit.set("async", true);
+      auto [shard, response] =
+          forwardRouted("raw:" + er.rawLine, resubmit.dump());
+      const Json* id = response.find("explore_id");
+      if (response.at("ok").asBool() && id != nullptr) {
+        er.shard = shard;
+        er.localId = id->asUint64();
+        ++sessionsMoved;
+        ++exploreFailovers_;
+      }
+    } catch (const RouterError&) {
+      // Left pinned; explore_result retries the failover lazily.
+    }
+  }
+
+  // Stop the worker: polite shutdown first (drains its queue), then
+  // terminate.  Not a transport error -- this death was ordered.
+  if (st.alive) (void)forwardRaw(victim, R"({"op":"shutdown"})");
+  st.process->terminate(2.0);
+  st.alive = false;
+  ++drains_;
+
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("drained", victim);
+  out.set("jobs_settled", jobsSettled);
+  out.set("jobs_moved", jobsMoved);
+  out.set("sessions_moved", sessionsMoved);
+  out.set("members", static_cast<std::uint64_t>(memberCount()));
+  return out;
+}
+
+Json ClusterRouter::handleAdd(const Json& request) {
+  int target = -1;
+  if (const Json* shardField = request.find("shard")) {
+    // Re-admit a drained shard.
+    target = shardField->asInt(-1);
+    if (target < 0 || target >= shardCount()) {
+      return errorJson("\"add\": no such shard " + std::to_string(target));
+    }
+    Shard& st = shards_[static_cast<std::size_t>(target)];
+    if (st.member) {
+      return errorJson(shardLabel(target) + " is already a member");
+    }
+    st.member = true;
+    st.backoffStreak = 0;
+    st.nextRestartAt = 0.0;
+    if (!st.alive) {
+      try {
+        spawnShard(target);
+      } catch (const std::exception& e) {
+        st.member = false;
+        return errorJson(shardLabel(target) +
+                         " failed to start: " + std::string(e.what()));
+      }
+    }
+  } else {
+    // Grow the ring by a brand-new shard.  Only the key ranges its vnodes
+    // capture change owner; its cold caches warm lazily through peer-fill
+    // from the shared store, so moved keys cost a disk read, not a re-run.
+    target = ring_.addShard();
+    Shard st;
+    st.process = std::make_unique<ShardProcess>();
+    st.argv = buildShardArgv(target);
+    shards_.push_back(std::move(st));
+    try {
+      spawnShard(target);
+    } catch (const std::exception& e) {
+      shards_.back().member = false;
+      return errorJson(shardLabel(target) +
+                       " failed to start: " + std::string(e.what()));
+    }
+  }
+  ++adds_;
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("shard", target);
+  out.set("members", static_cast<std::uint64_t>(memberCount()));
+  out.set("peer_fill", !options_.cacheDir.empty());
+  return out;
 }
 
 Json ClusterRouter::forwardToAnyShard(const std::string& rawLine) {
@@ -580,6 +1135,12 @@ Json ClusterRouter::handleStats() {
   Json perShard = Json::object();
   for (int s = 0; s < shardCount(); ++s) {
     Shard& st = shards_[static_cast<std::size_t>(s)];
+    if (!st.member) {
+      Json drained = Json::object();
+      drained.set("member", false);
+      perShard.set(shardLabel(s), std::move(drained));
+      continue;
+    }
     std::optional<std::string> raw;
     if (st.alive || reviveShard(s)) raw = forwardRaw(s, R"({"op":"stats"})");
     if (!raw) {
@@ -606,6 +1167,7 @@ Json ClusterRouter::handleStats() {
 
   Json router = Json::object();
   router.set("shards", static_cast<std::uint64_t>(shardCount()));
+  router.set("members", static_cast<std::uint64_t>(memberCount()));
   std::uint64_t aliveCount = 0;
   std::uint64_t routedJobs = 0;
   std::uint64_t transportErrors = 0;
@@ -619,6 +1181,10 @@ Json ClusterRouter::handleStats() {
   router.set("rerouted", rerouted_);
   router.set("restarts", restarts());
   router.set("transport_errors", transportErrors);
+  router.set("job_failovers", jobFailovers_);
+  router.set("explore_failovers", exploreFailovers_);
+  router.set("drains", drains_);
+  router.set("adds", adds_);
 
   Json stats = Json::object();
   stats.set("cluster", std::move(cluster));
@@ -633,35 +1199,53 @@ Json ClusterRouter::handleStats() {
 Json ClusterRouter::handleHealth() {
   // Health is observability, not surgery: it reports dead shards rather
   // than reviving them (the next routed job does the healing).
+  const double now = nowSeconds();
   Json perShard = Json::object();
-  std::uint64_t aliveCount = 0;
+  std::uint64_t aliveMembers = 0;
   for (int s = 0; s < shardCount(); ++s) {
     Shard& st = shards_[static_cast<std::size_t>(s)];
     std::optional<std::string> raw;
-    if (st.alive) raw = forwardRaw(s, R"({"op":"health"})");
+    if (st.alive && st.member) raw = forwardRaw(s, R"({"op":"health"})");
     Json entry = Json::object();
     entry.set("alive", st.alive);
+    entry.set("member", st.member);
     entry.set("pid", static_cast<std::int64_t>(st.process->pid()));
     entry.set("restarts", static_cast<std::uint64_t>(st.restarts));
     entry.set("routed_jobs", st.routedJobs);
     entry.set("transport_errors", st.transportErrors);
     entry.set("replayed_records", st.lastReplayedRecords);
     entry.set("recovered_jobs", st.lastRecoveredJobs);
+    if (!st.lastRestartReason.empty()) {
+      entry.set("last_restart_reason", st.lastRestartReason);
+      Json history = Json::array();
+      for (const std::string& reason : st.restartHistory) history.push(reason);
+      entry.set("restart_history", std::move(history));
+    }
+    if (!st.alive && st.member) {
+      entry.set("backoff_seconds", std::max(0.0, st.nextRestartAt - now));
+    }
     if (raw) {
       const Json response = Json::parse(*raw);
       entry.set("health", response.at("health"));
     }
-    if (st.alive) ++aliveCount;
+    if (st.alive && st.member) ++aliveMembers;
     perShard.set(shardLabel(s), std::move(entry));
   }
 
   Json cluster = Json::object();
   cluster.set("shards", static_cast<std::uint64_t>(shardCount()));
-  cluster.set("alive", aliveCount);
+  cluster.set("members", static_cast<std::uint64_t>(memberCount()));
+  cluster.set("alive", aliveMembers);
+  // all_alive is a membership invariant: drained shards are intentionally
+  // gone and must not mark a healthy cluster degraded.
   cluster.set("all_alive",
-              aliveCount == static_cast<std::uint64_t>(shardCount()));
+              aliveMembers == static_cast<std::uint64_t>(memberCount()));
   cluster.set("restarts", restarts());
   cluster.set("rerouted", rerouted_);
+  cluster.set("job_failovers", jobFailovers_);
+  cluster.set("explore_failovers", exploreFailovers_);
+  cluster.set("drains", drains_);
+  cluster.set("adds", adds_);
 
   Json health = Json::object();
   health.set("cluster", std::move(cluster));
@@ -711,6 +1295,14 @@ void ClusterRouter::killShard(int shard) {
   // the EOF path is exactly the failure the router is built to absorb.
   const pid_t pid = shards_[static_cast<std::size_t>(shard)].process->pid();
   if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void ClusterRouter::wedgeShard(int shard) {
+  // SIGSTOP: the child keeps its pipes open but answers nothing, which is
+  // the wedge the request timeout exists for.  The recycle path's SIGKILL
+  // terminates stopped processes too, so no SIGCONT is ever needed.
+  const pid_t pid = shards_[static_cast<std::size_t>(shard)].process->pid();
+  if (pid > 0) ::kill(pid, SIGSTOP);
 }
 
 std::uint64_t ClusterRouter::restarts() const {

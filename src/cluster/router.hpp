@@ -19,20 +19,39 @@
 // Failure model.  A dead shard announces itself as EOF on its pipe; a
 // wedged one as a request timeout (after which the shard is killed,
 // because a line protocol that skipped one response would mis-pair every
-// later one).  Either way the router marks the shard down, respawns it on
-// the same --journal directory -- the reboot replays the write-ahead log,
-// so every job the dead shard had acknowledged is re-enqueued under its
-// original id -- and retries the failed request.  While a shard stays
-// down (restart budget exhausted), its key ranges re-route to the next
-// live shard on the ring, which peer-fills from the shared on-disk cache
-// store rather than recomputing anything a dead shard already finished.
-// Exactly-once therefore holds at the cache-key level across kills: an
-// acknowledged job is either in a journal (and will re-run into the
-// shared store at most once) or already in the store.
+// later one).  Either way the router marks the shard down and respawns it
+// on the same --journal directory -- the reboot replays both write-ahead
+// logs, so every job the dead shard had acknowledged is re-enqueued under
+// its original id and every exploration it owned restarts under its
+// original id.  Respawns after the first failure back off exponentially
+// with seeded jitter (restart hygiene: a crash-looping binary must not be
+// respawned in a hot loop), except that a cluster with no other live
+// shard force-revives immediately.  While a shard stays down (backoff or
+// restart budget), its key ranges re-route to the next live member on the
+// ring, which peer-fills from the shared on-disk cache store rather than
+// recomputing anything a dead shard already finished.
+//
+// Failover.  Router job ids remember their routing key and a resubmit
+// line: a wait/cancel whose home shard cannot be revived re-pins the job
+// to a survivor (the resubmission is a cache hit or journal coalesce, not
+// a second run) and resolves there.  Explorations failover the same way
+// -- the stored request re-runs on a survivor, and the explorer's
+// (space, options) determinism plus the shared cache make the survivor's
+// front byte-identical to what the dead shard would have produced.
+//
+// Membership.  `drain` removes a shard from the ring gracefully: new keys
+// stop routing to it, its in-flight jobs are waited out, its explore
+// sessions re-pin to the inheriting members, then the worker is shut
+// down.  `add` re-admits a drained shard or grows the ring by a brand-new
+// one (only the captured key ranges move; the shared store warms the new
+// member on first miss).
 //
 // Job ids.  Shard-local ids would collide across shards, so the router
 // issues its own id space for synthesize/sweep acks and maps them back on
-// wait/cancel; explorations get the same treatment.
+// wait/cancel; explorations get the same treatment.  A `wait` with an
+// "ids" array multiplexes over every involved shard's pipe with one
+// poll(2) loop, so a wedged shard cannot stall waits destined for healthy
+// ones.
 #pragma once
 
 #include <sys/types.h>
@@ -40,6 +59,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
+#include <random>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +94,14 @@ struct RouterOptions {
   /// Respawn dead shards (journal replay) instead of only re-routing.
   bool restartDeadShards = true;
   int maxRestartsPerShard = 16;
+  /// Restart backoff: the first revive after a death is immediate (so a
+  /// one-off kill heals on the next request), the n-th consecutive death
+  /// waits base * 2^(n-1) seconds, capped at max, jittered +-25% from the
+  /// seeded RNG so a fleet of routers does not thunder in phase.  A death
+  /// after `restartBackoffMaxSeconds` of healthy uptime resets the streak.
+  double restartBackoffBaseSeconds = 0.05;
+  double restartBackoffMaxSeconds = 5.0;
+  std::uint64_t backoffJitterSeed = 0x105F;
 };
 
 class ClusterRouter {
@@ -98,17 +127,32 @@ class ClusterRouter {
   /// SIGKILL a shard from outside the protocol -- the soak/test fault
   /// site.  The router notices on the next request routed to it.
   void killShard(int shard);
+  /// SIGSTOP a shard -- the chaos harness's wedge fault.  The shard stays
+  /// "up" but answers nothing; the router's request timeout declares it
+  /// wedged, kill9s it (SIGKILL works on a stopped process) and revives.
+  void wedgeShard(int shard);
 
   /// Total successful shard restarts so far (soak invariant input).
   [[nodiscard]] std::uint64_t restarts() const;
   /// Total requests that had to leave their home shard.
   [[nodiscard]] std::uint64_t rerouted() const { return rerouted_; }
+  /// Jobs and explorations re-pinned to a survivor after their shard died
+  /// past its restart budget (or was drained).
+  [[nodiscard]] std::uint64_t jobFailovers() const { return jobFailovers_; }
+  [[nodiscard]] std::uint64_t exploreFailovers() const { return exploreFailovers_; }
+  [[nodiscard]] std::uint64_t drains() const { return drains_; }
+  [[nodiscard]] std::uint64_t adds() const { return adds_; }
+  /// Current ring members (undrained shards).
+  [[nodiscard]] int memberCount() const;
 
  private:
   struct Shard {
     std::unique_ptr<ShardProcess> process;
     std::vector<std::string> argv;
     bool alive = false;
+    /// False after `drain`: not in the ring, not revived, not counted in
+    /// all_alive.  `add` re-admits.
+    bool member = true;
     int restarts = 0;
     std::uint64_t routedJobs = 0;
     std::uint64_t transportErrors = 0;
@@ -116,6 +160,32 @@ class ClusterRouter {
     /// most recent (re)boot -- the cluster-visible recovery evidence.
     std::uint64_t lastReplayedRecords = 0;
     std::uint64_t lastRecoveredJobs = 0;
+    /// Restart hygiene: why it last died, the recent death reasons
+    /// (bounded), when the backoff allows the next respawn, and the
+    /// consecutive-death streak driving the exponent.
+    std::string lastRestartReason;
+    std::vector<std::string> restartHistory;
+    double nextRestartAt = 0.0;
+    int backoffStreak = 0;
+    double lastReviveAt = 0.0;
+  };
+
+  /// Where a router job id routes, plus everything needed to re-pin it to
+  /// a survivor when that shard is unrecoverable: the consistent-hash key
+  /// and an async resubmission of the original request (a cache hit or
+  /// coalesce on the inheritor, never a second engine run).
+  struct JobRoute {
+    int shard = -1;
+    std::uint64_t localId = 0;
+    std::string key;
+    std::string resubmitLine;
+    bool terminal = false;  ///< Observed in a terminal state (drain skips it).
+  };
+
+  struct ExploreRoute {
+    int shard = -1;
+    std::uint64_t localId = 0;
+    std::string rawLine;  ///< Original request, for failover re-pinning.
   };
 
   /// Thrown internally for cluster-level failures; becomes a structured
@@ -132,8 +202,11 @@ class ClusterRouter {
   [[nodiscard]] service::Json handleSweep(const service::Json& request);
   [[nodiscard]] service::Json handleWaitOrCancel(const service::Json& request,
                                                  const std::string& op);
+  [[nodiscard]] service::Json handleMultiWait(const service::Json& request);
   [[nodiscard]] service::Json handleExplore(const std::string& rawLine);
   [[nodiscard]] service::Json handleExploreResult(const service::Json& request);
+  [[nodiscard]] service::Json handleDrain(const service::Json& request);
+  [[nodiscard]] service::Json handleAdd(const service::Json& request);
   [[nodiscard]] service::Json handleStats();
   [[nodiscard]] service::Json handleHealth();
   [[nodiscard]] service::Json handleShutdown();
@@ -143,9 +216,10 @@ class ClusterRouter {
   /// or a hash key over the entry text for no_cache jobs.
   [[nodiscard]] std::string routingKeyFor(const service::Json& entry) const;
 
-  /// Pick the live shard for `key`, reviving its home shard first if that
-  /// is down.  Throws RouterError{"no_live_shards"} when the whole
-  /// cluster is dead.  Counts a reroute when the answer is not home.
+  /// Pick the live member shard for `key`, reviving its home shard first
+  /// if that is down (respecting backoff; a cluster with nothing else
+  /// alive force-revives).  Throws RouterError{"no_live_shards"} when
+  /// nothing can serve.  Counts a reroute when the answer is not home.
   [[nodiscard]] int routeLive(const std::string& key);
 
   /// One request/response over a shard's pipe.  nullopt marks the shard
@@ -157,14 +231,27 @@ class ClusterRouter {
   [[nodiscard]] std::pair<int, service::Json> forwardRouted(
       const std::string& key, const std::string& line);
 
-  void markDead(int shard);
-  /// Respawn a dead shard (journal replay) within the restart budget;
+  void markDead(int shard, const std::string& reason);
+  /// Respawn a dead member shard (journal replay) within the restart
+  /// budget and -- unless ignoreBackoff -- past its backoff deadline;
   /// true when the shard is alive afterwards.
-  [[nodiscard]] bool reviveShard(int shard);
+  [[nodiscard]] bool reviveShard(int shard, bool ignoreBackoff = false);
   void spawnShard(int shard);  ///< Throws on spawn/health-check failure.
+  /// The worker argv for shard `s` (journal dir, shared cache appended).
+  [[nodiscard]] std::vector<std::string> buildShardArgv(int shard) const;
 
-  [[nodiscard]] std::vector<bool> aliveMask() const;
-  [[nodiscard]] std::uint64_t mapNewJob(int shard, std::uint64_t localId);
+  /// Re-pin a non-terminal job whose shard is unrecoverable: resubmit on
+  /// the ring (async), remap the route, return the inheriting shard.
+  int failoverJob(std::uint64_t routerId, JobRoute& route);
+  /// Note a wait/cancel response's state so drains skip settled jobs.
+  void noteTerminal(JobRoute& route, const service::Json& response);
+
+  [[nodiscard]] std::vector<bool> routableMask() const;  ///< alive && member.
+  [[nodiscard]] std::uint64_t mapNewJob(int shard, std::uint64_t localId,
+                                        std::string key,
+                                        std::string resubmitLine,
+                                        bool terminal);
+  [[nodiscard]] double nowSeconds() const;
 
   RouterOptions options_;
   std::string techPrint_;
@@ -174,10 +261,14 @@ class ClusterRouter {
 
   std::uint64_t nextJobId_ = 1;
   std::uint64_t nextExploreId_ = 1;
-  /// Router id -> (shard, shard-local id).
-  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> jobRoute_;
-  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>> exploreRoute_;
+  std::unordered_map<std::uint64_t, JobRoute> jobRoute_;
+  std::unordered_map<std::uint64_t, ExploreRoute> exploreRoute_;
   std::uint64_t rerouted_ = 0;
+  std::uint64_t jobFailovers_ = 0;
+  std::uint64_t exploreFailovers_ = 0;
+  std::uint64_t drains_ = 0;
+  std::uint64_t adds_ = 0;
+  std::mt19937_64 backoffRng_;
 };
 
 }  // namespace lo::cluster

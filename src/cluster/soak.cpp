@@ -37,6 +37,21 @@ Json submitRequest(const testkit::CorpusPoint& point, bool async, bool summary) 
   return req;
 }
 
+/// A front with per-point provenance stripped: `cache_hit` says where a
+/// value came from (cold run vs warm replay), not what it is, so the
+/// byte-identical failover comparison must ignore it.
+std::string frontFingerprint(const Json& front) {
+  Json scrubbed = Json::array();
+  for (const Json& point : front.items()) {
+    Json p = Json::object();
+    for (const auto& [key, value] : point.members()) {
+      if (key != "cache_hit") p.set(key, value);
+    }
+    scrubbed.push(std::move(p));
+  }
+  return scrubbed.dump();
+}
+
 /// Everything the client threads share, all guarded by one mutex: the
 /// router itself is single-threaded by contract, so the soak's concurrency
 /// lives in the *shards*, not in the router's front door.
@@ -72,6 +87,13 @@ Json ClusterSoakReport::toJson() const {
   out.set("restarts", restarts);
   out.set("rerouted", rerouted);
   out.set("resubmitted_hits", resubmittedHits);
+  out.set("chaos_kills", chaosKills);
+  out.set("chaos_wedges", chaosWedges);
+  out.set("chaos_drains", chaosDrains);
+  out.set("chaos_adds", chaosAdds);
+  out.set("job_failovers", jobFailovers);
+  out.set("explore_failovers", exploreFailovers);
+  out.set("explore_front_matched", exploreFrontMatched);
 
   Json states = Json::object();
   for (const auto& [state, count] : terminalStates) states.set(state, count);
@@ -115,7 +137,29 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
     ++shared.terminalStates[state];
   };
 
-  const bool checkMonotonic = !options.killOneShard;
+  // Restarted or drained shards legitimately reset their counters, so the
+  // monotonicity probe only runs in fault-free configurations.
+  const bool checkMonotonic = !options.killOneShard && !options.chaos;
+
+  // Chaos mode: start an async exploration before the clients so the
+  // whole fault schedule plays out underneath a live session.  Case 4 for
+  // the same reason as the explore smoke -- its grid is feasible, so the
+  // front is non-trivial.
+  const std::string exploreLine =
+      R"({"op":"explore","async":true,"case":4,"budget":12,"max_rounds":1,)"
+      R"("tolerance":0.05,"axes":[{"field":"gbw","lo":55e6,"hi":65e6,)"
+      R"("points":2},{"field":"cload","lo":2e-12,"hi":3e-12,"points":2}]})";
+  std::uint64_t exploreId = 0;
+  if (options.chaos) {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    const Json ack = call(exploreLine, lock);
+    if (ack.at("ok").asBool()) {
+      exploreId = ack.at("explore_id").asUint64();
+    } else {
+      shared.violations.push_back("chaos: explore submission failed: " +
+                                  ack.dump());
+    }
+  }
   auto clientLoop = [&](int clientIndex) {
     std::mt19937 rng(static_cast<std::uint32_t>(options.seed * 7919 +
                                                 static_cast<std::uint64_t>(clientIndex)));
@@ -197,6 +241,90 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
     });
   }
 
+  // The chaos schedule: each event fires once the clients' request count
+  // crosses its (seeded, deterministic) index.  Kinds rotate so every run
+  // covers kill -9, SIGSTOP wedge and drain-under-load; the shard choice
+  // comes from the same RNG stream.  Signals and membership ops alike run
+  // under the shared mutex, so an event lands *between* client requests
+  // -- a deterministic op boundary, not a random instant mid-write.
+  struct ChaosEvent {
+    std::uint64_t atRequest = 0;
+    int kind = 0;  ///< 0 = kill, 1 = drain + re-add, 2 = wedge.
+    std::uint64_t pick = 0;
+  };
+  std::vector<ChaosEvent> plan;
+  if (options.chaos) {
+    std::mt19937_64 chaosRng(options.chaosSeed != 0
+                                 ? options.chaosSeed
+                                 : options.seed ^ 0x9E3779B97F4A7C15ULL);
+    // Kill and drain lead the rotation: a wedge stalls the clients for a
+    // full request timeout, so in a short run everything scheduled after
+    // one may never fire.
+    std::uint64_t at = 6 + chaosRng() % 6;
+    for (int k = 0; k < options.chaosEvents; ++k) {
+      ChaosEvent event;
+      event.atRequest = at;
+      event.kind = k % 3;
+      event.pick = chaosRng();
+      plan.push_back(event);
+      at += 10 + chaosRng() % 10;
+    }
+  }
+  std::thread chaosThread;
+  if (!plan.empty()) {
+    chaosThread = std::thread([&] {
+      std::size_t next = 0;
+      while (next < plan.size() &&
+             secondsSince(start) < options.durationSeconds + 1.0) {
+        if (shared.requests.load(std::memory_order_relaxed) <
+            plan[next].atRequest) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        const ChaosEvent& event = plan[next++];
+        std::unique_lock<std::mutex> lock(shared.mutex);
+        const int victim = static_cast<int>(
+            event.pick % static_cast<std::uint64_t>(router.shardCount()));
+        if (event.kind == 0) {
+          router.killShard(victim);
+          ++report.chaosKills;
+        } else if (event.kind == 2) {
+          router.wedgeShard(victim);
+          ++report.chaosWedges;
+        } else {
+          Json drain = Json::object();
+          drain.set("op", "drain");
+          drain.set("shard", victim);
+          Json drained;
+          try {
+            drained = Json::parse(router.handleLine(drain.dump()));
+          } catch (const service::JsonParseError&) {
+          }
+          // A refused drain (last member standing, already drained) is a
+          // legal no-op; an accepted one must re-admit cleanly.
+          if (drained.at("ok").asBool()) {
+            ++report.chaosDrains;
+            Json add = Json::object();
+            add.set("op", "add");
+            add.set("shard", victim);
+            Json added;
+            try {
+              added = Json::parse(router.handleLine(add.dump()));
+            } catch (const service::JsonParseError&) {
+            }
+            if (added.at("ok").asBool()) {
+              ++report.chaosAdds;
+            } else {
+              shared.violations.push_back(
+                  "chaos: re-admitting drained shard " +
+                  std::to_string(victim) + " failed: " + added.dump());
+            }
+          }
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(options.clients));
   for (int c = 0; c < options.clients; ++c) {
@@ -204,6 +332,7 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
   }
   for (std::thread& client : clients) client.join();
   if (killer.joinable()) killer.join();
+  if (chaosThread.joinable()) chaosThread.join();
 
   // Drain: every ack the clients collected must reach a terminal state.
   {
@@ -232,6 +361,38 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
     }
   }
 
+  // Chaos exploration invariants: the session that lived through the
+  // fault schedule must deliver its full front (no lost explore budget),
+  // and that front must be byte-identical to a clean, equal-budget re-run
+  // of the same request -- failover is invisible in the result.
+  if (options.chaos && exploreId != 0) {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    Json resultReq = Json::object();
+    resultReq.set("op", "explore_result");
+    resultReq.set("explore_id", exploreId);
+    const Json stormy = call(resultReq.dump(), lock);
+    const Json* stormyFront = stormy.find("front");
+    if (!stormy.at("ok").asBool() || stormyFront == nullptr ||
+        stormyFront->items().empty()) {
+      shared.violations.push_back(
+          "chaos: the exploration lost its front to the fault schedule: " +
+          stormy.dump());
+    } else {
+      Json rerun = Json::parse(exploreLine);
+      rerun.set("async", false);
+      const Json clean = call(rerun.dump(), lock);
+      const Json* cleanFront = clean.find("front");
+      if (cleanFront == nullptr ||
+          frontFingerprint(*stormyFront) != frontFingerprint(*cleanFront)) {
+        shared.violations.push_back(
+            "chaos: the failed-over front diverged from a clean re-run of "
+            "the same request");
+      } else {
+        report.exploreFrontMatched = true;
+      }
+    }
+  }
+
   // Exactly-once at the cache-key level: whatever the cluster ran -- or a
   // dead shard owed and a reboot replayed -- each pool point is now in the
   // cache, so a fresh synchronous pass must be all hits and no reruns.
@@ -250,9 +411,23 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
       }
     }
 
-    const Json health = call(R"({"op":"health"})", lock);
-    if (!health.at("ok").asBool() ||
-        !health.at("health").at("cluster").at("all_alive").asBool()) {
+    Json health = call(R"({"op":"health"})", lock);
+    auto fullyAlive = [](const Json& h) {
+      return h.at("ok").asBool() &&
+             h.at("health").at("cluster").at("all_alive").asBool();
+    };
+    if (options.chaos) {
+      // Late chaos faults can leave a member inside its (short) restart
+      // backoff window; "stats" revives dead members, so probe until the
+      // membership heals or the grace runs out.
+      const auto healStart = Clock::now();
+      while (!fullyAlive(health) && secondsSince(healStart) < 10.0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        (void)call(R"({"op":"stats"})", lock);
+        health = call(R"({"op":"health"})", lock);
+      }
+    }
+    if (!fullyAlive(health)) {
       shared.violations.push_back("cluster is not fully alive after the soak: " +
                                   health.dump());
     }
@@ -261,6 +436,10 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
   if (options.killOneShard && router.restarts() == 0) {
     shared.violations.push_back(
         "a shard was SIGKILLed but the router never restarted anything");
+  }
+  if ((report.chaosKills + report.chaosWedges) > 0 && router.restarts() == 0) {
+    shared.violations.push_back(
+        "chaos killed or wedged shards but the router never restarted any");
   }
   if (const std::uint64_t t = shared.transportErrors.load()) {
     shared.violations.push_back(std::to_string(t) +
@@ -279,6 +458,8 @@ ClusterSoakReport runClusterSoak(const ClusterSoakOptions& options) {
   report.terminalStates = std::move(shared.terminalStates);
   report.restarts = router.restarts();
   report.rerouted = router.rerouted();
+  report.jobFailovers = router.jobFailovers();
+  report.exploreFailovers = router.exploreFailovers();
   report.violations = std::move(shared.violations);
   report.elapsedSeconds = secondsSince(start);
   return report;

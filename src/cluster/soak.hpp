@@ -27,6 +27,16 @@
 //   * stats monotonicity -- cluster job counters never decrease across
 //     the run's stats probes (skipped when a kill is armed: a restarted
 //     shard's counters legitimately reset to zero).
+//
+// Chaos mode (`chaos`) layers a seeded schedule of faults on top: at
+// deterministic request-count indices drawn from chaosSeed, the harness
+// SIGKILLs a shard, SIGSTOP-wedges one, or drains one under load and
+// re-admits it -- while an async exploration started before the clients
+// rides through the whole storm.  Two invariants join the list above:
+// the exploration must still deliver its full front (no lost explore
+// budget, however many times its shard died or drained), and that
+// killed-and-failed-over front must be byte-identical to a clean
+// equal-budget re-run of the same request.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +62,14 @@ struct ClusterSoakOptions {
   /// SIGKILL one shard at killAtFraction of the soak duration.
   bool killOneShard = false;
   double killAtFraction = 0.4;
+  /// Seeded chaos schedule: kill -9, SIGSTOP wedge and drain/re-add
+  /// events fire at deterministic request-count indices, and an async
+  /// exploration runs through the storm (see the header comment).
+  bool chaos = false;
+  /// Chaos schedule RNG seed; 0 derives one from `seed`.
+  std::uint64_t chaosSeed = 0;
+  /// Fault events in the schedule (kill/wedge/drain rotate).
+  int chaosEvents = 4;
   /// Shard layout, worker argv, journalRoot/cacheDir and restart policy.
   RouterOptions router;
 };
@@ -66,6 +84,14 @@ struct ClusterSoakReport {
   std::uint64_t restarts = 0;         ///< Router restart count at the end.
   std::uint64_t rerouted = 0;         ///< Requests served off their home shard.
   std::uint64_t resubmittedHits = 0;  ///< Pool points answering cache_hit:true.
+  std::uint64_t chaosKills = 0;       ///< SIGKILL events fired.
+  std::uint64_t chaosWedges = 0;      ///< SIGSTOP wedge events fired.
+  std::uint64_t chaosDrains = 0;      ///< Drains executed under load.
+  std::uint64_t chaosAdds = 0;        ///< Drained shards re-admitted.
+  std::uint64_t jobFailovers = 0;     ///< Jobs re-pinned to survivors.
+  std::uint64_t exploreFailovers = 0; ///< Explorations re-pinned.
+  /// Chaos exploration's front matched the clean re-run byte for byte.
+  bool exploreFrontMatched = false;
   std::vector<std::string> violations;
   double elapsedSeconds = 0.0;
 

@@ -7,15 +7,23 @@
 namespace lo::explore {
 
 Explorer::Explorer(service::JobScheduler& scheduler, ExploreSpace space,
-                   ExploreOptions options)
+                   ExploreOptions options, ProgressCallback onProgress)
     : scheduler_(scheduler),
       space_(std::move(space)),
       options_(std::move(options)),
+      onProgress_(std::move(onProgress)),
       archive_(options_.objectives, options_.requirePostLayout) {}
 
 ExploreProgress Explorer::progress() const {
   const std::lock_guard<std::mutex> lock(progressMutex_);
   return progress_;
+}
+
+void Explorer::notifyProgress() const {
+  if (!onProgress_) return;
+  std::vector<std::string> frontKeys;
+  for (const PointEval& p : archive_.front()) frontKeys.push_back(p.key);
+  onProgress_(progress(), frontKeys);
 }
 
 int Explorer::remainingBudget() const {
@@ -116,6 +124,7 @@ ExploreResult Explorer::run() {
 
   ExploreResult result;
   bool exhausted = !evaluateBatch(seedGrid(space_));
+  notifyProgress();
 
   result.seedFront = archive_.front();
 
@@ -191,6 +200,7 @@ ExploreResult Explorer::run() {
       progress_.round = round;
     }
     if (!evaluateBatch(batch)) exhausted = true;
+    notifyProgress();
     result.rounds = round;
     if (truncated) exhausted = true;
 
@@ -217,6 +227,7 @@ ExploreResult Explorer::run() {
     result.evaluations = progress_.evaluated;
     result.cacheHits = progress_.cacheHits;
   }
+  notifyProgress();
   return result;
 }
 

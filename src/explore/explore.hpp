@@ -17,6 +17,7 @@
 // budget is exhausted, no cell is interesting, or maxRounds is reached.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -81,10 +82,17 @@ struct ExploreResult {
 
 class Explorer {
  public:
+  /// Invoked on run()'s thread after every evaluation batch (and once more
+  /// when the run completes) with the live progress and the current
+  /// archive front keys.  The explore session journal hangs its progress
+  /// breadcrumbs off this; must not call back into the explorer.
+  using ProgressCallback = std::function<void(
+      const ExploreProgress&, const std::vector<std::string>& frontKeys)>;
+
   /// The scheduler must outlive the explorer; its engine configuration is
   /// taken from space.engineOptions per job.
   Explorer(service::JobScheduler& scheduler, ExploreSpace space,
-           ExploreOptions options = {});
+           ExploreOptions options = {}, ProgressCallback onProgress = {});
 
   /// Run the full exploration (blocking).  Throws std::invalid_argument on
   /// a degenerate space or non-positive budget.  Not re-entrant.
@@ -103,10 +111,12 @@ class Explorer {
   [[nodiscard]] PointEval makeEval(const std::vector<double>& coords,
                                    const service::JobStatus& status) const;
   [[nodiscard]] int remainingBudget() const;
+  void notifyProgress() const;  ///< Fire onProgress_ with a fresh snapshot.
 
   service::JobScheduler& scheduler_;
   ExploreSpace space_;
   ExploreOptions options_;
+  ProgressCallback onProgress_;
   ParetoArchive archive_;
 
   /// Every evaluated point, keyed canonically; only run()'s thread writes.

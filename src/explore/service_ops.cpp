@@ -97,6 +97,39 @@ ExploreOptions optionsFromJson(const Json& request) {
   return options;
 }
 
+Json exploreRequestJson(const ExploreSpace& space, const ExploreOptions& options) {
+  Json req = Json::object();
+  req.set("op", "explore");
+  req.set("topology", space.engineOptions.topology);
+  req.set("case", core::sizingCaseName(space.engineOptions.sizingCase));
+  req.set("model", space.engineOptions.modelName);
+  req.set("bias", space.engineOptions.includeBiasGenerator);
+  req.set("corner", tech::cornerName(space.corner));
+  req.set("spec", service::toJson(space.base));
+  Json axes = Json::array();
+  for (const SpecAxis& axis : space.axes) {
+    Json a = Json::object();
+    a.set("field", axis.field);
+    a.set("lo", axis.lo);
+    a.set("hi", axis.hi);
+    a.set("points", axis.points);
+    axes.push(std::move(a));
+  }
+  req.set("axes", std::move(axes));
+  req.set("budget", options.budget);
+  req.set("max_rounds", options.maxRounds);
+  req.set("tolerance", options.specTolerance);
+  req.set("require_post_layout", options.requirePostLayout);
+  Json objectives = Json::array();
+  for (const Objective o : options.objectives) {
+    objectives.push(std::string(objectiveName(o)));
+  }
+  req.set("objectives", std::move(objectives));
+  req.set("priority", options.priority);
+  req.set("deadline_seconds", options.deadlineSeconds);
+  return req;
+}
+
 void installExploreOps(service::ServiceProtocol& protocol, ExploreManager& manager) {
   protocol.registerOp("explore", [&manager](const Json& request) {
     const ExploreSpace space = spaceFromJson(request);
@@ -120,6 +153,17 @@ void installExploreOps(service::ServiceProtocol& protocol, ExploreManager& manag
     }
     return outcomeToJson(manager.wait(id), request.at("csv").asBool());
   });
+
+  if (manager.journalEnabled()) {
+    protocol.registerStatsSection("explore_journal", [&manager] {
+      Json j = Json::object();
+      j.set("appended", manager.journal()->appended());
+      j.set("records_in_log", manager.journal()->recordsInLog());
+      j.set("compactions", manager.journal()->compactions());
+      j.set("recovered_sessions", manager.recoveredSessions());
+      return j;
+    });
+  }
 
   protocol.registerStatsSection("explorations", [&manager] {
     Json list = Json::array();

@@ -25,6 +25,14 @@ namespace lo::explore {
 [[nodiscard]] ExploreSpace spaceFromJson(const service::Json& request);
 [[nodiscard]] ExploreOptions optionsFromJson(const service::Json& request);
 
+/// Inverse of spaceFromJson/optionsFromJson: serialise a space + options
+/// back into the request shape they parse.  Round trips are exact (the
+/// doubles survive bit-identically), so the explore session journal can
+/// store a session as its request and re-run it verbatim after a crash or
+/// a shard failover.
+[[nodiscard]] service::Json exploreRequestJson(const ExploreSpace& space,
+                                               const ExploreOptions& options);
+
 /// Register the ops and the stats section.  Both objects must outlive the
 /// protocol's serving loop.
 void installExploreOps(service::ServiceProtocol& protocol, ExploreManager& manager);

@@ -1,5 +1,8 @@
 // JobJournal: the scheduler's crash-safety spine -- an append-only,
-// fsync'd, write-ahead log of job lifecycle records.
+// fsync'd, write-ahead log of job lifecycle records -- plus FramedLog,
+// the reusable checksummed frame layer underneath it (shared with the
+// explore session journal, so every durable log in the system tears and
+// recovers the same way).
 //
 // Every record is framed as
 //
@@ -54,6 +57,102 @@
 
 namespace lo::service {
 
+// --------------------------------------------------------------------------
+// FramedLog: the checksummed frame layer, payload-agnostic.
+
+struct FramedLogOptions {
+  /// Full path of the log file; the parent directory is created if
+  /// missing.  Must be non-empty.
+  std::string path;
+  /// fsync every frame appended with durable=true (the crash-safety
+  /// guarantee).  Turning this off trades durability of the last few
+  /// frames for throughput; replay still works on whatever reached the
+  /// disk.  Non-durable appends only fflush regardless.
+  bool fsyncEachRecord = true;
+  /// Test seam (testkit journal_torn_write): consulted once per append.
+  /// Firing writes only the first half of the frame and freezes the log
+  /// -- byte-for-byte what a process SIGKILLed mid-append leaves.
+  std::function<bool()> tornWriteFault;
+  /// Test seam: a firing append writes only half its frame and *fails*
+  /// without freezing -- a transient short write (ENOSPC), exercising the
+  /// truncate-back-to-good-boundary recovery in append().
+  std::function<bool()> shortWriteFault;
+};
+
+/// What a frame-level replay found: every intact payload in log order.
+struct FrameReplay {
+  std::vector<std::string> payloads;
+  bool tornTail = false;             ///< A torn final frame was dropped.
+  std::uint64_t truncatedBytes = 0;  ///< Bytes past the last good boundary.
+};
+
+/// An append-only log of checksummed frames with torn-tail recovery.  All
+/// higher-level journals (job journal, explore session journal) are thin
+/// record codecs over this class, so they share one tear/recovery/compact
+/// behaviour and one on-disk format.
+class FramedLog {
+ public:
+  explicit FramedLog(FramedLogOptions options);
+  ~FramedLog();
+
+  FramedLog(const FramedLog&) = delete;
+  FramedLog& operator=(const FramedLog&) = delete;
+
+  /// Payload validator: a frame whose bytes checksum correctly but whose
+  /// payload the owning record layer cannot decode is treated exactly like
+  /// a torn frame (it and everything after it is truncated away).
+  using PayloadValidator = std::function<bool(const std::string&)>;
+
+  /// Read the log, truncating a torn tail so later appends start on a
+  /// clean frame boundary, and return every intact payload.  Safe to call
+  /// again later; throws std::runtime_error only on I/O errors, never on
+  /// torn data.
+  [[nodiscard]] FrameReplay replay(const PayloadValidator& valid = {});
+
+  /// Parse a log file read-only (no truncation, no side effects).
+  [[nodiscard]] static FrameReplay replayFile(const std::string& path,
+                                              const PayloadValidator& valid = {});
+
+  /// Append one payload; durable (the default) fsyncs before returning.  A
+  /// failed write truncates back to the last good frame boundary and
+  /// throws; the log freezes only if even the truncation fails.  No-op
+  /// after freeze().
+  void append(const std::string& payload, bool durable = true);
+
+  /// Rewrite the log to exactly `payloads`, via tmp + fsync + rename.
+  /// No-op after freeze().
+  void rewrite(const std::vector<std::string>& payloads);
+
+  /// Test seam: silently drop every subsequent append/rewrite, as if the
+  /// process had died at this instant.  The file keeps whatever it holds.
+  void freeze();
+
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+  [[nodiscard]] std::uint64_t recordsInLog() const;  ///< Frames currently on disk.
+  [[nodiscard]] std::uint64_t appended() const;      ///< Appends since open.
+  [[nodiscard]] std::uint64_t compactions() const;   ///< rewrite() count.
+  [[nodiscard]] bool frozen() const;
+
+ private:
+  void closeLocked();
+  bool openForAppendLocked();
+  bool writeFrameLocked(std::FILE* f, const std::string& payload, bool durable);
+
+  FramedLogOptions options_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool frozen_ = false;
+  /// Offset of the last fully-appended frame boundary in the open log;
+  /// a failed append truncates back to here.
+  std::uint64_t goodOffset_ = 0;
+  std::uint64_t recordsInLog_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// JobJournal: the scheduler's record layer over FramedLog.
+
 enum class JournalRecordType { kSubmitted, kStarted, kRetried, kFinished, kCancelled };
 
 [[nodiscard]] constexpr const char* journalRecordTypeName(JournalRecordType t) {
@@ -86,18 +185,10 @@ struct JournalOptions {
   /// Directory holding the log (created if missing); empty disables the
   /// journal entirely at the scheduler level.
   std::string dir;
-  /// fsync every record appended with durable=true (the crash-safety
-  /// guarantee).  Turning this off trades durability of the last few
-  /// records for throughput; replay still works on whatever reached the
-  /// disk.  Non-durable appends only fflush regardless.
+  /// See FramedLogOptions::fsyncEachRecord.
   bool fsyncEachRecord = true;
-  /// Test seam (testkit journal_torn_write): consulted once per append.
-  /// Firing writes only the first half of the frame and freezes the
-  /// journal -- byte-for-byte what a process SIGKILLed mid-append leaves.
+  /// See FramedLogOptions::tornWriteFault / shortWriteFault.
   std::function<bool()> tornWriteFault;
-  /// Test seam: a firing append writes only half its frame and *fails*
-  /// without freezing -- a transient short write (ENOSPC), exercising the
-  /// truncate-back-to-good-boundary recovery in append().
   std::function<bool()> shortWriteFault;
 };
 
@@ -115,7 +206,6 @@ struct JournalReplay {
 class JobJournal {
  public:
   explicit JobJournal(JournalOptions options);
-  ~JobJournal();
 
   JobJournal(const JobJournal&) = delete;
   JobJournal& operator=(const JobJournal&) = delete;
@@ -137,35 +227,22 @@ class JobJournal {
   void append(const JournalRecord& record, bool durable = true);
 
   /// Rewrite the log to exactly `live` (the still-running/queued submitted
-  /// records), via tmp + fsync + rename, dropping everything replay would
-  /// discard.  No-op after simulateCrash().
+  /// records), dropping everything replay would discard.  No-op after
+  /// simulateCrash().
   void compact(const std::vector<JournalRecord>& live);
 
   /// Test seam: silently drop every subsequent append/compact, as if the
   /// process had died at this instant.  The file keeps whatever it holds.
-  void simulateCrash();
+  void simulateCrash() { log_.freeze(); }
 
-  [[nodiscard]] std::string logPath() const;
-  [[nodiscard]] std::uint64_t recordsInLog() const;  ///< Frames currently on disk.
-  [[nodiscard]] std::uint64_t appended() const;      ///< Appends since open.
-  [[nodiscard]] std::uint64_t compactions() const;
-  [[nodiscard]] bool frozen() const;
+  [[nodiscard]] std::string logPath() const { return log_.path(); }
+  [[nodiscard]] std::uint64_t recordsInLog() const { return log_.recordsInLog(); }
+  [[nodiscard]] std::uint64_t appended() const { return log_.appended(); }
+  [[nodiscard]] std::uint64_t compactions() const { return log_.compactions(); }
+  [[nodiscard]] bool frozen() const { return log_.frozen(); }
 
  private:
-  void closeLocked();
-  bool openForAppendLocked();
-  bool writeFrameLocked(std::FILE* f, const std::string& payload, bool durable);
-
-  JournalOptions options_;
-  mutable std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  bool frozen_ = false;
-  /// Offset of the last fully-appended frame boundary in the open log;
-  /// a failed append truncates back to here.
-  std::uint64_t goodOffset_ = 0;
-  std::uint64_t recordsInLog_ = 0;
-  std::uint64_t appended_ = 0;
-  std::uint64_t compactions_ = 0;
+  FramedLog log_;
 };
 
 }  // namespace lo::service

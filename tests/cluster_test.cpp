@@ -7,11 +7,13 @@
 // revival.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/process.hpp"
@@ -74,6 +76,19 @@ TEST(ShardRingTest, DeadShardMovesOnlyItsOwnKeys) {
     }
   }
   EXPECT_GT(moved, 0) << "shard 2 owned no keys at all";
+}
+
+TEST(ShardRingTest, AddShardMatchesARingBuiltAtThatSizeUpFront) {
+  ShardRing grown(3);
+  EXPECT_EQ(grown.addShard(), 3);
+  const ShardRing built(4);
+  // Elastic growth is deterministic: the grown ring is indistinguishable
+  // from one constructed with four shards, so every router that performs
+  // the same `add` sequence routes identically.
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(grown.ownerOf(key), built.ownerOf(key)) << key;
+  }
 }
 
 TEST(ShardRingTest, AllDeadRoutesNowhereAndBadArgsThrow) {
@@ -340,6 +355,230 @@ TEST_F(ClusterRouterTest, KilledShardIsRevivedOnTheNextRequestItOwns) {
   ASSERT_TRUE(health.at("ok").asBool());
   EXPECT_TRUE(health.at("health").at("cluster").at("all_alive").asBool())
       << health.dump();
+}
+
+TEST_F(ClusterRouterTest, SecondRapidDeathBacksOffAndReroutes) {
+  RouterOptions options = makeOptions(2);
+  options.restartBackoffBaseSeconds = 0.6;
+  ClusterRouter router(options);
+  const Json first = call(router, synthLine(68));
+  ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+  const int victim = first.at("shard").asInt(-1);
+  ASSERT_GE(victim, 0);
+
+  // First death in the streak: the revive is immediate.
+  router.killShard(victim);
+  const Json second = call(router, synthLine(68));
+  ASSERT_TRUE(second.at("ok").asBool()) << second.dump();
+  EXPECT_EQ(second.at("shard").asInt(-1), victim);
+  EXPECT_EQ(router.restarts(), 1u);
+
+  // Second death moments later: the revive is deferred by the backoff
+  // (0.45--0.75s at base 0.6), so the victim's keys re-route to the
+  // survivor, which peer-fills from the shared store.
+  router.killShard(victim);
+  const Json third = call(router, synthLine(68));
+  ASSERT_TRUE(third.at("ok").asBool()) << third.dump();
+  EXPECT_NE(third.at("shard").asInt(-1), victim);
+  EXPECT_TRUE(third.at("cache_hit").asBool()) << third.dump();
+  EXPECT_EQ(router.restarts(), 1u);
+  EXPECT_GE(router.rerouted(), 1u);
+
+  // Restart hygiene is health-visible: reason, bounded history, and the
+  // remaining backoff window.
+  const Json health = call(router, R"({"op":"health"})");
+  ASSERT_TRUE(health.at("ok").asBool());
+  const Json& entry =
+      health.at("health").at("shards").at("shard" + std::to_string(victim));
+  EXPECT_FALSE(entry.at("alive").asBool());
+  EXPECT_TRUE(entry.at("member").asBool());
+  EXPECT_FALSE(entry.at("last_restart_reason").asString().empty());
+  EXPECT_GE(entry.at("restart_history").items().size(), 2u);
+  EXPECT_GT(entry.at("backoff_seconds").asDouble(), 0.0) << entry.dump();
+
+  // Past the backoff window the next owned request revives it again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  const Json fourth = call(router, synthLine(68));
+  ASSERT_TRUE(fourth.at("ok").asBool()) << fourth.dump();
+  EXPECT_EQ(fourth.at("shard").asInt(-1), victim);
+  EXPECT_EQ(router.restarts(), 2u);
+}
+
+TEST_F(ClusterRouterTest, MultiplexedWaitResolvesManyIdsAcrossShards) {
+  ClusterRouter router(makeOptions(2));
+  std::vector<std::uint64_t> ids;
+  for (int gbw : {71, 72, 73, 74}) {
+    const Json ack =
+        call(router, R"({"op":"synthesize","async":true,"case":1,"spec":{"gbw":)" +
+                         std::to_string(gbw) + R"(e6}})");
+    ASSERT_TRUE(ack.at("ok").asBool()) << ack.dump();
+    ids.push_back(ack.at("id").asUint64());
+  }
+
+  // Scrambled order plus one unknown id: outcomes come back in request
+  // order, each stamped with its router id; the unknown id fails alone
+  // without poisoning the batch.
+  Json wait = Json::object();
+  wait.set("op", "wait");
+  Json list = Json::array();
+  for (const std::size_t i : {2u, 0u, 3u, 1u}) list.push(ids[i]);
+  list.push(std::uint64_t{999999});
+  wait.set("ids", std::move(list));
+  const Json response = call(router, wait.dump());
+  ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+  const auto& outcomes = response.at("outcomes").items();
+  ASSERT_EQ(outcomes.size(), 5u);
+  const std::vector<std::uint64_t> expected{ids[2], ids[0], ids[3], ids[1]};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].at("ok").asBool()) << outcomes[i].dump();
+    EXPECT_EQ(outcomes[i].at("id").asUint64(), expected[i]);
+    EXPECT_EQ(outcomes[i].at("state").asString(), "done");
+  }
+  EXPECT_FALSE(outcomes[4].at("ok").asBool());
+
+  // An empty or missing ids array is a request error, not a crash.
+  EXPECT_FALSE(call(router, R"({"op":"wait","ids":[]})").at("ok").asBool());
+}
+
+TEST_F(ClusterRouterTest, DrainMovesWorkAndResolvesItsIdsOnSurvivors) {
+  ClusterRouter router(makeOptions(2));
+  struct Tracked {
+    std::uint64_t id = 0;
+    int shard = -1;
+  };
+  std::vector<Tracked> jobs;
+  for (int gbw : {75, 76, 77, 78, 79, 80}) {
+    const Json ack =
+        call(router, R"({"op":"synthesize","async":true,"case":1,"spec":{"gbw":)" +
+                         std::to_string(gbw) + R"(e6}})");
+    ASSERT_TRUE(ack.at("ok").asBool()) << ack.dump();
+    jobs.push_back({ack.at("id").asUint64(), ack.at("shard").asInt(-1)});
+  }
+  const int victim = jobs.front().shard;
+
+  Json drain = Json::object();
+  drain.set("op", "drain");
+  drain.set("shard", victim);
+  const Json drained = call(router, drain.dump());
+  ASSERT_TRUE(drained.at("ok").asBool()) << drained.dump();
+  EXPECT_EQ(drained.at("drained").asInt(-1), victim);
+  EXPECT_EQ(drained.at("members").asUint64(), 1u);
+  EXPECT_EQ(router.drains(), 1u);
+
+  // Every id resolves -- the ones mapped to the drained shard on its
+  // inheritor, never as an error.  That is the satellite regression: a
+  // wait/cancel across a drain must re-pin, not 404.
+  for (const Tracked& job : jobs) {
+    Json wait = Json::object();
+    wait.set("op", "wait");
+    wait.set("id", job.id);
+    wait.set("summary", true);
+    const Json done = call(router, wait.dump());
+    ASSERT_TRUE(done.at("ok").asBool()) << done.dump();
+    EXPECT_EQ(done.at("state").asString(), "done");
+    EXPECT_NE(done.at("shard").asInt(-1), victim);
+    EXPECT_EQ(done.at("id").asUint64(), job.id);
+  }
+  // Cancel of a drained-shard id: already done, so cancelled:false -- the
+  // same answer its original shard would have given.
+  Json cancel = Json::object();
+  cancel.set("op", "cancel");
+  cancel.set("id", jobs.front().id);
+  const Json cancelled = call(router, cancel.dump());
+  ASSERT_TRUE(cancelled.at("ok").asBool()) << cancelled.dump();
+  EXPECT_FALSE(cancelled.at("cancelled").asBool());
+
+  // A drained member is out of the ring but not "down": the cluster is
+  // healthy at one member.
+  const Json health = call(router, R"({"op":"health"})");
+  const Json& cluster = health.at("health").at("cluster");
+  EXPECT_EQ(cluster.at("members").asUint64(), 1u);
+  EXPECT_TRUE(cluster.at("all_alive").asBool()) << health.dump();
+  EXPECT_FALSE(health.at("health")
+                   .at("shards")
+                   .at("shard" + std::to_string(victim))
+                   .at("member")
+                   .asBool());
+
+  // The last member must refuse to drain.
+  Json last = Json::object();
+  last.set("op", "drain");
+  last.set("shard", 1 - victim);
+  EXPECT_FALSE(call(router, last.dump()).at("ok").asBool());
+
+  // Re-admission restores the two-member ring and the shard serves again.
+  Json add = Json::object();
+  add.set("op", "add");
+  add.set("shard", victim);
+  const Json added = call(router, add.dump());
+  ASSERT_TRUE(added.at("ok").asBool()) << added.dump();
+  EXPECT_EQ(added.at("members").asUint64(), 2u);
+  EXPECT_EQ(router.adds(), 1u);
+  ASSERT_TRUE(call(router, synthLine(81)).at("ok").asBool());
+  EXPECT_TRUE(call(router, R"({"op":"health"})")
+                  .at("health")
+                  .at("cluster")
+                  .at("all_alive")
+                  .asBool());
+}
+
+TEST_F(ClusterRouterTest, AddGrowsTheRingWithABrandNewShard) {
+  ClusterRouter router(makeOptions(2));
+  const Json added = call(router, R"({"op":"add"})");
+  ASSERT_TRUE(added.at("ok").asBool()) << added.dump();
+  EXPECT_EQ(added.at("shard").asInt(-1), 2);
+  EXPECT_EQ(added.at("members").asUint64(), 3u);
+  EXPECT_EQ(router.shardCount(), 3);
+
+  ASSERT_TRUE(call(router, synthLine(82)).at("ok").asBool());
+  const Json health = call(router, R"({"op":"health"})");
+  EXPECT_EQ(health.at("health").at("cluster").at("shards").asUint64(), 3u);
+  EXPECT_TRUE(health.at("health").at("cluster").at("all_alive").asBool());
+}
+
+TEST_F(ClusterRouterTest, ExplorationFailsOverWhenItsShardCannotRevive) {
+  RouterOptions options = makeOptions(2);
+  options.restartDeadShards = false;  // Force the failover path.
+  ClusterRouter router(options);
+  const std::string exploreLine =
+      R"({"op":"explore","async":true,"case":1,"budget":5,"max_rounds":2,)"
+      R"("tolerance":0.2,"axes":[{"field":"gbw","lo":50e6,"hi":65e6,)"
+      R"("points":2}]})";
+  const Json ack = call(router, exploreLine);
+  ASSERT_TRUE(ack.at("ok").asBool()) << ack.dump();
+  const std::uint64_t exploreId = ack.at("explore_id").asUint64();
+  const int victim = ack.at("shard").asInt(-1);
+  ASSERT_GE(victim, 0);
+
+  router.killShard(victim);
+  Json resultReq = Json::object();
+  resultReq.set("op", "explore_result");
+  resultReq.set("explore_id", exploreId);
+  const Json stormy = call(router, resultReq.dump());
+  ASSERT_TRUE(stormy.at("ok").asBool()) << stormy.dump();
+  EXPECT_NE(stormy.at("shard").asInt(-1), victim);
+  ASSERT_FALSE(stormy.at("front").items().empty()) << stormy.dump();
+  EXPECT_EQ(router.exploreFailovers(), 1u);
+
+  // Determinism makes the failover invisible: a clean re-run of the same
+  // request on the survivor reproduces the front exactly (cache_hit is
+  // provenance, not content, so it is stripped before comparing).
+  Json rerun = Json::parse(exploreLine);
+  rerun.set("async", false);
+  const Json clean = call(router, rerun.dump());
+  ASSERT_TRUE(clean.at("ok").asBool()) << clean.dump();
+  auto fingerprint = [](const Json& front) {
+    Json scrubbed = Json::array();
+    for (const Json& point : front.items()) {
+      Json p = Json::object();
+      for (const auto& [key, value] : point.members()) {
+        if (key != "cache_hit") p.set(key, value);
+      }
+      scrubbed.push(std::move(p));
+    }
+    return scrubbed.dump();
+  };
+  EXPECT_EQ(fingerprint(stormy.at("front")), fingerprint(clean.at("front")));
 }
 
 }  // namespace

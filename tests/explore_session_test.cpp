@@ -1,0 +1,247 @@
+// Tests for the explore-session write-ahead log: record round trips,
+// pending/finished digestion, the torn-tail regression (a mid-frame
+// truncation must fold back to the last good frame boundary, never
+// surface as corruption), idempotent replay, and ExploreManager's
+// restore-on-boot path that re-runs recovered sessions to byte-identical
+// fronts.
+#include "explore/session_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "explore/export.hpp"
+#include "explore/manager.hpp"
+#include "explore/service_ops.hpp"
+#include "service/scheduler.hpp"
+#include "tech/technology.hpp"
+
+namespace lo::explore {
+namespace {
+
+using service::Json;
+
+class SessionJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("explore_session_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static ExploreSpace quickSpace() {
+    ExploreSpace space;
+    space.engineOptions.sizingCase = core::SizingCase::kCase1;
+    space.axes.push_back({"gbw", 50e6, 65e6, 2});
+    return space;
+  }
+
+  static ExploreOptions quickOptions() {
+    ExploreOptions options;
+    options.budget = 5;
+    options.maxRounds = 2;
+    options.specTolerance = 0.2;
+    return options;
+  }
+
+  static SessionRecord startedRecord(std::uint64_t id) {
+    SessionRecord rec;
+    rec.type = SessionRecordType::kStarted;
+    rec.id = id;
+    rec.request = exploreRequestJson(quickSpace(), quickOptions());
+    return rec;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SessionJournalTest, RecordsRoundTripThroughJson) {
+  SessionRecord started = startedRecord(3);
+  const SessionRecord started2 = SessionRecord::fromJson(started.toJson());
+  EXPECT_EQ(started2.type, SessionRecordType::kStarted);
+  EXPECT_EQ(started2.id, 3u);
+  EXPECT_EQ(started2.request.dump(), started.request.dump());
+
+  SessionRecord progress;
+  progress.type = SessionRecordType::kProgress;
+  progress.id = 3;
+  progress.evaluated = 4;
+  progress.frontSize = 2;
+  progress.frontDigest = frontDigestOf({"a", "b"});
+  const SessionRecord progress2 = SessionRecord::fromJson(progress.toJson());
+  EXPECT_EQ(progress2.type, SessionRecordType::kProgress);
+  EXPECT_EQ(progress2.evaluated, 4);
+  EXPECT_EQ(progress2.frontSize, 2);
+  EXPECT_EQ(progress2.frontDigest, progress.frontDigest);
+
+  SessionRecord finished;
+  finished.type = SessionRecordType::kFinished;
+  finished.id = 3;
+  finished.ok = false;
+  finished.error = "deadline";
+  const SessionRecord finished2 = SessionRecord::fromJson(finished.toJson());
+  EXPECT_EQ(finished2.type, SessionRecordType::kFinished);
+  EXPECT_FALSE(finished2.ok);
+  EXPECT_EQ(finished2.error, "deadline");
+
+  // The digest is a pure function of the key set, and order-sensitive
+  // inputs are the caller's bug -- the explorer always hands over the
+  // archive's canonical order.
+  EXPECT_EQ(frontDigestOf({"a", "b"}), frontDigestOf({"a", "b"}));
+  EXPECT_NE(frontDigestOf({"a", "b"}), frontDigestOf({"b", "a"}));
+  EXPECT_NE(frontDigestOf({"a"}), frontDigestOf({}));
+
+  // Corrupt records throw rather than deserialise nonsense.
+  EXPECT_THROW((void)SessionRecord::fromJson(Json::parse(R"({"type":"started"})")),
+               std::invalid_argument);  // id 0
+  EXPECT_THROW(
+      (void)SessionRecord::fromJson(Json::parse(R"({"type":"started","id":4})")),
+      std::invalid_argument);  // started without a request
+  EXPECT_THROW((void)sessionRecordTypeFromName("bogus"), std::invalid_argument);
+}
+
+TEST_F(SessionJournalTest, ReplayDigestsPendingAndFinished) {
+  SessionJournalOptions options;
+  options.dir = dir_.string();
+  {
+    SessionJournal journal(options);
+    (void)journal.replay();
+    journal.append(startedRecord(1));
+    journal.append(startedRecord(2));
+    SessionRecord progress;
+    progress.type = SessionRecordType::kProgress;
+    progress.id = 1;
+    progress.evaluated = 3;
+    journal.append(progress, /*durable=*/false);
+    SessionRecord finished;
+    finished.type = SessionRecordType::kFinished;
+    finished.id = 1;
+    finished.ok = true;
+    journal.append(finished);
+  }
+  SessionJournal journal(options);
+  const SessionReplay replay = journal.replay();
+  EXPECT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.finished, 1u);
+  EXPECT_EQ(replay.maxId, 2u);
+  EXPECT_FALSE(replay.tornTail);
+  // Only session 2 is still owed: 1 finished.
+  ASSERT_EQ(replay.pending.size(), 1u);
+  EXPECT_EQ(replay.pending[0].id, 2u);
+  EXPECT_FALSE(replay.pending[0].request.isNull());
+
+  // Duplicate started records for one id (a session handed off between
+  // shards) must restart once, not once per record.
+  journal.append(startedRecord(2));
+  const SessionReplay again = SessionJournal::replayFile(journal.logPath());
+  ASSERT_EQ(again.pending.size(), 1u);
+  EXPECT_EQ(again.pending[0].id, 2u);
+}
+
+TEST_F(SessionJournalTest, TornMidFrameTailTruncatesToLastGoodBoundary) {
+  SessionJournalOptions options;
+  options.dir = dir_.string();
+  std::string path;
+  {
+    SessionJournal journal(options);
+    (void)journal.replay();
+    journal.append(startedRecord(1));
+    journal.append(startedRecord(2));
+    journal.append(startedRecord(3));
+    path = journal.logPath();
+  }
+
+  // Hand-truncate mid-frame: chop five bytes out of the last record's
+  // payload, as if the process died partway through a write the page
+  // cache had only half-flushed.
+  const auto fullSize = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, fullSize - 5);
+
+  {
+    SessionJournal journal(options);
+    const SessionReplay replay = journal.replay();
+    EXPECT_TRUE(replay.tornTail);
+    EXPECT_GT(replay.truncatedBytes, 0u);
+    // The torn record is gone; everything before the tear survives whole.
+    ASSERT_EQ(replay.records.size(), 2u);
+    EXPECT_EQ(replay.pending.size(), 2u);
+    EXPECT_EQ(replay.maxId, 2u);
+    // And the file itself was folded back to the last good frame
+    // boundary, so subsequent appends start clean...
+    EXPECT_LT(std::filesystem::file_size(path), fullSize - 5);
+    journal.append(startedRecord(7));
+  }
+
+  // ...and a fresh replay sees a healthy log again: no torn tail, the
+  // two survivors plus the post-repair append.
+  const SessionReplay healed = SessionJournal::replayFile(path);
+  EXPECT_FALSE(healed.tornTail);
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_EQ(healed.maxId, 7u);
+}
+
+TEST_F(SessionJournalTest, ReplayFileIsIdempotentAndSideEffectFree) {
+  SessionJournalOptions options;
+  options.dir = dir_.string();
+  {
+    SessionJournal journal(options);
+    (void)journal.replay();
+    journal.append(startedRecord(1));
+  }
+  const std::string path = (dir_ / "explore.wal").string();
+  const auto size = std::filesystem::file_size(path);
+  for (int i = 0; i < 3; ++i) {
+    const SessionReplay replay = SessionJournal::replayFile(path);
+    EXPECT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(std::filesystem::file_size(path), size);
+  }
+}
+
+TEST_F(SessionJournalTest, ManagerRestartsPendingSessionsOnBoot) {
+  service::SchedulerOptions schedulerOptions;
+  schedulerOptions.threads = 1;
+  service::JobScheduler scheduler(tech::Technology::generic060(),
+                                  schedulerOptions);
+
+  // A previous incarnation journalled session 7 as started and died
+  // before finishing it.
+  SessionJournalOptions options;
+  options.dir = dir_.string();
+  {
+    SessionJournal journal(options);
+    (void)journal.replay();
+    journal.append(startedRecord(7));
+  }
+
+  ExploreManager manager(scheduler, dir_.string());
+  EXPECT_EQ(manager.recoveredSessions(), 1u);
+  // The recovered session resumes under its original id and completes.
+  const ExploreManager::Outcome outcome = manager.wait(7);
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_FALSE(outcome.result.front.empty());
+
+  // Fresh ids continue past everything the journal has seen.
+  const std::uint64_t next = manager.start(quickSpace(), quickOptions());
+  EXPECT_GT(next, 7u);
+  EXPECT_TRUE(manager.wait(next).ok);
+
+  // Determinism is the recovery contract: the resumed session's front is
+  // byte-identical to a fresh run of the same request.
+  EXPECT_EQ(frontCsv(outcome.result, quickSpace()),
+            frontCsv(manager.wait(next).result, quickSpace()));
+
+  // A second boot on the same directory owes nothing: both sessions
+  // journalled their finished records.
+  ExploreManager rebooted(scheduler, dir_.string());
+  EXPECT_EQ(rebooted.recoveredSessions(), 0u);
+}
+
+}  // namespace
+}  // namespace lo::explore

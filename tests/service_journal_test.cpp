@@ -250,18 +250,39 @@ TEST(SchedulerJournal, CleanShutdownLeavesEmptyJournal) {
 
 TEST(SchedulerJournal, CleanShutdownPreservesUnfinishedJobsForRecovery) {
   const std::string dir = scratchDir("shutdown_preserve");
+  std::atomic<bool> hold{true};
+  std::atomic<bool> entered{false};
+
   SchedulerOptions options;
   options.threads = 1;
   options.journal.dir = dir;
+  // Pin the single worker so no job can complete before the destructor
+  // runs -- otherwise a fast job could legitimately finish and compact
+  // away, and the test would race the machine.  Once released, the held
+  // job enters its engine run with cancellation already requested and
+  // aborts at the first stage check, so it stays preserved too.
+  options.preRunHook = [&hold, &entered](const JobRequest&, int) {
+    entered = true;
+    while (hold) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
 
   std::vector<std::uint64_t> ids;
+  std::thread releaser;
   {
     JobScheduler scheduler(kTech, options);
     for (int i = 0; i < 3; ++i) {
       ids.push_back(scheduler.submit(fastJob("q" + std::to_string(i),
                                              60.0 + i)));
     }
-  }  // Clean shutdown with (at least) the queue tail never run.
+    while (!entered) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // The destructor joins the pinned worker; release it from outside
+    // once shutdown is underway.
+    releaser = std::thread([&hold] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      hold = false;
+    });
+  }  // Clean shutdown with the whole batch unfinished.
+  releaser.join();
 
   // Every acknowledged job is accounted for: finished in the log, or kept
   // live for the next boot -- never silently erased by the shutdown
@@ -279,9 +300,9 @@ TEST(SchedulerJournal, CleanShutdownPreservesUnfinishedJobsForRecovery) {
     EXPECT_TRUE(pending.count(id) > 0 || finished.count(id) > 0)
         << "job " << id << " vanished from the journal at clean shutdown";
   }
-  // The single worker cannot have drained a 3-job batch before the
-  // destructor ran: the queued tail must have been preserved.
-  EXPECT_GE(pending.size(), 2u);
+  // The pinned worker drained nothing: the running head and the queued
+  // tail must all have been preserved.
+  EXPECT_EQ(pending.size(), 3u);
 
   // A reboot on the same journal recovers exactly the preserved jobs and
   // finishes them.

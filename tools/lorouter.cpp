@@ -10,7 +10,26 @@
 // journal -- the replay re-enqueues everything it had acknowledged -- and
 // the failed request is retried; while a shard stays down its key ranges
 // re-route to the next live shard, which peer-fills from the shared disk
-// store instead of recomputing.
+// store instead of recomputing.  Respawns after the first death in a
+// streak back off exponentially with seeded jitter; restart reasons and
+// backoff state are visible per shard in "health".
+//
+// Fault-tolerance ops beyond the losynthd protocol:
+//   {"op":"drain","shard":N}  remove shard N from the ring gracefully:
+//                             new keys stop routing to it, its in-flight
+//                             jobs are waited out, its explore sessions
+//                             re-pin to the inheriting members, then the
+//                             worker is shut down
+//   {"op":"add","shard":N}    re-admit a drained shard N
+//   {"op":"add"}              grow the ring by a brand-new shard (cold
+//                             caches warm lazily via the shared store)
+//   {"op":"wait","ids":[...]} multiplexed wait over many router job ids:
+//                             one poll(2) loop over every involved
+//                             shard's pipe, so a wedged shard cannot
+//                             stall waits destined for healthy ones
+// A wait/cancel/explore_result whose home shard cannot be revived
+// re-pins the work onto a survivor and resolves there (byte-identical
+// fronts for explorations, cache hits for finished jobs).
 //
 //   $ printf '%s\n' '{"op":"synthesize","topology":"two_stage"}' '{"op":"stats"}' |
 //       lorouter --worker ./losynthd --shards 4 --journal-root /tmp/lr
@@ -32,6 +51,12 @@
 //                        and recycled, e.g. 30s (default 300s)
 //   --no-restart         never respawn dead shards; only re-route
 //   --max-restarts N     restart budget per shard (default 16)
+//   --backoff-base T     restart backoff base delay, e.g. 0.05s: the n-th
+//                        consecutive death waits base*2^(n-1), jittered
+//                        +-25% (first death revives immediately)
+//   --backoff-max T      backoff cap; also the healthy-uptime span that
+//                        resets the streak (default 5s)
+//   --backoff-seed N     jitter RNG seed (deterministic chaos runs)
 //   --tech PATH          technology file, used for the router's routing
 //                        keys AND forwarded to each worker (default:
 //                        built-in generic060)
@@ -51,7 +76,8 @@ void usage(const char* argv0) {
                "          [--journal-root PATH] [--cache-dir PATH]\n"
                "          [--threads N] [--queue-depth N] [--cache-capacity N]\n"
                "          [--request-timeout T] [--no-restart]\n"
-               "          [--max-restarts N] [--tech PATH]\n",
+               "          [--max-restarts N] [--backoff-base T]\n"
+               "          [--backoff-max T] [--backoff-seed N] [--tech PATH]\n",
                argv0);
 }
 
@@ -100,6 +126,13 @@ int main(int argc, char** argv) {
       options.requestTimeoutSeconds = parseDuration(value());
     } else if (arg == "--no-restart") options.restartDeadShards = false;
     else if (arg == "--max-restarts") options.maxRestartsPerShard = std::stoi(value());
+    else if (arg == "--backoff-base") {
+      options.restartBackoffBaseSeconds = parseDuration(value());
+    } else if (arg == "--backoff-max") {
+      options.restartBackoffMaxSeconds = parseDuration(value());
+    } else if (arg == "--backoff-seed") {
+      options.backoffJitterSeed = std::strtoull(value().c_str(), nullptr, 0);
+    }
     else if (arg == "--tech") techPath = value();
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);

@@ -40,6 +40,11 @@
 //   --shards N           worker shards behind the router (default 2)
 //   --kill-shard         SIGKILL one shard mid-soak; the run must absorb it
 //                        (requires --journal-dir for the replay)
+//   --chaos SEED         seeded chaos schedule: kill -9, SIGSTOP wedges and
+//                        drain/re-add events at deterministic request
+//                        indices, with an async exploration riding through
+//                        the storm (its front must match a clean re-run
+//                        byte for byte); SEED 0 derives one from --seed
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,7 +61,8 @@ void usage(const char* argv0) {
                "          [--duration T] [--clients N] [--threads N] [--pool N]\n"
                "          [--max-requests N] [--cache-dir PATH]\n"
                "          [--journal-dir PATH] [--drain-timeout T] [--tech PATH]\n"
-               "          [--worker LOSYNTHD [--shards N] [--kill-shard]]\n",
+               "          [--worker LOSYNTHD [--shards N] [--kill-shard]\n"
+               "           [--chaos SEED]]\n",
                argv0);
 }
 
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
   std::string workerBin;
   int shards = 2;
   bool killShard = false;
+  bool chaos = false;
+  std::uint64_t chaosSeed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +116,10 @@ int main(int argc, char** argv) {
     else if (arg == "--worker") workerBin = value();
     else if (arg == "--shards") shards = std::stoi(value());
     else if (arg == "--kill-shard") killShard = true;
+    else if (arg == "--chaos") {
+      chaos = true;
+      chaosSeed = std::stoull(value());
+    }
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -128,7 +140,15 @@ int main(int argc, char** argv) {
       clusterOptions.poolSize = options.poolSize;
       clusterOptions.drainTimeoutSeconds = options.drainTimeoutSeconds;
       clusterOptions.killOneShard = killShard;
+      clusterOptions.chaos = chaos;
+      clusterOptions.chaosSeed = chaosSeed;
       clusterOptions.router.shards = shards;
+      if (chaos) {
+        // Wedged shards stall a request for the full timeout; keep the
+        // chaos run snappy and let backoff jitter follow the chaos seed.
+        clusterOptions.router.requestTimeoutSeconds = 3.0;
+        if (chaosSeed != 0) clusterOptions.router.backoffJitterSeed = chaosSeed;
+      }
       clusterOptions.router.journalRoot = options.journalDir;
       clusterOptions.router.cacheDir = options.cacheDir;
       clusterOptions.router.workerArgv = {workerBin, "--threads",

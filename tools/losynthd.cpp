@@ -112,7 +112,14 @@ int main(int argc, char** argv) {
                    h.journal.tornTailRecovered ? " (torn tail truncated)" : "");
     }
     service::ServiceProtocol protocol(scheduler);
-    explore::ExploreManager explorations(scheduler);
+    // The explore session journal shares the job journal's directory
+    // (explore.wal next to journal.wal): with --journal set, explorations
+    // survive kill -9 the same way jobs do.
+    explore::ExploreManager explorations(scheduler, options.journal.dir);
+    if (explorations.journalEnabled() && explorations.recoveredSessions() > 0) {
+      std::fprintf(stderr, "losynthd: explore journal: restarted %llu session(s)\n",
+                   static_cast<unsigned long long>(explorations.recoveredSessions()));
+    }
     explore::installExploreOps(protocol, explorations);
     service::installVerifyOps(protocol, scheduler);
     protocol.serve(std::cin, std::cout);
